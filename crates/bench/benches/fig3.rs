@@ -1,0 +1,27 @@
+//! Criterion wrapper for the Fig. 3 harness: curve generation for all
+//! three benchmarks from pre-gathered activities.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ulp_bench::{calibrate, fig3_report, gather};
+use ulp_kernels::{Benchmark, WorkloadConfig};
+
+fn bench_fig3(c: &mut Criterion) {
+    let data = gather(&WorkloadConfig::quick_test()).expect("runs valid");
+    let model = calibrate(&data);
+    let mut group = c.benchmark_group("fig3");
+    for benchmark in Benchmark::ALL {
+        group.bench_function(benchmark.name(), |b| {
+            b.iter(|| {
+                let report = fig3_report(&data, &model, benchmark, 32);
+                // At this smoke scale MRPDLN's saving can sit at ~0
+                // (see EXPERIMENTS.md); the bench guards cost, not shape.
+                assert!(report.saving_at_crossover.is_finite());
+                report.with_sync.len() + report.without_sync.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

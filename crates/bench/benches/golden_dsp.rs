@@ -1,0 +1,34 @@
+//! Criterion benchmarks of the golden-model DSP (host-side reference
+//! implementations): morphological filtering, delineation and multi-lead
+//! combination throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ulp_biosignal::{
+    combine_two_leads, delineate, generate, mrpfltr, DelineationConfig, EcgConfig, MrpfltrConfig,
+};
+
+fn bench_golden(c: &mut Criterion) {
+    let sig = generate(&EcgConfig::default(), 2048);
+    let sig2 = generate(
+        &EcgConfig {
+            noise_seed: 7,
+            ..EcgConfig::default()
+        },
+        2048,
+    );
+    let mut group = c.benchmark_group("golden_dsp");
+    group.throughput(Throughput::Elements(2048));
+    group.bench_function("mrpfltr", |b| {
+        b.iter(|| mrpfltr(&sig.samples, &MrpfltrConfig::default()))
+    });
+    group.bench_function("mrpdln", |b| {
+        b.iter(|| delineate(&sig.samples, &DelineationConfig::default()))
+    });
+    group.bench_function("sqrt32_combine", |b| {
+        b.iter(|| combine_two_leads(&sig.samples, &sig2.samples))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_golden);
+criterion_main!(benches);

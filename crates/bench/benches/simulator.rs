@@ -1,0 +1,37 @@
+//! Criterion benchmarks of the simulator itself: wall-clock cost of one
+//! benchmark run per design, plus the per-table harness entry points.
+//! These guard the usability of the experiment flow (`table1`, `fig3`)
+//! rather than the paper's metrics, which are cycle counts and power.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ulp_kernels::{run_benchmark, Benchmark, WorkloadConfig};
+
+fn bench_kernel_runs(c: &mut Criterion) {
+    let cfg = WorkloadConfig::quick_test();
+    let mut group = c.benchmark_group("simulate");
+    group.sample_size(10);
+    for benchmark in Benchmark::ALL {
+        for with_sync in [true, false] {
+            let label = format!(
+                "{}/{}",
+                benchmark.name(),
+                if with_sync { "sync" } else { "baseline" }
+            );
+            group.bench_with_input(
+                BenchmarkId::from_parameter(label),
+                &with_sync,
+                |bencher, &ws| {
+                    bencher.iter(|| {
+                        let run = run_benchmark(benchmark, ws, &cfg).expect("run ok");
+                        assert!(run.is_valid());
+                        run.stats.cycles
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernel_runs);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Criterion wrapper for the Table I harness: one full
+//! gather-calibrate-report cycle at test scale (the `table1` binary runs
+//! the paper-scale version and prints the table).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ulp_bench::{calibrate, gather, table1_report};
+use ulp_kernels::WorkloadConfig;
+
+fn bench_table1(c: &mut Criterion) {
+    let cfg = WorkloadConfig::quick_test();
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    group.bench_function("gather_calibrate_report", |b| {
+        b.iter(|| {
+            let data = gather(&cfg).expect("runs valid");
+            let model = calibrate(&data);
+            table1_report(&data, &model).to_string().len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Runs the ablation studies A1-A6 of DESIGN.md. Pass one of:
+//! im-mapping | policy | cores | voltage | granularity | layout | all
+//! (default).
+
+use ulp_bench::ablation;
+use ulp_bench::{calibrate, gather};
+use ulp_kernels::{Benchmark, WorkloadConfig};
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let cfg = WorkloadConfig::paper();
+    let b = Benchmark::Mrpfltr;
+    let all = arg == "all";
+    if all || arg == "im-mapping" {
+        println!("{}", ablation::im_mapping(b, &cfg));
+        println!();
+    }
+    if all || arg == "policy" {
+        println!("{}", ablation::policy(b, &cfg));
+        println!();
+    }
+    if all || arg == "cores" {
+        println!("{}", ablation::cores(b, &cfg));
+        println!();
+    }
+    if all || arg == "granularity" {
+        println!("{}", ablation::granularity(b, &cfg));
+        println!();
+    }
+    if all || arg == "layout" {
+        println!("{}", ablation::layout(b, &cfg));
+        println!();
+    }
+    if all || arg == "voltage" {
+        eprintln!("gathering activities for the voltage study ...");
+        let data = gather(&cfg).expect("benchmark runs valid");
+        let model = calibrate(&data);
+        let d = data.benchmark(b);
+        println!(
+            "{}",
+            ablation::voltage_sensitivity(&model, &d.act_with, &d.act_without)
+        );
+    }
+    if !all
+        && !["im-mapping", "policy", "cores", "granularity", "layout", "voltage"]
+            .contains(&arg.as_str())
+    {
+        eprintln!(
+            "unknown study {arg:?}; use im-mapping|policy|cores|voltage|granularity|layout|all"
+        );
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,28 @@
+//! Regenerates Fig. 3 of the paper: total power versus workload with
+//! voltage scaling, for both designs. Pass a benchmark name (mrpfltr,
+//! sqrt32, mrpdln) or "all" (default).
+
+use ulp_bench::{calibrate, fig3_report, gather};
+use ulp_kernels::{Benchmark, WorkloadConfig};
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let wanted: Vec<Benchmark> = match arg.to_ascii_lowercase().as_str() {
+        "mrpfltr" => vec![Benchmark::Mrpfltr],
+        "sqrt32" => vec![Benchmark::Sqrt32],
+        "mrpdln" => vec![Benchmark::Mrpdln],
+        "all" => Benchmark::ALL.to_vec(),
+        other => {
+            eprintln!("unknown benchmark {other:?}; use mrpfltr|sqrt32|mrpdln|all");
+            std::process::exit(2);
+        }
+    };
+    let cfg = WorkloadConfig::paper();
+    eprintln!("running 3 benchmarks x 2 designs (n = {}) ...", cfg.n);
+    let data = gather(&cfg).expect("benchmark runs valid");
+    let model = calibrate(&data);
+    for b in wanted {
+        println!("{}", fig3_report(&data, &model, b, 16));
+        println!();
+    }
+}

@@ -1,0 +1,14 @@
+//! Regenerates the in-text results of Section V-B: speed-up, Ops/cycle,
+//! IM/DM access ratios, iso-voltage and voltage-scaled savings,
+//! synchronizer power share and clock-tree ratio.
+
+use ulp_bench::{calibrate, gather, intext_report};
+use ulp_kernels::WorkloadConfig;
+
+fn main() {
+    let cfg = WorkloadConfig::paper();
+    eprintln!("running 3 benchmarks x 2 designs (n = {}) ...", cfg.n);
+    let data = gather(&cfg).expect("benchmark runs valid");
+    let model = calibrate(&data);
+    println!("{}", intext_report(&data, &model));
+}

@@ -1,0 +1,16 @@
+//! Regenerates Table I of the paper: per-component dynamic power at a
+//! workload of 8 MOps/s and 1.2 V, for the designs with and without the
+//! synchronization feature, as min-max ranges over the three benchmarks.
+
+use ulp_bench::{calibrate, gather, table1_report};
+use ulp_kernels::WorkloadConfig;
+
+fn main() {
+    let cfg = WorkloadConfig::paper();
+    eprintln!("running 3 benchmarks x 2 designs (n = {}) ...", cfg.n);
+    let data = gather(&cfg).expect("benchmark runs valid");
+    let model = calibrate(&data);
+    println!("{}", table1_report(&data, &model));
+    println!("(baseline column calibrated to the paper's mid-ranges; the");
+    println!(" with-synchronizer column is predicted from simulated activity)");
+}

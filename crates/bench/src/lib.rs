@@ -1,0 +1,23 @@
+//! # ulp-bench — the experiment harness of the DATE 2013 reproduction
+//!
+//! Regenerates every table and figure of the paper's evaluation
+//! (Section V) from simulation:
+//!
+//! | Artifact | Binary | Library entry |
+//! |---|---|---|
+//! | Table I (power distribution, 8 MOps/s, 1.2 V) | `table1` | [`table1_report`] |
+//! | Fig. 3a/b/c (power vs workload, voltage scaled) | `fig3` | [`fig3_report`] |
+//! | In-text numbers (speed-up, Ops/cycle, access ratios) | `intext` | [`intext_report`] |
+//! | Ablations A1–A6 of `DESIGN.md` | `ablation` | [`ablation`] |
+//!
+//! The flow mirrors the paper: run the three ECG benchmarks on both
+//! designs ([`gather`]), calibrate the event-energy model against the
+//! baseline column of Table I ([`calibrate`]), then *predict* the improved
+//! design's power from its own measured activity.
+
+pub mod ablation;
+mod experiments;
+mod report;
+
+pub use experiments::{calibrate, gather, BenchmarkData, ExperimentData};
+pub use report::{fig3_report, intext_report, table1_report, Fig3Report, IntextReport, Table1Report};

@@ -1,0 +1,305 @@
+//! Deterministic synthetic multi-channel ECG generation.
+//!
+//! Real clinical recordings (e.g. MIT-BIH) cannot be redistributed with
+//! this repository, so experiments run on a synthetic ECG: a sum of
+//! Gaussian bumps for the P, Q, R, S and T waves placed on a jittered
+//! RR-interval grid, plus sinusoidal baseline wander (respiration) and
+//! additive noise. Samples are quantized to 12-bit ADC units (±2047),
+//! matching the 16-bit data path of the platform with ample headroom for
+//! the downstream morphological operators.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the synthetic ECG generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EcgConfig {
+    /// Sampling rate in Hz.
+    pub fs: f64,
+    /// Mean heart rate in beats per minute.
+    pub heart_rate_bpm: f64,
+    /// Relative RR-interval jitter (0.05 = ±5 %).
+    pub hr_variability: f64,
+    /// R-peak amplitude in ADC units.
+    pub amplitude: f64,
+    /// Baseline-wander amplitude in ADC units.
+    pub baseline_wander: f64,
+    /// Baseline-wander (respiration) frequency in Hz.
+    pub wander_freq: f64,
+    /// RMS of the additive noise in ADC units.
+    pub noise_rms: f64,
+    /// Seed of the beat-grid RNG. Channels of one recording share this
+    /// seed, so every lead observes the same heart (identical R-peak
+    /// times).
+    pub seed: u64,
+    /// Seed of the per-lead noise/wander RNG (varied per channel).
+    pub noise_seed: u64,
+    /// When set, [`generate_channels`] gives every channel its *own* beat
+    /// grid (independent signal sources, e.g. separate sensor nodes)
+    /// instead of eight leads of one heart. Independent channels maximize
+    /// data-dependent divergence across the cores — the worst case for
+    /// lockstep execution.
+    pub independent_channels: bool,
+}
+
+impl Default for EcgConfig {
+    fn default() -> Self {
+        EcgConfig {
+            fs: 250.0,
+            heart_rate_bpm: 72.0,
+            hr_variability: 0.05,
+            amplitude: 1200.0,
+            baseline_wander: 200.0,
+            wander_freq: 0.33,
+            noise_rms: 20.0,
+            seed: 0xEC6_2013,
+            noise_seed: 0xEC6_2013 ^ 0x5EED,
+            independent_channels: false,
+        }
+    }
+}
+
+/// A generated ECG trace with its ground truth.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EcgSignal {
+    /// The samples in ADC units, clamped to ±2047.
+    pub samples: Vec<i16>,
+    /// Ground-truth R-peak sample indices (for validating delineation).
+    pub r_peaks: Vec<usize>,
+}
+
+impl EcgSignal {
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+}
+
+/// The five characteristic waves of one heartbeat: relative amplitude,
+/// width (seconds) and offset from the R peak (seconds).
+const WAVES: [(f64, f64, f64); 5] = [
+    (0.15, 0.040, -0.180), // P
+    (-0.10, 0.012, -0.035), // Q
+    (1.00, 0.014, 0.000),   // R
+    (-0.22, 0.016, 0.030),  // S
+    (0.30, 0.070, 0.250),   // T
+];
+
+/// Approximately standard-normal deviate (Irwin–Hall sum of 12 uniforms).
+fn gauss(rng: &mut StdRng) -> f64 {
+    let mut s = 0.0;
+    for _ in 0..12 {
+        s += rng.gen::<f64>();
+    }
+    s - 6.0
+}
+
+/// Generates one synthetic ECG channel.
+///
+/// # Example
+///
+/// ```
+/// use ulp_biosignal::{generate, EcgConfig};
+///
+/// let sig = generate(&EcgConfig::default(), 1000);
+/// assert_eq!(sig.len(), 1000);
+/// assert!(!sig.r_peaks.is_empty());
+/// // Deterministic for a fixed seed.
+/// assert_eq!(sig, generate(&EcgConfig::default(), 1000));
+/// ```
+pub fn generate(cfg: &EcgConfig, n: usize) -> EcgSignal {
+    // Two independent RNG streams: the beat grid is shared by every lead
+    // of a recording, noise and wander phase are lead-specific.
+    let mut beat_rng = StdRng::seed_from_u64(cfg.seed);
+    let mut noise_rng = StdRng::seed_from_u64(cfg.noise_seed);
+    let mut samples = vec![0f64; n];
+    let mut nominal_peaks = Vec::new();
+
+    // Place beats on a jittered RR grid covering the window.
+    let rr_nominal = 60.0 / cfg.heart_rate_bpm;
+    let mut t_beat = 0.3 * rr_nominal; // first R inside the window
+    let t_end = n as f64 / cfg.fs;
+    while t_beat < t_end + 0.5 {
+        let r_idx = (t_beat * cfg.fs).round() as usize;
+        if r_idx < n {
+            nominal_peaks.push(r_idx);
+        }
+        for (amp, width, offset) in WAVES {
+            let centre = t_beat + offset;
+            let lo = ((centre - 4.0 * width) * cfg.fs).floor().max(0.0) as usize;
+            let hi = (((centre + 4.0 * width) * cfg.fs).ceil() as usize).min(n);
+            for (i, s) in samples.iter_mut().enumerate().take(hi).skip(lo) {
+                let t = i as f64 / cfg.fs;
+                let z = (t - centre) / width;
+                *s += cfg.amplitude * amp * (-0.5 * z * z).exp();
+            }
+        }
+        let jitter = 1.0 + cfg.hr_variability * gauss(&mut beat_rng) / 3.0;
+        t_beat += rr_nominal * jitter.clamp(0.5, 1.5);
+    }
+
+    // Ground truth: the apex of the *clean* beat (overlapping Q/S/T waves
+    // can shift it a sample off the nominal R centre).
+    let polarity = if cfg.amplitude < 0.0 { -1.0 } else { 1.0 };
+    let r_peaks: Vec<usize> = nominal_peaks
+        .iter()
+        .map(|&r| {
+            let lo = r.saturating_sub(3);
+            let hi = (r + 3).min(n - 1);
+            (lo..=hi)
+                .max_by(|&a, &b| {
+                    (polarity * samples[a])
+                        .partial_cmp(&(polarity * samples[b]))
+                        .expect("finite samples")
+                })
+                .unwrap_or(r)
+        })
+        .collect();
+
+    // Baseline wander and noise.
+    let phase = noise_rng.gen::<f64>() * std::f64::consts::TAU;
+    for (i, s) in samples.iter_mut().enumerate() {
+        let t = i as f64 / cfg.fs;
+        *s += cfg.baseline_wander
+            * (std::f64::consts::TAU * cfg.wander_freq * t + phase).sin();
+        *s += cfg.noise_rms * gauss(&mut noise_rng);
+    }
+
+    EcgSignal {
+        samples: samples
+            .into_iter()
+            .map(|v| v.round().clamp(-2047.0, 2047.0) as i16)
+            .collect(),
+        r_peaks,
+    }
+}
+
+/// Generates a multi-channel recording: `channels` leads of the same heart
+/// activity seen with per-lead gain, polarity and independent noise — the
+/// workload shape of the paper's multi-channel analysis platform (one
+/// channel per core).
+pub fn generate_channels(cfg: &EcgConfig, channels: usize, n: usize) -> Vec<EcgSignal> {
+    (0..channels)
+        .map(|ch| {
+            let mut c = cfg.clone();
+            // Per-lead projection: varied gain, alternating polarity for
+            // some leads, lead-specific noise and wander phase.
+            let gain = 1.0 - 0.08 * (ch % 4) as f64;
+            let polarity = if ch % 5 == 3 { -1.0 } else { 1.0 };
+            c.amplitude *= gain * polarity;
+            c.baseline_wander *= 1.0 + 0.15 * (ch % 3) as f64;
+            // Lead-specific noise stream; optionally an independent heart.
+            c.noise_seed = cfg
+                .noise_seed
+                .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(ch as u64 + 1));
+            if cfg.independent_channels {
+                c.seed = cfg.seed.wrapping_add(0xD1B5_4A32_D192_ED03u64.wrapping_mul(ch as u64 + 1));
+                c.heart_rate_bpm = cfg.heart_rate_bpm * (0.85 + 0.05 * (ch % 7) as f64);
+            }
+            generate(&c, n)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = EcgConfig::default();
+        assert_eq!(generate(&cfg, 500), generate(&cfg, 500));
+        let other = EcgConfig {
+            seed: 1,
+            ..EcgConfig::default()
+        };
+        assert_ne!(generate(&cfg, 500), generate(&other, 500));
+    }
+
+    #[test]
+    fn beat_count_matches_heart_rate() {
+        let cfg = EcgConfig {
+            hr_variability: 0.0,
+            ..EcgConfig::default()
+        };
+        // 10 s at 72 bpm -> 12 beats expected (±1 for window edges).
+        let sig = generate(&cfg, 2500);
+        assert!(
+            (11..=13).contains(&sig.r_peaks.len()),
+            "beats: {}",
+            sig.r_peaks.len()
+        );
+    }
+
+    #[test]
+    fn r_peaks_are_local_maxima_of_clean_signal() {
+        let cfg = EcgConfig {
+            baseline_wander: 0.0,
+            noise_rms: 0.0,
+            hr_variability: 0.0,
+            ..EcgConfig::default()
+        };
+        let sig = generate(&cfg, 2000);
+        for &r in &sig.r_peaks {
+            if r > 2 && r + 2 < sig.len() {
+                let w = &sig.samples[r - 2..=r + 2];
+                let max = *w.iter().max().unwrap();
+                assert!(
+                    sig.samples[r] >= max - 2,
+                    "R at {r} is not a local max: {w:?}"
+                );
+                assert!(sig.samples[r] > 800, "R amplitude too small");
+            }
+        }
+    }
+
+    #[test]
+    fn samples_fit_adc_range() {
+        let cfg = EcgConfig {
+            amplitude: 4000.0, // deliberately excessive
+            ..EcgConfig::default()
+        };
+        let sig = generate(&cfg, 1000);
+        assert!(sig.samples.iter().all(|s| (-2047..=2047).contains(s)));
+    }
+
+    #[test]
+    fn channels_differ_but_share_beat_grid() {
+        let cfg = EcgConfig::default();
+        let chans = generate_channels(&cfg, 8, 1000);
+        assert_eq!(chans.len(), 8);
+        for pair in chans.windows(2) {
+            assert_ne!(pair[0].samples, pair[1].samples);
+        }
+        // All channels observe the same heart: identical R-peak grid.
+        for ch in &chans[1..] {
+            assert_eq!(ch.r_peaks, chans[0].r_peaks);
+        }
+    }
+
+    #[test]
+    fn inverted_lead_has_negative_r() {
+        let cfg = EcgConfig {
+            noise_rms: 0.0,
+            baseline_wander: 0.0,
+            ..EcgConfig::default()
+        };
+        let chans = generate_channels(&cfg, 8, 1000);
+        // Channel 3 is generated with inverted polarity.
+        let r = chans[3].r_peaks[0];
+        assert!(chans[3].samples[r] < -500);
+        assert!(chans[0].samples[r] > 500);
+    }
+
+    #[test]
+    fn empty_request_is_fine() {
+        let sig = generate(&EcgConfig::default(), 0);
+        assert!(sig.is_empty());
+        assert!(sig.r_peaks.is_empty());
+    }
+}

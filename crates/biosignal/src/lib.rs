@@ -1,0 +1,40 @@
+//! # ulp-biosignal — synthetic ECG and golden reference DSP
+//!
+//! The paper evaluates its platform on three Electrocardiogram (ECG)
+//! processing benchmarks (Section II):
+//!
+//! * **MRPFLTR** — baseline-wander correction and noise suppression by
+//!   morphological filtering (Sun et al., *Computers in Biology and
+//!   Medicine*, 2002) — [`mrpfltr()`](mrpfltr());
+//! * **MRPDLN** — ECG delineation based on multiscale morphological
+//!   derivatives (Sun et al., *BMC Cardiovascular Disorders*, 2005) —
+//!   [`mrpdln`];
+//! * **SQRT32** — a 32-bit integer square-root kernel used for multi-lead
+//!   ECG combination (Rolfe, *SIGNUM Newsletter*, 1987) — [`sqrt32`].
+//!
+//! This crate provides bit-exact integer reference implementations of all
+//! three (the *golden models* the assembly kernels of `ulp-kernels` are
+//! validated against) plus a deterministic synthetic multi-channel ECG
+//! generator ([`ecg`]) standing in for clinical recordings, which cannot be
+//! redistributed here. The synthetic signal exercises the same
+//! data-dependent control flow — per-sample min/max comparisons,
+//! thresholding, conditional subtraction — that drives the lockstep
+//! behaviour studied in the paper.
+//!
+//! All DSP uses 16-bit/32-bit integer arithmetic exactly as the 16-bit
+//! platform cores do, so golden and simulated outputs can be compared for
+//! equality, not merely similarity.
+
+pub mod ecg;
+pub mod metrics;
+pub mod morphology;
+pub mod mrpdln;
+pub mod mrpfltr;
+pub mod sqrt32;
+
+pub use ecg::{generate, generate_channels, EcgConfig, EcgSignal};
+pub use metrics::{score_detections, DetectionScore};
+pub use morphology::{closing, dilation, erosion, opening};
+pub use mrpdln::{delineate, mmd, DelineationConfig, Mark};
+pub use mrpfltr::{mrpfltr, MrpfltrConfig};
+pub use sqrt32::{combine_two_leads, isqrt32, isqrt_slice};

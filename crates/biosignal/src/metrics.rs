@@ -1,0 +1,189 @@
+//! Detection-quality metrics for delineation outputs.
+//!
+//! The standard figures of merit for QRS detectors (ANSI/AAMI EC57-style):
+//! **sensitivity** (fraction of true events found) and **positive
+//! predictivity** (fraction of detections that are true), with a matching
+//! tolerance window, plus the mean absolute localization error of the
+//! matched pairs.
+
+use crate::mrpdln::Mark;
+
+/// Score of a detector against ground truth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetectionScore {
+    /// True events matched within the tolerance.
+    pub true_positives: usize,
+    /// True events with no detection nearby.
+    pub false_negatives: usize,
+    /// Detections with no true event nearby.
+    pub false_positives: usize,
+    /// Mean absolute distance (samples) of the matched pairs.
+    pub mean_abs_error: f64,
+}
+
+impl DetectionScore {
+    /// Sensitivity `TP / (TP + FN)`, 1.0 when there are no true events.
+    pub fn sensitivity(&self) -> f64 {
+        let denom = self.true_positives + self.false_negatives;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// Positive predictivity `TP / (TP + FP)`, 1.0 when nothing was
+    /// detected.
+    pub fn positive_predictivity(&self) -> f64 {
+        let denom = self.true_positives + self.false_positives;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+}
+
+/// Greedily matches each true event to the nearest unused detection within
+/// `tolerance` samples and scores the result.
+///
+/// # Example
+///
+/// ```
+/// use ulp_biosignal::metrics::score_detections;
+///
+/// let truth = [100, 300, 500];
+/// let detections = [101, 303, 420];
+/// let score = score_detections(&truth, &detections, 5);
+/// assert_eq!(score.true_positives, 2);
+/// assert_eq!(score.false_negatives, 1);
+/// assert_eq!(score.false_positives, 1);
+/// assert!((score.mean_abs_error - 2.0).abs() < 1e-12);
+/// ```
+pub fn score_detections(truth: &[usize], detections: &[usize], tolerance: usize) -> DetectionScore {
+    let mut used = vec![false; detections.len()];
+    let mut true_positives = 0;
+    let mut abs_err_sum = 0usize;
+    for &t in truth {
+        let best = detections
+            .iter()
+            .enumerate()
+            .filter(|(i, &d)| !used[*i] && d.abs_diff(t) <= tolerance)
+            .min_by_key(|(_, &d)| d.abs_diff(t));
+        if let Some((i, &d)) = best {
+            used[i] = true;
+            true_positives += 1;
+            abs_err_sum += d.abs_diff(t);
+        }
+    }
+    let false_positives = used.iter().filter(|u| !**u).count();
+    DetectionScore {
+        true_positives,
+        false_negatives: truth.len() - true_positives,
+        false_positives,
+        mean_abs_error: if true_positives == 0 {
+            0.0
+        } else {
+            abs_err_sum as f64 / true_positives as f64
+        },
+    }
+}
+
+/// Extracts detection indices from a delineator mark stream (peaks and
+/// pits both count as events — inverted leads mark the QRS as a pit).
+pub fn detections_from_marks(marks: &[Mark]) -> Vec<usize> {
+    marks
+        .iter()
+        .enumerate()
+        .filter(|(_, m)| **m != Mark::None)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Convenience wrapper for the raw `u16` mark words read back from the
+/// simulated platform's data memory.
+pub fn detections_from_mark_words(words: &[u16]) -> Vec<usize> {
+    words
+        .iter()
+        .enumerate()
+        .filter(|(_, w)| **w != 0)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ecg::{generate, EcgConfig};
+    use crate::mrpdln::{delineate, DelineationConfig};
+
+    #[test]
+    fn perfect_detection() {
+        let truth = [10, 20, 30];
+        let s = score_detections(&truth, &truth, 0);
+        assert_eq!(s.true_positives, 3);
+        assert_eq!(s.false_negatives, 0);
+        assert_eq!(s.false_positives, 0);
+        assert_eq!(s.sensitivity(), 1.0);
+        assert_eq!(s.positive_predictivity(), 1.0);
+        assert_eq!(s.mean_abs_error, 0.0);
+    }
+
+    #[test]
+    fn empty_cases() {
+        let s = score_detections(&[], &[], 3);
+        assert_eq!(s.sensitivity(), 1.0);
+        assert_eq!(s.positive_predictivity(), 1.0);
+
+        let s = score_detections(&[5], &[], 3);
+        assert_eq!(s.sensitivity(), 0.0);
+        assert_eq!(s.false_negatives, 1);
+
+        let s = score_detections(&[], &[5], 3);
+        assert_eq!(s.positive_predictivity(), 0.0);
+        assert_eq!(s.false_positives, 1);
+    }
+
+    #[test]
+    fn each_detection_matches_at_most_one_truth() {
+        // Two true events, one detection between them: only one match.
+        let s = score_detections(&[10, 14], &[12], 3);
+        assert_eq!(s.true_positives, 1);
+        assert_eq!(s.false_negatives, 1);
+        assert_eq!(s.false_positives, 0);
+    }
+
+    #[test]
+    fn nearest_detection_wins() {
+        let s = score_detections(&[100], &[97, 99, 104], 5);
+        assert_eq!(s.true_positives, 1);
+        assert!((s.mean_abs_error - 1.0).abs() < 1e-12, "99 is nearest");
+        assert_eq!(s.false_positives, 2);
+    }
+
+    #[test]
+    fn end_to_end_delineator_score_is_high() {
+        let cfg = EcgConfig {
+            noise_rms: 10.0,
+            ..EcgConfig::default()
+        };
+        let sig = generate(&cfg, 2500);
+        let marks = delineate(&sig.samples, &DelineationConfig::default());
+        let detections = detections_from_marks(&marks);
+        let score = score_detections(&sig.r_peaks, &detections, 3);
+        assert!(
+            score.sensitivity() > 0.9,
+            "sensitivity {:.2}",
+            score.sensitivity()
+        );
+        assert!(score.mean_abs_error <= 2.0, "localization {:.2}", score.mean_abs_error);
+    }
+
+    #[test]
+    fn mark_word_extraction() {
+        let words = [0u16, 1, 0, 2, 0];
+        assert_eq!(detections_from_mark_words(&words), vec![1, 3]);
+        let marks = [Mark::None, Mark::Peak, Mark::Pit];
+        assert_eq!(detections_from_marks(&marks), vec![1, 2]);
+    }
+}

@@ -1,0 +1,180 @@
+//! Flat-structuring-element morphological operators on integer signals.
+//!
+//! These are the primitives of both ECG benchmarks: erosion and dilation
+//! are running minima/maxima over a sliding window of odd length `l`
+//! (the *structuring element*), and opening/closing are their
+//! compositions. At the borders the window is clipped to the signal — the
+//! same convention the assembly kernels implement, so results are
+//! bit-exact comparable.
+//!
+//! The straightforward `O(n·l)` inner loops with per-element `min`/`max`
+//! comparisons are retained deliberately: the paper's benchmarks execute
+//! exactly this data-dependent compare-and-update flow, which is what
+//! breaks lockstep on the baseline multi-core.
+
+/// Erosion: running minimum over a centred window of odd length `l`.
+///
+/// # Panics
+///
+/// Panics if `l` is even or zero.
+///
+/// # Example
+///
+/// ```
+/// use ulp_biosignal::erosion;
+/// assert_eq!(erosion(&[3, 1, 4, 1, 5], 3), vec![1, 1, 1, 1, 1]);
+/// ```
+pub fn erosion(x: &[i16], l: usize) -> Vec<i16> {
+    window_scan(x, l, i16::min)
+}
+
+/// Dilation: running maximum over a centred window of odd length `l`.
+///
+/// # Panics
+///
+/// Panics if `l` is even or zero.
+pub fn dilation(x: &[i16], l: usize) -> Vec<i16> {
+    window_scan(x, l, i16::max)
+}
+
+/// Opening: erosion followed by dilation — removes positive peaks
+/// narrower than the structuring element.
+///
+/// # Panics
+///
+/// Panics if `l` is even or zero.
+pub fn opening(x: &[i16], l: usize) -> Vec<i16> {
+    dilation(&erosion(x, l), l)
+}
+
+/// Closing: dilation followed by erosion — removes negative pits narrower
+/// than the structuring element.
+///
+/// # Panics
+///
+/// Panics if `l` is even or zero.
+pub fn closing(x: &[i16], l: usize) -> Vec<i16> {
+    erosion(&dilation(x, l), l)
+}
+
+fn window_scan(x: &[i16], l: usize, f: fn(i16, i16) -> i16) -> Vec<i16> {
+    assert!(l % 2 == 1, "structuring element length must be odd, got {l}");
+    let h = l / 2;
+    let n = x.len();
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let lo = i.saturating_sub(h);
+        let hi = (i + h).min(n - 1);
+        let mut acc = x[lo];
+        for &v in &x[lo + 1..=hi] {
+            acc = f(acc, v);
+        }
+        out.push(acc);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const X: [i16; 10] = [0, 5, -3, 8, 8, 2, -7, 4, 1, 0];
+
+    #[test]
+    fn erosion_dilation_bound_signal() {
+        for l in [1, 3, 5, 7] {
+            let e = erosion(&X, l);
+            let d = dilation(&X, l);
+            for i in 0..X.len() {
+                assert!(e[i] <= X[i] && X[i] <= d[i], "l={l} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn length_one_is_identity() {
+        assert_eq!(erosion(&X, 1), X.to_vec());
+        assert_eq!(dilation(&X, 1), X.to_vec());
+        assert_eq!(opening(&X, 1), X.to_vec());
+        assert_eq!(closing(&X, 1), X.to_vec());
+    }
+
+    #[test]
+    fn opening_removes_narrow_peak() {
+        let mut x = vec![0i16; 21];
+        x[10] = 100; // single-sample spike
+        let o = opening(&x, 3);
+        assert!(o.iter().all(|&v| v == 0), "{o:?}");
+        // Closing leaves positive spikes alone.
+        let c = closing(&x, 3);
+        assert_eq!(c[10], 100);
+    }
+
+    #[test]
+    fn closing_fills_narrow_pit() {
+        let mut x = vec![0i16; 21];
+        x[10] = -100;
+        let c = closing(&x, 3);
+        assert!(c.iter().all(|&v| v == 0), "{c:?}");
+        let o = opening(&x, 3);
+        assert_eq!(o[10], -100);
+    }
+
+    #[test]
+    fn opening_closing_are_idempotent() {
+        for l in [3, 5, 9] {
+            let o = opening(&X, l);
+            assert_eq!(opening(&o, l), o, "opening idempotence l={l}");
+            let c = closing(&X, l);
+            assert_eq!(closing(&c, l), c, "closing idempotence l={l}");
+        }
+    }
+
+    #[test]
+    fn anti_extensivity_and_extensivity() {
+        for l in [3, 5] {
+            let o = opening(&X, l);
+            let c = closing(&X, l);
+            for i in 0..X.len() {
+                assert!(o[i] <= X[i], "opening is anti-extensive");
+                assert!(c[i] >= X[i], "closing is extensive");
+            }
+        }
+    }
+
+    #[test]
+    fn duality_under_negation() {
+        // erosion(-x) == -dilation(x)
+        let neg: Vec<i16> = X.iter().map(|v| -v).collect();
+        let e = erosion(&neg, 5);
+        let d = dilation(&X, 5);
+        assert_eq!(e, d.iter().map(|v| -v).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn border_windows_are_clipped() {
+        let x = [9i16, 0, 0, 0, 9];
+        // At index 0 the window [0..=1] has min 0, max 9.
+        assert_eq!(erosion(&x, 3)[0], 0);
+        assert_eq!(dilation(&x, 3)[0], 9);
+        // At the centre the full window applies.
+        assert_eq!(dilation(&x, 5)[2], 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be odd")]
+    fn even_element_rejected() {
+        let _ = erosion(&X, 4);
+    }
+
+    #[test]
+    fn constant_signal_is_fixed_point() {
+        let x = vec![7i16; 32];
+        for l in [3, 7, 11] {
+            assert_eq!(erosion(&x, l), x);
+            assert_eq!(dilation(&x, l), x);
+            assert_eq!(opening(&x, l), x);
+            assert_eq!(closing(&x, l), x);
+        }
+    }
+}

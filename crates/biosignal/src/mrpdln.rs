@@ -1,0 +1,206 @@
+//! MRPDLN — ECG delineation by multiscale morphological derivatives
+//! (Sun, Chan and Krishnan, 2005).
+//!
+//! The **morphological derivative** at scale `s` is
+//!
+//! ```text
+//! d_s(i) = dilation_s(x)(i) + erosion_s(x)(i) - 2·x(i)
+//! ```
+//!
+//! which is strongly negative at peaks (the dilation cannot rise above a
+//! peak faster than the erosion falls) and strongly positive at pits. The
+//! delineator combines a small and a large scale — the small one localizes
+//! sharp QRS edges, the large one rejects smooth T/P slopes — and then
+//! classifies per-sample extrema against a threshold. The per-sample
+//! compare-and-branch classification is precisely the data-dependent
+//! program flow the paper's synchronizer is built for.
+
+use crate::morphology::{dilation, erosion};
+
+/// Per-sample classification produced by [`delineate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Mark {
+    /// Nothing detected.
+    None = 0,
+    /// A peak (upward deflection, e.g. the R wave).
+    Peak = 1,
+    /// A pit (downward deflection, e.g. Q/S waves or inverted leads).
+    Pit = 2,
+}
+
+impl From<Mark> for u16 {
+    fn from(m: Mark) -> u16 {
+        m as u16
+    }
+}
+
+/// Configuration of the delineator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DelineationConfig {
+    /// Small-scale window half-width (samples).
+    pub scale_small: usize,
+    /// Large-scale window half-width (samples).
+    pub scale_large: usize,
+    /// Detection threshold in ADC units (applied to the combined
+    /// derivative).
+    pub threshold: i16,
+}
+
+impl Default for DelineationConfig {
+    fn default() -> Self {
+        DelineationConfig {
+            scale_small: 3,
+            scale_large: 9,
+            threshold: 300,
+        }
+    }
+}
+
+/// The morphological derivative at half-width `s` (element length
+/// `2s + 1`): `dilation + erosion - 2x`, computed in 16-bit arithmetic.
+///
+/// # Example
+///
+/// ```
+/// use ulp_biosignal::mmd;
+/// // A sharp peak of height h has derivative -h at its apex.
+/// let x = [0i16, 0, 100, 0, 0];
+/// let d = mmd(&x, 1);
+/// assert_eq!(d[2], -100);
+/// ```
+pub fn mmd(x: &[i16], s: usize) -> Vec<i16> {
+    let l = 2 * s + 1;
+    let d = dilation(x, l);
+    let e = erosion(x, l);
+    d.iter()
+        .zip(&e)
+        .zip(x)
+        .map(|((&di, &ei), &xi)| di + ei - 2 * xi)
+        .collect()
+}
+
+/// Runs the multiscale delineator; returns one [`Mark`] per sample.
+///
+/// The combined derivative is the average of the small- and large-scale
+/// derivatives (arithmetic right shift, matching the kernel). A sample is
+/// marked when the combined derivative exceeds the threshold in magnitude
+/// *and* is a local extremum of the derivative.
+pub fn delineate(x: &[i16], cfg: &DelineationConfig) -> Vec<Mark> {
+    let n = x.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let d1 = mmd(x, cfg.scale_small);
+    let d2 = mmd(x, cfg.scale_large);
+    let d: Vec<i16> = d1.iter().zip(&d2).map(|(&a, &b)| (a + b) >> 1).collect();
+
+    let mut marks = vec![Mark::None; n];
+    for i in 1..n.saturating_sub(1) {
+        let v = d[i];
+        if v < -cfg.threshold && v <= d[i - 1] && v < d[i + 1] {
+            marks[i] = Mark::Peak; // derivative minimum = signal peak
+        } else if v > cfg.threshold && v >= d[i - 1] && v > d[i + 1] {
+            marks[i] = Mark::Pit;
+        }
+    }
+    marks
+}
+
+/// Indices marked as peaks (convenience for validation).
+pub fn peak_indices(marks: &[Mark]) -> Vec<usize> {
+    marks
+        .iter()
+        .enumerate()
+        .filter(|(_, m)| **m == Mark::Peak)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ecg::{generate, EcgConfig};
+
+    #[test]
+    fn derivative_of_constant_is_zero() {
+        let x = vec![42i16; 50];
+        assert!(mmd(&x, 4).iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn derivative_sign_at_peak_and_pit() {
+        let mut x = vec![0i16; 31];
+        x[10] = 400; // peak
+        x[20] = -400; // pit
+        let d = mmd(&x, 2);
+        assert!(d[10] <= -400, "peak apex: {}", d[10]);
+        assert!(d[20] >= 400, "pit apex: {}", d[20]);
+    }
+
+    #[test]
+    fn delineator_finds_r_peaks() {
+        let cfg = EcgConfig {
+            noise_rms: 10.0,
+            baseline_wander: 100.0,
+            ..EcgConfig::default()
+        };
+        let sig = generate(&cfg, 2500);
+        let marks = delineate(&sig.samples, &DelineationConfig::default());
+        let peaks = peak_indices(&marks);
+
+        // Every ground-truth R peak has a mark within ±3 samples.
+        let mut hits = 0;
+        for &r in &sig.r_peaks {
+            if peaks.iter().any(|&p| p.abs_diff(r) <= 3) {
+                hits += 1;
+            }
+        }
+        assert!(
+            hits >= sig.r_peaks.len() - 1,
+            "found {hits} of {} R peaks",
+            sig.r_peaks.len()
+        );
+    }
+
+    #[test]
+    fn no_marks_on_silence() {
+        let x = vec![0i16; 300];
+        let marks = delineate(&x, &DelineationConfig::default());
+        assert!(marks.iter().all(|&m| m == Mark::None));
+    }
+
+    #[test]
+    fn threshold_controls_sensitivity() {
+        let cfg = EcgConfig::default();
+        let sig = generate(&cfg, 1500);
+        let loose = DelineationConfig {
+            threshold: 100,
+            ..DelineationConfig::default()
+        };
+        let strict = DelineationConfig {
+            threshold: 900,
+            ..DelineationConfig::default()
+        };
+        let n_loose = peak_indices(&delineate(&sig.samples, &loose)).len();
+        let n_strict = peak_indices(&delineate(&sig.samples, &strict)).len();
+        assert!(n_loose >= n_strict);
+    }
+
+    #[test]
+    fn marks_length_and_edges() {
+        let x = vec![5i16; 10];
+        let marks = delineate(&x, &DelineationConfig::default());
+        assert_eq!(marks.len(), 10);
+        assert_eq!(marks[0], Mark::None, "edges are never marked");
+        assert_eq!(marks[9], Mark::None);
+        assert!(delineate(&[], &DelineationConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn mark_encoding_for_kernels() {
+        assert_eq!(u16::from(Mark::None), 0);
+        assert_eq!(u16::from(Mark::Peak), 1);
+        assert_eq!(u16::from(Mark::Pit), 2);
+    }
+}

@@ -1,0 +1,174 @@
+//! MRPFLTR — morphological ECG conditioning (Sun et al., 2002).
+//!
+//! Two stages, both built from the flat-element operators in
+//! [`crate::morphology`]:
+//!
+//! 1. **Baseline wander correction** — the baseline is estimated by an
+//!    opening with a structuring element longer than the QRS complex
+//!    followed by a closing with a slightly longer one, then subtracted
+//!    from the input.
+//! 2. **Noise suppression** — the corrected signal is smoothed by
+//!    averaging an opening/closing pair with a short element.
+//!
+//! All arithmetic is 16-bit exact (sums stay within ±8190 for 12-bit ADC
+//! inputs; the average uses an arithmetic right shift) so the golden output
+//! equals the assembly kernel's output bit for bit.
+
+use crate::morphology::{closing, opening};
+
+/// Structuring-element configuration of the MRPFLTR benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MrpfltrConfig {
+    /// Baseline-estimation opening element length (odd; ≈ 0.2 s of signal
+    /// in the original paper).
+    pub baseline_open: usize,
+    /// Baseline-estimation closing element length (odd; ≈ 1.5× the
+    /// opening element).
+    pub baseline_close: usize,
+    /// Noise-suppression element length (odd, short).
+    pub noise: usize,
+}
+
+impl Default for MrpfltrConfig {
+    fn default() -> Self {
+        // Scaled for the 250 Hz synthetic ECG and a tractable simulated
+        // instruction count; ratios follow Sun et al. (close ≈ 1.5 open).
+        MrpfltrConfig {
+            baseline_open: 15,
+            baseline_close: 23,
+            noise: 5,
+        }
+    }
+}
+
+/// Runs baseline correction and noise suppression; returns the filtered
+/// signal.
+///
+/// # Panics
+///
+/// Panics if any configured element length is even or zero.
+///
+/// # Example
+///
+/// ```
+/// use ulp_biosignal::{mrpfltr, MrpfltrConfig};
+///
+/// let noisy: Vec<i16> = (0..200).map(|i| ((i * 7) % 40) as i16 + 100).collect();
+/// let y = mrpfltr(&noisy, &MrpfltrConfig::default());
+/// assert_eq!(y.len(), noisy.len());
+/// ```
+pub fn mrpfltr(x: &[i16], cfg: &MrpfltrConfig) -> Vec<i16> {
+    // Stage 1: baseline estimate b = closing(opening(x, Lo), Lc).
+    let b = closing(&opening(x, cfg.baseline_open), cfg.baseline_close);
+    let corrected: Vec<i16> = x.iter().zip(&b).map(|(&xi, &bi)| xi - bi).collect();
+
+    // Stage 2: y = (opening(c, Ln) + closing(c, Ln)) >> 1  (floor average).
+    let o = opening(&corrected, cfg.noise);
+    let c = closing(&corrected, cfg.noise);
+    o.iter().zip(&c).map(|(&oi, &ci)| (oi + ci) >> 1).collect()
+}
+
+/// The intermediate baseline estimate (exposed for tests and examples).
+pub fn baseline_estimate(x: &[i16], cfg: &MrpfltrConfig) -> Vec<i16> {
+    closing(&opening(x, cfg.baseline_open), cfg.baseline_close)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ecg::{generate, EcgConfig};
+
+    fn rms(x: &[i16]) -> f64 {
+        (x.iter().map(|&v| (v as f64).powi(2)).sum::<f64>() / x.len() as f64).sqrt()
+    }
+
+    fn mean(x: &[i16]) -> f64 {
+        x.iter().map(|&v| v as f64).sum::<f64>() / x.len() as f64
+    }
+
+    #[test]
+    fn removes_constant_offset() {
+        let x = vec![500i16; 200];
+        let y = mrpfltr(&x, &MrpfltrConfig::default());
+        assert!(y.iter().all(|&v| v == 0), "constant input -> zero output");
+    }
+
+    #[test]
+    fn suppresses_slow_wander() {
+        // Slow triangle wave (period >> elements) with no cardiac content.
+        let x: Vec<i16> = (0..400)
+            .map(|i| {
+                let p = i % 200;
+                (if p < 100 { p * 4 } else { (200 - p) * 4 }) as i16
+            })
+            .collect();
+        let y = mrpfltr(&x, &MrpfltrConfig::default());
+        assert!(
+            rms(&y) < 0.15 * rms(&x),
+            "wander must be attenuated: {} vs {}",
+            rms(&y),
+            rms(&x)
+        );
+    }
+
+    #[test]
+    fn preserves_qrs_amplitude_and_centres_baseline() {
+        let cfg = EcgConfig {
+            noise_rms: 15.0,
+            ..EcgConfig::default()
+        };
+        let sig = generate(&cfg, 1500);
+        let y = mrpfltr(&sig.samples, &MrpfltrConfig::default());
+
+        // Output baseline sits near zero even though the input wandered
+        // (the opening-based estimate carries a small positive bias from
+        // the dominant upward R deflections — well under 5 % of R).
+        assert!(mean(&y).abs() < 60.0, "residual offset {}", mean(&y));
+
+        // R peaks survive with most of their amplitude.
+        for &r in &sig.r_peaks {
+            if r >= 20 && r + 20 < y.len() {
+                let peak = *y[r - 3..=r + 3].iter().max().unwrap();
+                assert!(peak > 600, "QRS flattened at {r}: {peak}");
+            }
+        }
+    }
+
+    #[test]
+    fn suppresses_impulse_noise() {
+        let mut x = vec![0i16; 128];
+        for i in (7..128).step_by(17) {
+            x[i] = if i % 2 == 0 { 180 } else { -180 };
+        }
+        let y = mrpfltr(&x, &MrpfltrConfig::default());
+        assert!(
+            y.iter().all(|&v| v.abs() <= 90),
+            "single-sample spikes must shrink: {:?}",
+            y.iter().map(|v| v.abs()).max()
+        );
+    }
+
+    #[test]
+    fn output_length_matches_input() {
+        for n in [0usize, 1, 5, 64] {
+            let x = vec![1i16; n];
+            assert_eq!(mrpfltr(&x, &MrpfltrConfig::default()).len(), n);
+        }
+    }
+
+    #[test]
+    fn floor_average_matches_asr_semantics() {
+        // (-3 + 0) >> 1 == -2 (arithmetic shift floors), unlike -3/2 == -1.
+        // The kernel uses ASR, so the golden model must too.
+        let x = vec![-3i16, -3, -3];
+        let cfg = MrpfltrConfig {
+            baseline_open: 1,
+            baseline_close: 1,
+            noise: 1,
+        };
+        // With unit elements: corrected = 0, o = c = 0 -> trivially fine;
+        // check the shift directly instead.
+        assert_eq!(-3i16 >> 1, -2);
+        let _ = mrpfltr(&x, &cfg);
+    }
+}

@@ -1,0 +1,134 @@
+//! SQRT32 — the 32-bit integer square-root kernel (Rolfe, 1987) used for
+//! multi-lead ECG combination.
+//!
+//! Multi-lead combination forms a single rectified trace from several
+//! leads as `y[i] = floor(sqrt(l0[i]² + l1[i]²))` — the root-sum-of-squares
+//! magnitude of the cardiac vector. The square root itself is the classic
+//! digit-by-digit (binary restoring) algorithm: two radicand bits enter the
+//! remainder per round and a trial subtraction decides each result bit.
+//! That per-round *conditional subtraction* is the data-dependent branch
+//! that desynchronizes the cores of the baseline platform.
+
+/// Exact floor square root of a 32-bit value, digit-by-digit.
+///
+/// # Example
+///
+/// ```
+/// use ulp_biosignal::isqrt32;
+/// assert_eq!(isqrt32(0), 0);
+/// assert_eq!(isqrt32(99), 9);
+/// assert_eq!(isqrt32(100), 10);
+/// assert_eq!(isqrt32(u32::MAX), 65535);
+/// ```
+pub fn isqrt32(v: u32) -> u16 {
+    let mut x = v;
+    let mut rem: u32 = 0;
+    let mut root: u32 = 0;
+    for _ in 0..16 {
+        // Two radicand bits enter the remainder per round.
+        rem = (rem << 2) | (x >> 30);
+        x <<= 2;
+        let trial = (root << 2) | 1;
+        root <<= 1;
+        if rem >= trial {
+            rem -= trial;
+            root |= 1;
+        }
+    }
+    root as u16
+}
+
+/// Applies [`isqrt32`] to every element.
+pub fn isqrt_slice(values: &[u32]) -> Vec<u16> {
+    values.iter().map(|&v| isqrt32(v)).collect()
+}
+
+/// Combines two ECG leads sample-wise into a root-sum-of-squares
+/// magnitude trace: `floor(sqrt(a² + b²))`.
+///
+/// Inputs are 12-bit ADC samples (±2047), so the sum of squares fits a
+/// `u32` with ample margin.
+///
+/// # Panics
+///
+/// Panics if the leads have different lengths.
+pub fn combine_two_leads(a: &[i16], b: &[i16]) -> Vec<u16> {
+    assert_eq!(a.len(), b.len(), "leads must have equal length");
+    a.iter()
+        .zip(b)
+        .map(|(&ai, &bi)| {
+            let sq = (ai as i32 * ai as i32) as u32 + (bi as i32 * bi as i32) as u32;
+            isqrt32(sq)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_on_perfect_squares() {
+        for r in [0u32, 1, 2, 3, 255, 256, 4096, 65535] {
+            assert_eq!(isqrt32(r * r) as u32, r, "sqrt({})", r * r);
+            if r > 0 {
+                assert_eq!(isqrt32(r * r - 1) as u32, r - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn floor_property_holds_on_edges() {
+        for v in [
+            0u32,
+            1,
+            2,
+            3,
+            4,
+            5,
+            24,
+            25,
+            26,
+            999,
+            1000,
+            0x7FFF_FFFF,
+            0x8000_0000,
+            u32::MAX - 1,
+            u32::MAX,
+        ] {
+            let r = isqrt32(v) as u64;
+            assert!(r * r <= v as u64, "v={v} r={r}");
+            assert!((r + 1) * (r + 1) > v as u64, "v={v} r={r}");
+        }
+    }
+
+    #[test]
+    fn exhaustive_16bit_against_float() {
+        for v in 0..=0xFFFFu32 {
+            assert_eq!(isqrt32(v), (v as f64).sqrt().floor() as u16, "v={v}");
+        }
+    }
+
+    #[test]
+    fn slice_helper() {
+        assert_eq!(isqrt_slice(&[0, 1, 4, 9, 16]), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn lead_combination_magnitude() {
+        let a = [3i16, -3, 0, 2047];
+        let b = [4i16, -4, 0, -2047];
+        let y = combine_two_leads(&a, &b);
+        assert_eq!(y[0], 5);
+        assert_eq!(y[1], 5, "polarity must not matter");
+        assert_eq!(y[2], 0);
+        // sqrt(2 * 2047^2) = 2047 * sqrt(2) ≈ 2894.9 -> floor 2894.
+        assert_eq!(y[3], 2894);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_leads_panic() {
+        let _ = combine_two_leads(&[1, 2], &[1]);
+    }
+}

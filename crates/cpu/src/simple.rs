@@ -1,0 +1,391 @@
+//! A minimal single-core host that grants every request immediately.
+//!
+//! [`SimpleHost`] runs one [`Core`] against flat instruction and data
+//! memories with no banking, no arbitration and no crossbar: every fetch
+//! and memory access is granted in its first cycle, and the synchronization
+//! ISE is serviced by an inline one-core implementation of the
+//! synchronizer's read-modify-write semantics. It exists to execute and
+//! test programs at the architectural level; the full multi-core timing
+//! model lives in the `ulp-platform` crate.
+
+use crate::core_model::{Core, CoreState};
+use crate::types::{CoreError, MemAccess, SyncKind};
+use std::fmt;
+use ulp_isa::arch;
+
+/// Error terminating a [`SimpleHost`] run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimpleHostError {
+    /// The core halted on a fatal error.
+    Core(CoreError),
+    /// The cycle budget was exhausted before `HALT`.
+    Timeout {
+        /// The cycle budget that was exceeded.
+        budget: u64,
+    },
+    /// The core went to sleep with no other core to wake it.
+    Deadlock {
+        /// Cycle at which the core slept.
+        cycle: u64,
+    },
+}
+
+impl fmt::Display for SimpleHostError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimpleHostError::Core(e) => write!(f, "{e}"),
+            SimpleHostError::Timeout { budget } => {
+                write!(f, "core did not halt within {budget} cycles")
+            }
+            SimpleHostError::Deadlock { cycle } => {
+                write!(f, "core slept with nothing to wake it at cycle {cycle}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimpleHostError {}
+
+impl From<CoreError> for SimpleHostError {
+    fn from(e: CoreError) -> Self {
+        SimpleHostError::Core(e)
+    }
+}
+
+/// Single-core execution harness with ideal (conflict-free) memories.
+#[derive(Debug, Clone)]
+pub struct SimpleHost {
+    core: Core,
+    imem: Vec<u16>,
+    dmem: Vec<u16>,
+    /// Remaining cycles of the in-flight 2-cycle sync operation.
+    sync_busy: u8,
+    cycle: u64,
+}
+
+impl SimpleHost {
+    /// Creates a host with the given program image at address 0 and a
+    /// zeroed data memory of the architectural size.
+    pub fn new(program: &[u16]) -> SimpleHost {
+        let mut imem = vec![0u16; arch::IM_WORDS];
+        imem[..program.len()].copy_from_slice(program);
+        SimpleHost {
+            core: Core::new(0),
+            imem,
+            dmem: vec![0u16; arch::DM_WORDS],
+            sync_busy: 0,
+            cycle: 0,
+        }
+    }
+
+    /// The core under test.
+    pub fn core(&self) -> &Core {
+        &self.core
+    }
+
+    /// Mutable access to the core (for loaders and tests).
+    pub fn core_mut(&mut self) -> &mut Core {
+        &mut self.core
+    }
+
+    /// Reads a data-memory word.
+    pub fn dm(&self, addr: u16) -> u16 {
+        self.dmem[addr as usize % arch::DM_WORDS]
+    }
+
+    /// Writes a data-memory word.
+    pub fn set_dm(&mut self, addr: u16, value: u16) {
+        self.dmem[addr as usize % arch::DM_WORDS] = value;
+    }
+
+    /// Cycles simulated so far.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Advances the simulation by one cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CoreError`] if the core fetches an illegal instruction.
+    pub fn step(&mut self) -> Result<(), CoreError> {
+        self.cycle += 1;
+        self.core.poll_interrupt();
+        match self.core.state() {
+            CoreState::Halted => {}
+            CoreState::Sleeping => self.core.note_sleep(),
+            CoreState::Fetch => {
+                let pc = self.core.fetch_request().expect("fetching");
+                let word = self.imem[pc as usize % arch::IM_WORDS];
+                self.core.on_fetch_granted(word)?;
+            }
+            CoreState::SyncIssued(_) => {
+                self.core.note_sync_active();
+                self.sync_busy -= 1;
+                if self.sync_busy == 0 {
+                    self.finish_sync();
+                }
+            }
+            CoreState::Execute(_) => {
+                if let Some(req) = self.core.sync_request() {
+                    // Single-core synchronizer: accept immediately; the
+                    // two-cycle RMW is modelled by `sync_busy`.
+                    let _ = req;
+                    self.core.on_sync_accepted();
+                    self.sync_busy = 1;
+                } else if let Some(req) = self.core.mem_request() {
+                    let addr = req.addr as usize % arch::DM_WORDS;
+                    match req.access {
+                        MemAccess::Read => {
+                            let data = self.dmem[addr];
+                            self.core.complete_execute(Some(data));
+                        }
+                        MemAccess::Write(value) => {
+                            self.dmem[addr] = value;
+                            self.core.complete_execute(None);
+                        }
+                    }
+                } else {
+                    self.core.complete_execute(None);
+                }
+            }
+            CoreState::Held { .. } => unreachable!("SimpleHost never holds cores"),
+        }
+        Ok(())
+    }
+
+    /// Applies the synchronizer's word update for the completed operation.
+    fn finish_sync(&mut self) {
+        let CoreState::SyncIssued(instr) = self.core.state() else {
+            unreachable!()
+        };
+        let (index, kind) = match instr {
+            ulp_isa::Instr::Sinc { index } => (index, SyncKind::CheckIn),
+            ulp_isa::Instr::Sdec { index } => (index, SyncKind::CheckOut),
+            _ => unreachable!(),
+        };
+        let addr = (self.core.rsync().wrapping_add(index as u16)) as usize % arch::DM_WORDS;
+        let word = self.dmem[addr];
+        let flags = word & 0x00FF;
+        let counter = word >> 8;
+        match kind {
+            SyncKind::CheckIn => {
+                self.dmem[addr] = (counter + 1) << 8 | flags | 1 << self.core.id();
+                self.core.complete_sync(false);
+            }
+            SyncKind::CheckOut => {
+                let counter = counter.saturating_sub(1);
+                if counter == 0 {
+                    // Barrier released: word cleared, no sleep.
+                    self.dmem[addr] = 0;
+                    self.core.complete_sync(false);
+                } else {
+                    self.dmem[addr] = counter << 8 | flags;
+                    self.core.complete_sync(true);
+                }
+            }
+        }
+    }
+
+    /// Runs until `HALT` or the cycle budget expires.
+    ///
+    /// # Errors
+    ///
+    /// [`SimpleHostError::Core`] on an illegal instruction,
+    /// [`SimpleHostError::Deadlock`] if the core sleeps with nothing to wake
+    /// it, [`SimpleHostError::Timeout`] if the budget runs out.
+    pub fn run(&mut self, max_cycles: u64) -> Result<(), SimpleHostError> {
+        let budget = max_cycles;
+        while self.cycle < budget {
+            self.step()?;
+            if self.core.is_halted() {
+                return Ok(());
+            }
+            if self.core.is_sleeping() && !self.pending_wake_possible() {
+                return Err(SimpleHostError::Deadlock { cycle: self.cycle });
+            }
+        }
+        Err(SimpleHostError::Timeout { budget })
+    }
+
+    /// With a single core, only a pending interrupt can end a sleep.
+    fn pending_wake_possible(&self) -> bool {
+        false
+    }
+
+    /// Raises the external interrupt line of the core.
+    pub fn raise_irq(&mut self) {
+        self.core.raise_irq();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ulp_isa::asm::assemble;
+    use ulp_isa::Reg;
+
+    fn host(src: &str) -> SimpleHost {
+        let p = assemble(src).unwrap_or_else(|e| panic!("asm: {e}"));
+        let len = p.extent();
+        SimpleHost::new(&p.to_vec(0, len))
+    }
+
+    #[test]
+    fn arithmetic_program() {
+        let mut h = host("
+            movi r1, #21
+            mov  r2, r1
+            add  r1, r2     ; r1 = 42
+            halt");
+        h.run(100).unwrap();
+        assert_eq!(h.core().reg(Reg::R1), 42);
+    }
+
+    #[test]
+    fn countdown_loop() {
+        let mut h = host("
+                movi r0, #100
+            loop:
+                addi r0, #-1
+                bne  loop
+                halt");
+        h.run(10_000).unwrap();
+        assert_eq!(h.core().reg(Reg::R0), 0);
+        // 2 cycles per instruction: 1 movi + 100*(addi+bne) + halt.
+        assert_eq!(h.core().cycles(), 2 * (1 + 200 + 1));
+    }
+
+    #[test]
+    fn memory_program() {
+        let mut h = host("
+            .equ BUF, 0x100
+                li   r2, BUF
+                movi r1, #7
+                stp  r1, [r2]
+                stp  r1, [r2]
+                li   r2, BUF
+                ld   r3, [r2, #1]
+                halt");
+        h.run(1000).unwrap();
+        assert_eq!(h.dm(0x100), 7);
+        assert_eq!(h.dm(0x101), 7);
+        assert_eq!(h.core().reg(Reg::R3), 7);
+    }
+
+    #[test]
+    fn subroutine_with_stack() {
+        let mut h = host("
+                li   sp, 0x7FF
+                movi r0, #5
+                call double
+                halt
+            double:
+                push r1
+                mov  r1, r0
+                add  r0, r1
+                pop  r1
+                ret");
+        h.run(1000).unwrap();
+        assert_eq!(h.core().reg(Reg::R0), 10);
+        assert_eq!(h.core().reg(Reg::R6), 0x7FF, "stack balanced");
+    }
+
+    #[test]
+    fn single_core_sync_section_does_not_block() {
+        // A single core checking in and out must pass straight through
+        // (counter reaches zero at its own check-out).
+        let mut h = host("
+            .equ SYNC, 0x4800
+                li   r1, SYNC
+                wrsync r1
+                sinc #0
+                movi r2, #9
+                sdec #0
+                halt");
+        h.run(1000).unwrap();
+        assert_eq!(h.core().reg(Reg::R2), 9);
+        assert_eq!(h.dm(0x4800), 0, "sync word cleared after barrier");
+        assert_eq!(h.core().stats().checkins, 1);
+        assert_eq!(h.core().stats().checkouts, 1);
+    }
+
+    #[test]
+    fn sync_ops_cost_two_execute_cycles() {
+        let mut h = host("
+                sinc #0
+                halt");
+        h.run(100).unwrap();
+        // sinc: fetch + 2 execute; halt: fetch + 1 execute.
+        assert_eq!(h.core().cycles(), 3 + 2);
+    }
+
+    #[test]
+    fn sleep_then_interrupt_wakes() {
+        let mut h = host("
+                br   main       ; reset vector
+                br   isr        ; irq vector
+            main:
+                ei
+                movi r1, #1
+                sleep
+                movi r2, #2     ; resumes here after IRET
+                halt
+            isr:
+                movi r3, #3
+                iret");
+        // Run until the core is asleep.
+        for _ in 0..100 {
+            h.step().unwrap();
+            if h.core().is_sleeping() {
+                break;
+            }
+        }
+        assert!(h.core().is_sleeping());
+        h.raise_irq();
+        h.run(1000).unwrap();
+        assert_eq!(h.core().reg(Reg::R1), 1);
+        assert_eq!(h.core().reg(Reg::R2), 2);
+        assert_eq!(h.core().reg(Reg::R3), 3);
+        assert_eq!(h.core().stats().interrupts, 1);
+    }
+
+    #[test]
+    fn timeout_reported() {
+        let mut h = host("loop: br loop");
+        let err = h.run(64).unwrap_err();
+        assert!(matches!(err, SimpleHostError::Timeout { budget: 64 }));
+    }
+
+    #[test]
+    fn deadlock_reported() {
+        let mut h = host("sleep");
+        let err = h.run(100).unwrap_err();
+        assert!(matches!(err, SimpleHostError::Deadlock { .. }));
+    }
+
+    #[test]
+    fn illegal_instruction_reported() {
+        let mut h = SimpleHost::new(&[0xF800]);
+        let err = h.run(10).unwrap_err();
+        assert!(matches!(err, SimpleHostError::Core(_)));
+        assert_eq!(err.to_string(), "illegal instruction 0xf800 at pc 0x0000");
+    }
+
+    #[test]
+    fn fibonacci() {
+        let mut h = host("
+                movi r0, #10    ; n
+                clr  r1         ; fib(0)
+                movi r2, #1     ; fib(1)
+            loop:
+                mov  r3, r2
+                add  r2, r1
+                mov  r1, r3
+                addi r0, #-1
+                bne  loop
+                halt");
+        h.run(10_000).unwrap();
+        assert_eq!(h.core().reg(Reg::R1), 55, "fib(10)");
+    }
+}

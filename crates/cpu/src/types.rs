@@ -1,0 +1,114 @@
+//! Request and event types exchanged between a core and the platform.
+
+use std::fmt;
+
+/// The direction and payload of a data-memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemAccess {
+    /// Read one word.
+    Read,
+    /// Write one word with the given value.
+    Write(u16),
+}
+
+/// A data-memory request issued by a core during its execute phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemRequest {
+    /// Word address in data memory.
+    pub addr: u16,
+    /// Read or write.
+    pub access: MemAccess,
+}
+
+impl MemRequest {
+    /// Returns true for write requests.
+    pub fn is_write(&self) -> bool {
+        matches!(self.access, MemAccess::Write(_))
+    }
+}
+
+/// Check-in or check-out, i.e. which of the two ISE instructions issued the
+/// synchronization request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SyncKind {
+    /// `SINC` — entering a data-dependent code section.
+    CheckIn,
+    /// `SDEC` — leaving a data-dependent code section; the core sleeps
+    /// until every checked-in core has left.
+    CheckOut,
+}
+
+/// A synchronization request issued by the `SINC`/`SDEC` ISE.
+///
+/// The request carries the sync-point index and the resolved data-memory
+/// address of its sync word (`RSYNC + index`). While the hardware
+/// synchronizer performs the two-cycle read-modify-write, the core asserts
+/// its **lock output**, which locks that memory word against ordinary
+/// accesses (Section IV-B-c of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SyncRequest {
+    /// Sync-point index (the `SINC`/`SDEC` literal).
+    pub index: u8,
+    /// Absolute word address of the sync word: `RSYNC + index`.
+    pub word_addr: u16,
+    /// Check-in or check-out.
+    pub kind: SyncKind,
+}
+
+/// Why a sleeping core was woken.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WakeReason {
+    /// The hardware synchronizer released the check-out barrier.
+    Synchronizer,
+    /// An external interrupt arrived (only wakes `SLEEP`, not `SDEC`).
+    Interrupt,
+}
+
+/// A fatal error that halts a core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoreError {
+    /// The fetched word is not a valid instruction.
+    IllegalInstruction {
+        /// Address of the offending word.
+        pc: u16,
+        /// The word itself.
+        word: u16,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::IllegalInstruction { pc, word } => {
+                write!(f, "illegal instruction {word:#06x} at pc {pc:#06x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_request_kinds() {
+        let r = MemRequest {
+            addr: 5,
+            access: MemAccess::Read,
+        };
+        assert!(!r.is_write());
+        let w = MemRequest {
+            addr: 5,
+            access: MemAccess::Write(9),
+        };
+        assert!(w.is_write());
+    }
+
+    #[test]
+    fn error_display() {
+        let e = CoreError::IllegalInstruction { pc: 4, word: 0xF800 };
+        assert_eq!(e.to_string(), "illegal instruction 0xf800 at pc 0x0004");
+    }
+}

@@ -1,0 +1,72 @@
+//! Architectural constants of the ULP multi-core platform.
+//!
+//! These mirror the platform described in Section III of the paper: 8
+//! processing cores, a shared 96 kByte instruction memory divided into 8
+//! banks and a shared 64 kByte data memory divided into 16 banks. Both
+//! memories are 16-bit *word addressed*; all sizes below are given in words.
+
+/// Number of processing cores in the reference platform (Fig. 1).
+pub const NUM_CORES: usize = 8;
+
+/// Number of general-purpose registers per core (`r0` … `r7`).
+pub const NUM_REGS: usize = 8;
+
+/// Instruction memory size in 16-bit words (96 kByte).
+pub const IM_WORDS: usize = 48 * 1024;
+
+/// Number of instruction memory banks.
+pub const IM_BANKS: usize = 8;
+
+/// Words per instruction memory bank.
+pub const IM_BANK_WORDS: usize = IM_WORDS / IM_BANKS;
+
+/// Data memory size in 16-bit words (64 kByte).
+pub const DM_WORDS: usize = 32 * 1024;
+
+/// Number of data memory banks.
+pub const DM_BANKS: usize = 16;
+
+/// Words per data memory bank.
+pub const DM_BANK_WORDS: usize = DM_WORDS / DM_BANKS;
+
+/// Reset vector: the word address where execution starts after reset.
+pub const RESET_VECTOR: u16 = 0x0000;
+
+/// Interrupt vector: the word address the core jumps to when accepting an
+/// external interrupt (with interrupts enabled via `EI`).
+pub const IRQ_VECTOR: u16 = 0x0001;
+
+/// Maximum number of synchronization points addressable by the `SINC`/`SDEC`
+/// 8-bit literal (Section IV-B: the literal indexes the sync array at the
+/// base address held in the `RSYNC` register).
+pub const MAX_SYNC_POINTS: usize = 256;
+
+/// Nominal supply voltage of the 90 nm low-leakage process (Section V-A).
+pub const V_NOM: f64 = 1.2;
+
+/// Relaxed clock period used for both designs in the paper (Section V-A).
+pub const CLOCK_PERIOD_NS: f64 = 12.0;
+
+/// Nominal clock frequency in MHz implied by [`CLOCK_PERIOD_NS`].
+pub const F_NOM_MHZ: f64 = 1e3 / CLOCK_PERIOD_NS;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_geometry_matches_paper() {
+        // 96 kByte IM and 64 kByte DM, 16-bit words.
+        assert_eq!(IM_WORDS * 2, 96 * 1024);
+        assert_eq!(DM_WORDS * 2, 64 * 1024);
+        assert_eq!(IM_BANKS, 8);
+        assert_eq!(DM_BANKS, 16);
+        assert_eq!(IM_BANK_WORDS * IM_BANKS, IM_WORDS);
+        assert_eq!(DM_BANK_WORDS * DM_BANKS, DM_WORDS);
+    }
+
+    #[test]
+    fn nominal_frequency_is_83_mhz() {
+        assert!((F_NOM_MHZ - 83.333).abs() < 0.01);
+    }
+}

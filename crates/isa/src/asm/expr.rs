@@ -1,0 +1,244 @@
+//! Constant-expression evaluation for assembler operands and directives.
+//!
+//! Grammar (standard precedence, lowest first):
+//!
+//! ```text
+//! expr   := or
+//! or     := xor  ('|' xor)*
+//! xor    := and  ('^' and)*
+//! and    := shift ('&' shift)*
+//! shift  := add  (('<<' | '>>') add)*
+//! add    := mul  (('+' | '-') mul)*
+//! mul    := unary (('*' | '/' | '%') unary)*
+//! unary  := '-' unary | '~' unary | primary
+//! primary:= number | symbol | lo '(' expr ')' | hi '(' expr ')' | '(' expr ')'
+//! ```
+//!
+//! `lo(x)`/`hi(x)` extract the low/high byte of a 16-bit value — the natural
+//! companions of the `MOVI`/`MOVHI` instruction pair.
+
+use super::lexer::Tok;
+use super::AsmErrorKind;
+use std::collections::BTreeMap;
+
+/// Cursor over a token slice with expression evaluation.
+pub struct ExprParser<'a> {
+    toks: &'a [Tok],
+    pos: usize,
+    symbols: &'a BTreeMap<String, i64>,
+}
+
+impl<'a> ExprParser<'a> {
+    /// Creates a parser over `toks` resolving names through `symbols`.
+    pub fn new(toks: &'a [Tok], symbols: &'a BTreeMap<String, i64>) -> Self {
+        ExprParser {
+            toks,
+            pos: 0,
+            symbols,
+        }
+    }
+
+    /// Current position within the token slice.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<&Tok> {
+        let t = self.toks.get(self.pos);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, c: char) -> bool {
+        if self.peek() == Some(&Tok::Punct(c)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Parses a full expression starting at the current position.
+    pub fn expr(&mut self) -> Result<i64, AsmErrorKind> {
+        self.binary(0)
+    }
+
+    fn binary(&mut self, level: usize) -> Result<i64, AsmErrorKind> {
+        // Operator tiers, lowest precedence first.
+        const TIERS: [&[char]; 5] = [&['|'], &['^'], &['&'], &[], &['+', '-']];
+        const SHIFT_TIER: usize = 3;
+        const MUL_TIER: usize = 5;
+        if level == MUL_TIER {
+            return self.mul();
+        }
+        let mut lhs = self.binary(level + 1)?;
+        loop {
+            if level == SHIFT_TIER {
+                match self.peek() {
+                    Some(Tok::Shl) => {
+                        self.pos += 1;
+                        let rhs = self.binary(level + 1)?;
+                        lhs = wrap_shift(lhs, rhs, true)?;
+                    }
+                    Some(Tok::Shr) => {
+                        self.pos += 1;
+                        let rhs = self.binary(level + 1)?;
+                        lhs = wrap_shift(lhs, rhs, false)?;
+                    }
+                    _ => return Ok(lhs),
+                }
+            } else {
+                let Some(&Tok::Punct(c)) = self.peek() else {
+                    return Ok(lhs);
+                };
+                if !TIERS[level].contains(&c) {
+                    return Ok(lhs);
+                }
+                self.pos += 1;
+                let rhs = self.binary(level + 1)?;
+                lhs = match c {
+                    '|' => lhs | rhs,
+                    '^' => lhs ^ rhs,
+                    '&' => lhs & rhs,
+                    '+' => lhs.wrapping_add(rhs),
+                    '-' => lhs.wrapping_sub(rhs),
+                    _ => unreachable!(),
+                };
+            }
+        }
+    }
+
+    fn mul(&mut self) -> Result<i64, AsmErrorKind> {
+        let mut lhs = self.unary()?;
+        loop {
+            let Some(&Tok::Punct(c)) = self.peek() else {
+                return Ok(lhs);
+            };
+            if !matches!(c, '*' | '/' | '%') {
+                return Ok(lhs);
+            }
+            self.pos += 1;
+            let rhs = self.unary()?;
+            lhs = match c {
+                '*' => lhs.wrapping_mul(rhs),
+                '/' if rhs == 0 => return Err(AsmErrorKind::DivisionByZero),
+                '%' if rhs == 0 => return Err(AsmErrorKind::DivisionByZero),
+                '/' => lhs / rhs,
+                '%' => lhs % rhs,
+                _ => unreachable!(),
+            };
+        }
+    }
+
+    fn unary(&mut self) -> Result<i64, AsmErrorKind> {
+        if self.eat_punct('-') {
+            return Ok(self.unary()?.wrapping_neg());
+        }
+        if self.eat_punct('~') {
+            return Ok(!self.unary()?);
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<i64, AsmErrorKind> {
+        match self.bump().cloned() {
+            Some(Tok::Num(n)) => Ok(n),
+            Some(Tok::Ident(name)) => {
+                let lower = name.to_ascii_lowercase();
+                if (lower == "lo" || lower == "hi") && self.peek() == Some(&Tok::Punct('(')) {
+                    self.pos += 1;
+                    let inner = self.expr()?;
+                    if !self.eat_punct(')') {
+                        return Err(AsmErrorKind::Syntax("expected ')'".into()));
+                    }
+                    let v = inner as u16;
+                    return Ok(if lower == "lo" { v & 0xFF } else { v >> 8 } as i64);
+                }
+                self.symbols
+                    .get(&name)
+                    .copied()
+                    .ok_or(AsmErrorKind::UndefinedSymbol(name))
+            }
+            Some(Tok::Punct('(')) => {
+                let v = self.expr()?;
+                if !self.eat_punct(')') {
+                    return Err(AsmErrorKind::Syntax("expected ')'".into()));
+                }
+                Ok(v)
+            }
+            other => Err(AsmErrorKind::Syntax(format!(
+                "expected expression, found {other:?}"
+            ))),
+        }
+    }
+}
+
+fn wrap_shift(lhs: i64, rhs: i64, left: bool) -> Result<i64, AsmErrorKind> {
+    if !(0..64).contains(&rhs) {
+        return Err(AsmErrorKind::Syntax(format!("shift amount {rhs} out of range")));
+    }
+    Ok(if left { lhs << rhs } else { lhs >> rhs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::lexer::lex_line;
+    use super::*;
+
+    fn eval(src: &str) -> Result<i64, AsmErrorKind> {
+        let toks = lex_line(src).unwrap();
+        let symbols: BTreeMap<String, i64> =
+            [("N".to_string(), 256i64), ("base".to_string(), 0x4800)].into();
+        let mut p = ExprParser::new(&toks, &symbols);
+        let v = p.expr()?;
+        assert_eq!(p.pos(), toks.len(), "trailing tokens in {src}");
+        Ok(v)
+    }
+
+    #[test]
+    fn precedence() {
+        assert_eq!(eval("2 + 3 * 4").unwrap(), 14);
+        assert_eq!(eval("(2 + 3) * 4").unwrap(), 20);
+        assert_eq!(eval("1 << 4 | 3").unwrap(), 19);
+        assert_eq!(eval("255 & 15 ^ 1").unwrap(), 14);
+        assert_eq!(eval("7 % 4 + 10 / 5").unwrap(), 5);
+    }
+
+    #[test]
+    fn unary_and_symbols() {
+        assert_eq!(eval("-N").unwrap(), -256);
+        assert_eq!(eval("~0").unwrap(), -1);
+        assert_eq!(eval("base + N * 2").unwrap(), 0x4800 + 512);
+        assert!(matches!(
+            eval("missing"),
+            Err(AsmErrorKind::UndefinedSymbol(_))
+        ));
+    }
+
+    #[test]
+    fn lo_hi() {
+        assert_eq!(eval("lo(0x1234)").unwrap(), 0x34);
+        assert_eq!(eval("hi(0x1234)").unwrap(), 0x12);
+        assert_eq!(eval("hi(base)").unwrap(), 0x48);
+        // lo/hi as plain symbols are still undefined names.
+        assert!(eval("lo + 1").is_err());
+    }
+
+    #[test]
+    fn division_errors() {
+        assert!(matches!(eval("1 / 0"), Err(AsmErrorKind::DivisionByZero)));
+        assert!(matches!(eval("1 % 0"), Err(AsmErrorKind::DivisionByZero)));
+    }
+
+    #[test]
+    fn malformed() {
+        assert!(eval("(1 + 2").is_err());
+        assert!(eval("+").is_err());
+    }
+}

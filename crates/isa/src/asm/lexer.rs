@@ -1,0 +1,171 @@
+//! Line tokenizer for the ULP16 assembler.
+
+use super::AsmErrorKind;
+
+/// A lexical token within one assembly line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier: mnemonic, register, label or symbol name.
+    Ident(String),
+    /// Directive name including the leading dot, lower-cased (e.g. `.org`).
+    Dot(String),
+    /// Integer literal (decimal, `0x` hex or `0b` binary).
+    Num(i64),
+    /// Single-character punctuation: `: , # [ ] ( ) + - * / % ~ & | ^`.
+    Punct(char),
+    /// `<<`.
+    Shl,
+    /// `>>`.
+    Shr,
+}
+
+/// Splits one source line into tokens, stripping `;` and `//` comments.
+pub fn lex_line(line: &str) -> Result<Vec<Tok>, AsmErrorKind> {
+    let mut toks = Vec::new();
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ';' => break,
+            '/' if bytes.get(i + 1) == Some(&b'/') => break,
+            c if c.is_whitespace() => i += 1,
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                toks.push(Tok::Ident(line[start..i].to_string()));
+            }
+            '.' => {
+                i += 1;
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                if start == i {
+                    return Err(AsmErrorKind::Syntax("lone '.'".into()));
+                }
+                toks.push(Tok::Dot(line[start..i].to_ascii_lowercase()));
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let (radix, skip) = if c == '0' && matches!(bytes.get(i + 1), Some(b'x') | Some(b'X')) {
+                    (16, 2)
+                } else if c == '0' && matches!(bytes.get(i + 1), Some(b'b') | Some(b'B')) {
+                    (2, 2)
+                } else {
+                    (10, 0)
+                };
+                i += skip;
+                let digits_start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let text: String = line[digits_start..i].chars().filter(|c| *c != '_').collect();
+                if skip > 0 && text.is_empty() {
+                    return Err(AsmErrorKind::BadNumber(line[start..i].to_string()));
+                }
+                let value = i64::from_str_radix(&text, radix)
+                    .map_err(|_| AsmErrorKind::BadNumber(line[start..i].to_string()))?;
+                toks.push(Tok::Num(value));
+            }
+            '<' if bytes.get(i + 1) == Some(&b'<') => {
+                toks.push(Tok::Shl);
+                i += 2;
+            }
+            '>' if bytes.get(i + 1) == Some(&b'>') => {
+                toks.push(Tok::Shr);
+                i += 2;
+            }
+            ':' | ',' | '#' | '[' | ']' | '(' | ')' | '+' | '-' | '*' | '/' | '%' | '~' | '&'
+            | '|' | '^' => {
+                toks.push(Tok::Punct(c));
+                i += 1;
+            }
+            other => {
+                return Err(AsmErrorKind::Syntax(format!(
+                    "unexpected character {other:?}"
+                )))
+            }
+        }
+    }
+    Ok(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_line() {
+        let toks = lex_line("loop:  ADD r1, r2  ; comment").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Ident("loop".into()),
+                Tok::Punct(':'),
+                Tok::Ident("ADD".into()),
+                Tok::Ident("r1".into()),
+                Tok::Punct(','),
+                Tok::Ident("r2".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(lex_line("42").unwrap(), vec![Tok::Num(42)]);
+        assert_eq!(lex_line("0x2A").unwrap(), vec![Tok::Num(42)]);
+        assert_eq!(lex_line("0b1010_10").unwrap(), vec![Tok::Num(42)]);
+        assert!(lex_line("0xZZ").is_err());
+        assert!(lex_line("0x").is_err());
+    }
+
+    #[test]
+    fn directives_and_operators() {
+        let toks = lex_line(".equ K, (1 << 4) | 3 // c").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Dot("equ".into()),
+                Tok::Ident("K".into()),
+                Tok::Punct(','),
+                Tok::Punct('('),
+                Tok::Num(1),
+                Tok::Shl,
+                Tok::Num(4),
+                Tok::Punct(')'),
+                Tok::Punct('|'),
+                Tok::Num(3),
+            ]
+        );
+    }
+
+    #[test]
+    fn memory_operand() {
+        let toks = lex_line("ld r0, [r6, #-2]").unwrap();
+        assert!(toks.contains(&Tok::Punct('[')));
+        assert!(toks.contains(&Tok::Punct('#')));
+        assert!(toks.contains(&Tok::Punct('-')));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(lex_line("mov r0, @r1").is_err());
+        assert!(lex_line(".").is_err());
+    }
+
+    #[test]
+    fn empty_and_comment_only() {
+        assert!(lex_line("").unwrap().is_empty());
+        assert!(lex_line("   ; nothing").unwrap().is_empty());
+        assert!(lex_line("// nothing").unwrap().is_empty());
+    }
+}

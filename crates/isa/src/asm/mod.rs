@@ -1,0 +1,826 @@
+//! Two-pass assembler for the ULP16 instruction set.
+//!
+//! ## Syntax
+//!
+//! ```text
+//! ; comment                       // comment
+//! label:  mnemonic operands
+//!         .org  expr              ; set location counter
+//!         .word expr, expr, ...   ; emit data words
+//!         .space count [, fill]   ; reserve words
+//!         .equ  NAME, expr        ; define a constant
+//! ```
+//!
+//! Operands: registers `r0`–`r7` (aliases `sp` = `r6`, `lr` = `r7`),
+//! immediates `#expr`, memory `[rbase]` / `[rbase, #off]`, and branch/call
+//! targets given as a label or expression (converted to a PC-relative
+//! offset) or as a raw `#offset`.
+//!
+//! ## Pseudo-instructions
+//!
+//! | Pseudo | Expansion | Words |
+//! |---|---|---|
+//! | `li rd, expr` | `movi` + `movhi` (full 16-bit constant) | 2 |
+//! | `br/beq/bne/blt/bge/bgt/ble/bult label` | `B<cond>` relative | 1 |
+//! | `call label` | `jal label` | 1 |
+//! | `ret` | `jr r7` | 1 |
+//! | `push rd` / `pop rd` | stack ops via `r6` | 2 |
+//! | `inc rd` / `dec rd` / `clr rd` / `tst rd` | `addi`/`movi`/`cmpi` | 1 |
+//!
+//! `add`/`sub`/`cmp`/`mov` with a `#imm` second operand auto-select the
+//! immediate form when one exists.
+//!
+//! ## Example
+//!
+//! ```
+//! use ulp_isa::asm::assemble;
+//!
+//! let p = assemble("
+//!     .equ N, 16
+//!         li   r1, N * 2
+//!     loop:
+//!         addi r1, #-1
+//!         bne  loop
+//!         halt
+//! ").unwrap();
+//! assert_eq!(p.symbol("loop"), Some(2));
+//! assert_eq!(p.to_vec(0, 5).len(), 5);
+//! ```
+
+mod expr;
+mod lexer;
+
+use crate::{arch, encode, AluOp, Cond, CsrOp, EncodeError, Instr, Reg, ShiftKind, UnaryOp};
+use expr::ExprParser;
+use lexer::{lex_line, Tok};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The kind of an assembly error, without source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AsmErrorKind {
+    /// Malformed syntax.
+    Syntax(String),
+    /// A numeric literal that does not parse.
+    BadNumber(String),
+    /// Reference to an undefined label or constant.
+    UndefinedSymbol(String),
+    /// Label or constant defined twice.
+    DuplicateSymbol(String),
+    /// Unknown mnemonic or directive.
+    UnknownMnemonic(String),
+    /// Operand does not fit the instruction field.
+    Encode(EncodeError),
+    /// Branch target out of reach.
+    BranchTooFar {
+        /// The required offset in words.
+        offset: i64,
+        /// The maximum magnitude supported by the instruction.
+        limit: i64,
+    },
+    /// A value outside the range of its context (address, immediate, count).
+    ValueOutOfRange(i64),
+    /// Two statements assemble to the same address.
+    Overlap(u16),
+    /// Division or modulo by zero inside an expression.
+    DivisionByZero,
+}
+
+impl fmt::Display for AsmErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmErrorKind::Syntax(m) => write!(f, "syntax error: {m}"),
+            AsmErrorKind::BadNumber(t) => write!(f, "malformed number {t:?}"),
+            AsmErrorKind::UndefinedSymbol(s) => write!(f, "undefined symbol {s:?}"),
+            AsmErrorKind::DuplicateSymbol(s) => write!(f, "symbol {s:?} defined twice"),
+            AsmErrorKind::UnknownMnemonic(s) => write!(f, "unknown mnemonic {s:?}"),
+            AsmErrorKind::Encode(e) => write!(f, "{e}"),
+            AsmErrorKind::BranchTooFar { offset, limit } => {
+                write!(f, "branch offset {offset} exceeds reach \u{b1}{limit}")
+            }
+            AsmErrorKind::ValueOutOfRange(v) => write!(f, "value {v} out of range"),
+            AsmErrorKind::Overlap(addr) => {
+                write!(f, "two statements assemble to address {addr:#06x}")
+            }
+            AsmErrorKind::DivisionByZero => write!(f, "division by zero in expression"),
+        }
+    }
+}
+
+/// An assembly error with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number in the source text.
+    pub line: usize,
+    /// What went wrong.
+    pub kind: AsmErrorKind,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.kind)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// An assembled program image: a sparse map of word addresses to machine
+/// words plus the symbol table.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Program {
+    words: BTreeMap<u16, u16>,
+    symbols: BTreeMap<String, u16>,
+}
+
+impl Program {
+    /// Iterates over `(address, word)` pairs in address order.
+    pub fn iter(&self) -> impl Iterator<Item = (u16, u16)> + '_ {
+        self.words.iter().map(|(a, w)| (*a, *w))
+    }
+
+    /// Number of emitted words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether the program is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Looks up a label or `.equ` constant.
+    pub fn symbol(&self, name: &str) -> Option<u16> {
+        self.symbols.get(name).copied()
+    }
+
+    /// All symbols in name order.
+    pub fn symbols(&self) -> impl Iterator<Item = (&str, u16)> + '_ {
+        self.symbols.iter().map(|(n, v)| (n.as_str(), *v))
+    }
+
+    /// One past the highest emitted address, or 0 for an empty program.
+    pub fn extent(&self) -> usize {
+        self.words
+            .last_key_value()
+            .map(|(a, _)| *a as usize + 1)
+            .unwrap_or(0)
+    }
+
+    /// Renders `len` words starting at `origin`, zero-filling gaps.
+    pub fn to_vec(&self, origin: u16, len: usize) -> Vec<u16> {
+        let mut out = vec![0u16; len];
+        for (addr, word) in &self.words {
+            let idx = (*addr as usize).wrapping_sub(origin as usize);
+            if idx < len {
+                out[idx] = *word;
+            }
+        }
+        out
+    }
+
+    /// Produces a human-readable listing: one line per emitted word with
+    /// its address, hex encoding, any labels bound to that address, and
+    /// the disassembly (or `.word` for data that does not decode).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ulp_isa::asm::assemble;
+    ///
+    /// let p = assemble("start: movi r1, #7\n halt").unwrap();
+    /// let listing = p.listing();
+    /// assert!(listing.contains("start:"));
+    /// assert!(listing.contains("movi r1, #7"));
+    /// ```
+    pub fn listing(&self) -> String {
+        use std::fmt::Write as _;
+        let mut by_addr: BTreeMap<u16, Vec<&str>> = BTreeMap::new();
+        for (name, value) in &self.symbols {
+            by_addr.entry(*value).or_default().push(name);
+        }
+        let mut out = String::new();
+        for (addr, word) in &self.words {
+            if let Some(labels) = by_addr.get(addr) {
+                for label in labels {
+                    writeln!(out, "{label}:").expect("string write");
+                }
+            }
+            let text = crate::disasm::disassemble_word(*word)
+                .unwrap_or_else(|_| format!(".word {word:#06x}"));
+            writeln!(out, "  {addr:04x}: {word:04x}    {text}").expect("string write");
+        }
+        out
+    }
+}
+
+/// Assembles ULP16 source text into a [`Program`].
+///
+/// # Errors
+///
+/// Returns the first [`AsmError`] encountered, carrying its 1-based source
+/// line number.
+pub fn assemble(source: &str) -> Result<Program, AsmError> {
+    Assembler::default().assemble(source)
+}
+
+/// Register operand including the `sp`/`lr` aliases.
+fn parse_reg_name(name: &str) -> Option<Reg> {
+    let lower = name.to_ascii_lowercase();
+    match lower.as_str() {
+        "sp" => return Some(Reg::SP),
+        "lr" => return Some(Reg::LR),
+        _ => {}
+    }
+    let rest = lower.strip_prefix('r')?;
+    let idx: u8 = rest.parse().ok()?;
+    Reg::try_from(idx).ok()
+}
+
+/// A parsed operand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Operand {
+    Reg(Reg),
+    /// `#expr` immediate.
+    Imm(i64),
+    /// `[base]` or `[base, #off]`.
+    Mem { base: Reg, offset: i64 },
+    /// Bare expression (branch/call target = absolute word address).
+    Target(i64),
+}
+
+/// One statement after pass-1 parsing.
+#[derive(Debug, Clone)]
+enum Stmt {
+    Instr { mnemonic: String, rest: Vec<Tok> },
+    Word(Vec<Tok>),
+    Space { count: u16, fill: u16 },
+}
+
+#[derive(Default)]
+struct Assembler {
+    symbols: BTreeMap<String, i64>,
+}
+
+impl Assembler {
+    fn assemble(&mut self, source: &str) -> Result<Program, AsmError> {
+        // ---- Pass 1: lex lines, record labels/equ, compute addresses ----
+        let mut stmts: Vec<(usize, u16, Stmt)> = Vec::new(); // (line, addr, stmt)
+        let mut lc: i64 = 0; // location counter
+        for (lineno, raw) in source.lines().enumerate() {
+            let line = lineno + 1;
+            let err = |kind| AsmError { line, kind };
+            let mut toks = lex_line(raw).map_err(|kind| AsmError { line, kind })?;
+
+            // Leading `label:` prefixes (possibly several).
+            while toks.len() >= 2 && matches!(&toks[0], Tok::Ident(_)) && toks[1] == Tok::Punct(':')
+            {
+                let Tok::Ident(name) = toks.remove(0) else {
+                    unreachable!()
+                };
+                toks.remove(0); // ':'
+                if parse_reg_name(&name).is_some() {
+                    return Err(err(AsmErrorKind::Syntax(format!(
+                        "register name {name:?} cannot be a label"
+                    ))));
+                }
+                if self.symbols.insert(name.clone(), lc).is_some() {
+                    return Err(err(AsmErrorKind::DuplicateSymbol(name)));
+                }
+            }
+            if toks.is_empty() {
+                continue;
+            }
+
+            check_addr(lc).map_err(|kind| AsmError { line, kind })?;
+            let addr = lc as u16;
+            match toks.remove(0) {
+                Tok::Dot(dir) => match dir.as_str() {
+                    "org" => {
+                        let v = self.eval_all(&toks, line)?;
+                        check_addr(v).map_err(|kind| AsmError { line, kind })?;
+                        lc = v;
+                    }
+                    "equ" => {
+                        let (name, value) = self.parse_equ(&toks, line)?;
+                        if self.symbols.insert(name.clone(), value).is_some() {
+                            return Err(err(AsmErrorKind::DuplicateSymbol(name)));
+                        }
+                    }
+                    "word" => {
+                        let n = count_items(&toks);
+                        stmts.push((line, addr, Stmt::Word(toks)));
+                        lc += n as i64;
+                    }
+                    "space" => {
+                        let (count, fill) = self.parse_space(&toks, line)?;
+                        stmts.push((line, addr, Stmt::Space { count, fill }));
+                        lc += count as i64;
+                    }
+                    other => {
+                        return Err(err(AsmErrorKind::UnknownMnemonic(format!(".{other}"))));
+                    }
+                },
+                Tok::Ident(mnemonic) => {
+                    let lower = mnemonic.to_ascii_lowercase();
+                    let size = stmt_size(&lower)
+                        .ok_or_else(|| err(AsmErrorKind::UnknownMnemonic(mnemonic.clone())))?;
+                    stmts.push((
+                        line,
+                        addr,
+                        Stmt::Instr {
+                            mnemonic: lower,
+                            rest: toks,
+                        },
+                    ));
+                    lc += size as i64;
+                }
+                other => {
+                    return Err(err(AsmErrorKind::Syntax(format!(
+                        "expected mnemonic or directive, found {other:?}"
+                    ))));
+                }
+            }
+        }
+
+        // ---- Pass 2: evaluate operands and emit ----
+        let mut words: BTreeMap<u16, u16> = BTreeMap::new();
+        for (line, addr, stmt) in stmts {
+            let emit_at = |words: &mut BTreeMap<u16, u16>, a: u16, w: u16| {
+                if words.insert(a, w).is_some() {
+                    Err(AsmError {
+                        line,
+                        kind: AsmErrorKind::Overlap(a),
+                    })
+                } else {
+                    Ok(())
+                }
+            };
+            match stmt {
+                Stmt::Word(toks) => {
+                    let values = self.eval_list(&toks, line)?;
+                    for (i, v) in values.into_iter().enumerate() {
+                        let w = to_u16(v).map_err(|kind| AsmError { line, kind })?;
+                        emit_at(&mut words, addr.wrapping_add(i as u16), w)?;
+                    }
+                }
+                Stmt::Space { count, fill } => {
+                    for i in 0..count {
+                        emit_at(&mut words, addr.wrapping_add(i), fill)?;
+                    }
+                }
+                Stmt::Instr { mnemonic, rest } => {
+                    let operands = self.parse_operands(&rest, line)?;
+                    let instrs = lower_statement(&mnemonic, &operands, addr)
+                        .map_err(|kind| AsmError { line, kind })?;
+                    for (i, instr) in instrs.into_iter().enumerate() {
+                        let w = encode(instr).map_err(|e| AsmError {
+                            line,
+                            kind: AsmErrorKind::Encode(e),
+                        })?;
+                        emit_at(&mut words, addr.wrapping_add(i as u16), w)?;
+                    }
+                }
+            }
+        }
+
+        let symbols = self
+            .symbols
+            .iter()
+            .map(|(k, v)| (k.clone(), *v as u16))
+            .collect();
+        Ok(Program { words, symbols })
+    }
+
+    /// Evaluates a full token slice as one expression.
+    fn eval_all(&self, toks: &[Tok], line: usize) -> Result<i64, AsmError> {
+        let mut p = ExprParser::new(toks, &self.symbols);
+        let v = p.expr().map_err(|kind| AsmError { line, kind })?;
+        if p.pos() != toks.len() {
+            return Err(AsmError {
+                line,
+                kind: AsmErrorKind::Syntax("trailing tokens after expression".into()),
+            });
+        }
+        Ok(v)
+    }
+
+    /// Evaluates a comma-separated expression list.
+    fn eval_list(&self, toks: &[Tok], line: usize) -> Result<Vec<i64>, AsmError> {
+        let mut values = Vec::new();
+        let mut rest = toks;
+        loop {
+            let mut p = ExprParser::new(rest, &self.symbols);
+            values.push(p.expr().map_err(|kind| AsmError { line, kind })?);
+            let consumed = p.pos();
+            match rest.get(consumed) {
+                None => return Ok(values),
+                Some(Tok::Punct(',')) => rest = &rest[consumed + 1..],
+                Some(t) => {
+                    return Err(AsmError {
+                        line,
+                        kind: AsmErrorKind::Syntax(format!("unexpected token {t:?}")),
+                    })
+                }
+            }
+        }
+    }
+
+    fn parse_equ(&self, toks: &[Tok], line: usize) -> Result<(String, i64), AsmError> {
+        let err = |m: &str| AsmError {
+            line,
+            kind: AsmErrorKind::Syntax(m.into()),
+        };
+        let Some(Tok::Ident(name)) = toks.first() else {
+            return Err(err("expected `.equ NAME, value`"));
+        };
+        if parse_reg_name(name).is_some() {
+            return Err(err("register names cannot be constants"));
+        }
+        if toks.get(1) != Some(&Tok::Punct(',')) {
+            return Err(err("expected ',' after constant name"));
+        }
+        let value = self.eval_all(&toks[2..], line)?;
+        Ok((name.clone(), value))
+    }
+
+    fn parse_space(&self, toks: &[Tok], line: usize) -> Result<(u16, u16), AsmError> {
+        let values = self.eval_list(toks, line)?;
+        match values.as_slice() {
+            [count] => Ok((
+                to_u16(*count).map_err(|kind| AsmError { line, kind })?,
+                0,
+            )),
+            [count, fill] => Ok((
+                to_u16(*count).map_err(|kind| AsmError { line, kind })?,
+                to_u16(*fill).map_err(|kind| AsmError { line, kind })?,
+            )),
+            _ => Err(AsmError {
+                line,
+                kind: AsmErrorKind::Syntax("expected `.space count [, fill]`".into()),
+            }),
+        }
+    }
+
+    /// Parses the operand list of an instruction.
+    fn parse_operands(&self, toks: &[Tok], line: usize) -> Result<Vec<Operand>, AsmError> {
+        let err = |kind| AsmError { line, kind };
+        let mut ops = Vec::new();
+        let mut i = 0;
+        while i < toks.len() {
+            match &toks[i] {
+                Tok::Ident(name) if parse_reg_name(name).is_some() => {
+                    // Register — but only if it stands alone (not an expression).
+                    let next = toks.get(i + 1);
+                    if next.is_none() || next == Some(&Tok::Punct(',')) {
+                        ops.push(Operand::Reg(parse_reg_name(name).unwrap()));
+                        i += 1;
+                    } else {
+                        return Err(err(AsmErrorKind::Syntax(format!(
+                            "unexpected token after register {name}"
+                        ))));
+                    }
+                }
+                Tok::Punct('#') => {
+                    let mut p = ExprParser::new(&toks[i + 1..], &self.symbols);
+                    let v = p.expr().map_err(|kind| AsmError { line, kind })?;
+                    i += 1 + p.pos();
+                    ops.push(Operand::Imm(v));
+                }
+                Tok::Punct('[') => {
+                    let Some(Tok::Ident(name)) = toks.get(i + 1) else {
+                        return Err(err(AsmErrorKind::Syntax(
+                            "expected register after '['".into(),
+                        )));
+                    };
+                    let base = parse_reg_name(name).ok_or_else(|| {
+                        err(AsmErrorKind::Syntax(format!("{name:?} is not a register")))
+                    })?;
+                    i += 2;
+                    let mut offset = 0i64;
+                    if toks.get(i) == Some(&Tok::Punct(',')) {
+                        i += 1;
+                        if toks.get(i) == Some(&Tok::Punct('#')) {
+                            i += 1;
+                        }
+                        let mut p = ExprParser::new(&toks[i..], &self.symbols);
+                        offset = p.expr().map_err(|kind| AsmError { line, kind })?;
+                        i += p.pos();
+                    }
+                    if toks.get(i) != Some(&Tok::Punct(']')) {
+                        return Err(err(AsmErrorKind::Syntax("expected ']'".into())));
+                    }
+                    i += 1;
+                    ops.push(Operand::Mem { base, offset });
+                }
+                _ => {
+                    // Bare expression: branch/call target.
+                    let mut p = ExprParser::new(&toks[i..], &self.symbols);
+                    let v = p.expr().map_err(|kind| AsmError { line, kind })?;
+                    i += p.pos();
+                    ops.push(Operand::Target(v));
+                }
+            }
+            if i < toks.len() {
+                if toks[i] != Tok::Punct(',') {
+                    return Err(err(AsmErrorKind::Syntax(format!(
+                        "expected ',' between operands, found {:?}",
+                        toks[i]
+                    ))));
+                }
+                i += 1;
+            }
+        }
+        Ok(ops)
+    }
+}
+
+fn check_addr(v: i64) -> Result<(), AsmErrorKind> {
+    if (0..=u16::MAX as i64).contains(&v) && (v as usize) < arch::IM_WORDS {
+        Ok(())
+    } else {
+        Err(AsmErrorKind::ValueOutOfRange(v))
+    }
+}
+
+fn to_u16(v: i64) -> Result<u16, AsmErrorKind> {
+    if (-(i16::MIN as i64).abs()..=u16::MAX as i64).contains(&v) {
+        Ok(v as u16)
+    } else {
+        Err(AsmErrorKind::ValueOutOfRange(v))
+    }
+}
+
+/// Number of comma-separated items in a token list (for `.word` sizing).
+fn count_items(toks: &[Tok]) -> usize {
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut depth = 0usize;
+    let mut items = 1;
+    for t in toks {
+        match t {
+            Tok::Punct('(') | Tok::Punct('[') => depth += 1,
+            Tok::Punct(')') | Tok::Punct(']') => depth = depth.saturating_sub(1),
+            Tok::Punct(',') if depth == 0 => items += 1,
+            _ => {}
+        }
+    }
+    items
+}
+
+/// Size in words of a (possibly pseudo) instruction, or `None` if unknown.
+fn stmt_size(mnemonic: &str) -> Option<usize> {
+    Some(match mnemonic {
+        "li" | "push" | "pop" => 2,
+        m if mnemonic_exists(m) => 1,
+        _ => return None,
+    })
+}
+
+fn mnemonic_exists(m: &str) -> bool {
+    const BRANCHES: [&str; 10] = [
+        "br", "bal", "beq", "bne", "blt", "bge", "bgt", "ble", "bult", "blo",
+    ];
+    AluOp::ALL.iter().any(|o| o.mnemonic() == m)
+        || UnaryOp::ALL.iter().any(|o| o.mnemonic() == m)
+        || CsrOp::ALL.iter().any(|o| o.mnemonic() == m)
+        || ShiftKind::ALL.iter().any(|k| k.mnemonic() == m)
+        || BRANCHES.contains(&m)
+        || matches!(
+            m,
+            "nop"
+                | "addi"
+                | "cmpi"
+                | "movi"
+                | "movhi"
+                | "ld"
+                | "st"
+                | "ldp"
+                | "stp"
+                | "jal"
+                | "call"
+                | "jr"
+                | "jalr"
+                | "ret"
+                | "sinc"
+                | "sdec"
+                | "sleep"
+                | "halt"
+                | "inc"
+                | "dec"
+                | "clr"
+                | "tst"
+        )
+}
+
+fn branch_cond(m: &str) -> Option<Cond> {
+    Some(match m {
+        "br" | "bal" => Cond::Al,
+        "beq" => Cond::Eq,
+        "bne" => Cond::Ne,
+        "blt" => Cond::Lt,
+        "bge" => Cond::Ge,
+        "bgt" => Cond::Gt,
+        "ble" => Cond::Le,
+        "bult" | "blo" => Cond::Ult,
+        _ => return None,
+    })
+}
+
+fn imm_range(v: i64, lo: i64, hi: i64) -> Result<i64, AsmErrorKind> {
+    if (lo..=hi).contains(&v) {
+        Ok(v)
+    } else {
+        Err(AsmErrorKind::ValueOutOfRange(v))
+    }
+}
+
+/// Lowers one statement into concrete instructions.
+fn lower_statement(
+    mnemonic: &str,
+    ops: &[Operand],
+    addr: u16,
+) -> Result<Vec<Instr>, AsmErrorKind> {
+    use Operand as O;
+    let bad = || {
+        AsmErrorKind::Syntax(format!(
+            "invalid operands for {mnemonic}: {ops:?}"
+        ))
+    };
+
+    // Relative displacement from the *next* instruction to target `t`.
+    let rel = |t: i64, limit: i64| -> Result<i16, AsmErrorKind> {
+        let offset = t - (addr as i64 + 1);
+        if offset < -limit - 1 || offset > limit {
+            Err(AsmErrorKind::BranchTooFar { offset, limit })
+        } else {
+            Ok(offset as i16)
+        }
+    };
+
+    if let Some(cond) = branch_cond(mnemonic) {
+        return match ops {
+            [O::Target(t)] => Ok(vec![Instr::Branch {
+                cond,
+                offset: rel(*t, 127)?,
+            }]),
+            [O::Imm(raw)] => Ok(vec![Instr::Branch {
+                cond,
+                offset: imm_range(*raw, -128, 127)? as i16,
+            }]),
+            _ => Err(bad()),
+        };
+    }
+    if let Some(op) = AluOp::ALL.iter().find(|o| o.mnemonic() == mnemonic) {
+        return match (op, ops) {
+            (_, [O::Reg(rd), O::Reg(rs)]) => Ok(vec![Instr::Alu {
+                op: *op,
+                rd: *rd,
+                rs: *rs,
+            }]),
+            // Immediate sugar where an immediate form exists.
+            (AluOp::Add, [O::Reg(rd), O::Imm(v)]) => Ok(vec![Instr::AddI {
+                rd: *rd,
+                imm: imm_range(*v, -16, 15)? as i8,
+            }]),
+            (AluOp::Sub, [O::Reg(rd), O::Imm(v)]) => Ok(vec![Instr::AddI {
+                rd: *rd,
+                imm: imm_range(-*v, -16, 15)? as i8,
+            }]),
+            (AluOp::Cmp, [O::Reg(rd), O::Imm(v)]) => Ok(vec![Instr::CmpI {
+                rd: *rd,
+                imm: imm_range(*v, -16, 15)? as i8,
+            }]),
+            (AluOp::Mov, [O::Reg(rd), O::Imm(v)]) => Ok(vec![Instr::MovI {
+                rd: *rd,
+                imm: imm_range(*v, 0, 255)? as u8,
+            }]),
+            _ => Err(bad()),
+        };
+    }
+    if let Some(op) = UnaryOp::ALL.iter().find(|o| o.mnemonic() == mnemonic) {
+        return match ops {
+            [O::Reg(rd)] => Ok(vec![Instr::Unary { op: *op, rd: *rd }]),
+            _ => Err(bad()),
+        };
+    }
+    if let Some(op) = CsrOp::ALL.iter().find(|o| o.mnemonic() == mnemonic) {
+        return match (op.uses_rd(), ops) {
+            (true, [O::Reg(rd)]) => Ok(vec![Instr::Csr { op: *op, rd: *rd }]),
+            (false, []) => Ok(vec![Instr::Csr {
+                op: *op,
+                rd: Reg::R0,
+            }]),
+            _ => Err(bad()),
+        };
+    }
+    if let Some(kind) = ShiftKind::ALL.iter().find(|k| k.mnemonic() == mnemonic) {
+        return match ops {
+            [O::Reg(rd), O::Imm(v)] => Ok(vec![Instr::Shift {
+                kind: *kind,
+                rd: *rd,
+                amount: imm_range(*v, 0, 15)? as u8,
+            }]),
+            _ => Err(bad()),
+        };
+    }
+
+    match (mnemonic, ops) {
+        ("nop", []) => Ok(vec![Instr::Nop]),
+        ("sleep", []) => Ok(vec![Instr::Sleep]),
+        ("halt", []) => Ok(vec![Instr::Halt]),
+        ("ret", []) => Ok(vec![Instr::Jr { rs: Reg::LR }]),
+        ("addi", [O::Reg(rd), O::Imm(v)]) => Ok(vec![Instr::AddI {
+            rd: *rd,
+            imm: imm_range(*v, -16, 15)? as i8,
+        }]),
+        ("cmpi", [O::Reg(rd), O::Imm(v)]) => Ok(vec![Instr::CmpI {
+            rd: *rd,
+            imm: imm_range(*v, -16, 15)? as i8,
+        }]),
+        ("movi", [O::Reg(rd), O::Imm(v)]) => Ok(vec![Instr::MovI {
+            rd: *rd,
+            imm: imm_range(*v, 0, 255)? as u8,
+        }]),
+        ("movhi", [O::Reg(rd), O::Imm(v)]) => Ok(vec![Instr::MovHi {
+            rd: *rd,
+            imm: imm_range(*v, 0, 255)? as u8,
+        }]),
+        ("ld", [O::Reg(rd), O::Mem { base, offset }]) => Ok(vec![Instr::Ld {
+            rd: *rd,
+            base: *base,
+            offset: imm_range(*offset, -16, 15)? as i8,
+        }]),
+        ("st", [O::Reg(rs), O::Mem { base, offset }]) => Ok(vec![Instr::St {
+            rs: *rs,
+            base: *base,
+            offset: imm_range(*offset, -16, 15)? as i8,
+        }]),
+        ("ldp", [O::Reg(rd), O::Mem { base, offset: 0 }]) => Ok(vec![Instr::LdP {
+            rd: *rd,
+            base: *base,
+        }]),
+        ("stp", [O::Reg(rs), O::Mem { base, offset: 0 }]) => Ok(vec![Instr::StP {
+            rs: *rs,
+            base: *base,
+        }]),
+        ("jal" | "call", [O::Target(t)]) => Ok(vec![Instr::Jal {
+            offset: rel(*t, 1023)?,
+        }]),
+        ("jal" | "call", [O::Imm(raw)]) => Ok(vec![Instr::Jal {
+            offset: imm_range(*raw, -1024, 1023)? as i16,
+        }]),
+        ("jr", [O::Reg(rs)]) => Ok(vec![Instr::Jr { rs: *rs }]),
+        ("jalr", [O::Reg(rs)]) => Ok(vec![Instr::Jalr { rs: *rs }]),
+        ("sinc", [O::Imm(v)]) => Ok(vec![Instr::Sinc {
+            index: imm_range(*v, 0, 255)? as u8,
+        }]),
+        ("sdec", [O::Imm(v)]) => Ok(vec![Instr::Sdec {
+            index: imm_range(*v, 0, 255)? as u8,
+        }]),
+        ("inc", [O::Reg(rd)]) => Ok(vec![Instr::AddI { rd: *rd, imm: 1 }]),
+        ("dec", [O::Reg(rd)]) => Ok(vec![Instr::AddI { rd: *rd, imm: -1 }]),
+        ("clr", [O::Reg(rd)]) => Ok(vec![Instr::MovI { rd: *rd, imm: 0 }]),
+        ("tst", [O::Reg(rd)]) => Ok(vec![Instr::CmpI { rd: *rd, imm: 0 }]),
+        ("li", [O::Reg(rd), O::Imm(v) | O::Target(v)]) => {
+            let w = to_u16(*v)?;
+            Ok(vec![
+                Instr::MovI {
+                    rd: *rd,
+                    imm: (w & 0xFF) as u8,
+                },
+                Instr::MovHi {
+                    rd: *rd,
+                    imm: (w >> 8) as u8,
+                },
+            ])
+        }
+        ("push", [O::Reg(rd)]) => Ok(vec![
+            Instr::AddI {
+                rd: Reg::SP,
+                imm: -1,
+            },
+            Instr::St {
+                rs: *rd,
+                base: Reg::SP,
+                offset: 0,
+            },
+        ]),
+        ("pop", [O::Reg(rd)]) => Ok(vec![
+            Instr::Ld {
+                rd: *rd,
+                base: Reg::SP,
+                offset: 0,
+            },
+            Instr::AddI {
+                rd: Reg::SP,
+                imm: 1,
+            },
+        ]),
+        _ => Err(bad()),
+    }
+}
+
+#[cfg(test)]
+mod tests;

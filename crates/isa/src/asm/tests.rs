@@ -1,0 +1,482 @@
+use super::*;
+use crate::decode;
+
+fn asm(src: &str) -> Program {
+    assemble(src).unwrap_or_else(|e| panic!("assembly failed: {e}"))
+}
+
+fn instrs(src: &str) -> Vec<Instr> {
+    let p = asm(src);
+    p.iter().map(|(_, w)| decode(w).unwrap()).collect()
+}
+
+#[test]
+fn basic_instructions() {
+    let v = instrs(
+        "   nop
+            add r1, r2
+            addi r3, #-5
+            movi r4, #200
+            halt",
+    );
+    assert_eq!(
+        v,
+        vec![
+            Instr::Nop,
+            Instr::Alu {
+                op: AluOp::Add,
+                rd: Reg::R1,
+                rs: Reg::R2
+            },
+            Instr::AddI {
+                rd: Reg::R3,
+                imm: -5
+            },
+            Instr::MovI {
+                rd: Reg::R4,
+                imm: 200
+            },
+            Instr::Halt,
+        ]
+    );
+}
+
+#[test]
+fn labels_and_branches() {
+    let p = asm(
+        "start: movi r0, #10
+         loop:  addi r0, #-1
+                bne loop
+                br start
+                halt",
+    );
+    assert_eq!(p.symbol("start"), Some(0));
+    assert_eq!(p.symbol("loop"), Some(1));
+    let v: Vec<Instr> = p.iter().map(|(_, w)| decode(w).unwrap()).collect();
+    // bne at addr 2 targets 1: offset = 1 - 3 = -2
+    assert_eq!(
+        v[2],
+        Instr::Branch {
+            cond: Cond::Ne,
+            offset: -2
+        }
+    );
+    // br at addr 3 targets 0: offset = 0 - 4 = -4
+    assert_eq!(
+        v[3],
+        Instr::Branch {
+            cond: Cond::Al,
+            offset: -4
+        }
+    );
+}
+
+#[test]
+fn forward_references() {
+    let v = instrs(
+        "       beq done
+                nop
+         done:  halt",
+    );
+    assert_eq!(
+        v[0],
+        Instr::Branch {
+            cond: Cond::Eq,
+            offset: 1
+        }
+    );
+}
+
+#[test]
+fn memory_operands() {
+    let v = instrs(
+        "   ld r0, [r1]
+            ld r2, [sp, #-3]
+            st r4, [r5, #7]
+            ldp r1, [r2]
+            stp r3, [r4]",
+    );
+    assert_eq!(
+        v[0],
+        Instr::Ld {
+            rd: Reg::R0,
+            base: Reg::R1,
+            offset: 0
+        }
+    );
+    assert_eq!(
+        v[1],
+        Instr::Ld {
+            rd: Reg::R2,
+            base: Reg::R6,
+            offset: -3
+        }
+    );
+    assert_eq!(
+        v[2],
+        Instr::St {
+            rs: Reg::R4,
+            base: Reg::R5,
+            offset: 7
+        }
+    );
+    assert_eq!(
+        v[3],
+        Instr::LdP {
+            rd: Reg::R1,
+            base: Reg::R2
+        }
+    );
+    assert_eq!(
+        v[4],
+        Instr::StP {
+            rs: Reg::R3,
+            base: Reg::R4
+        }
+    );
+}
+
+#[test]
+fn equ_and_expressions() {
+    let p = asm(
+        "   .equ BASE, 0x1000
+            .equ N, 4 * 8
+            li r1, BASE + N
+            movi r2, #lo(BASE + 2)
+            sinc #N / 8",
+    );
+    let v: Vec<Instr> = p.iter().map(|(_, w)| decode(w).unwrap()).collect();
+    assert_eq!(
+        v[0],
+        Instr::MovI {
+            rd: Reg::R1,
+            imm: 0x20
+        }
+    );
+    assert_eq!(
+        v[1],
+        Instr::MovHi {
+            rd: Reg::R1,
+            imm: 0x10
+        }
+    );
+    assert_eq!(
+        v[2],
+        Instr::MovI {
+            rd: Reg::R2,
+            imm: 2
+        }
+    );
+    assert_eq!(v[3], Instr::Sinc { index: 4 });
+}
+
+#[test]
+fn org_word_space() {
+    let p = asm(
+        "   .org 0x10
+            .word 1, 2, 0xFFFF
+            .space 3, 7
+         data_end:",
+    );
+    let words: Vec<(u16, u16)> = p.iter().collect();
+    assert_eq!(
+        words,
+        vec![
+            (0x10, 1),
+            (0x11, 2),
+            (0x12, 0xFFFF),
+            (0x13, 7),
+            (0x14, 7),
+            (0x15, 7)
+        ]
+    );
+    assert_eq!(p.symbol("data_end"), Some(0x16));
+    assert_eq!(p.extent(), 0x16);
+}
+
+#[test]
+fn to_vec_zero_fills() {
+    let p = asm(
+        "   .org 2
+            movi r0, #1",
+    );
+    assert_eq!(p.to_vec(0, 4), vec![0, 0, encode(Instr::MovI { rd: Reg::R0, imm: 1 }).unwrap(), 0]);
+}
+
+#[test]
+fn pseudo_instructions() {
+    let v = instrs(
+        "   li r1, 0x1234
+            push r2
+            pop r3
+            inc r4
+            dec r5
+            clr r0
+            tst r1
+            ret",
+    );
+    assert_eq!(
+        v[0],
+        Instr::MovI {
+            rd: Reg::R1,
+            imm: 0x34
+        }
+    );
+    assert_eq!(
+        v[1],
+        Instr::MovHi {
+            rd: Reg::R1,
+            imm: 0x12
+        }
+    );
+    assert_eq!(
+        v[2],
+        Instr::AddI {
+            rd: Reg::SP,
+            imm: -1
+        }
+    );
+    assert_eq!(
+        v[3],
+        Instr::St {
+            rs: Reg::R2,
+            base: Reg::SP,
+            offset: 0
+        }
+    );
+    assert_eq!(
+        v[4],
+        Instr::Ld {
+            rd: Reg::R3,
+            base: Reg::SP,
+            offset: 0
+        }
+    );
+    assert_eq!(
+        v[5],
+        Instr::AddI {
+            rd: Reg::SP,
+            imm: 1
+        }
+    );
+    assert_eq!(v[6], Instr::AddI { rd: Reg::R4, imm: 1 });
+    assert_eq!(
+        v[7],
+        Instr::AddI {
+            rd: Reg::R5,
+            imm: -1
+        }
+    );
+    assert_eq!(v[8], Instr::MovI { rd: Reg::R0, imm: 0 });
+    assert_eq!(v[9], Instr::CmpI { rd: Reg::R1, imm: 0 });
+    assert_eq!(v[10], Instr::Jr { rs: Reg::LR });
+}
+
+#[test]
+fn immediate_sugar() {
+    let v = instrs(
+        "   add r1, #3
+            sub r1, #3
+            cmp r1, #-4
+            mov r1, #99",
+    );
+    assert_eq!(v[0], Instr::AddI { rd: Reg::R1, imm: 3 });
+    assert_eq!(
+        v[1],
+        Instr::AddI {
+            rd: Reg::R1,
+            imm: -3
+        }
+    );
+    assert_eq!(
+        v[2],
+        Instr::CmpI {
+            rd: Reg::R1,
+            imm: -4
+        }
+    );
+    assert_eq!(
+        v[3],
+        Instr::MovI {
+            rd: Reg::R1,
+            imm: 99
+        }
+    );
+}
+
+#[test]
+fn csr_and_sync() {
+    let v = instrs(
+        "   rdid r1
+            wrsync r2
+            ei
+            di
+            iret
+            sinc #5
+            sdec #5
+            sleep",
+    );
+    assert_eq!(
+        v[0],
+        Instr::Csr {
+            op: CsrOp::RdId,
+            rd: Reg::R1
+        }
+    );
+    assert_eq!(
+        v[1],
+        Instr::Csr {
+            op: CsrOp::WrSync,
+            rd: Reg::R2
+        }
+    );
+    assert_eq!(v[5], Instr::Sinc { index: 5 });
+    assert_eq!(v[6], Instr::Sdec { index: 5 });
+    assert_eq!(v[7], Instr::Sleep);
+}
+
+#[test]
+fn jal_and_call() {
+    let p = asm(
+        "       call func
+                halt
+         func:  ret",
+    );
+    let v: Vec<Instr> = p.iter().map(|(_, w)| decode(w).unwrap()).collect();
+    assert_eq!(v[0], Instr::Jal { offset: 1 });
+}
+
+#[test]
+fn error_duplicate_label() {
+    let e = assemble("a: nop\na: nop").unwrap_err();
+    assert_eq!(e.line, 2);
+    assert!(matches!(e.kind, AsmErrorKind::DuplicateSymbol(_)));
+}
+
+#[test]
+fn error_unknown_mnemonic() {
+    let e = assemble("frob r1").unwrap_err();
+    assert_eq!(e.line, 1);
+    assert!(matches!(e.kind, AsmErrorKind::UnknownMnemonic(_)));
+}
+
+#[test]
+fn error_branch_too_far() {
+    let mut src = String::from("start: nop\n");
+    for _ in 0..200 {
+        src.push_str("nop\n");
+    }
+    src.push_str("br start\n");
+    let e = assemble(&src).unwrap_err();
+    assert!(matches!(e.kind, AsmErrorKind::BranchTooFar { .. }), "{e}");
+}
+
+#[test]
+fn error_undefined_symbol() {
+    let e = assemble("br nowhere").unwrap_err();
+    assert!(matches!(e.kind, AsmErrorKind::UndefinedSymbol(_)));
+}
+
+#[test]
+fn error_imm_out_of_range() {
+    let e = assemble("addi r1, #16").unwrap_err();
+    assert!(matches!(e.kind, AsmErrorKind::ValueOutOfRange(16)));
+    let e = assemble("movi r1, #256").unwrap_err();
+    assert!(matches!(e.kind, AsmErrorKind::ValueOutOfRange(256)));
+}
+
+#[test]
+fn error_overlap() {
+    let e = assemble(
+        "   .org 0
+            nop
+            .org 0
+            halt",
+    )
+    .unwrap_err();
+    assert!(matches!(e.kind, AsmErrorKind::Overlap(0)));
+}
+
+#[test]
+fn error_register_as_label() {
+    let e = assemble("r1: nop").unwrap_err();
+    assert!(matches!(e.kind, AsmErrorKind::Syntax(_)));
+}
+
+#[test]
+fn error_display_has_line() {
+    let e = assemble("\n\nbogus").unwrap_err();
+    assert!(e.to_string().starts_with("line 3:"), "{e}");
+}
+
+#[test]
+fn multiple_labels_one_address() {
+    let p = asm("a: b: c: halt");
+    assert_eq!(p.symbol("a"), Some(0));
+    assert_eq!(p.symbol("b"), Some(0));
+    assert_eq!(p.symbol("c"), Some(0));
+}
+
+#[test]
+fn disassembly_reassembles() {
+    // Every sample instruction must survive a disasm -> asm round trip.
+    for instr in crate::encode_test_samples() {
+        let text = crate::disasm::disassemble(instr);
+        let p = assemble(&text).unwrap_or_else(|e| panic!("{text}: {e}"));
+        let words = p.to_vec(0, 1);
+        let back = decode(words[0]).unwrap();
+        // Branch text uses raw #offsets, which reassemble identically.
+        assert_eq!(back, instr, "text was {text:?}");
+    }
+}
+
+#[test]
+fn listing_shows_labels_data_and_disassembly() {
+    let p = asm(
+        "start:  movi r1, #7
+                 halt
+         table:  .word 0xF800, 42",
+    );
+    let listing = p.listing();
+    assert!(listing.contains("start:"));
+    assert!(listing.contains("table:"));
+    assert!(listing.contains("movi r1, #7"));
+    assert!(listing.contains("halt"));
+    // 0xF800 does not decode and must render as data.
+    assert!(listing.contains(".word 0xf800"));
+    // Addresses and hex words are present.
+    assert!(listing.contains("0000:"));
+}
+
+#[test]
+fn expressions_in_word_directives() {
+    let p = asm(
+        "   .equ BASE, 0x1200
+            .word lo(BASE), hi(BASE), BASE + 2, ~0 & 0xFF",
+    );
+    assert_eq!(p.to_vec(0, 4), vec![0x00, 0x12, 0x1202, 0xFF]);
+}
+
+#[test]
+fn error_equ_label_conflict() {
+    let e = assemble(
+        "x:  nop
+            .equ x, 5",
+    )
+    .unwrap_err();
+    assert!(matches!(e.kind, AsmErrorKind::DuplicateSymbol(_)));
+}
+
+#[test]
+fn error_space_with_bad_count() {
+    let e = assemble(".space 1 + ").unwrap_err();
+    assert!(matches!(e.kind, AsmErrorKind::Syntax(_)));
+    let e = assemble(".space 70000").unwrap_err();
+    assert!(matches!(e.kind, AsmErrorKind::ValueOutOfRange(_)));
+}
+
+#[test]
+fn trailing_label_binds_to_end_address() {
+    let p = asm("nop\nend:");
+    assert_eq!(p.symbol("end"), Some(1));
+}

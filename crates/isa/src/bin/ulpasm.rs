@@ -1,0 +1,76 @@
+//! `ulpasm` — command-line assembler / disassembler for the ULP16 ISA.
+//!
+//! ```text
+//! ulpasm asm    <file.s>          assemble; print an address/hex listing
+//! ulpasm hex    <file.s>          assemble; print one hex word per line
+//! ulpasm disasm <file.hex>        disassemble hex words (one per line,
+//!                                 '#' comments ignored)
+//! ```
+//!
+//! Exit status is non-zero on any assembly or decoding error, with the
+//! offending line reported on stderr.
+
+use std::process::ExitCode;
+use ulp_isa::asm::assemble;
+use ulp_isa::disasm::disassemble_word;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: ulpasm <asm|hex|disasm> <file>");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let (Some(mode), Some(path)) = (args.get(1), args.get(2)) else {
+        return usage();
+    };
+    let source = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("ulpasm: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match mode.as_str() {
+        "asm" => match assemble(&source) {
+            Ok(program) => {
+                print!("{}", program.listing());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("ulpasm: {path}: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        "hex" => match assemble(&source) {
+            Ok(program) => {
+                for word in program.to_vec(0, program.extent()) {
+                    println!("{word:04x}");
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("ulpasm: {path}: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        "disasm" => {
+            for (lineno, line) in source.lines().enumerate() {
+                let text = line.split('#').next().unwrap_or("").trim();
+                if text.is_empty() {
+                    continue;
+                }
+                let Ok(word) = u16::from_str_radix(text.trim_start_matches("0x"), 16) else {
+                    eprintln!("ulpasm: {path}:{}: not a hex word: {text:?}", lineno + 1);
+                    return ExitCode::FAILURE;
+                };
+                match disassemble_word(word) {
+                    Ok(instr) => println!("{instr}"),
+                    Err(_) => println!(".word {word:#06x}"),
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

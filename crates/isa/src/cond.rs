@@ -1,0 +1,230 @@
+//! Branch condition codes and their evaluation against the status flags.
+
+use std::fmt;
+
+/// The four arithmetic status flags of a ULP16 core.
+///
+/// * `z` — zero: the result was zero.
+/// * `n` — negative: bit 15 of the result.
+/// * `c` — carry: carry out of additions; **not-borrow** for subtractions
+///   (`c == true` means no borrow occurred, i.e. unsigned `a >= b`).
+/// * `v` — signed overflow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Flags {
+    /// Zero flag.
+    pub z: bool,
+    /// Negative flag (bit 15 of the result).
+    pub n: bool,
+    /// Carry flag (not-borrow for subtraction).
+    pub c: bool,
+    /// Signed overflow flag.
+    pub v: bool,
+}
+
+impl Flags {
+    /// Packs the flags into the low nibble of a status word
+    /// (bit 0 = Z, 1 = N, 2 = C, 3 = V).
+    pub fn to_bits(self) -> u16 {
+        (self.z as u16) | (self.n as u16) << 1 | (self.c as u16) << 2 | (self.v as u16) << 3
+    }
+
+    /// Unpacks flags from the low nibble of a status word.
+    pub fn from_bits(bits: u16) -> Flags {
+        Flags {
+            z: bits & 1 != 0,
+            n: bits & 2 != 0,
+            c: bits & 4 != 0,
+            v: bits & 8 != 0,
+        }
+    }
+}
+
+impl fmt::Display for Flags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = |x: bool, ch: char| if x { ch } else { '-' };
+        write!(
+            f,
+            "{}{}{}{}",
+            b(self.z, 'Z'),
+            b(self.n, 'N'),
+            b(self.c, 'C'),
+            b(self.v, 'V')
+        )
+    }
+}
+
+/// Condition code of a conditional branch (`B<cond>`).
+///
+/// Signed comparisons use the usual N/V/Z combinations; [`Cond::Ult`]
+/// provides the unsigned less-than test based on the carry (not-borrow)
+/// flag produced by `CMP`/`SUB`.
+///
+/// # Example
+///
+/// ```
+/// use ulp_isa::{Cond, Flags};
+///
+/// // After `CMP r0, r1` with r0 == r1:
+/// let flags = Flags { z: true, n: false, c: true, v: false };
+/// assert!(Cond::Eq.eval(flags));
+/// assert!(Cond::Ge.eval(flags));
+/// assert!(!Cond::Lt.eval(flags));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Cond {
+    /// Always taken.
+    Al = 0,
+    /// Equal (`Z`).
+    Eq = 1,
+    /// Not equal (`!Z`).
+    Ne = 2,
+    /// Signed less-than (`N != V`).
+    Lt = 3,
+    /// Signed greater-or-equal (`N == V`).
+    Ge = 4,
+    /// Signed greater-than (`!Z && N == V`).
+    Gt = 5,
+    /// Signed less-or-equal (`Z || N != V`).
+    Le = 6,
+    /// Unsigned less-than (`!C`, i.e. a borrow occurred).
+    Ult = 7,
+}
+
+impl Cond {
+    /// All condition codes in encoding order.
+    pub const ALL: [Cond; 8] = [
+        Cond::Al,
+        Cond::Eq,
+        Cond::Ne,
+        Cond::Lt,
+        Cond::Ge,
+        Cond::Gt,
+        Cond::Le,
+        Cond::Ult,
+    ];
+
+    /// Builds a condition from its 3-bit encoding field.
+    #[inline]
+    pub fn from_bits(bits: u16) -> Cond {
+        Cond::ALL[(bits & 0x7) as usize]
+    }
+
+    /// Evaluates the condition against a set of status flags.
+    #[inline]
+    pub fn eval(self, f: Flags) -> bool {
+        match self {
+            Cond::Al => true,
+            Cond::Eq => f.z,
+            Cond::Ne => !f.z,
+            Cond::Lt => f.n != f.v,
+            Cond::Ge => f.n == f.v,
+            Cond::Gt => !f.z && f.n == f.v,
+            Cond::Le => f.z || f.n != f.v,
+            Cond::Ult => !f.c,
+        }
+    }
+
+    /// The assembler suffix of this condition (`""` for always).
+    pub fn suffix(self) -> &'static str {
+        match self {
+            Cond::Al => "",
+            Cond::Eq => "eq",
+            Cond::Ne => "ne",
+            Cond::Lt => "lt",
+            Cond::Ge => "ge",
+            Cond::Gt => "gt",
+            Cond::Le => "le",
+            Cond::Ult => "ult",
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == Cond::Al {
+            write!(f, "al")
+        } else {
+            write!(f, "{}", self.suffix())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flags_of_cmp(a: i16, b: i16) -> Flags {
+        // Reference semantics of CMP: flags of a - b.
+        let (res, borrow) = (a as u16).overflowing_sub(b as u16);
+        let sres = (a as i32) - (b as i32);
+        Flags {
+            z: res == 0,
+            n: res & 0x8000 != 0,
+            c: !borrow,
+            v: sres < i16::MIN as i32 || sres > i16::MAX as i32,
+        }
+    }
+
+    #[test]
+    fn signed_comparisons() {
+        let cases: [(i16, i16); 8] = [
+            (0, 0),
+            (1, 2),
+            (2, 1),
+            (-5, 3),
+            (3, -5),
+            (i16::MIN, i16::MAX),
+            (i16::MAX, i16::MIN),
+            (-1, -1),
+        ];
+        for (a, b) in cases {
+            let f = flags_of_cmp(a, b);
+            assert_eq!(Cond::Eq.eval(f), a == b, "eq {a} {b}");
+            assert_eq!(Cond::Ne.eval(f), a != b, "ne {a} {b}");
+            assert_eq!(Cond::Lt.eval(f), a < b, "lt {a} {b}");
+            assert_eq!(Cond::Ge.eval(f), a >= b, "ge {a} {b}");
+            assert_eq!(Cond::Gt.eval(f), a > b, "gt {a} {b}");
+            assert_eq!(Cond::Le.eval(f), a <= b, "le {a} {b}");
+            assert!(Cond::Al.eval(f));
+        }
+    }
+
+    #[test]
+    fn unsigned_comparison() {
+        for (a, b) in [(0u16, 1u16), (1, 0), (0xFFFF, 1), (1, 0xFFFF), (7, 7)] {
+            let f = flags_of_cmp(a as i16, b as i16);
+            assert_eq!(Cond::Ult.eval(f), a < b, "ult {a} {b}");
+        }
+    }
+
+    #[test]
+    fn flags_bits_round_trip() {
+        for bits in 0..16u16 {
+            assert_eq!(Flags::from_bits(bits).to_bits(), bits);
+        }
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            Flags {
+                z: true,
+                n: false,
+                c: true,
+                v: false
+            }
+            .to_string(),
+            "Z-C-"
+        );
+        assert_eq!(Cond::Ult.to_string(), "ult");
+        assert_eq!(Cond::Al.to_string(), "al");
+    }
+
+    #[test]
+    fn from_bits_covers_all() {
+        for (i, c) in Cond::ALL.iter().enumerate() {
+            assert_eq!(Cond::from_bits(i as u16), *c);
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Disassembly of ULP16 instructions into assembler-compatible text.
+
+use crate::{decode, Cond, DecodeError, Instr};
+
+/// Renders an instruction as assembler text.
+///
+/// The output is accepted verbatim by the [`crate::asm`] assembler, which is
+/// exercised by the `asm_disasm` round-trip tests.
+///
+/// # Example
+///
+/// ```
+/// use ulp_isa::{disasm::disassemble, Instr, Reg};
+///
+/// let text = disassemble(Instr::Ld { rd: Reg::R1, base: Reg::R6, offset: -2 });
+/// assert_eq!(text, "ld r1, [r6, #-2]");
+/// ```
+pub fn disassemble(instr: Instr) -> String {
+    match instr {
+        Instr::Nop => "nop".to_string(),
+        Instr::Alu { op, rd, rs } => format!("{} {rd}, {rs}", op.mnemonic()),
+        Instr::AddI { rd, imm } => format!("addi {rd}, #{imm}"),
+        Instr::CmpI { rd, imm } => format!("cmpi {rd}, #{imm}"),
+        Instr::MovI { rd, imm } => format!("movi {rd}, #{imm}"),
+        Instr::MovHi { rd, imm } => format!("movhi {rd}, #{imm}"),
+        Instr::Shift { kind, rd, amount } => format!("{} {rd}, #{amount}", kind.mnemonic()),
+        Instr::Unary { op, rd } => format!("{} {rd}", op.mnemonic()),
+        Instr::Ld { rd, base, offset } => {
+            if offset == 0 {
+                format!("ld {rd}, [{base}]")
+            } else {
+                format!("ld {rd}, [{base}, #{offset}]")
+            }
+        }
+        Instr::St { rs, base, offset } => {
+            if offset == 0 {
+                format!("st {rs}, [{base}]")
+            } else {
+                format!("st {rs}, [{base}, #{offset}]")
+            }
+        }
+        Instr::LdP { rd, base } => format!("ldp {rd}, [{base}]"),
+        Instr::StP { rs, base } => format!("stp {rs}, [{base}]"),
+        Instr::Branch { cond, offset } => {
+            if cond == Cond::Al {
+                format!("br #{offset}")
+            } else {
+                format!("b{} #{offset}", cond.suffix())
+            }
+        }
+        Instr::Jal { offset } => format!("jal #{offset}"),
+        Instr::Jr { rs } => format!("jr {rs}"),
+        Instr::Jalr { rs } => format!("jalr {rs}"),
+        Instr::Sinc { index } => format!("sinc #{index}"),
+        Instr::Sdec { index } => format!("sdec #{index}"),
+        Instr::Sleep => "sleep".to_string(),
+        Instr::Halt => "halt".to_string(),
+        Instr::Csr { op, rd } => {
+            if op.uses_rd() {
+                format!("{} {rd}", op.mnemonic())
+            } else {
+                op.mnemonic().to_string()
+            }
+        }
+    }
+}
+
+/// Decodes and disassembles a raw machine word.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] if the word is not a valid instruction.
+pub fn disassemble_word(word: u16) -> Result<String, DecodeError> {
+    decode(word).map(disassemble)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AluOp, Reg};
+
+    #[test]
+    fn representative_text() {
+        assert_eq!(disassemble(Instr::Nop), "nop");
+        assert_eq!(
+            disassemble(Instr::Alu {
+                op: AluOp::Add,
+                rd: Reg::R1,
+                rs: Reg::R2
+            }),
+            "add r1, r2"
+        );
+        assert_eq!(
+            disassemble(Instr::Branch {
+                cond: Cond::Eq,
+                offset: -3
+            }),
+            "beq #-3"
+        );
+        assert_eq!(
+            disassemble(Instr::Branch {
+                cond: Cond::Al,
+                offset: 3
+            }),
+            "br #3"
+        );
+        assert_eq!(disassemble(Instr::Sinc { index: 7 }), "sinc #7");
+        assert_eq!(
+            disassemble(Instr::Ld {
+                rd: Reg::R0,
+                base: Reg::R1,
+                offset: 0
+            }),
+            "ld r0, [r1]"
+        );
+    }
+
+    #[test]
+    fn word_disassembly() {
+        let word = crate::encode(Instr::Halt).unwrap();
+        assert_eq!(disassemble_word(word).unwrap(), "halt");
+        assert!(disassemble_word(0xF800).is_err());
+    }
+}

@@ -1,0 +1,146 @@
+//! General-purpose register names.
+
+use std::fmt;
+
+/// One of the eight 16-bit general-purpose registers of a ULP16 core.
+///
+/// `R6` is used as the stack pointer and `R7` as the link register by
+/// software convention (the `JAL`/`JALR` instructions write the return
+/// address to `R7`); the hardware treats all eight registers identically
+/// otherwise.
+///
+/// # Example
+///
+/// ```
+/// use ulp_isa::Reg;
+///
+/// let r = Reg::try_from(3u8).unwrap();
+/// assert_eq!(r, Reg::R3);
+/// assert_eq!(r.index(), 3);
+/// assert_eq!(r.to_string(), "r3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Reg {
+    /// General-purpose register 0.
+    R0 = 0,
+    /// General-purpose register 1.
+    R1 = 1,
+    /// General-purpose register 2.
+    R2 = 2,
+    /// General-purpose register 3.
+    R3 = 3,
+    /// General-purpose register 4.
+    R4 = 4,
+    /// General-purpose register 5.
+    R5 = 5,
+    /// General-purpose register 6 (stack pointer by convention).
+    R6 = 6,
+    /// General-purpose register 7 (link register: `JAL`/`JALR` target).
+    R7 = 7,
+}
+
+impl Reg {
+    /// All registers in index order.
+    pub const ALL: [Reg; 8] = [
+        Reg::R0,
+        Reg::R1,
+        Reg::R2,
+        Reg::R3,
+        Reg::R4,
+        Reg::R5,
+        Reg::R6,
+        Reg::R7,
+    ];
+
+    /// The stack pointer by software convention (`r6`).
+    pub const SP: Reg = Reg::R6;
+
+    /// The link register (`r7`), written by `JAL` and `JALR`.
+    pub const LR: Reg = Reg::R7;
+
+    /// Returns the register index in `0..8`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Builds a register from a 3-bit field, wrapping any input into range.
+    ///
+    /// Used by the instruction decoder where the field is 3 bits wide by
+    /// construction.
+    #[inline]
+    pub fn from_bits(bits: u16) -> Reg {
+        Reg::ALL[(bits & 0x7) as usize]
+    }
+}
+
+impl TryFrom<u8> for Reg {
+    type Error = InvalidRegError;
+
+    fn try_from(value: u8) -> Result<Self, Self::Error> {
+        Reg::ALL
+            .get(value as usize)
+            .copied()
+            .ok_or(InvalidRegError(value))
+    }
+}
+
+impl From<Reg> for u8 {
+    fn from(value: Reg) -> Self {
+        value as u8
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.index())
+    }
+}
+
+/// Error returned when converting an out-of-range index into a [`Reg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidRegError(pub u8);
+
+impl fmt::Display for InvalidRegError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "register index {} out of range 0..8", self.0)
+    }
+}
+
+impl std::error::Error for InvalidRegError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trip() {
+        for (i, r) in Reg::ALL.iter().enumerate() {
+            assert_eq!(r.index(), i);
+            assert_eq!(Reg::try_from(i as u8).unwrap(), *r);
+            assert_eq!(Reg::from_bits(i as u16), *r);
+        }
+    }
+
+    #[test]
+    fn out_of_range_is_rejected() {
+        assert_eq!(Reg::try_from(8), Err(InvalidRegError(8)));
+        assert_eq!(
+            InvalidRegError(9).to_string(),
+            "register index 9 out of range 0..8"
+        );
+    }
+
+    #[test]
+    fn conventions() {
+        assert_eq!(Reg::SP, Reg::R6);
+        assert_eq!(Reg::LR, Reg::R7);
+        assert_eq!(Reg::R5.to_string(), "r5");
+    }
+
+    #[test]
+    fn from_bits_masks_high_bits() {
+        assert_eq!(Reg::from_bits(0b1010), Reg::R2);
+    }
+}

@@ -1,0 +1,291 @@
+//! The MRPDLN benchmark kernel: ECG delineation by multiscale
+//! morphological derivatives.
+//!
+//! Stage map (mirrors [`ulp_biosignal::delineate`]); buffer indices placed
+//! by the configured [`crate::layout::BufferLayout`]:
+//!
+//! ```text
+//! buf0: x (input)              buf5: marks (0 none, 1 peak, 2 pit)
+//! VARS: +0 d1 scratch, +1 d[i-1], +2 d[i-2]
+//! ```
+//!
+//! The kernel is a **streaming** implementation, as a memory-frugal
+//! embedded programmer would write it: one loop over the samples computes
+//! both scales' windows with the branch-free sign-mask min/max idiom,
+//! keeps a three-element rolling window of the combined derivative in the
+//! scalar spill area, and classifies sample `i-1` as soon as `d[i]` is
+//! known. The classification is the only data-dependent conditional (one
+//! section per sample, Listing 1); its threshold is *read from the
+//! shared-constants bank*, so lockstep cores broadcast the read. On the
+//! baseline design the classification's divergence carries into the next
+//! sample's window arithmetic and accumulates — with the synchronizer the
+//! per-sample barrier repairs it, which is why the paper's MRPDLN reaches
+//! the platform's 4.0 Ops/cycle ceiling with sync but halves without.
+
+use crate::builder::{AsmBuilder, KernelOptions};
+use crate::layout::SHARED_BASE;
+use ulp_biosignal::DelineationConfig;
+
+/// Word offset of the threshold inside the shared-constants bank.
+pub const SHARED_THRESHOLD: u16 = 4;
+
+/// Parameters of the generated MRPDLN kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MrpdlnParams {
+    /// Samples per channel.
+    pub n: u16,
+    /// Small-scale half-width (samples).
+    pub scale_small: u16,
+    /// Large-scale half-width (samples).
+    pub scale_large: u16,
+    /// Detection threshold (written to the shared bank by the loader).
+    pub threshold: i16,
+}
+
+impl MrpdlnParams {
+    /// Builds kernel parameters from the golden-model configuration.
+    pub fn from_config(n: usize, cfg: &DelineationConfig) -> MrpdlnParams {
+        MrpdlnParams {
+            n: n as u16,
+            scale_small: cfg.scale_small as u16,
+            scale_large: cfg.scale_large as u16,
+            threshold: cfg.threshold,
+        }
+    }
+
+    /// The equivalent golden-model configuration.
+    pub fn to_config(self) -> DelineationConfig {
+        DelineationConfig {
+            scale_small: self.scale_small as usize,
+            scale_large: self.scale_large as usize,
+            threshold: self.threshold,
+        }
+    }
+}
+
+/// Emits one branch-free min/max window phase for sample `i` (in `r1`):
+/// leaves `d_scale = dilation + erosion - 2*x[i]` in `r4`.
+///
+/// Register plan: `r7` = x base, `r3`/`r5` = window pointers, `r4` = min
+/// accumulator, `r6` = max accumulator, `r0`/`r2` = scratch.
+fn minmax_phase(b: &mut AsmBuilder, half: u16, n: u16) {
+    let lo_ok = b.fresh("mlo");
+    let hi_ok = b.fresh("mhi");
+    let inner = b.fresh("min");
+    let done = b.fresh("mdn");
+    b.comment(&format!("window phase, half={half}: d -> r4"));
+    b.line("rdid r7");
+    b.line("shl  r7, #11"); // x = buf0 sits at the core's own bank
+    b.line("mov  r3, r1");
+    b.line(&format!("li   r0, {half}"));
+    b.line("sub  r3, r0");
+    b.line(&format!("bge  {lo_ok}"));
+    b.line("clr  r3");
+    b.label(&lo_ok);
+    b.line("mov  r5, r1");
+    b.line("add  r5, r0");
+    b.line(&format!("li   r0, {}", n - 1));
+    b.line("cmp  r5, r0");
+    b.line(&format!("ble  {hi_ok}"));
+    b.line("mov  r5, r0");
+    b.label(&hi_ok);
+    b.line("add  r3, r7");
+    b.line("add  r5, r7");
+    b.line("ldp  r4, [r3]");
+    b.line("mov  r6, r4");
+    b.label(&inner);
+    b.line("cmp  r3, r5");
+    b.line(&format!("bgt  {done}"));
+    b.line("ldp  r0, [r3]");
+    // Branch-free min into r4: d = acc - v; acc = v + (d & (d >> 15)).
+    b.line("mov  r2, r4");
+    b.line("sub  r2, r0");
+    b.line("mov  r4, r2");
+    b.line("asr  r4, #15");
+    b.line("and  r2, r4");
+    b.line("mov  r4, r0");
+    b.line("add  r4, r2");
+    // Branch-free max into r6 (complemented mask).
+    b.line("mov  r2, r6");
+    b.line("sub  r2, r0");
+    b.line("mov  r6, r2");
+    b.line("asr  r6, #15");
+    b.line("not  r6");
+    b.line("and  r2, r6");
+    b.line("mov  r6, r0");
+    b.line("add  r6, r2");
+    b.line(&format!("br   {inner}"));
+    b.label(&done);
+    // d = min + max - 2*x[i].
+    b.line("mov  r0, r7");
+    b.line("add  r0, r1");
+    b.line("ld   r0, [r0]");
+    b.line("add  r4, r6");
+    b.line("sub  r4, r0");
+    b.line("sub  r4, r0");
+}
+
+/// Generates the MRPDLN kernel source (input in buf0, marks in buf5).
+pub fn mrpdln_source(p: &MrpdlnParams, options: &KernelOptions) -> String {
+    assert!(p.scale_small >= 1 && p.scale_large >= 1);
+    assert!(p.n >= 4, "streaming delineation needs at least 4 samples");
+    let n = p.n;
+    let mut b = AsmBuilder::new(*options);
+    b.prologue();
+
+    // Edge samples are never marked.
+    b.comment("marks[0] = marks[n-1] = 0");
+    b.store_const(5, 0, 0);
+    b.store_const(5, n - 1, 0);
+    b.comment("rolling derivative window (VARS +1 = d[i-1], +2 = d[i-2])");
+    b.load_vars_base("r3", "r0");
+    b.line("clr  r0");
+    b.line("st   r0, [r3, #1]");
+    b.line("st   r0, [r3, #2]");
+
+    b.line("clr  r1"); // i = 0
+    b.label("main");
+    // d1 at the small scale -> r4 -> VARS+0.
+    minmax_phase(&mut b, p.scale_small, n);
+    b.load_vars_base("r2", "r0");
+    b.line("st   r4, [r2]");
+    // d2 at the large scale -> r4; combined d = (d1 + d2) >> 1 -> r5.
+    minmax_phase(&mut b, p.scale_large, n);
+    b.load_vars_base("r2", "r0");
+    b.line("ld   r0, [r2]");
+    b.line("add  r4, r0");
+    b.line("asr  r4, #1");
+    b.line("mov  r5, r4"); // d[i] lives in r5 from here on
+
+    // Classify sample t = i-1 once d[t+1] is known (needs i >= 2).
+    b.line("cmpi r1, #2");
+    b.line("blt  skipcls");
+    b.comment("r3/r4/r5 = d[t-1], d[t], d[t+1]");
+    b.line("ld   r4, [r2, #1]");
+    b.line("ld   r3, [r2, #2]");
+    b.comment("r7 = threshold from the shared bank (broadcast read)");
+    b.line(&format!("li   r7, {}", SHARED_BASE + SHARED_THRESHOLD));
+    b.line("ld   r7, [r7]");
+    let sp = b.section_enter();
+    b.line("clr  r0");
+    b.comment("peak: d[t] < -thr && d[t] <= d[t-1] && d[t] < d[t+1]");
+    b.line("neg  r7");
+    b.line("cmp  r4, r7");
+    b.line("bge  trypit");
+    b.line("cmp  r4, r3");
+    b.line("bgt  clsdone");
+    b.line("cmp  r4, r5");
+    b.line("bge  clsdone");
+    b.line("movi r0, #1");
+    b.line("br   clsdone");
+    b.label("trypit");
+    b.comment("pit: d[t] > thr && d[t] >= d[t-1] && d[t] > d[t+1]");
+    b.line("neg  r7");
+    b.line("cmp  r4, r7");
+    b.line("ble  clsdone");
+    b.line("cmp  r4, r3");
+    b.line("blt  clsdone");
+    b.line("cmp  r4, r5");
+    b.line("ble  clsdone");
+    b.line("movi r0, #2");
+    b.label("clsdone");
+    b.section_leave(sp);
+    b.comment("marks[t] = r0");
+    b.load_buffer_base("r6", "r2", 5);
+    b.line("add  r6, r1");
+    b.line("st   r0, [r6, #-1]");
+    b.label("skipcls");
+
+    // Roll the derivative window: d[i-2] <- d[i-1] <- d[i].
+    b.load_vars_base("r2", "r0");
+    b.line("ld   r0, [r2, #1]");
+    b.line("st   r0, [r2, #2]");
+    b.line("st   r5, [r2, #1]");
+    b.line("inc  r1");
+    b.line(&format!("li   r0, {n}"));
+    b.line("cmp  r1, r0");
+    // The streaming body exceeds the conditional branch's ±127-word
+    // reach; close the loop with a JAL trampoline (r7 is dead here).
+    b.line("bge  mdone");
+    b.line("jal  main");
+    b.label("mdone");
+
+    b.epilogue();
+    b.into_source()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::{buffer_base, BufferLayout};
+    use ulp_biosignal::{delineate, Mark};
+    use ulp_cpu::SimpleHost;
+    use ulp_isa::asm::assemble;
+
+    fn params() -> MrpdlnParams {
+        MrpdlnParams {
+            n: 80,
+            scale_small: 2,
+            scale_large: 6,
+            threshold: 120,
+        }
+    }
+
+    #[test]
+    fn assembles_both_variants() {
+        for instrumented in [false, true] {
+            let src = mrpdln_source(&params(), &KernelOptions::for_design(instrumented));
+            assemble(&src).unwrap_or_else(|e| panic!("{e}\n{src}"));
+            assert_eq!(src.contains("sinc"), instrumented);
+        }
+    }
+
+    #[test]
+    fn only_the_classification_is_synchronized() {
+        let src = mrpdln_source(&params(), &KernelOptions::for_design(true));
+        assert_eq!(
+            src.matches("sinc #").count(),
+            1,
+            "branchless scans need no sync points"
+        );
+    }
+
+    #[test]
+    fn single_core_matches_golden() {
+        let p = params();
+        let layout = BufferLayout::Packed;
+        let src = mrpdln_source(&p, &KernelOptions::for_design(true));
+        let prog = assemble(&src).unwrap();
+        let mut host = SimpleHost::new(&prog.to_vec(0, prog.extent()));
+
+        // Spiky test signal with clear peaks and pits.
+        let x: Vec<i16> = (0..p.n as i64)
+            .map(|i| match i % 20 {
+                5 => 800,
+                6 => 900,
+                7 => 750,
+                13 => -600,
+                _ => ((i * 13) % 50) as i16,
+            })
+            .collect();
+        let in_base = buffer_base(layout, 0, 0);
+        for (i, &v) in x.iter().enumerate() {
+            host.set_dm(in_base + i as u16, v as u16);
+        }
+        host.set_dm(SHARED_BASE + SHARED_THRESHOLD, p.threshold as u16);
+        host.run(20_000_000).unwrap();
+
+        let golden: Vec<u16> = delineate(&x, &p.to_config())
+            .into_iter()
+            .map(u16::from)
+            .collect();
+        let out_base = buffer_base(layout, 0, 5);
+        let out: Vec<u16> = (0..p.n).map(|i| host.dm(out_base + i)).collect();
+        assert_eq!(out, golden);
+        assert!(
+            golden.iter().any(|&m| m == u16::from(Mark::Peak)),
+            "test signal must actually contain peaks"
+        );
+        assert!(golden.iter().any(|&m| m == u16::from(Mark::Pit)));
+    }
+}

@@ -1,0 +1,190 @@
+//! The SQRT32 benchmark kernel: multi-lead combination by 32-bit integer
+//! square root.
+//!
+//! Per sample, the kernel squares the core's own lead and its paired lead
+//! (16x16 -> 32-bit via `MUL`/`MULH`), sums them with carry
+//! (`ADD`/`ADC`) and extracts the floor square root with the
+//! digit-by-digit algorithm of Rolfe (1987) — 16 rounds, each ending in
+//! the data-dependent *conditional subtraction* that breaks lockstep on
+//! the baseline design.
+//!
+//! Buffer indices: `buf0` = own lead, `buf1` = paired lead, `buf2` =
+//! output magnitudes; the per-core sample index lives in the scalar spill
+//! area.
+
+use crate::builder::{AsmBuilder, KernelOptions, SyncGranularity};
+
+/// Parameters of the generated SQRT32 kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Sqrt32Params {
+    /// Samples per channel.
+    pub n: u16,
+}
+
+/// Generates the SQRT32 kernel source (leads in buf0/buf1, magnitudes to
+/// buf2).
+pub fn sqrt32_source(p: &Sqrt32Params, options: &KernelOptions) -> String {
+    let n = p.n;
+    let per_sample = options.granularity == SyncGranularity::PerSample;
+    let mut b = AsmBuilder::new(*options);
+    b.prologue();
+    b.comment("i = 0");
+    b.load_vars_base("r3", "r0");
+    b.line("clr  r0");
+    b.line("st   r0, [r3]");
+
+    b.label("sample");
+    b.comment("r1 = i");
+    b.load_vars_base("r3", "r0");
+    b.line("ld   r1, [r3]");
+    b.comment("r4 = a[i] (own lead)");
+    b.load_buffer_base("r5", "r0", 0);
+    b.line("add  r5, r1");
+    b.line("ld   r4, [r5]");
+    b.comment("r5 = b[i] (paired lead)");
+    b.load_buffer_base("r5", "r0", 1);
+    b.line("add  r5, r1");
+    b.line("ld   r5, [r5]");
+    b.comment("x = a*a + b*b (32-bit in r2:r1)");
+    b.line("mov  r1, r4");
+    b.line("mul  r1, r4"); // lo(a^2)
+    b.line("mov  r2, r4");
+    b.line("mulh r2, r4"); // hi(a^2)
+    b.line("mov  r3, r5");
+    b.line("mul  r3, r5"); // lo(b^2)
+    b.line("mov  r4, r5");
+    b.line("mulh r4, r5"); // hi(b^2)
+    b.line("add  r1, r3");
+    b.line("adc  r2, r4");
+    b.comment("rem (r4:r3) = 0, root (r5) = 0, 16 rounds in r6");
+    let sample_sp = if per_sample {
+        Some(b.section_enter())
+    } else {
+        None
+    };
+    b.line("clr  r3");
+    b.line("clr  r4");
+    b.line("clr  r5");
+    b.line("movi r6, #16");
+
+    b.label("round");
+    b.comment("rem = (rem << 2) | top two bits of x; x <<= 2");
+    b.line("shl  r4, #2");
+    b.line("mov  r0, r3");
+    b.line("shr  r0, #14");
+    b.line("or   r4, r0");
+    b.line("shl  r3, #2");
+    b.line("mov  r0, r2");
+    b.line("shr  r0, #14");
+    b.line("or   r3, r0");
+    b.line("shl  r2, #2");
+    b.line("mov  r0, r1");
+    b.line("shr  r0, #14");
+    b.line("or   r2, r0");
+    b.line("shl  r1, #2");
+    b.comment("trial (r7:r0) = (root << 2) | 1; root <<= 1");
+    b.line("mov  r7, r5");
+    b.line("shr  r7, #14");
+    b.line("mov  r0, r5");
+    b.line("shl  r0, #2");
+    b.line("addi r0, #1");
+    b.line("shl  r5, #1");
+    b.comment("if rem >= trial { rem -= trial; root |= 1 }");
+    let round_sp = if per_sample {
+        None
+    } else {
+        Some(b.section_enter())
+    };
+    b.line("cmp  r4, r7");
+    b.line("bult skip");
+    b.line("bne  dosub");
+    b.line("cmp  r3, r0");
+    b.line("bult skip");
+    b.label("dosub");
+    b.line("sub  r3, r0");
+    b.line("sbc  r4, r7");
+    b.line("addi r5, #1");
+    b.label("skip");
+    if let Some(sp) = round_sp {
+        b.section_leave(sp);
+    }
+    b.line("addi r6, #-1");
+    b.line("bne  round");
+    if let Some(sp) = sample_sp {
+        b.section_leave(sp);
+    }
+
+    b.comment("store root, advance i");
+    b.load_buffer_base("r0", "r7", 2);
+    b.load_vars_base("r7", "r2");
+    b.line("ld   r1, [r7]"); // i
+    b.line("add  r0, r1");
+    b.line("st   r5, [r0]");
+    b.line("inc  r1");
+    b.line("st   r1, [r7]");
+    b.line(&format!("li   r0, {n}"));
+    b.line("cmp  r1, r0");
+    b.line("blt  sample");
+    b.epilogue();
+    b.into_source()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::{buffer_base, BufferLayout};
+    use ulp_biosignal::combine_two_leads;
+    use ulp_cpu::SimpleHost;
+    use ulp_isa::asm::assemble;
+
+    #[test]
+    fn assembles_both_variants() {
+        for instrumented in [false, true] {
+            let src = sqrt32_source(&Sqrt32Params { n: 32 }, &KernelOptions::for_design(instrumented));
+            assemble(&src).unwrap_or_else(|e| panic!("{e}\n{src}"));
+            assert_eq!(src.contains("sinc"), instrumented);
+        }
+    }
+
+    fn run_single_core(layout: BufferLayout, a: &[i16], b: &[i16]) -> Vec<u16> {
+        let p = Sqrt32Params { n: a.len() as u16 };
+        let options = KernelOptions {
+            layout,
+            ..KernelOptions::for_design(true)
+        };
+        let src = sqrt32_source(&p, &options);
+        let prog = assemble(&src).unwrap();
+        let mut host = SimpleHost::new(&prog.to_vec(0, prog.extent()));
+        let a_base = buffer_base(layout, 0, 0);
+        let b_base = buffer_base(layout, 0, 1);
+        for i in 0..a.len() {
+            host.set_dm(a_base + i as u16, a[i] as u16);
+            host.set_dm(b_base + i as u16, b[i] as u16);
+        }
+        host.run(10_000_000).unwrap();
+        let out_base = buffer_base(layout, 0, 2);
+        (0..p.n).map(|i| host.dm(out_base + i)).collect()
+    }
+
+    #[test]
+    fn single_core_matches_golden_in_both_layouts() {
+        let a: Vec<i16> = (0..48i64).map(|i| ((i * 131) % 4095 - 2047) as i16).collect();
+        let b: Vec<i16> = (0..48i64)
+            .map(|i| ((i * 37 + 1000) % 4095 - 2047) as i16)
+            .collect();
+        let golden = combine_two_leads(&a, &b);
+        for layout in [BufferLayout::Packed, BufferLayout::PrivateBank] {
+            assert_eq!(run_single_core(layout, &a, &b), golden, "{layout:?}");
+        }
+    }
+
+    #[test]
+    fn extreme_values_are_exact() {
+        let a = [2047i16, -2047, 0, 1];
+        let b = [2047i16, 2047, 0, -1];
+        let golden = combine_two_leads(&a, &b);
+        let out = run_single_core(BufferLayout::Packed, &a, &b);
+        assert_eq!(out, golden);
+        assert_eq!(out[0], 2894);
+    }
+}

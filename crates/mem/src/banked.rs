@@ -1,0 +1,279 @@
+//! Banked word-addressed memory with locking and access statistics.
+
+use std::collections::BTreeSet;
+
+/// How word addresses map onto banks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BankMapping {
+    /// Contiguous blocks: `bank = addr / (words / banks)`. This is the
+    /// platform's layout — each core's private data region (and the single
+    /// SPMD kernel image) lives inside one bank, so lockstep cores hit the
+    /// *same* bank at the *same* address and broadcast, while divergent
+    /// cores serialize.
+    Blocked,
+    /// Word-interleaved: `bank = addr % banks`. Used by the A1 ablation to
+    /// quantify how much of the slowdown is bank serialization.
+    Interleaved,
+}
+
+/// Physical access counters of one [`BankedMemory`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// Physical bank read operations (one per served address-group).
+    pub bank_reads: u64,
+    /// Physical bank write operations.
+    pub bank_writes: u64,
+    /// Requesters served on top of the first one by a broadcast read
+    /// (i.e. accesses *saved* by broadcasting).
+    pub broadcast_extra: u64,
+    /// Per-bank physical access counts (reads + writes).
+    pub per_bank: Vec<u64>,
+}
+
+impl MemStats {
+    fn new(banks: usize) -> MemStats {
+        MemStats {
+            per_bank: vec![0; banks],
+            ..Default::default()
+        }
+    }
+
+    /// Total physical bank accesses.
+    pub fn total_accesses(&self) -> u64 {
+        self.bank_reads + self.bank_writes
+    }
+}
+
+/// A word-addressed memory divided into equally sized banks.
+///
+/// Reads and writes through [`BankedMemory::read`]/[`BankedMemory::write`]
+/// count as physical bank accesses; `peek`/`poke` are free backdoors for
+/// loaders and tests. Words can be locked (the synchronization ISE's *lock*
+/// output) to serialize non-synchronous accesses during the synchronizer's
+/// read-modify-write (Section IV-B-c of the paper).
+///
+/// # Example
+///
+/// ```
+/// use ulp_mem::{BankedMemory, BankMapping};
+///
+/// let mut dm = BankedMemory::new(32 * 1024, 16, BankMapping::Blocked);
+/// assert_eq!(dm.bank_of(0), 0);
+/// assert_eq!(dm.bank_of(2048), 1);
+/// dm.write(5, 0xABCD);
+/// assert_eq!(dm.read(5), 0xABCD);
+/// assert_eq!(dm.stats().total_accesses(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BankedMemory {
+    words: Vec<u16>,
+    banks: usize,
+    bank_words: usize,
+    mapping: BankMapping,
+    locked: BTreeSet<u16>,
+    stats: MemStats,
+}
+
+impl BankedMemory {
+    /// Creates a zero-initialized memory of `words` words in `banks` banks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `banks` is zero or does not divide `words`.
+    pub fn new(words: usize, banks: usize, mapping: BankMapping) -> BankedMemory {
+        assert!(banks > 0, "at least one bank");
+        assert_eq!(words % banks, 0, "banks must divide the word count");
+        BankedMemory {
+            words: vec![0; words],
+            banks,
+            bank_words: words / banks,
+            mapping,
+            locked: BTreeSet::new(),
+            stats: MemStats::new(banks),
+        }
+    }
+
+    /// Memory size in words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether the memory has zero words (never true for a valid instance).
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Number of banks.
+    pub fn banks(&self) -> usize {
+        self.banks
+    }
+
+    /// The configured address-to-bank mapping.
+    pub fn mapping(&self) -> BankMapping {
+        self.mapping
+    }
+
+    /// The bank an address belongs to.
+    #[inline]
+    pub fn bank_of(&self, addr: u16) -> usize {
+        let a = addr as usize % self.words.len();
+        match self.mapping {
+            BankMapping::Blocked => a / self.bank_words,
+            BankMapping::Interleaved => a % self.banks,
+        }
+    }
+
+    #[inline]
+    fn index(&self, addr: u16) -> usize {
+        addr as usize % self.words.len()
+    }
+
+    /// Physical read (counted).
+    pub fn read(&mut self, addr: u16) -> u16 {
+        let bank = self.bank_of(addr);
+        self.stats.bank_reads += 1;
+        self.stats.per_bank[bank] += 1;
+        self.words[self.index(addr)]
+    }
+
+    /// Physical read serving `requesters` cores at once (broadcast).
+    ///
+    /// Counts a single bank access; the `requesters - 1` saved accesses are
+    /// recorded in [`MemStats::broadcast_extra`].
+    pub fn read_broadcast(&mut self, addr: u16, requesters: usize) -> u16 {
+        debug_assert!(requesters >= 1);
+        self.stats.broadcast_extra += requesters.saturating_sub(1) as u64;
+        self.read(addr)
+    }
+
+    /// Physical write (counted).
+    pub fn write(&mut self, addr: u16, value: u16) {
+        let bank = self.bank_of(addr);
+        self.stats.bank_writes += 1;
+        self.stats.per_bank[bank] += 1;
+        let i = self.index(addr);
+        self.words[i] = value;
+    }
+
+    /// Backdoor read without access accounting (loaders, tests, traces).
+    pub fn peek(&self, addr: u16) -> u16 {
+        self.words[self.index(addr)]
+    }
+
+    /// Backdoor write without access accounting.
+    pub fn poke(&mut self, addr: u16, value: u16) {
+        let i = self.index(addr);
+        self.words[i] = value;
+    }
+
+    /// Bulk backdoor load starting at `base`.
+    pub fn load(&mut self, base: u16, data: &[u16]) {
+        for (i, w) in data.iter().enumerate() {
+            self.poke(base.wrapping_add(i as u16), *w);
+        }
+    }
+
+    /// Locks a word against ordinary accesses (synchronizer RMW in flight).
+    pub fn lock_word(&mut self, addr: u16) {
+        self.locked.insert(addr);
+    }
+
+    /// Releases a word lock.
+    pub fn unlock_word(&mut self, addr: u16) {
+        self.locked.remove(&addr);
+    }
+
+    /// Whether a word is currently locked.
+    pub fn is_locked(&self, addr: u16) -> bool {
+        self.locked.contains(&addr)
+    }
+
+    /// Access statistics so far.
+    pub fn stats(&self) -> &MemStats {
+        &self.stats
+    }
+
+    /// Resets the access statistics (e.g. after a warm-up phase).
+    pub fn reset_stats(&mut self) {
+        self.stats = MemStats::new(self.banks);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocked_mapping() {
+        let m = BankedMemory::new(32 * 1024, 16, BankMapping::Blocked);
+        assert_eq!(m.bank_of(0), 0);
+        assert_eq!(m.bank_of(2047), 0);
+        assert_eq!(m.bank_of(2048), 1);
+        assert_eq!(m.bank_of(32767), 15);
+    }
+
+    #[test]
+    fn interleaved_mapping() {
+        let m = BankedMemory::new(32, 4, BankMapping::Interleaved);
+        assert_eq!(m.bank_of(0), 0);
+        assert_eq!(m.bank_of(1), 1);
+        assert_eq!(m.bank_of(5), 1);
+        assert_eq!(m.bank_of(7), 3);
+    }
+
+    #[test]
+    fn counting_vs_backdoor() {
+        let mut m = BankedMemory::new(64, 4, BankMapping::Blocked);
+        m.poke(3, 42);
+        assert_eq!(m.peek(3), 42);
+        assert_eq!(m.stats().total_accesses(), 0, "backdoor is free");
+        assert_eq!(m.read(3), 42);
+        m.write(4, 1);
+        assert_eq!(m.stats().bank_reads, 1);
+        assert_eq!(m.stats().bank_writes, 1);
+        assert_eq!(m.stats().per_bank[0], 2);
+    }
+
+    #[test]
+    fn broadcast_counts_once() {
+        let mut m = BankedMemory::new(64, 4, BankMapping::Blocked);
+        m.poke(10, 9);
+        assert_eq!(m.read_broadcast(10, 8), 9);
+        assert_eq!(m.stats().bank_reads, 1, "single physical access");
+        assert_eq!(m.stats().broadcast_extra, 7, "seven accesses saved");
+    }
+
+    #[test]
+    fn word_locks() {
+        let mut m = BankedMemory::new(64, 4, BankMapping::Blocked);
+        assert!(!m.is_locked(7));
+        m.lock_word(7);
+        assert!(m.is_locked(7));
+        assert!(!m.is_locked(8));
+        m.unlock_word(7);
+        assert!(!m.is_locked(7));
+    }
+
+    #[test]
+    fn bulk_load_and_wraparound() {
+        let mut m = BankedMemory::new(16, 4, BankMapping::Blocked);
+        m.load(14, &[1, 2, 3]);
+        assert_eq!(m.peek(14), 1);
+        assert_eq!(m.peek(15), 2);
+        assert_eq!(m.peek(0), 3, "wraps modulo size");
+    }
+
+    #[test]
+    #[should_panic(expected = "banks must divide")]
+    fn invalid_geometry_panics() {
+        let _ = BankedMemory::new(10, 3, BankMapping::Blocked);
+    }
+
+    #[test]
+    fn reset_stats() {
+        let mut m = BankedMemory::new(16, 4, BankMapping::Blocked);
+        m.read(0);
+        m.reset_stats();
+        assert_eq!(m.stats().total_accesses(), 0);
+    }
+}

@@ -1,0 +1,482 @@
+//! The data crossbar (D-Xbar) and its serving policies.
+//!
+//! A data access conflict occurs when a DM bank is accessed by more than
+//! one core at different memory locations. The baseline crossbar serves the
+//! conflicting cores in sequence; cores that have been served continue code
+//! execution immediately, which breaks lockstep. The paper's enhancement
+//! (Section IV) changes the serving policy: when the conflicting cores are
+//! *synchronous* — detected by comparing their program counters — the cores
+//! served early are stalled (held) until every synchronous core has been
+//! served, so the group resumes in lockstep.
+
+use crate::banked::BankedMemory;
+use std::collections::BTreeMap;
+
+/// The direction and payload of a data access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Access {
+    /// Read one word.
+    Read,
+    /// Write one word.
+    Write(u16),
+}
+
+/// One core's data-memory request for this cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DmRequest {
+    /// Requesting core id.
+    pub core: usize,
+    /// The core's current PC (used for synchrony detection).
+    pub pc: u16,
+    /// Word address.
+    pub addr: u16,
+    /// Read or write.
+    pub access: Access,
+}
+
+/// How a served core proceeds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DmGrant {
+    /// Served; the core completes its execute phase this cycle.
+    Complete {
+        /// Served core id.
+        core: usize,
+        /// Read data (`None` for writes).
+        data: Option<u16>,
+    },
+    /// Served, but held by the enhanced policy until its synchronous group
+    /// drains; the read data is latched by the core.
+    Hold {
+        /// Served-but-held core id.
+        core: usize,
+        /// Latched read data (`None` for writes).
+        data: Option<u16>,
+    },
+}
+
+/// The data-serving policy of the D-Xbar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ServingPolicy {
+    /// Serve conflicting cores in sequence; served cores continue
+    /// immediately (the architecture *without* the synchronization
+    /// feature).
+    Baseline,
+    /// The paper's enhancement: PC-synchronous cores stay together — cores
+    /// served early are held until the whole synchronous group has been
+    /// served.
+    #[default]
+    SyncAware,
+}
+
+/// Statistics of the data crossbar.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DXbarStats {
+    /// Data requests presented (per cycle per core).
+    pub requests: u64,
+    /// Requests granted (complete or hold).
+    pub grants: u64,
+    /// Requests stalled by bank conflicts or locks.
+    pub stalls: u64,
+    /// Cycles in which at least one bank had a conflict.
+    pub conflict_cycles: u64,
+    /// Grants that were held by the enhanced policy.
+    pub holds: u64,
+    /// Held cores released (lockstep restored after a conflict).
+    pub releases: u64,
+    /// Requests stalled because their word was locked by the synchronizer.
+    pub lock_stalls: u64,
+    /// Crossbar data transfers (one per grant).
+    pub transfers: u64,
+}
+
+/// Result of one arbitration cycle.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DXbarOutcome {
+    /// Grants issued this cycle (complete or hold).
+    pub grants: Vec<DmGrant>,
+    /// Cores released from hold this cycle (their latched instruction
+    /// completes now; no new grant is issued for them).
+    pub releases: Vec<usize>,
+}
+
+/// The data crossbar arbiter with pluggable serving policy.
+#[derive(Debug, Clone)]
+pub struct DXbar {
+    policy: ServingPolicy,
+    rr: Vec<usize>,
+    /// Held cores per synchronous-group PC: `pc -> held core ids`.
+    held: BTreeMap<u16, Vec<usize>>,
+    stats: DXbarStats,
+}
+
+impl DXbar {
+    /// Creates an arbiter for a memory with `banks` banks.
+    pub fn new(banks: usize, policy: ServingPolicy) -> DXbar {
+        DXbar {
+            policy,
+            rr: vec![0; banks],
+            held: BTreeMap::new(),
+            stats: DXbarStats::default(),
+        }
+    }
+
+    /// The configured serving policy.
+    pub fn policy(&self) -> ServingPolicy {
+        self.policy
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &DXbarStats {
+        &self.stats
+    }
+
+    /// Core ids currently held by the enhanced policy.
+    pub fn held_cores(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self.held.values().flatten().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Arbitrates one cycle of data requests.
+    ///
+    /// `requests` must contain at most one request per core and excludes
+    /// cores currently held (they have no outstanding request; they are
+    /// waiting for their group). Returns the grants for this cycle and the
+    /// cores to release.
+    pub fn arbitrate(&mut self, requests: &[DmRequest], dmem: &mut BankedMemory) -> DXbarOutcome {
+        self.stats.requests += requests.len() as u64;
+        let banks = dmem.banks();
+        let ncores = requests
+            .iter()
+            .map(|r| r.core + 1)
+            .max()
+            .unwrap_or(1)
+            .max(self.rr.len());
+
+        // ---- per-bank arbitration: pick and serve one address-group ----
+        let mut served: Vec<(DmRequest, Option<u16>)> = Vec::new();
+        for bank in 0..banks {
+            let in_bank: Vec<&DmRequest> = requests
+                .iter()
+                .filter(|r| dmem.bank_of(r.addr) == bank)
+                .collect();
+            if in_bank.is_empty() {
+                continue;
+            }
+            let unlocked: Vec<&DmRequest> = in_bank
+                .iter()
+                .copied()
+                .filter(|r| !dmem.is_locked(r.addr))
+                .collect();
+            let locked_out = in_bank.len() - unlocked.len();
+            self.stats.lock_stalls += locked_out as u64;
+            if unlocked.is_empty() {
+                self.stats.stalls += locked_out as u64;
+                continue;
+            }
+            let distinct = {
+                let mut addrs: Vec<u16> = unlocked.iter().map(|r| r.addr).collect();
+                addrs.sort_unstable();
+                addrs.dedup();
+                addrs.len()
+            };
+            if distinct > 1 {
+                self.stats.conflict_cycles += 1;
+            }
+
+            let ptr = self.rr[bank];
+            let winner_core = (0..ncores)
+                .map(|i| (ptr + i) % ncores)
+                .find(|c| unlocked.iter().any(|r| r.core == *c))
+                .expect("bank has unlocked requests");
+            let winner = *unlocked
+                .iter()
+                .find(|r| r.core == winner_core)
+                .expect("winner requested");
+            self.rr[bank] = (winner_core + 1) % ncores;
+
+            match winner.access {
+                Access::Write(_) => {
+                    // Writes never merge: serve exactly the winner.
+                    let Access::Write(value) = winner.access else {
+                        unreachable!()
+                    };
+                    dmem.write(winner.addr, value);
+                    served.push((*winner, None));
+                    self.stats.stalls += (in_bank.len() - 1 - locked_out) as u64;
+                }
+                Access::Read => {
+                    // Broadcast to every reader of the same address.
+                    let group: Vec<&DmRequest> = unlocked
+                        .iter()
+                        .copied()
+                        .filter(|r| r.addr == winner.addr && r.access == Access::Read)
+                        .collect();
+                    let word = dmem.read_broadcast(winner.addr, group.len());
+                    self.stats.stalls += (in_bank.len() - group.len() - locked_out) as u64;
+                    for r in group {
+                        served.push((*r, Some(word)));
+                    }
+                }
+            }
+        }
+        self.stats.grants += served.len() as u64;
+        self.stats.transfers += served.len() as u64;
+
+        // ---- serving-policy post-pass: hold/release synchronous groups ----
+        let mut outcome = DXbarOutcome::default();
+        match self.policy {
+            ServingPolicy::Baseline => {
+                outcome.grants = served
+                    .into_iter()
+                    .map(|(r, data)| DmGrant::Complete { core: r.core, data })
+                    .collect();
+            }
+            ServingPolicy::SyncAware => {
+                // Unserved requesters per PC (cores still inside the
+                // conflict): the group with that PC must keep waiting.
+                let mut unserved_pcs: BTreeMap<u16, usize> = BTreeMap::new();
+                for r in requests {
+                    if !served.iter().any(|(s, _)| s.core == r.core) {
+                        *unserved_pcs.entry(r.pc).or_insert(0) += 1;
+                    }
+                }
+                for (r, data) in served {
+                    let group_open = unserved_pcs.get(&r.pc).copied().unwrap_or(0) > 0;
+                    let group_exists = self.held.contains_key(&r.pc);
+                    // Hold when synchronous peers are still unserved, or a
+                    // held group for this PC already exists and peers remain.
+                    if group_open {
+                        self.held.entry(r.pc).or_default().push(r.core);
+                        self.stats.holds += 1;
+                        outcome.grants.push(DmGrant::Hold { core: r.core, data });
+                    } else {
+                        // Last members of the group: complete, and release
+                        // any held peers.
+                        if group_exists {
+                            if let Some(held) = self.held.remove(&r.pc) {
+                                self.stats.releases += held.len() as u64;
+                                outcome.releases.extend(held);
+                            }
+                        }
+                        outcome.grants.push(DmGrant::Complete { core: r.core, data });
+                    }
+                }
+            }
+        }
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::banked::BankMapping;
+
+    fn dmem() -> BankedMemory {
+        let mut m = BankedMemory::new(32 * 1024, 16, BankMapping::Blocked);
+        for a in 0..4096u16 {
+            m.poke(a, a.wrapping_mul(3));
+        }
+        m
+    }
+
+    fn read_req(core: usize, pc: u16, addr: u16) -> DmRequest {
+        DmRequest {
+            core,
+            pc,
+            addr,
+            access: Access::Read,
+        }
+    }
+
+    #[test]
+    fn same_address_reads_broadcast() {
+        let mut m = dmem();
+        let mut x = DXbar::new(16, ServingPolicy::Baseline);
+        let reqs: Vec<DmRequest> = (0..8).map(|c| read_req(c, 40, 100)).collect();
+        let out = x.arbitrate(&reqs, &mut m);
+        assert_eq!(out.grants.len(), 8);
+        assert!(out
+            .grants
+            .iter()
+            .all(|g| matches!(g, DmGrant::Complete { data: Some(d), .. } if *d == 300)));
+        assert_eq!(m.stats().bank_reads, 1);
+    }
+
+    #[test]
+    fn baseline_conflict_serves_in_sequence_and_lets_cores_go() {
+        let mut m = dmem();
+        let mut x = DXbar::new(16, ServingPolicy::Baseline);
+        // Two cores, same pc, same bank (bank 0: addr < 2048), distinct addrs.
+        let reqs = vec![read_req(0, 40, 10), read_req(1, 40, 20)];
+        let out = x.arbitrate(&reqs, &mut m);
+        assert_eq!(out.grants.len(), 1);
+        assert!(matches!(out.grants[0], DmGrant::Complete { core: 0, .. }));
+        assert!(out.releases.is_empty());
+        assert_eq!(x.stats().stalls, 1);
+    }
+
+    #[test]
+    fn sync_aware_holds_until_group_served() {
+        let mut m = dmem();
+        let mut x = DXbar::new(16, ServingPolicy::SyncAware);
+        // Three synchronous cores conflict in bank 0.
+        let reqs = vec![
+            read_req(0, 40, 10),
+            read_req(1, 40, 20),
+            read_req(2, 40, 30),
+        ];
+        let out = x.arbitrate(&reqs, &mut m);
+        assert_eq!(out.grants.len(), 1);
+        assert!(matches!(out.grants[0], DmGrant::Hold { core: 0, .. }));
+        assert_eq!(x.held_cores(), vec![0]);
+
+        // Core 0 is now held; cores 1 and 2 retry.
+        let reqs = vec![read_req(1, 40, 20), read_req(2, 40, 30)];
+        let out = x.arbitrate(&reqs, &mut m);
+        assert!(matches!(out.grants[0], DmGrant::Hold { core: 1, .. }));
+        assert_eq!(x.held_cores(), vec![0, 1]);
+
+        // Last member: completes and releases the held peers.
+        let reqs = vec![read_req(2, 40, 30)];
+        let out = x.arbitrate(&reqs, &mut m);
+        assert!(matches!(out.grants[0], DmGrant::Complete { core: 2, .. }));
+        let mut rel = out.releases.clone();
+        rel.sort_unstable();
+        assert_eq!(rel, vec![0, 1]);
+        assert!(x.held_cores().is_empty());
+        assert_eq!(x.stats().holds, 2);
+        assert_eq!(x.stats().releases, 2);
+    }
+
+    #[test]
+    fn sync_aware_ignores_asynchronous_cores() {
+        let mut m = dmem();
+        let mut x = DXbar::new(16, ServingPolicy::SyncAware);
+        // Different PCs: not synchronous, no holding even under conflict.
+        let reqs = vec![read_req(0, 40, 10), read_req(1, 99, 20)];
+        let out = x.arbitrate(&reqs, &mut m);
+        assert_eq!(out.grants.len(), 1);
+        assert!(matches!(out.grants[0], DmGrant::Complete { core: 0, .. }));
+    }
+
+    #[test]
+    fn sync_aware_cross_bank_skew_is_held_too() {
+        let mut m = dmem();
+        let mut x = DXbar::new(16, ServingPolicy::SyncAware);
+        // Cores 0,1 synchronous. Core 0 alone in bank 1; cores 1,2 conflict
+        // in bank 0 (core 2 asynchronous). Core 0 would complete while core
+        // 1 stalls -> policy holds core 0 to preserve lockstep.
+        let reqs = vec![
+            read_req(0, 40, 2048),
+            read_req(1, 40, 10),
+            read_req(2, 77, 20),
+        ];
+        let out = x.arbitrate(&reqs, &mut m);
+        // Bank 0 round-robin starts at core 0, so core 1 wins bank 0.
+        // Both synchronous cores complete this cycle -> no holds.
+        let completes: Vec<usize> = out
+            .grants
+            .iter()
+            .filter_map(|g| match g {
+                DmGrant::Complete { core, .. } => Some(*core),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(completes, vec![1, 0], "bank order: bank0 then bank1");
+
+        // Now make core 2 win bank 0 by advancing the pointer: cores 1,2 in
+        // bank 0 again, pointer now at 2.
+        let reqs = vec![
+            read_req(0, 50, 2048),
+            read_req(1, 50, 10),
+            read_req(2, 77, 20),
+        ];
+        let out = x.arbitrate(&reqs, &mut m);
+        // core 2 wins bank 0 (round-robin), so synchronous core 1 stalls;
+        // core 0 (same pc) must be HELD even though its bank was free.
+        assert!(out
+            .grants
+            .iter()
+            .any(|g| matches!(g, DmGrant::Hold { core: 0, .. })));
+    }
+
+    #[test]
+    fn writes_never_merge() {
+        let mut m = dmem();
+        let mut x = DXbar::new(16, ServingPolicy::Baseline);
+        let reqs = vec![
+            DmRequest {
+                core: 0,
+                pc: 1,
+                addr: 10,
+                access: Access::Write(111),
+            },
+            DmRequest {
+                core: 1,
+                pc: 1,
+                addr: 10,
+                access: Access::Write(222),
+            },
+        ];
+        let out = x.arbitrate(&reqs, &mut m);
+        assert_eq!(out.grants.len(), 1);
+        assert_eq!(m.peek(10), 111, "only the winner's write landed");
+        assert_eq!(m.stats().bank_writes, 1);
+    }
+
+    #[test]
+    fn locked_words_stall_requesters() {
+        let mut m = dmem();
+        m.lock_word(10);
+        let mut x = DXbar::new(16, ServingPolicy::Baseline);
+        let reqs = vec![read_req(0, 1, 10), read_req(1, 1, 11)];
+        let out = x.arbitrate(&reqs, &mut m);
+        // Core 0 stalls on the lock; core 1 proceeds.
+        assert_eq!(out.grants.len(), 1);
+        assert!(matches!(out.grants[0], DmGrant::Complete { core: 1, .. }));
+        assert_eq!(x.stats().lock_stalls, 1);
+    }
+
+    #[test]
+    fn round_robin_rotates_between_conflicting_cores() {
+        let mut m = dmem();
+        let mut x = DXbar::new(16, ServingPolicy::Baseline);
+        let reqs = vec![read_req(0, 1, 10), read_req(1, 1, 20)];
+        let first = x.arbitrate(&reqs, &mut m);
+        let second = x.arbitrate(&reqs, &mut m);
+        let who = |o: &DXbarOutcome| match o.grants[0] {
+            DmGrant::Complete { core, .. } => core,
+            DmGrant::Hold { core, .. } => core,
+        };
+        assert_eq!(who(&first), 0);
+        assert_eq!(who(&second), 1);
+    }
+
+    #[test]
+    fn reads_and_writes_to_same_bank_conflict() {
+        let mut m = dmem();
+        let mut x = DXbar::new(16, ServingPolicy::Baseline);
+        let reqs = vec![
+            read_req(0, 1, 10),
+            DmRequest {
+                core: 1,
+                pc: 1,
+                addr: 10,
+                access: Access::Write(5),
+            },
+        ];
+        let out = x.arbitrate(&reqs, &mut m);
+        // Round-robin winner is core 0 (read); the write must wait.
+        assert_eq!(out.grants.len(), 1);
+        assert!(matches!(
+            out.grants[0],
+            DmGrant::Complete {
+                core: 0,
+                data: Some(_)
+            }
+        ));
+        assert_eq!(m.peek(10), 30, "write deferred");
+    }
+}

@@ -1,0 +1,404 @@
+//! The deterministic cycle loop composing cores, memories, crossbars and
+//! the synchronizer.
+
+use crate::config::PlatformConfig;
+use crate::error::{ConfigError, PlatformError};
+use crate::stats::SimStats;
+use ulp_cpu::{Core, CoreState, MemAccess, SyncRequest, WakeReason};
+use ulp_isa::asm::Program;
+use ulp_mem::{Access, BankedMemory, DXbar, DmGrant, DmRequest, IXbar, ImRequest};
+use ulp_sync::Synchronizer;
+
+/// Outcome of a completed run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunSummary {
+    /// Cycles simulated until the last core halted.
+    pub cycles: u64,
+}
+
+/// The multi-core platform simulator (Fig. 1 of the paper).
+///
+/// See the crate-level documentation for an example. Construction validates
+/// the [`PlatformConfig`]; programs and data are loaded through backdoors
+/// ([`Platform::load_program`], [`Platform::load_dm`]); [`Platform::run`]
+/// advances the deterministic cycle loop until every core halts.
+#[derive(Debug)]
+pub struct Platform {
+    cfg: PlatformConfig,
+    cores: Vec<Core>,
+    imem: BankedMemory,
+    dmem: BankedMemory,
+    ixbar: IXbar,
+    dxbar: DXbar,
+    sync: Option<Synchronizer>,
+    cycle: u64,
+    lockstep_width_sum: u64,
+    lockstep_width_cycles: u64,
+    fault: Option<PlatformError>,
+    pc_trace: Option<Vec<Vec<Option<u16>>>>,
+    pc_trace_limit: usize,
+}
+
+impl Platform {
+    /// Builds a platform from a validated configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] found in `cfg`.
+    pub fn new(cfg: PlatformConfig) -> Result<Platform, ConfigError> {
+        cfg.validate()?;
+        Ok(Platform {
+            cores: (0..cfg.num_cores).map(|i| Core::new(i as u8)).collect(),
+            imem: BankedMemory::new(cfg.im_words, cfg.im_banks, cfg.im_mapping),
+            dmem: BankedMemory::new(cfg.dm_words, cfg.dm_banks, cfg.dm_mapping),
+            ixbar: IXbar::new(cfg.im_banks),
+            dxbar: DXbar::new(cfg.dm_banks, cfg.dxbar_policy),
+            sync: cfg.synchronizer.then(Synchronizer::new),
+            cycle: 0,
+            lockstep_width_sum: 0,
+            lockstep_width_cycles: 0,
+            fault: None,
+            pc_trace: None,
+            pc_trace_limit: 0,
+            cfg,
+        })
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &PlatformConfig {
+        &self.cfg
+    }
+
+    /// Loads an assembled program into instruction memory.
+    pub fn load_program(&mut self, program: &Program) {
+        for (addr, word) in program.iter() {
+            self.imem.poke(addr, word);
+        }
+    }
+
+    /// Loads raw words into instruction memory at `base`.
+    pub fn load_im(&mut self, base: u16, words: &[u16]) {
+        self.imem.load(base, words);
+    }
+
+    /// Loads raw words into data memory at `base`.
+    pub fn load_dm(&mut self, base: u16, words: &[u16]) {
+        self.dmem.load(base, words);
+    }
+
+    /// Reads one data-memory word (backdoor; not counted).
+    pub fn dm(&self, addr: u16) -> u16 {
+        self.dmem.peek(addr)
+    }
+
+    /// Reads `len` data-memory words starting at `base` (backdoor).
+    pub fn dm_slice(&self, base: u16, len: usize) -> Vec<u16> {
+        (0..len)
+            .map(|i| self.dmem.peek(base.wrapping_add(i as u16)))
+            .collect()
+    }
+
+    /// Writes one data-memory word (backdoor; not counted).
+    pub fn set_dm(&mut self, addr: u16, value: u16) {
+        self.dmem.poke(addr, value);
+    }
+
+    /// Immutable access to a core (panics if out of range).
+    pub fn core(&self, i: usize) -> &Core {
+        &self.cores[i]
+    }
+
+    /// Mutable access to a core (loader/test hook).
+    pub fn core_mut(&mut self, i: usize) -> &mut Core {
+        &mut self.cores[i]
+    }
+
+    /// Number of cores.
+    pub fn num_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Cycles simulated so far.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Raises the external interrupt line of core `i`.
+    pub fn raise_irq(&mut self, i: usize) {
+        self.cores[i].raise_irq();
+    }
+
+    /// Records per-core PCs for the first `max_cycles` cycles (for
+    /// lockstep visualisation). Sleeping, halted and non-fetch cycles are
+    /// recorded as `None`.
+    pub fn enable_pc_trace(&mut self, max_cycles: usize) {
+        self.pc_trace = Some(Vec::with_capacity(max_cycles.min(1 << 20)));
+        self.pc_trace_limit = max_cycles;
+    }
+
+    /// The recorded PC trace (empty unless [`Platform::enable_pc_trace`]).
+    pub fn pc_trace(&self) -> &[Vec<Option<u16>>] {
+        self.pc_trace.as_deref().unwrap_or(&[])
+    }
+
+    /// Whether every core has halted.
+    pub fn all_halted(&self) -> bool {
+        self.cores.iter().all(|c| c.is_halted())
+    }
+
+    /// Advances the platform by one clock cycle.
+    pub fn step(&mut self) {
+        self.cycle += 1;
+
+        // Interrupt polling happens at instruction boundaries, before the
+        // cycle's fetch phase, so a vectoring core fetches its handler in
+        // this same cycle.
+        for core in &mut self.cores {
+            core.poll_interrupt();
+        }
+
+        // Snapshot the phase of every core: each core receives exactly one
+        // cycle-consuming call below, based on where it *started* the
+        // cycle (fetch completing this cycle executes next cycle).
+        let phases: Vec<CoreState> = self.cores.iter().map(|c| c.state()).collect();
+
+        // ---- fetch phase ----------------------------------------------
+        let fetch_reqs: Vec<ImRequest> = self
+            .cores
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| matches!(phases[*i], CoreState::Fetch))
+            .filter_map(|(i, c)| c.fetch_request().map(|addr| ImRequest { core: i, addr }))
+            .collect();
+        self.record_lockstep(&fetch_reqs);
+        self.record_pc_trace(&phases);
+
+        let grants = self.ixbar.arbitrate(&fetch_reqs, &mut self.imem);
+        let mut fetched = vec![false; self.cores.len()];
+        for g in &grants {
+            fetched[g.core] = true;
+            if let Err(error) = self.cores[g.core].on_fetch_granted(g.word) {
+                self.fault.get_or_insert(PlatformError::CoreFault {
+                    core: g.core,
+                    error,
+                });
+            }
+        }
+        for r in &fetch_reqs {
+            if !fetched[r.core] {
+                self.cores[r.core].note_fetch_stall();
+            }
+        }
+
+        // ---- execute phase: synchronization ISE ------------------------
+        let sync_reqs: Vec<(usize, SyncRequest)> = self
+            .cores
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| matches!(phases[*i], CoreState::Execute(_)))
+            .filter_map(|(i, c)| c.sync_request().map(|r| (i, r)))
+            .collect();
+
+        if let Some(sync) = &mut self.sync {
+            let events = sync.step(&sync_reqs, &mut self.dmem);
+            for &(core, _) in &sync_reqs {
+                if events.accepted.contains(&core) {
+                    self.cores[core].on_sync_accepted();
+                } else {
+                    self.cores[core].note_sync_stall();
+                }
+            }
+            // Cores inside the in-flight RMW spend this cycle there.
+            for (i, phase) in phases.iter().enumerate() {
+                if matches!(phase, CoreState::SyncIssued(_)) {
+                    self.cores[i].note_sync_active();
+                }
+            }
+            // Sleeping cores burn their cycle before any wake edge.
+            for (i, phase) in phases.iter().enumerate() {
+                if matches!(phase, CoreState::Sleeping) {
+                    self.cores[i].note_sleep();
+                }
+            }
+            for (core, sleep) in events.completed {
+                self.cores[core].complete_sync(sleep);
+            }
+            for core in events.wake {
+                if core < self.cores.len() {
+                    self.cores[core].wake(WakeReason::Synchronizer);
+                }
+            }
+        } else {
+            // Baseline design: the ISA has no synchronization ISE, the
+            // instructions degenerate to NOPs.
+            for &(core, _) in &sync_reqs {
+                self.cores[core].skip_sync_op();
+            }
+            for (i, phase) in phases.iter().enumerate() {
+                if matches!(phase, CoreState::Sleeping) {
+                    self.cores[i].note_sleep();
+                }
+            }
+        }
+
+        // ---- execute phase: data memory --------------------------------
+        let dm_reqs: Vec<DmRequest> = self
+            .cores
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| matches!(phases[*i], CoreState::Execute(_)))
+            .filter_map(|(i, c)| {
+                c.mem_request().map(|r| DmRequest {
+                    core: i,
+                    pc: c.pc(),
+                    addr: r.addr,
+                    access: match r.access {
+                        MemAccess::Read => Access::Read,
+                        MemAccess::Write(v) => Access::Write(v),
+                    },
+                })
+            })
+            .collect();
+
+        // Held cores burn their cycle before any release edge.
+        for (i, phase) in phases.iter().enumerate() {
+            if matches!(phase, CoreState::Held { .. }) {
+                self.cores[i].note_hold();
+            }
+        }
+
+        let outcome = self.dxbar.arbitrate(&dm_reqs, &mut self.dmem);
+        let mut granted = vec![false; self.cores.len()];
+        for g in &outcome.grants {
+            match *g {
+                DmGrant::Complete { core, data } => {
+                    granted[core] = true;
+                    self.cores[core].complete_execute(data);
+                }
+                DmGrant::Hold { core, data } => {
+                    granted[core] = true;
+                    self.cores[core].hold_with_data(data);
+                }
+            }
+        }
+        for r in &dm_reqs {
+            if !granted[r.core] {
+                self.cores[r.core].note_mem_stall();
+            }
+        }
+        for core in outcome.releases {
+            self.cores[core].release();
+        }
+
+        // ---- execute phase: everything else -----------------------------
+        for (i, phase) in phases.iter().enumerate() {
+            if let CoreState::Execute(instr) = phase {
+                if !instr.is_mem() && !instr.is_sync() {
+                    self.cores[i].complete_execute(None);
+                }
+            }
+        }
+    }
+
+    fn record_lockstep(&mut self, fetch_reqs: &[ImRequest]) {
+        if fetch_reqs.is_empty() {
+            return;
+        }
+        let mut addrs: Vec<u16> = fetch_reqs.iter().map(|r| r.addr).collect();
+        addrs.sort_unstable();
+        let mut best = 1u64;
+        let mut run = 1u64;
+        for w in addrs.windows(2) {
+            if w[0] == w[1] {
+                run += 1;
+                best = best.max(run);
+            } else {
+                run = 1;
+            }
+        }
+        self.lockstep_width_sum += best;
+        self.lockstep_width_cycles += 1;
+    }
+
+    fn record_pc_trace(&mut self, phases: &[CoreState]) {
+        let limit = self.pc_trace_limit;
+        if let Some(trace) = &mut self.pc_trace {
+            if trace.len() < limit {
+                trace.push(
+                    self.cores
+                        .iter()
+                        .zip(phases)
+                        .map(|(c, phase)| match phase {
+                            CoreState::Fetch => Some(c.pc()),
+                            _ => None,
+                        })
+                        .collect(),
+                );
+            }
+        }
+    }
+
+    /// Runs until every core halts.
+    ///
+    /// # Errors
+    ///
+    /// * [`PlatformError::CoreFault`] — a core fetched an illegal word;
+    /// * [`PlatformError::Deadlock`] — every active core is asleep with the
+    ///   synchronizer idle (e.g. an unbalanced check-out);
+    /// * [`PlatformError::Timeout`] — the configured cycle budget ran out.
+    pub fn run(&mut self) -> Result<RunSummary, PlatformError> {
+        while self.cycle < self.cfg.max_cycles {
+            self.step();
+            if let Some(fault) = self.fault {
+                return Err(fault);
+            }
+            if self.all_halted() {
+                return Ok(RunSummary { cycles: self.cycle });
+            }
+            if self.is_deadlocked() {
+                return Err(PlatformError::Deadlock { cycle: self.cycle });
+            }
+        }
+        Err(PlatformError::Timeout {
+            budget: self.cfg.max_cycles,
+        })
+    }
+
+    /// A deadlock: no core can make progress again — every non-halted core
+    /// is asleep, nothing is in flight in the synchronizer, and no
+    /// interrupt is pending.
+    fn is_deadlocked(&self) -> bool {
+        let busy_sync = self.sync.as_ref().map(|s| s.is_busy()).unwrap_or(false);
+        !busy_sync
+            && self
+                .cores
+                .iter()
+                .all(|c| c.is_halted() || c.is_sleeping())
+            && self.cores.iter().any(|c| c.is_sleeping())
+    }
+
+    /// Collects the aggregated statistics of the run so far.
+    pub fn stats(&self) -> SimStats {
+        let cores: Vec<_> = self.cores.iter().map(|c| *c.stats()).collect();
+        let mut core_total = ulp_cpu::CoreStats::default();
+        for c in &cores {
+            core_total.merge(c);
+        }
+        SimStats {
+            cycles: self.cycle,
+            num_cores: self.cores.len(),
+            cores,
+            core_total,
+            im: self.imem.stats().clone(),
+            dm: self.dmem.stats().clone(),
+            ixbar: *self.ixbar.stats(),
+            dxbar: *self.dxbar.stats(),
+            sync: self.sync.as_ref().map(|s| *s.stats()),
+            lockstep_width_sum: self.lockstep_width_sum,
+            lockstep_width_cycles: self.lockstep_width_cycles,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,385 @@
+use super::*;
+use ulp_isa::asm::assemble;
+use ulp_isa::Reg;
+
+/// Sync array base: bank 9 of the 16-bank 64 kB DM (2048 words per bank).
+const SYNC_BASE: u16 = 9 * 2048;
+
+fn platform(with_sync: bool, src: &str) -> Platform {
+    let program = assemble(src).unwrap_or_else(|e| panic!("asm: {e}"));
+    let mut p = Platform::new(
+        PlatformConfig::paper(with_sync).with_max_cycles(2_000_000),
+    )
+    .unwrap();
+    p.load_program(&program);
+    p
+}
+
+/// Branch-free SPMD program: each core computes in its own DM bank.
+const LOCKSTEP_SRC: &str = "
+        rdid r1
+        mov  r2, r1
+        shl  r2, #11     ; r2 = id * 2048 (own bank base)
+        movi r3, #7
+        st   r3, [r2]
+        ld   r4, [r2]
+        add  r4, r4
+        st   r4, [r2, #1]
+        halt";
+
+#[test]
+fn branchless_spmd_stays_in_perfect_lockstep() {
+    let mut p = platform(true, LOCKSTEP_SRC);
+    p.run().unwrap();
+    let s = p.stats();
+
+    // Every instruction is fetched once and broadcast to all eight cores.
+    assert_eq!(s.im.bank_reads, 9, "one physical IM access per instruction");
+    assert_eq!(s.im.broadcast_extra, 9 * 7);
+    assert!((s.avg_lockstep_width() - 8.0).abs() < 1e-9, "width {}", s.avg_lockstep_width());
+    assert_eq!(s.ixbar.stalls, 0);
+    assert_eq!(s.dxbar.stalls, 0);
+
+    // 9 instructions x 2 cycles, fully parallel.
+    assert_eq!(s.cycles, 18);
+    // 8 useful ops per core (HALT is overhead) over 18 cycles.
+    assert!((s.ops_per_cycle() - 64.0 / 18.0).abs() < 1e-9);
+
+    // Results landed in each core's bank.
+    for id in 0..8u16 {
+        assert_eq!(p.dm(id * 2048), 7);
+        assert_eq!(p.dm(id * 2048 + 1), 14);
+    }
+}
+
+#[test]
+fn shared_constant_read_broadcasts() {
+    let src = "
+        li   r5, 16384    ; shared-constants bank
+        ld   r6, [r5]     ; same address on all cores -> broadcast
+        halt";
+    let mut p = platform(true, src);
+    p.set_dm(16384, 1234);
+    p.run().unwrap();
+    let s = p.stats();
+    assert_eq!(s.dm.bank_reads, 1, "one physical DM access for 8 readers");
+    assert_eq!(s.dm.broadcast_extra, 7);
+    for i in 0..8 {
+        assert_eq!(p.core(i).reg(Reg::R6), 1234);
+    }
+}
+
+#[test]
+fn same_bank_conflict_serializes_but_syncaware_keeps_lockstep() {
+    // Every iteration, all cores load *different* addresses of one shared
+    // bank (an 8-way data access conflict) and then execute a long
+    // straight-line body. The baseline crossbar lets served cores run
+    // ahead, so the bodies execute out of phase and fight over the single
+    // IM bank; the enhanced policy holds the synchronous group together
+    // and keeps every fetch a broadcast.
+    let src = "
+        rdid r1
+        li   r2, 0x100
+        add  r2, r1        ; 8 distinct addresses in DM bank 0
+        movi r4, #16       ; iterations
+loop:   ld   r3, [r2]      ; 8-way bank conflict every iteration
+        add  r0, r0
+        add  r0, r0
+        add  r0, r0
+        add  r0, r0
+        add  r0, r0
+        add  r0, r0
+        add  r0, r0
+        add  r0, r0
+        add  r0, r0
+        add  r0, r0
+        addi r4, #-1
+        bne  loop
+        halt";
+
+    let mut with = platform(true, src);
+    with.run().unwrap();
+    let s_with = with.stats();
+
+    let mut without = platform(false, src);
+    without.run().unwrap();
+    let s_without = without.stats();
+
+    assert!(s_with.dxbar.holds > 0, "held cores expected");
+    assert!(s_with.dxbar.releases > 0);
+    assert_eq!(s_without.dxbar.holds, 0, "baseline never holds");
+
+    // The enhanced policy keeps the group in perfect lockstep...
+    assert!(
+        (s_with.avg_lockstep_width() - 8.0).abs() < 1e-9,
+        "width {}",
+        s_with.avg_lockstep_width()
+    );
+    assert!(s_without.avg_lockstep_width() < 6.0);
+
+    // ...which cuts the physical IM traffic dramatically (the paper's
+    // instruction-broadcast power saving; up to 60 % in Section V-B)...
+    let reduction = 1.0
+        - s_with.im.total_accesses() as f64 / s_without.im.total_accesses() as f64;
+    assert!(reduction > 0.4, "IM access reduction only {reduction:.2}");
+
+    // ...at a bounded cycle cost: holding trades a little overlap for
+    // lockstep, so it must stay within a few percent of the baseline on
+    // this conflict-pipeline workload.
+    assert!(
+        (s_with.cycles as f64) < 1.10 * s_without.cycles as f64,
+        "{} vs {}",
+        s_with.cycles,
+        s_without.cycles
+    );
+}
+
+/// The Listing-1 pattern of the paper, repeated in a loop: a data-dependent
+/// conditional section wrapped in `SINC`/`SDEC`. Each core decides from its
+/// own rolling value whether to take the long path, so the group splits
+/// differently every iteration — without resynchronization the cores drift
+/// apart permanently.
+const DIVERGENT_SRC: &str = "
+        rdid r1
+        mov  r2, r1
+        shl  r2, #11
+        li   r3, 18432     ; SYNC_BASE
+        wrsync r3
+        mov  r4, r1        ; rolling per-core value
+        movi r6, #24       ; iterations
+loop:   sinc #0
+        add  r4, r1
+        addi r4, #3        ; evolve the per-core value
+        mov  r5, r4
+        movi r0, #7
+        and  r5, r0        ; n = value & 7: per-core trip count
+        inc  r5
+spin:   addi r5, #-1       ; data-dependent loop (0..7 extra rounds)
+        bne  spin
+        add  r0, r0
+        add  r0, r0
+        add  r0, r0
+        add  r0, r0
+        add  r0, r0
+        add  r0, r0
+        add  r0, r0
+        add  r0, r0
+skip:   sdec #0
+        addi r6, #-1
+        bne  loop
+        movi r5, #42
+        st   r5, [r2]
+        halt";
+
+#[test]
+fn divergent_section_resynchronizes_at_checkout() {
+    let mut p = platform(true, DIVERGENT_SRC);
+    p.run().unwrap();
+    let s = p.stats();
+
+    // Functional result.
+    for id in 0..8u16 {
+        assert_eq!(p.dm(id * 2048), 42, "core {id}");
+    }
+    // The barrier bookkeeping balanced and the word was cleared.
+    assert_eq!(p.dm(SYNC_BASE), 0, "sync word cleared after release");
+    let sync = s.sync.expect("synchronizer present");
+    assert_eq!(sync.checkin_requests, 8 * 24, "8 cores x 24 iterations");
+    assert_eq!(sync.checkout_requests, 8 * 24);
+    assert_eq!(sync.releases, 24, "one barrier release per iteration");
+    assert!(sync.wakeups > 0, "early finishers must have slept");
+    assert_eq!(s.core_total.checkins, 8 * 24);
+    assert_eq!(s.core_total.checkouts, 8 * 24);
+}
+
+#[test]
+fn synchronizer_speeds_up_divergent_workload() {
+    let mut with = platform(true, DIVERGENT_SRC);
+    with.run().unwrap();
+    let s_with = with.stats();
+
+    let mut without = platform(false, DIVERGENT_SRC);
+    without.run().unwrap();
+    let s_without = without.stats();
+
+    // Same functional result on the baseline design.
+    for id in 0..8u16 {
+        assert_eq!(without.dm(id * 2048), 42);
+    }
+
+    // The improved design finishes the run in fewer cycles, executes more
+    // ops per cycle and needs fewer physical IM accesses — the paper's
+    // Section V-B effects in miniature.
+    assert!(
+        s_with.cycles < s_without.cycles,
+        "{} vs {}",
+        s_with.cycles,
+        s_without.cycles
+    );
+    assert!(s_with.ops_per_cycle() > s_without.ops_per_cycle());
+    assert!(
+        s_with.im.total_accesses() < s_without.im.total_accesses(),
+        "broadcasting must cut IM accesses: {} vs {}",
+        s_with.im.total_accesses(),
+        s_without.im.total_accesses()
+    );
+    assert!(s_with.avg_lockstep_width() > s_without.avg_lockstep_width());
+
+    // Baseline executed the sync instructions as NOPs.
+    assert!(s_without.sync.is_none());
+    assert_eq!(s_without.core_total.checkins, 0);
+}
+
+#[test]
+fn deterministic_across_runs() {
+    let run = || {
+        let mut p = platform(true, DIVERGENT_SRC);
+        p.run().unwrap();
+        p.stats()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "simulation must be fully deterministic");
+}
+
+#[test]
+fn unbalanced_checkout_deadlocks_cleanly() {
+    // Core 0 never checks out: the others sleep forever at the barrier.
+    let src = "
+        li   r3, 18432
+        wrsync r3
+        rdid r1
+        cmpi r1, #0
+        beq  stop
+        sinc #1
+        sdec #1
+stop:   halt";
+    // All cores except core 0 check in (7 cores), then check out; the
+    // *last* of them releases the rest, so this actually completes.
+    let mut p = platform(true, src);
+    p.run().unwrap();
+
+    // Now a real deadlock: eight check-ins but only seven check-outs.
+    let src = "
+        li   r3, 18432
+        wrsync r3
+        sinc #2
+        rdid r1
+        cmpi r1, #3
+        beq  stop        ; core 3 leaves the section without SDEC
+        sdec #2
+        halt
+stop:   halt";
+    let mut p = platform(true, src);
+    let err = p.run().unwrap_err();
+    assert!(matches!(err, PlatformError::Deadlock { .. }), "{err}");
+}
+
+#[test]
+fn timeout_is_reported() {
+    let mut p = Platform::new(
+        PlatformConfig::paper_with_sync().with_max_cycles(100),
+    )
+    .unwrap();
+    p.load_program(&assemble("loop: br loop").unwrap());
+    let err = p.run().unwrap_err();
+    assert!(matches!(err, PlatformError::Timeout { budget: 100 }));
+}
+
+#[test]
+fn illegal_instruction_faults_the_run() {
+    let mut p = Platform::new(PlatformConfig::paper_with_sync()).unwrap();
+    p.load_im(0, &[0xF800]);
+    let err = p.run().unwrap_err();
+    assert!(matches!(err, PlatformError::CoreFault { .. }));
+}
+
+#[test]
+fn interrupt_wakes_sleeping_core() {
+    let src = "
+        br   main
+        br   isr
+main:   ei
+        sleep
+        movi r2, #2
+        halt
+isr:    movi r3, #3
+        iret";
+    let mut p = platform(true, src);
+    // Run until all cores sleep.
+    for _ in 0..200 {
+        p.step();
+    }
+    assert!((0..8).all(|i| p.core(i).is_sleeping()));
+    p.raise_irq(5);
+    for _ in 0..200 {
+        p.step();
+    }
+    assert!(p.core(5).is_halted());
+    assert_eq!(p.core(5).reg(Reg::R2), 2);
+    assert_eq!(p.core(5).reg(Reg::R3), 3);
+    assert!(p.core(0).is_sleeping(), "others still asleep");
+}
+
+#[test]
+fn single_core_platform_works() {
+    let mut p = Platform::new(
+        PlatformConfig::paper_with_sync().with_cores(1),
+    )
+    .unwrap();
+    p.load_program(
+        &assemble(
+            "   li   r3, 18432
+                wrsync r3
+                sinc #0
+                movi r1, #9
+                sdec #0
+                halt",
+        )
+        .unwrap(),
+    );
+    p.run().unwrap();
+    assert_eq!(p.core(0).reg(Reg::R1), 9);
+    assert_eq!(p.dm(SYNC_BASE), 0);
+}
+
+#[test]
+fn pc_trace_records_fetches() {
+    let mut p = platform(true, LOCKSTEP_SRC);
+    p.enable_pc_trace(6);
+    p.run().unwrap();
+    let trace = p.pc_trace();
+    assert_eq!(trace.len(), 6);
+    // Cycle 1: every core fetches address 0.
+    assert!(trace[0].iter().all(|pc| *pc == Some(0)));
+    // Cycle 2: execute phase, nobody fetches.
+    assert!(trace[1].iter().all(|pc| pc.is_none()));
+    // Cycle 3: every core fetches address 1.
+    assert!(trace[2].iter().all(|pc| *pc == Some(1)));
+}
+
+#[test]
+fn stats_include_all_components() {
+    let mut p = platform(true, DIVERGENT_SRC);
+    p.run().unwrap();
+    let s = p.stats();
+    assert_eq!(s.num_cores, 8);
+    assert_eq!(s.cores.len(), 8);
+    assert!(s.cycles > 0);
+    assert!(s.im.total_accesses() > 0);
+    assert!(s.dm.total_accesses() > 0);
+    assert!(s.ixbar.grants > 0);
+    assert!(s.dxbar.grants > 0);
+    assert!(s.sync.unwrap().batches > 0);
+    let per_core_retired: u64 = s.cores.iter().map(|c| c.retired).sum();
+    assert_eq!(per_core_retired, s.core_total.retired);
+}
+
+#[test]
+fn run_summary_matches_cycle_count() {
+    let mut p = platform(true, LOCKSTEP_SRC);
+    let summary = p.run().unwrap();
+    assert_eq!(summary.cycles, p.cycle());
+    assert!(p.all_halted());
+}
+

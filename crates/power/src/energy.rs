@@ -1,0 +1,235 @@
+//! Event-energy constants and their calibration against Table I.
+
+use crate::activity::Activity;
+
+/// Per-component dynamic power targets at 8 MOps/s and 1.2 V — the
+/// mid-points of the paper's Table I ranges for the design **without** the
+/// synchronization feature, plus the two targets that only exist on the
+/// improved design (core ISE overhead and synchronizer power).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table1Targets {
+    /// Cores, without-sync design (mW).
+    pub cores: f64,
+    /// Instruction memory (mW), mid-range.
+    pub im: f64,
+    /// Data memory (mW), mid-range.
+    pub dm: f64,
+    /// Data crossbar (mW).
+    pub dxbar: f64,
+    /// Instruction crossbar (mW).
+    pub ixbar: f64,
+    /// Clock tree (mW), mid-range.
+    pub clock: f64,
+    /// Cores on the improved design (mW) — fixes the ISE energy factor.
+    pub cores_with_sync: f64,
+    /// Synchronizer on the improved design (mW).
+    pub synchronizer: f64,
+}
+
+impl Table1Targets {
+    /// The paper's Table I numbers (mid-points of the reported ranges) at
+    /// a workload of 8 MOps/s and 1.2 V.
+    pub fn paper() -> Table1Targets {
+        Table1Targets {
+            cores: 0.14,
+            im: 0.28,  // 0.20 .. 0.36
+            dm: 0.065, // 0.05 .. 0.08
+            dxbar: 0.06,
+            ixbar: 0.03,
+            clock: 0.125, // 0.09 .. 0.16
+            cores_with_sync: 0.16,
+            synchronizer: 0.01,
+        }
+    }
+}
+
+/// Event energies at the nominal voltage (1.2 V, 90 nm low-leakage), in
+/// picojoules per event.
+///
+/// These are the model's only free constants. They are fitted **once**
+/// against the without-synchronizer column of Table I
+/// ([`EnergyModel::calibrate`]); every number reported for the improved
+/// design afterwards is a prediction driven by simulated activity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// Core energy per active (clocked) cycle.
+    pub core_active: f64,
+    /// Core energy per clock-gated (waiting) cycle.
+    pub core_gated: f64,
+    /// Core energy per sleeping cycle (externally gated).
+    pub core_sleep: f64,
+    /// Multiplier on core energy for the ISE-extended core (the paper:
+    /// "cores in the improved architecture consume slightly more power
+    /// ... due to the ISE").
+    pub ise_factor: f64,
+    /// Energy per physical IM bank access.
+    pub im_access: f64,
+    /// Energy per physical DM bank access.
+    pub dm_access: f64,
+    /// Energy per I-Xbar transfer.
+    pub ixbar_transfer: f64,
+    /// Energy per D-Xbar transfer.
+    pub dxbar_transfer: f64,
+    /// Energy per synchronizer read-modify-write batch.
+    pub sync_batch: f64,
+    /// Clock-tree root energy per clock cycle.
+    pub clock_root: f64,
+    /// Clock-tree leaf energy per core-active cycle (gated off while a
+    /// core waits or sleeps).
+    pub clock_leaf: f64,
+}
+
+impl EnergyModel {
+    /// Fraction of the active-cycle energy burned by a clock-gated core
+    /// (latched state, local gating logic).
+    const GATED_FRACTION: f64 = 0.12;
+    /// Fraction burned while asleep (fully gated externally).
+    const SLEEP_FRACTION: f64 = 0.03;
+    /// Fraction of the clock-tree target attributed to the always-on root
+    /// (the rest is per-core leaf clocking, gated with the core).
+    const ROOT_FRACTION: f64 = 0.75;
+
+    /// Fits the event energies to `targets` given the measured activity of
+    /// the baseline (without-sync) design and of the improved design at a
+    /// workload of 8 MOps/s.
+    ///
+    /// Each component has one unknown energy and one linear equation
+    /// `P = e · (events/op) · W`, so calibration is exact by construction
+    /// for the baseline column; the improved design's IM/DM/crossbar/clock
+    /// rows are *predictions*. Only `ise_factor` and `sync_batch` are
+    /// fitted on the improved design because they describe hardware that
+    /// does not exist in the baseline.
+    pub fn calibrate(
+        baseline: &Activity,
+        with_sync: &Activity,
+        targets: &Table1Targets,
+    ) -> EnergyModel {
+        assert!(!baseline.has_sync && with_sync.has_sync, "designs swapped");
+        const W: f64 = 8.0; // MOps/s; P[mW] = e[pJ] * events/op * W * 1e-3
+        let to_energy = |p_mw: f64, events_per_op: f64| p_mw / (events_per_op * W * 1e-3);
+
+        // Cores: P = (a·e_act + g·e_gate + s·e_sleep)·W with fixed ratios.
+        let weighted = baseline.core_active
+            + baseline.core_gated * Self::GATED_FRACTION
+            + baseline.core_sleep * Self::SLEEP_FRACTION;
+        let core_active = to_energy(targets.cores, weighted);
+
+        // ISE factor from the improved design's core row.
+        let weighted_sync = with_sync.core_active
+            + with_sync.core_gated * Self::GATED_FRACTION
+            + with_sync.core_sleep * Self::SLEEP_FRACTION;
+        let ise_factor = targets.cores_with_sync / (core_active * weighted_sync * W * 1e-3);
+
+        // Clock tree: root runs at f = W / R; leaves clock active cores.
+        let f_mhz = W / baseline.ops_per_cycle;
+        let clock_root = targets.clock * Self::ROOT_FRACTION / (f_mhz * 1e-3);
+        let clock_leaf =
+            targets.clock * (1.0 - Self::ROOT_FRACTION) / (baseline.core_active * W * 1e-3);
+
+        EnergyModel {
+            core_active,
+            core_gated: core_active * Self::GATED_FRACTION,
+            core_sleep: core_active * Self::SLEEP_FRACTION,
+            ise_factor,
+            im_access: to_energy(targets.im, baseline.im_accesses),
+            dm_access: to_energy(targets.dm, baseline.dm_accesses),
+            ixbar_transfer: to_energy(targets.ixbar, baseline.ixbar_transfers),
+            dxbar_transfer: to_energy(targets.dxbar, baseline.dxbar_transfers),
+            sync_batch: to_energy(targets.synchronizer, with_sync.sync_batches.max(1e-12)),
+            clock_root,
+            clock_leaf,
+        }
+    }
+
+    /// A representative pre-calibrated model: fitted against
+    /// [`Table1Targets::paper`] using typical activity vectors of the three
+    /// ECG benchmarks on this simulator (baseline ≈ 2.2 ops/cycle with one
+    /// IM access per op; improved ≈ 3.4 ops/cycle with ≈ 0.23 accesses
+    /// per op). The experiment harness re-calibrates from real runs; this
+    /// constructor serves documentation, tests and quick studies.
+    pub fn calibrated_90nm() -> EnergyModel {
+        let baseline = Activity {
+            ops_per_cycle: 2.22,
+            core_active: 2.14,
+            core_gated: 1.46,
+            core_sleep: 0.0,
+            im_accesses: 0.45,
+            dm_accesses: 0.13,
+            ixbar_transfers: 1.07,
+            dxbar_transfers: 0.13,
+            sync_batches: 0.0,
+            sync_busy: 0.0,
+            has_sync: false,
+        };
+        let with_sync = Activity {
+            ops_per_cycle: 3.38,
+            core_active: 2.2,
+            core_gated: 0.8,
+            core_sleep: 0.6,
+            im_accesses: 0.23,
+            dm_accesses: 0.14,
+            ixbar_transfers: 1.07,
+            dxbar_transfers: 0.14,
+            sync_batches: 0.02,
+            sync_busy: 0.04,
+            has_sync: true,
+        };
+        EnergyModel::calibrate(&baseline, &with_sync, &Table1Targets::paper())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_reproduces_baseline_targets() {
+        let m = EnergyModel::calibrated_90nm();
+        // All energies are positive and within a plausible 90 nm envelope.
+        for (name, e) in [
+            ("core_active", m.core_active),
+            ("im", m.im_access),
+            ("dm", m.dm_access),
+            ("ixbar", m.ixbar_transfer),
+            ("dxbar", m.dxbar_transfer),
+            ("sync", m.sync_batch),
+            ("clock_root", m.clock_root),
+        ] {
+            assert!(e > 0.0 && e < 500.0, "{name} = {e} pJ");
+        }
+        assert!(m.core_gated < m.core_active);
+        assert!(m.core_sleep < m.core_gated);
+        // The ISE costs a little extra, as the paper reports.
+        assert!(m.ise_factor > 1.0 && m.ise_factor < 2.0, "{}", m.ise_factor);
+    }
+
+    #[test]
+    fn calibration_is_exact_for_the_fitted_column() {
+        let baseline = Activity::synthetic(2.0, 1.0, 0.15, false);
+        let with = Activity::synthetic(3.5, 0.3, 0.16, true);
+        let t = Table1Targets::paper();
+        let m = EnergyModel::calibrate(&baseline, &with, &t);
+        const W: f64 = 8.0;
+        let p_im = m.im_access * baseline.im_accesses * W * 1e-3;
+        assert!((p_im - t.im).abs() < 1e-9);
+        let p_dm = m.dm_access * baseline.dm_accesses * W * 1e-3;
+        assert!((p_dm - t.dm).abs() < 1e-9);
+        let p_cores = (m.core_active * baseline.core_active
+            + m.core_gated * baseline.core_gated
+            + m.core_sleep * baseline.core_sleep)
+            * W
+            * 1e-3;
+        assert!((p_cores - t.cores).abs() < 1e-9);
+        let f = W / baseline.ops_per_cycle;
+        let p_clk = m.clock_root * f * 1e-3 + m.clock_leaf * baseline.core_active * W * 1e-3;
+        assert!((p_clk - t.clock).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "designs swapped")]
+    fn calibrate_checks_design_order() {
+        let a = Activity::synthetic(2.0, 1.0, 0.15, true);
+        let b = Activity::synthetic(3.5, 0.3, 0.16, false);
+        let _ = EnergyModel::calibrate(&a, &b, &Table1Targets::paper());
+    }
+}

@@ -1,0 +1,44 @@
+//! # ulp-power — event-energy power model with voltage scaling
+//!
+//! Reproduces the power-evaluation flow of Section V of Dogan et al.
+//! (DATE 2013). The authors obtain per-component dynamic power from gate-
+//! level simulation of a routed 90 nm netlist; this crate plays the same
+//! role for the cycle-level simulator: per-component **event energies**
+//! (pJ per bank access, per crossbar transfer, per core cycle, …) are
+//! multiplied by the **activity** measured by `ulp-platform` and by the
+//! operating point (voltage, frequency, workload).
+//!
+//! * [`Activity`] — the per-operation event vector extracted from a
+//!   simulation run;
+//! * [`EnergyModel`] — the event-energy constants, calibrated once against
+//!   the *without-synchronizer* column of the paper's Table I
+//!   ([`EnergyModel::calibrate`]); the improved design's power is then a
+//!   prediction, not a fit;
+//! * [`VoltageModel`] — alpha-power-law frequency/voltage scaling down to
+//!   the threshold-voltage floor, with the paper's `P ∝ V²` rule;
+//! * [`PowerModel`] — ties them together: Table I breakdowns
+//!   ([`PowerModel::breakdown`]) and the voltage-scaled power-versus-
+//!   workload curves of Fig. 3 ([`PowerModel::fig3_series`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use ulp_power::{Activity, PowerModel};
+//!
+//! let model = PowerModel::calibrated_default();
+//! // A hypothetical design achieving 2 ops/cycle with one IM access/op.
+//! let act = Activity::synthetic(2.0, 1.0, 0.15, false);
+//! let point = model.power_at_workload(&act, 8.0).expect("feasible");
+//! assert!(point.total_mw > 0.0);
+//! assert!(point.voltage <= 1.2);
+//! ```
+
+mod activity;
+mod energy;
+mod model;
+mod voltage;
+
+pub use activity::Activity;
+pub use energy::{EnergyModel, Table1Targets};
+pub use model::{Fig3Point, PowerBreakdown, PowerModel, PowerPoint};
+pub use voltage::VoltageModel;

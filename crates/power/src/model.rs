@@ -1,0 +1,326 @@
+//! The assembled power model: component breakdowns and Fig. 3 curves.
+
+use crate::activity::Activity;
+use crate::energy::EnergyModel;
+use crate::voltage::VoltageModel;
+use std::fmt;
+
+/// Per-component dynamic power in milliwatts (one column of Table I).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PowerBreakdown {
+    /// The processing cores.
+    pub cores: f64,
+    /// Instruction memory banks.
+    pub im: f64,
+    /// Data memory banks.
+    pub dm: f64,
+    /// Data crossbar.
+    pub dxbar: f64,
+    /// Instruction crossbar.
+    pub ixbar: f64,
+    /// Hardware synchronizer (zero on the baseline design).
+    pub synchronizer: f64,
+    /// Clock tree.
+    pub clock: f64,
+}
+
+impl PowerBreakdown {
+    /// Total dynamic power in mW.
+    pub fn total(&self) -> f64 {
+        self.cores + self.im + self.dm + self.dxbar + self.ixbar + self.synchronizer + self.clock
+    }
+}
+
+impl fmt::Display for PowerBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "total {:.3} mW (cores {:.3}, IM {:.3}, DM {:.3}, D-Xbar {:.3}, I-Xbar {:.3}, sync {:.3}, clock {:.3})",
+            self.total(),
+            self.cores,
+            self.im,
+            self.dm,
+            self.dxbar,
+            self.ixbar,
+            self.synchronizer,
+            self.clock
+        )
+    }
+}
+
+/// An operating point on the voltage-scaled power curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerPoint {
+    /// Workload in MOps/s.
+    pub w_mops: f64,
+    /// Required clock frequency in MHz.
+    pub f_mhz: f64,
+    /// Minimum feasible supply voltage in V.
+    pub voltage: f64,
+    /// Total dynamic power in mW at that voltage.
+    pub total_mw: f64,
+    /// Per-component breakdown at that voltage.
+    pub breakdown: PowerBreakdown,
+}
+
+impl PowerPoint {
+    /// Energy per useful operation at this operating point, in nanojoules
+    /// (`mW / MOps/s` is exactly `nJ/op`).
+    pub fn energy_per_op_nj(&self) -> f64 {
+        if self.w_mops <= 0.0 {
+            return 0.0;
+        }
+        self.total_mw / self.w_mops
+    }
+}
+
+/// One sample of a Fig. 3 power-versus-workload series.
+pub type Fig3Point = PowerPoint;
+
+/// Event-energy power model with voltage scaling — the evaluation flow of
+/// Section V of the paper.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerModel {
+    /// Event energies at nominal voltage.
+    pub energy: EnergyModel,
+    /// Frequency/voltage scaling.
+    pub voltage: VoltageModel,
+}
+
+impl PowerModel {
+    /// Builds a model from its parts.
+    pub fn new(energy: EnergyModel, voltage: VoltageModel) -> PowerModel {
+        PowerModel { energy, voltage }
+    }
+
+    /// The representative pre-calibrated model (see
+    /// [`EnergyModel::calibrated_90nm`]).
+    pub fn calibrated_default() -> PowerModel {
+        PowerModel::new(EnergyModel::calibrated_90nm(), VoltageModel::default())
+    }
+
+    /// Per-component dynamic power of a design running workload `w_mops`
+    /// at supply voltage `v` (Table I evaluates 8 MOps/s at 1.2 V).
+    pub fn breakdown(&self, act: &Activity, w_mops: f64, v: f64) -> PowerBreakdown {
+        let e = &self.energy;
+        let scale = self.voltage.power_scale(v);
+        let per = |energy_pj: f64, events_per_op: f64| energy_pj * events_per_op * w_mops * 1e-3;
+        let ise = if act.has_sync { e.ise_factor } else { 1.0 };
+        let f_mhz = w_mops / act.ops_per_cycle;
+        PowerBreakdown {
+            cores: ise
+                * (per(e.core_active, act.core_active)
+                    + per(e.core_gated, act.core_gated)
+                    + per(e.core_sleep, act.core_sleep)),
+            im: per(e.im_access, act.im_accesses),
+            dm: per(e.dm_access, act.dm_accesses),
+            dxbar: per(e.dxbar_transfer, act.dxbar_transfers),
+            ixbar: per(e.ixbar_transfer, act.ixbar_transfers),
+            synchronizer: per(e.sync_batch, act.sync_batches),
+            clock: e.clock_root * f_mhz * 1e-3 + per(e.clock_leaf, act.core_active),
+        }
+        .scaled(scale)
+    }
+
+    /// Highest workload the design sustains at nominal voltage, in MOps/s
+    /// (the right end of its Fig. 3 curve).
+    pub fn max_workload(&self, act: &Activity) -> f64 {
+        act.ops_per_cycle * self.voltage.f_nom_mhz
+    }
+
+    /// Power at workload `w_mops` with the supply scaled down to the
+    /// minimum feasible voltage, or `None` if the workload exceeds
+    /// [`PowerModel::max_workload`].
+    pub fn power_at_workload(&self, act: &Activity, w_mops: f64) -> Option<PowerPoint> {
+        let f_mhz = w_mops / act.ops_per_cycle;
+        let voltage = self.voltage.v_for_frequency(f_mhz)?;
+        let breakdown = self.breakdown(act, w_mops, voltage);
+        Some(PowerPoint {
+            w_mops,
+            f_mhz,
+            voltage,
+            total_mw: breakdown.total(),
+            breakdown,
+        })
+    }
+
+    /// The voltage-scaled power-versus-workload series of one Fig. 3
+    /// curve: `points` log-spaced workloads from `w_min` MOps/s up to the
+    /// design's maximum.
+    pub fn fig3_series(&self, act: &Activity, w_min: f64, points: usize) -> Vec<Fig3Point> {
+        assert!(points >= 2, "need at least two points");
+        let w_max = self.max_workload(act);
+        let ratio = (w_max / w_min).powf(1.0 / (points - 1) as f64);
+        (0..points)
+            .map(|i| {
+                let w = (w_min * ratio.powi(i as i32)).min(w_max);
+                self.power_at_workload(act, w)
+                    .expect("within feasible range")
+            })
+            .collect()
+    }
+
+    /// The workload at the voltage-floor knee, in MOps/s: below it the
+    /// supply sits at `v_min` and energy per operation is constant (the
+    /// design's minimum); above it the required voltage rises and every
+    /// operation gets more expensive.
+    pub fn knee_workload(&self, act: &Activity) -> f64 {
+        act.ops_per_cycle * self.voltage.f_max(self.voltage.v_min)
+    }
+
+    /// Minimum achievable energy per operation (nJ), reached anywhere at
+    /// or below the voltage-floor knee.
+    pub fn min_energy_per_op_nj(&self, act: &Activity) -> f64 {
+        let w = self.knee_workload(act).min(self.max_workload(act));
+        self.power_at_workload(act, w)
+            .expect("knee is feasible")
+            .energy_per_op_nj()
+    }
+
+    /// Relative power saving of `improved` over `baseline` at workload
+    /// `w_mops` with voltage scaling, or `None` if either design cannot
+    /// sustain the workload.
+    pub fn saving_at(&self, improved: &Activity, baseline: &Activity, w_mops: f64) -> Option<f64> {
+        let a = self.power_at_workload(improved, w_mops)?;
+        let b = self.power_at_workload(baseline, w_mops)?;
+        Some(1.0 - a.total_mw / b.total_mw)
+    }
+}
+
+impl PowerBreakdown {
+    fn scaled(self, k: f64) -> PowerBreakdown {
+        PowerBreakdown {
+            cores: self.cores * k,
+            im: self.im * k,
+            dm: self.dm * k,
+            dxbar: self.dxbar * k,
+            ixbar: self.ixbar * k,
+            synchronizer: self.synchronizer * k,
+            clock: self.clock * k,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn designs() -> (Activity, Activity) {
+        // baseline, improved — shaped like the measured benchmarks.
+        (
+            Activity::synthetic(2.2, 0.45, 0.13, false),
+            Activity::synthetic(3.4, 0.23, 0.14, true),
+        )
+    }
+
+    #[test]
+    fn breakdown_total_sums_components() {
+        let (base, _) = designs();
+        let m = PowerModel::calibrated_default();
+        let b = m.breakdown(&base, 8.0, 1.2);
+        let sum =
+            b.cores + b.im + b.dm + b.dxbar + b.ixbar + b.synchronizer + b.clock;
+        assert!((b.total() - sum).abs() < 1e-12);
+        assert_eq!(b.synchronizer, 0.0, "no synchronizer on the baseline");
+    }
+
+    #[test]
+    fn power_is_linear_in_workload_at_fixed_voltage() {
+        let (base, _) = designs();
+        let m = PowerModel::calibrated_default();
+        let p1 = m.breakdown(&base, 4.0, 1.2).total();
+        let p2 = m.breakdown(&base, 8.0, 1.2).total();
+        assert!((p2 / p1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn voltage_scaling_reduces_power_superlinearly() {
+        let (_, imp) = designs();
+        let m = PowerModel::calibrated_default();
+        let high = m.power_at_workload(&imp, 100.0).unwrap();
+        let low = m.power_at_workload(&imp, 10.0).unwrap();
+        assert!(low.voltage < high.voltage);
+        // Ten times less work needs far less than a tenth of the power
+        // once the voltage drops (until the V_min floor).
+        assert!(low.total_mw < high.total_mw / 10.0);
+    }
+
+    #[test]
+    fn improved_design_saves_power_and_extends_range() {
+        let (base, imp) = designs();
+        let m = PowerModel::calibrated_default();
+        assert!(m.max_workload(&imp) > m.max_workload(&base));
+
+        // At the baseline's maximum workload the improved design runs at a
+        // lower voltage and saves substantially (the paper's headline
+        // effect: up to 64 % for MRPFLTR at 89 MOps/s).
+        let w = m.max_workload(&base);
+        let saving = m.saving_at(&imp, &base, w).unwrap();
+        assert!(saving > 0.3, "saving {saving:.2}");
+        assert!(saving < 0.8, "saving {saving:.2}");
+        assert!(m.saving_at(&imp, &base, w * 1.01).is_none(), "baseline infeasible");
+    }
+
+    #[test]
+    fn fig3_series_is_monotonic_and_ends_at_max() {
+        let (_, imp) = designs();
+        let m = PowerModel::calibrated_default();
+        let series = m.fig3_series(&imp, 1.0, 24);
+        assert_eq!(series.len(), 24);
+        for pair in series.windows(2) {
+            assert!(pair[1].w_mops >= pair[0].w_mops);
+            assert!(pair[1].total_mw > pair[0].total_mw, "power grows with work");
+        }
+        let last = series.last().unwrap();
+        assert!((last.w_mops - m.max_workload(&imp)).abs() < 1e-6);
+        assert!((last.voltage - 1.2).abs() < 1e-9, "ends at nominal voltage");
+    }
+
+    #[test]
+    fn table1_shape_reproduced() {
+        // With measured-like activities, the full Table I comparison has
+        // the paper's shape: lower total, much lower IM, slightly higher
+        // cores and DM on the improved design.
+        let (base, imp) = designs();
+        let m = PowerModel::calibrated_default();
+        let b = m.breakdown(&base, 8.0, 1.2);
+        let i = m.breakdown(&imp, 8.0, 1.2);
+        assert!(i.total() < b.total());
+        assert!(i.im < 0.6 * b.im, "IM power cut: {} vs {}", i.im, b.im);
+        assert!(i.cores > b.cores, "ISE overhead visible");
+        assert!(i.clock < b.clock, "lower frequency for equal work");
+        assert!(i.synchronizer > 0.0 && i.synchronizer < 0.05 * i.total());
+    }
+
+    #[test]
+    fn energy_per_op_is_flat_below_the_knee_and_grows_above() {
+        let (_, imp) = designs();
+        let m = PowerModel::calibrated_default();
+        let knee = m.knee_workload(&imp);
+        let e_low = m.power_at_workload(&imp, knee * 0.2).unwrap().energy_per_op_nj();
+        let e_knee = m.power_at_workload(&imp, knee * 0.99).unwrap().energy_per_op_nj();
+        let e_high = m
+            .power_at_workload(&imp, (knee * 10.0).min(m.max_workload(&imp)))
+            .unwrap()
+            .energy_per_op_nj();
+        assert!((e_low - e_knee).abs() / e_knee < 1e-6, "flat below knee");
+        assert!(e_high > 1.5 * e_knee, "voltage makes ops pricier above");
+        assert!((m.min_energy_per_op_nj(&imp) - e_knee).abs() / e_knee < 1e-6);
+    }
+
+    #[test]
+    fn improved_design_has_lower_minimum_energy() {
+        let (base, imp) = designs();
+        let m = PowerModel::calibrated_default();
+        assert!(m.min_energy_per_op_nj(&imp) < m.min_energy_per_op_nj(&base));
+    }
+
+    #[test]
+    fn display_formats_breakdown() {
+        let (base, _) = designs();
+        let m = PowerModel::calibrated_default();
+        let text = m.breakdown(&base, 8.0, 1.2).to_string();
+        assert!(text.starts_with("total "));
+        assert!(text.contains("IM"));
+    }
+}

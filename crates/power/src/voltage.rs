@@ -1,0 +1,143 @@
+//! Voltage/frequency scaling: alpha-power-law delay model with the paper's
+//! square-law power rule.
+//!
+//! The paper computes power at scaled voltages "considering that the power
+//! decreases with the square of the supply voltage", and limits scaling
+//! "to the transistor threshold voltage level" (Section V-A). The missing
+//! piece — how much frequency a given voltage supports — is filled with
+//! the standard alpha-power law:
+//!
+//! ```text
+//! f_max(V) = f_nom · ((V − V_t) / (V_nom − V_t))^α
+//! ```
+
+use ulp_isa::arch;
+
+/// Frequency/voltage model of the 90 nm low-leakage process.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VoltageModel {
+    /// Nominal supply voltage (V).
+    pub v_nom: f64,
+    /// Transistor threshold voltage (V).
+    pub v_t: f64,
+    /// Velocity-saturation exponent of the alpha-power law.
+    pub alpha: f64,
+    /// Lowest permitted supply (the paper stops at the threshold level;
+    /// slightly above `v_t` to keep `f_max` finite).
+    pub v_min: f64,
+    /// Clock frequency at `v_nom` in MHz (12 ns relaxed period).
+    pub f_nom_mhz: f64,
+}
+
+impl Default for VoltageModel {
+    fn default() -> Self {
+        VoltageModel {
+            v_nom: arch::V_NOM,
+            v_t: 0.45,
+            alpha: 1.5,
+            v_min: 0.5,
+            f_nom_mhz: arch::F_NOM_MHZ,
+        }
+    }
+}
+
+impl VoltageModel {
+    /// Maximum clock frequency at supply `v`, in MHz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not above the threshold voltage.
+    pub fn f_max(&self, v: f64) -> f64 {
+        assert!(v > self.v_t, "supply {v} V not above threshold {} V", self.v_t);
+        self.f_nom_mhz * ((v - self.v_t) / (self.v_nom - self.v_t)).powf(self.alpha)
+    }
+
+    /// The lowest supply voltage at which frequency `f_mhz` is met, or
+    /// `None` if it exceeds `f_max(v_nom)`.
+    ///
+    /// The result is floored at `v_min` — below that the paper does not
+    /// scale further (sub-threshold variability, Section I).
+    pub fn v_for_frequency(&self, f_mhz: f64) -> Option<f64> {
+        if f_mhz > self.f_nom_mhz * (1.0 + 1e-9) {
+            return None;
+        }
+        if f_mhz <= 0.0 {
+            return Some(self.v_min);
+        }
+        let v = self.v_t
+            + (self.v_nom - self.v_t) * (f_mhz / self.f_nom_mhz).powf(1.0 / self.alpha);
+        Some(v.clamp(self.v_min, self.v_nom))
+    }
+
+    /// The paper's square-law dynamic-power scaling factor `(V/V_nom)²`.
+    pub fn power_scale(&self, v: f64) -> f64 {
+        (v / self.v_nom).powi(2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_point() {
+        let m = VoltageModel::default();
+        assert!((m.f_max(m.v_nom) - m.f_nom_mhz).abs() < 1e-9);
+        assert!((m.power_scale(m.v_nom) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f_max_is_monotonic() {
+        let m = VoltageModel::default();
+        let mut last = 0.0;
+        for i in 0..20 {
+            let v = 0.5 + i as f64 * 0.035;
+            let f = m.f_max(v);
+            assert!(f > last, "f_max must grow with V");
+            last = f;
+        }
+    }
+
+    #[test]
+    fn v_for_frequency_inverts_f_max() {
+        let m = VoltageModel::default();
+        for f in [1.0, 5.0, 20.0, 50.0, 83.0] {
+            let v = m.v_for_frequency(f).unwrap();
+            if v > m.v_min {
+                assert!(
+                    (m.f_max(v) - f).abs() / f < 1e-9,
+                    "inverse at {f} MHz: v={v}, f_max={}",
+                    m.f_max(v)
+                );
+            } else {
+                assert!(m.f_max(m.v_min) >= f);
+            }
+        }
+    }
+
+    #[test]
+    fn infeasible_frequency_rejected() {
+        let m = VoltageModel::default();
+        assert!(m.v_for_frequency(100.0).is_none());
+        assert!(m.v_for_frequency(83.333).is_some());
+    }
+
+    #[test]
+    fn low_frequencies_hit_the_floor() {
+        let m = VoltageModel::default();
+        assert_eq!(m.v_for_frequency(0.01).unwrap(), m.v_min);
+        assert_eq!(m.v_for_frequency(0.0).unwrap(), m.v_min);
+    }
+
+    #[test]
+    fn square_law() {
+        let m = VoltageModel::default();
+        assert!((m.power_scale(0.6) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "not above threshold")]
+    fn below_threshold_panics() {
+        let _ = VoltageModel::default().f_max(0.4);
+    }
+}

@@ -1,0 +1,148 @@
+//! Property-based tests: the synchronizer's bookkeeping under randomized
+//! arrival orders.
+
+use crate::{sync_word, SyncEvents, Synchronizer};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use ulp_cpu::{SyncKind, SyncRequest};
+use ulp_mem::{BankMapping, BankedMemory};
+
+const WORD: u16 = 64;
+
+fn req(core: usize, kind: SyncKind) -> (usize, SyncRequest) {
+    (
+        core,
+        SyncRequest {
+            index: 0,
+            word_addr: WORD,
+            kind,
+        },
+    )
+}
+
+/// Drives the synchronizer until idle, collecting all events; cores whose
+/// requests were not yet accepted retry every cycle, as they do on the
+/// platform.
+fn drive(
+    sync: &mut Synchronizer,
+    dm: &mut BankedMemory,
+    mut waiting: Vec<(usize, SyncRequest)>,
+) -> Vec<SyncEvents> {
+    let mut events = Vec::new();
+    for _ in 0..200 {
+        let ev = sync.step(&waiting, dm);
+        waiting.retain(|(core, _)| !ev.accepted.contains(core));
+        events.push(ev);
+        if waiting.is_empty() && !sync.is_busy() {
+            break;
+        }
+    }
+    assert!(waiting.is_empty(), "requests starved");
+    assert!(!sync.is_busy(), "synchronizer stuck busy");
+    events
+}
+
+/// A random partition of the 8 cores into ordered non-empty arrival waves.
+fn waves() -> impl Strategy<Value = Vec<Vec<usize>>> {
+    prop::collection::vec(0usize..4, 8).prop_map(|wave_of| {
+        let mut waves: Vec<Vec<usize>> = vec![Vec::new(); 4];
+        for (core, w) in wave_of.into_iter().enumerate() {
+            waves[w].push(core);
+        }
+        waves.into_iter().filter(|w| !w.is_empty()).collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// However the eight cores arrive at a barrier — any partition into
+    /// check-in waves, any partition into check-out waves — the barrier
+    /// releases exactly once, wakes exactly the sleepers, and leaves the
+    /// sync word zero.
+    #[test]
+    fn barrier_invariants_hold_for_any_arrival_order(
+        in_waves in waves(),
+        out_waves in waves(),
+    ) {
+        let mut dm = BankedMemory::new(1024, 4, BankMapping::Blocked);
+        let mut sync = Synchronizer::new();
+
+        // Check-in phase, wave by wave.
+        for wave in &in_waves {
+            let reqs: Vec<_> = wave.iter().map(|&c| req(c, SyncKind::CheckIn)).collect();
+            let events = drive(&mut sync, &mut dm, reqs);
+            // No check-in ever sleeps or wakes anyone.
+            for ev in &events {
+                prop_assert!(ev.wake.is_empty());
+                prop_assert!(ev.completed.iter().all(|(_, sleep)| !sleep));
+            }
+        }
+        prop_assert_eq!(sync_word::counter(dm.peek(WORD)), 8);
+        prop_assert_eq!(sync_word::flags(dm.peek(WORD)), 0xFF);
+
+        // Check-out phase.
+        let mut slept: BTreeSet<usize> = BTreeSet::new();
+        let mut woken: BTreeSet<usize> = BTreeSet::new();
+        let mut releases = 0;
+        let total_waves = out_waves.len();
+        for (i, wave) in out_waves.iter().enumerate() {
+            let reqs: Vec<_> = wave.iter().map(|&c| req(c, SyncKind::CheckOut)).collect();
+            let events = drive(&mut sync, &mut dm, reqs);
+            let last_wave = i + 1 == total_waves;
+            for ev in &events {
+                for (core, sleep) in &ev.completed {
+                    if *sleep {
+                        slept.insert(*core);
+                    }
+                }
+                if !ev.wake.is_empty() {
+                    releases += 1;
+                    woken.extend(ev.wake.iter().copied());
+                }
+            }
+            if !last_wave {
+                prop_assert!(woken.is_empty(), "woke before the last wave");
+            }
+        }
+        prop_assert_eq!(releases, 1, "exactly one barrier release");
+        prop_assert_eq!(dm.peek(WORD), 0, "sync word cleared");
+        // Everyone who slept was woken; nobody else was.
+        prop_assert_eq!(&woken, &slept);
+        // The last arrivals never slept.
+        let last_wave: BTreeSet<usize> =
+            out_waves.last().expect("non-empty").iter().copied().collect();
+        prop_assert!(slept.is_disjoint(&last_wave) ||
+                     // ...unless the last wave itself split into serialized
+                     // batches whose earlier members had to sleep. Those
+                     // must then appear in `woken`, which equals `slept`.
+                     !slept.is_empty());
+        // Bookkeeping totals.
+        let stats = sync.stats();
+        prop_assert_eq!(stats.checkin_requests, 8);
+        prop_assert_eq!(stats.checkout_requests, 8);
+        prop_assert_eq!(stats.underflows, 0);
+        prop_assert_eq!(stats.releases, 1);
+        prop_assert_eq!(stats.wakeups as usize, slept.len());
+        // Every accepted batch costs exactly two busy cycles.
+        prop_assert_eq!(stats.busy_cycles, 2 * stats.batches);
+    }
+
+    /// The DM traffic of a barrier is exactly one read plus one write per
+    /// merged batch, regardless of arrival order.
+    #[test]
+    fn dm_traffic_is_two_accesses_per_batch(in_waves in waves()) {
+        let mut dm = BankedMemory::new(1024, 4, BankMapping::Blocked);
+        let mut sync = Synchronizer::new();
+        for wave in &in_waves {
+            let reqs: Vec<_> = wave.iter().map(|&c| req(c, SyncKind::CheckIn)).collect();
+            drive(&mut sync, &mut dm, reqs);
+        }
+        let stats = sync.stats();
+        prop_assert_eq!(dm.stats().bank_reads, stats.batches);
+        prop_assert_eq!(dm.stats().bank_writes, stats.batches);
+        // Merging bounds: at least one batch per wave, at most one per core.
+        prop_assert!(stats.batches >= in_waves.len() as u64);
+        prop_assert!(stats.batches <= 8);
+    }
+}

@@ -1,0 +1,77 @@
+//! An end-to-end multi-channel ECG analysis pipeline on the simulated
+//! platform: morphological conditioning (MRPFLTR) followed by delineation
+//! (MRPDLN), validated bit-exactly against the golden models and scored
+//! against the generator's ground-truth R peaks.
+//!
+//! ```sh
+//! cargo run --release --example ecg_pipeline
+//! ```
+
+use ulp_lockstep::biosignal::metrics::{detections_from_mark_words, score_detections};
+use ulp_lockstep::biosignal::{self, DelineationConfig, EcgConfig};
+use ulp_lockstep::kernels::{run_benchmark, Benchmark, WorkloadConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = WorkloadConfig {
+        n: 256,
+        ecg: EcgConfig {
+            noise_rms: 15.0,
+            ..EcgConfig::default()
+        },
+        delineation: DelineationConfig {
+            threshold: 250,
+            ..DelineationConfig::default()
+        },
+        ..WorkloadConfig::paper()
+    };
+
+    // ---- stage 1: conditioning on the platform ------------------------
+    let fltr = run_benchmark(Benchmark::Mrpfltr, true, &cfg)?;
+    fltr.verify()?;
+    println!(
+        "MRPFLTR: 8 channels x {} samples in {} cycles ({:.2} ops/cycle), outputs bit-exact",
+        cfg.n,
+        fltr.stats.cycles,
+        fltr.stats.ops_per_cycle()
+    );
+
+    // ---- stage 2: delineation on the platform -------------------------
+    let dln = run_benchmark(Benchmark::Mrpdln, true, &cfg)?;
+    dln.verify()?;
+    println!(
+        "MRPDLN : 8 channels x {} samples in {} cycles ({:.2} ops/cycle), outputs bit-exact",
+        cfg.n,
+        dln.stats.cycles,
+        dln.stats.ops_per_cycle()
+    );
+
+    // ---- score the detected peaks against the generator's ground truth
+    let channels = biosignal::generate_channels(&cfg.ecg, 8, cfg.n);
+    println!();
+    println!("channel | true R | detected | sens. |  +pred. | loc.err (samples)");
+    let mut total_true = 0;
+    let mut total_tp = 0;
+    for (ch, sig) in channels.iter().enumerate() {
+        let detections = detections_from_mark_words(&dln.outputs[ch]);
+        let score = score_detections(&sig.r_peaks, &detections, 3);
+        total_true += sig.r_peaks.len();
+        total_tp += score.true_positives;
+        println!(
+            "{ch:>7} | {:>6} | {:>8} | {:>4.0}% | {:>6.0}% | {:>7.2}",
+            sig.r_peaks.len(),
+            detections.len(),
+            score.sensitivity() * 100.0,
+            score.positive_predictivity() * 100.0,
+            score.mean_abs_error,
+        );
+    }
+    println!();
+    println!(
+        "overall sensitivity: {total_tp}/{total_true} ground-truth R peaks found on the platform"
+    );
+    assert!(
+        total_tp * 10 >= total_true * 8,
+        "delineator should find at least 80 % of the R peaks"
+    );
+    Ok(())
+}

@@ -1,0 +1,73 @@
+//! Quickstart: assemble an SPMD program, run it on both platform designs
+//! and compare their behaviour.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! The program is the paper's Listing-1 pattern: every core repeatedly
+//! enters a data-dependent section (a loop whose trip count depends on its
+//! own data), so the cores drift apart on the baseline design and
+//! resynchronize at every check-out on the improved one.
+
+use ulp_lockstep::isa::asm::assemble;
+use ulp_lockstep::platform::{Platform, PlatformConfig};
+
+const PROGRAM: &str = "
+        rdid r1            ; who am I?
+        mov  r2, r1
+        shl  r2, #11       ; private DM bank base
+        li   r3, 18432     ; sync array (bank 9)
+        wrsync r3
+        mov  r4, r1        ; rolling per-core value
+        movi r6, #32       ; iterations
+loop:   sinc #0            ; -- check-in (Listing 1) ------------------
+        add  r4, r1
+        addi r4, #3
+        mov  r5, r4
+        movi r0, #7
+        and  r5, r0        ; n = value & 7 : data-dependent trip count
+        inc  r5
+spin:   addi r5, #-1
+        bne  spin
+        sdec #0            ; -- check-out: sleep until everyone is out -
+        addi r6, #-1
+        bne  loop
+        movi r5, #42
+        st   r5, [r2]      ; result into my own bank
+        halt";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let program = assemble(PROGRAM)?;
+
+    println!("design          cycles  ops/cycle  IM accesses  lockstep width");
+    for with_sync in [false, true] {
+        let mut platform = Platform::new(PlatformConfig::paper(with_sync))?;
+        platform.load_program(&program);
+        platform.run()?;
+        let stats = platform.stats();
+
+        // Every core finished and produced its result.
+        for core in 0..platform.num_cores() as u16 {
+            assert_eq!(platform.dm(core * 2048), 42);
+        }
+
+        println!(
+            "{:<14} {:>7}  {:>9.2}  {:>11}  {:>14.2}",
+            if with_sync {
+                "with sync"
+            } else {
+                "baseline"
+            },
+            stats.cycles,
+            stats.ops_per_cycle(),
+            stats.im.total_accesses(),
+            stats.avg_lockstep_width(),
+        );
+    }
+    println!();
+    println!("The improved design finishes the same work in fewer cycles and");
+    println!("with far fewer physical instruction-memory accesses, because");
+    println!("lockstep cores share one broadcast fetch (Dogan et al., DATE'13).");
+    Ok(())
+}

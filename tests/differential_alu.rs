@@ -1,0 +1,141 @@
+//! Differential testing of the ALU semantics against closed-form wide
+//! arithmetic, sampled densely across the 16-bit space.
+
+use ulp_lockstep::cpu::{alu_exec, shift_exec, unary_exec};
+use ulp_lockstep::isa::{AluOp, Flags, ShiftKind, UnaryOp};
+
+const F0: Flags = Flags {
+    z: false,
+    n: false,
+    c: false,
+    v: false,
+};
+
+/// A spread of interesting and pseudo-random 16-bit values.
+fn samples() -> Vec<u16> {
+    let mut v = vec![
+        0, 1, 2, 0x7FFE, 0x7FFF, 0x8000, 0x8001, 0xFFFE, 0xFFFF, 0x00FF, 0xFF00, 0x5555, 0xAAAA,
+    ];
+    let mut x = 0x1234u16;
+    for _ in 0..120 {
+        // xorshift-ish deterministic spread
+        x ^= x << 7;
+        x ^= x >> 9;
+        x = x.wrapping_mul(0x2545);
+        v.push(x);
+    }
+    v
+}
+
+#[test]
+fn add_sub_match_wide_arithmetic() {
+    for &a in &samples() {
+        for &b in &samples() {
+            let add = alu_exec(AluOp::Add, a, b, F0);
+            let wide = a as u32 + b as u32;
+            assert_eq!(add.value, wide as u16, "ADD {a:#x} {b:#x}");
+            assert_eq!(add.flags.c, wide > 0xFFFF, "ADD carry {a:#x} {b:#x}");
+            let signed = a as i16 as i32 + b as i16 as i32;
+            assert_eq!(
+                add.flags.v,
+                signed < i16::MIN as i32 || signed > i16::MAX as i32,
+                "ADD overflow {a:#x} {b:#x}"
+            );
+            assert_eq!(add.flags.z, add.value == 0);
+            assert_eq!(add.flags.n, add.value & 0x8000 != 0);
+
+            let sub = alu_exec(AluOp::Sub, a, b, F0);
+            assert_eq!(sub.value, a.wrapping_sub(b), "SUB {a:#x} {b:#x}");
+            assert_eq!(sub.flags.c, a >= b, "SUB not-borrow {a:#x} {b:#x}");
+            let signed = a as i16 as i32 - b as i16 as i32;
+            assert_eq!(
+                sub.flags.v,
+                signed < i16::MIN as i32 || signed > i16::MAX as i32,
+                "SUB overflow {a:#x} {b:#x}"
+            );
+        }
+    }
+}
+
+#[test]
+fn adc_sbc_implement_exact_32bit_chains() {
+    // Every sampled pair, assembled as 32-bit halves, must add/subtract
+    // exactly through the carry chain.
+    for &lo_a in &samples()[..40] {
+        for &hi_a in &[0u16, 1, 0x7FFF, 0xFFFF] {
+            for &lo_b in &samples()[..40] {
+                let hi_b = lo_b.rotate_left(3);
+                let a32 = (hi_a as u32) << 16 | lo_a as u32;
+                let b32 = (hi_b as u32) << 16 | lo_b as u32;
+
+                let lo = alu_exec(AluOp::Add, lo_a, lo_b, F0);
+                let hi = alu_exec(AluOp::Adc, hi_a, hi_b, lo.flags);
+                let got = (hi.value as u32) << 16 | lo.value as u32;
+                assert_eq!(got, a32.wrapping_add(b32), "ADD32 {a32:#x}+{b32:#x}");
+
+                let lo = alu_exec(AluOp::Sub, lo_a, lo_b, F0);
+                let hi = alu_exec(AluOp::Sbc, hi_a, hi_b, lo.flags);
+                let got = (hi.value as u32) << 16 | lo.value as u32;
+                assert_eq!(got, a32.wrapping_sub(b32), "SUB32 {a32:#x}-{b32:#x}");
+            }
+        }
+    }
+}
+
+#[test]
+fn mul_mulh_form_exact_signed_product() {
+    for &a in &samples() {
+        for &b in &samples()[..40] {
+            let lo = alu_exec(AluOp::Mul, a, b, F0).value;
+            let hi = alu_exec(AluOp::Mulh, a, b, F0).value;
+            let got = ((hi as u32) << 16 | lo as u32) as i32;
+            let want = (a as i16 as i32).wrapping_mul(b as i16 as i32);
+            assert_eq!(got, want, "MUL/MULH {:#x} {:#x}", a, b);
+        }
+    }
+}
+
+#[test]
+fn shifts_match_native_semantics() {
+    for &a in &samples() {
+        for amount in 1u8..=15 {
+            assert_eq!(
+                shift_exec(ShiftKind::Shl, a, amount, F0).value,
+                a << amount
+            );
+            assert_eq!(
+                shift_exec(ShiftKind::Shr, a, amount, F0).value,
+                a >> amount
+            );
+            assert_eq!(
+                shift_exec(ShiftKind::Asr, a, amount, F0).value,
+                ((a as i16) >> amount) as u16
+            );
+            assert_eq!(
+                shift_exec(ShiftKind::Ror, a, amount, F0).value,
+                a.rotate_right(amount as u32)
+            );
+        }
+    }
+}
+
+#[test]
+fn unaries_match_native_semantics() {
+    for &a in &samples() {
+        assert_eq!(unary_exec(UnaryOp::Not, a, F0).value, !a);
+        assert_eq!(
+            unary_exec(UnaryOp::Neg, a, F0).value,
+            (a as i16).wrapping_neg() as u16
+        );
+        assert_eq!(
+            unary_exec(UnaryOp::Sxtb, a, F0).value,
+            (a as u8 as i8) as i16 as u16
+        );
+        assert_eq!(unary_exec(UnaryOp::Zxtb, a, F0).value, a & 0xFF);
+        assert_eq!(unary_exec(UnaryOp::Swpb, a, F0).value, a.rotate_right(8));
+        assert_eq!(
+            unary_exec(UnaryOp::Abs, a, F0).value,
+            (a as i16).wrapping_abs() as u16
+        );
+    }
+}

@@ -1,0 +1,142 @@
+//! Cross-crate integration tests: the paper's qualitative claims asserted
+//! end to end at realistic signal lengths.
+
+use ulp_lockstep::kernels::{run_benchmark, Benchmark, WorkloadConfig};
+use ulp_lockstep::power::{Activity, PowerModel};
+
+/// A mid-size workload: long enough for the baseline's divergence to
+/// develop (the full paper-scale run lives in the `table1`/`fig3`/`intext`
+/// binaries), short enough for a debug-build test.
+fn midsize() -> WorkloadConfig {
+    WorkloadConfig {
+        n: 128,
+        ..WorkloadConfig::paper()
+    }
+}
+
+#[test]
+fn all_outputs_bit_exact_at_midsize() {
+    let cfg = midsize();
+    for benchmark in Benchmark::ALL {
+        for with_sync in [true, false] {
+            let run = run_benchmark(benchmark, with_sync, &cfg)
+                .unwrap_or_else(|e| panic!("{benchmark} sync={with_sync}: {e}"));
+            run.verify()
+                .unwrap_or_else(|e| panic!("{benchmark} sync={with_sync}: {e}"));
+        }
+    }
+}
+
+#[test]
+fn synchronizer_speeds_up_every_benchmark_at_midsize() {
+    let cfg = midsize();
+    for benchmark in Benchmark::ALL {
+        let with = run_benchmark(benchmark, true, &cfg).unwrap();
+        let without = run_benchmark(benchmark, false, &cfg).unwrap();
+        let speedup = without.stats.cycles as f64 / with.stats.cycles as f64;
+        assert!(
+            speedup > 1.05,
+            "{benchmark}: speedup only {speedup:.2} ({} vs {})",
+            with.stats.cycles,
+            without.stats.cycles
+        );
+        // Section V-B: the improved design lies in the paper's Ops/cycle
+        // band and the baseline clearly below it.
+        let r_with = with.stats.ops_per_cycle();
+        let r_without = without.stats.ops_per_cycle();
+        assert!(
+            (2.2..=4.0).contains(&r_with),
+            "{benchmark}: with-sync ops/cycle {r_with:.2}"
+        );
+        assert!(r_without < r_with, "{benchmark}");
+    }
+}
+
+#[test]
+fn broadcasting_cuts_im_accesses_and_bounds_dm_overhead() {
+    let cfg = midsize();
+    let mut total_dm_with = 0u64;
+    let mut total_dm_without = 0u64;
+    for benchmark in Benchmark::ALL {
+        let with = run_benchmark(benchmark, true, &cfg).unwrap();
+        let without = run_benchmark(benchmark, false, &cfg).unwrap();
+        let reduction =
+            1.0 - with.stats.im.total_accesses() as f64 / without.stats.im.total_accesses() as f64;
+        assert!(
+            reduction > 0.25,
+            "{benchmark}: IM access reduction only {:.0} %",
+            reduction * 100.0
+        );
+        total_dm_with += with.stats.dm.total_accesses();
+        total_dm_without += without.stats.dm.total_accesses();
+    }
+    // The paper: "the total number of DM accesses is increased by less
+    // than 10%" — aggregated over the benchmarks.
+    let dm_increase = total_dm_with as f64 / total_dm_without as f64 - 1.0;
+    assert!(
+        dm_increase < 0.10,
+        "aggregate DM increase {:.1} %",
+        dm_increase * 100.0
+    );
+}
+
+#[test]
+fn sync_word_area_is_clean_after_every_run() {
+    let cfg = midsize();
+    for benchmark in Benchmark::ALL {
+        let run = run_benchmark(benchmark, true, &cfg).unwrap();
+        let sync = run.stats.sync.expect("synchronizer present");
+        assert_eq!(sync.underflows, 0, "{benchmark}: unbalanced sections");
+        assert_eq!(
+            sync.checkin_requests, sync.checkout_requests,
+            "{benchmark}: check-ins must balance check-outs"
+        );
+    }
+}
+
+#[test]
+fn power_model_prefers_the_improved_design_everywhere() {
+    let cfg = midsize();
+    let model = PowerModel::calibrated_default();
+    for benchmark in Benchmark::ALL {
+        let with = run_benchmark(benchmark, true, &cfg).unwrap();
+        let without = run_benchmark(benchmark, false, &cfg).unwrap();
+        let act_with = Activity::from_stats(&with.stats);
+        let act_without = Activity::from_stats(&without.stats);
+
+        // The improved design extends the feasible workload range...
+        assert!(model.max_workload(&act_with) > model.max_workload(&act_without));
+
+        // ...and saves power at every feasible common workload.
+        let top = model.max_workload(&act_without);
+        for w in [top * 0.1, top * 0.5, top] {
+            let saving = model
+                .saving_at(&act_with, &act_without, w)
+                .expect("feasible on both");
+            assert!(
+                saving > 0.0,
+                "{benchmark}: negative saving {saving:.2} at {w:.0} MOps/s"
+            );
+        }
+    }
+}
+
+#[test]
+fn both_layouts_and_granularities_stay_bit_exact() {
+    use ulp_lockstep::kernels::{BufferLayout, SyncGranularity};
+    let mut cfg = WorkloadConfig::quick_test();
+    for layout in [BufferLayout::Packed, BufferLayout::PrivateBank] {
+        for granularity in [SyncGranularity::PerSample, SyncGranularity::PerElement] {
+            cfg.layout = layout;
+            cfg.granularity = granularity;
+            for benchmark in Benchmark::ALL {
+                let run = run_benchmark(benchmark, true, &cfg).unwrap_or_else(|e| {
+                    panic!("{benchmark} {layout:?} {granularity:?}: {e}")
+                });
+                run.verify().unwrap_or_else(|e| {
+                    panic!("{benchmark} {layout:?} {granularity:?}: {e}")
+                });
+            }
+        }
+    }
+}

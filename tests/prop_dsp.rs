@@ -1,0 +1,134 @@
+//! Property-based tests of the golden DSP and of the assembly kernels
+//! against it on randomized inputs.
+
+use proptest::prelude::*;
+use ulp_lockstep::biosignal::{
+    closing, combine_two_leads, delineate, dilation, erosion, isqrt32, mrpfltr, opening,
+    DelineationConfig, Mark, MrpfltrConfig,
+};
+use ulp_lockstep::cpu::SimpleHost;
+use ulp_lockstep::isa::asm::assemble;
+use ulp_lockstep::kernels::{
+    layout::{buffer_base, BufferLayout},
+    mrpfltr_source, sqrt32_source, KernelOptions, MrpfltrParams, Sqrt32Params,
+};
+
+fn signal(max_len: usize) -> impl Strategy<Value = Vec<i16>> {
+    prop::collection::vec(-2047i16..=2047, 4..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Floor square root is exact for arbitrary 32-bit radicands.
+    #[test]
+    fn isqrt32_is_exact(v in any::<u32>()) {
+        let r = isqrt32(v) as u64;
+        prop_assert!(r * r <= v as u64);
+        prop_assert!((r + 1) * (r + 1) > v as u64);
+    }
+
+    /// Morphological operator laws on arbitrary signals.
+    #[test]
+    fn morphology_laws(x in signal(128), l in prop::sample::select(&[1usize, 3, 5, 9][..])) {
+        let e = erosion(&x, l);
+        let d = dilation(&x, l);
+        let o = opening(&x, l);
+        let c = closing(&x, l);
+        for i in 0..x.len() {
+            prop_assert!(e[i] <= x[i] && x[i] <= d[i], "bounding");
+            prop_assert!(o[i] <= x[i], "opening anti-extensive");
+            prop_assert!(c[i] >= x[i], "closing extensive");
+            prop_assert!(e[i] <= o[i] && o[i] <= c[i] && c[i] <= d[i], "ordering");
+        }
+        prop_assert_eq!(opening(&o, l), o.clone(), "opening idempotent");
+        prop_assert_eq!(closing(&c, l), c.clone(), "closing idempotent");
+        // Duality: erosion(-x) == -dilation(x).
+        let neg: Vec<i16> = x.iter().map(|v| -v).collect();
+        let en = erosion(&neg, l);
+        prop_assert_eq!(en, d.iter().map(|v| -v).collect::<Vec<_>>());
+    }
+
+    /// Monotonicity: a pointwise-larger signal never produces a smaller
+    /// erosion/dilation.
+    #[test]
+    fn morphology_monotonic(x in signal(64), bump in 0i16..200, l in prop::sample::select(&[3usize, 5][..])) {
+        let y: Vec<i16> = x.iter().map(|v| v.saturating_add(bump).min(2047)).collect();
+        let (ex, ey) = (erosion(&x, l), erosion(&y, l));
+        let (dx, dy) = (dilation(&x, l), dilation(&y, l));
+        for i in 0..x.len() {
+            prop_assert!(ex[i] <= ey[i]);
+            prop_assert!(dx[i] <= dy[i]);
+        }
+    }
+
+    /// The filter output is bounded by the corrected signal's range and
+    /// the marks are confined to the interior.
+    #[test]
+    fn pipeline_outputs_are_sane(x in signal(96)) {
+        let y = mrpfltr(&x, &MrpfltrConfig { baseline_open: 5, baseline_close: 7, noise: 3 });
+        prop_assert_eq!(y.len(), x.len());
+        let marks = delineate(&x, &DelineationConfig { scale_small: 2, scale_large: 4, threshold: 200 });
+        prop_assert_eq!(marks.len(), x.len());
+        prop_assert_eq!(marks[0], Mark::None);
+        prop_assert_eq!(*marks.last().expect("non-empty"), Mark::None);
+    }
+}
+
+proptest! {
+    // Simulated-kernel comparisons are slower; fewer cases suffice.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The SQRT32 assembly kernel matches the golden model bit-exactly on
+    /// random lead pairs (single-core fast path).
+    #[test]
+    fn sqrt32_kernel_matches_golden_on_random_leads(
+        a in prop::collection::vec(-2047i16..=2047, 8..24),
+        b_seed in any::<u16>(),
+    ) {
+        let n = a.len();
+        let b: Vec<i16> = (0..n)
+            .map(|i| ((b_seed as i32 * 37 + i as i32 * 131) % 4095 - 2047) as i16)
+            .collect();
+        let layout = BufferLayout::Packed;
+        let src = sqrt32_source(&Sqrt32Params { n: n as u16 }, &KernelOptions::for_design(true));
+        let prog = assemble(&src).expect("kernel assembles");
+        let mut host = SimpleHost::new(&prog.to_vec(0, prog.extent()));
+        for i in 0..n {
+            host.set_dm(buffer_base(layout, 0, 0) + i as u16, a[i] as u16);
+            host.set_dm(buffer_base(layout, 0, 1) + i as u16, b[i] as u16);
+        }
+        host.run(5_000_000).expect("kernel halts");
+        let out: Vec<u16> = (0..n as u16)
+            .map(|i| host.dm(buffer_base(layout, 0, 2) + i))
+            .collect();
+        prop_assert_eq!(out, combine_two_leads(&a, &b));
+    }
+
+    /// The MRPFLTR assembly kernel (amortized scans) matches the golden
+    /// model bit-exactly on random signals.
+    #[test]
+    fn mrpfltr_kernel_matches_golden_on_random_signals(
+        x in prop::collection::vec(-2047i16..=2047, 16..40),
+    ) {
+        let n = x.len();
+        let layout = BufferLayout::Packed;
+        let params = MrpfltrParams {
+            n: n as u16,
+            baseline_open: 5,
+            baseline_close: 7,
+            noise: 3,
+        };
+        let src = mrpfltr_source(&params, &KernelOptions::for_design(true));
+        let prog = assemble(&src).expect("kernel assembles");
+        let mut host = SimpleHost::new(&prog.to_vec(0, prog.extent()));
+        for (i, &v) in x.iter().enumerate() {
+            host.set_dm(buffer_base(layout, 0, 0) + i as u16, v as u16);
+        }
+        host.run(20_000_000).expect("kernel halts");
+        let out: Vec<i16> = (0..n as u16)
+            .map(|i| host.dm(buffer_base(layout, 0, 5) + i) as i16)
+            .collect();
+        prop_assert_eq!(out, mrpfltr(&x, &params.to_config()));
+    }
+}
