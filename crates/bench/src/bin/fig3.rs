@@ -5,7 +5,20 @@
 use ulp_bench::{calibrate, fig3_report, gather};
 use ulp_kernels::{Benchmark, WorkloadConfig};
 
+const USAGE: &str = "usage: fig3 [mrpfltr|sqrt32|mrpdln|all]
+Regenerates Fig. 3 of the paper: total power versus workload with voltage
+scaling, for both designs (default: all benchmarks).";
+
 fn main() {
+    if std::env::args().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return;
+    }
+    if let Some(extra) = std::env::args().nth(2) {
+        eprintln!("fig3: unexpected argument {extra:?}");
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    }
     let arg = std::env::args().nth(1).unwrap_or_else(|| "all".into());
     let wanted: Vec<Benchmark> = match arg.to_ascii_lowercase().as_str() {
         "mrpfltr" => vec![Benchmark::Mrpfltr],

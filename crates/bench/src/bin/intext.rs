@@ -6,6 +6,18 @@ use ulp_bench::{calibrate, gather, intext_report};
 use ulp_kernels::WorkloadConfig;
 
 fn main() {
+    if std::env::args().any(|a| a == "--help" || a == "-h") {
+        println!("usage: intext");
+        println!(
+            "Regenerates the in-text results of Section V-B (speed-up, Ops/cycle, \
+             access ratios, power savings). Takes no arguments."
+        );
+        return;
+    }
+    if let Some(arg) = std::env::args().nth(1) {
+        eprintln!("intext: unexpected argument {arg:?} (takes no arguments)");
+        std::process::exit(2);
+    }
     let cfg = WorkloadConfig::paper();
     eprintln!("running 3 benchmarks x 2 designs (n = {}) ...", cfg.n);
     let data = gather(&cfg).expect("benchmark runs valid");

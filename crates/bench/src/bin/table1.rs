@@ -6,6 +6,18 @@ use ulp_bench::{calibrate, gather, table1_report};
 use ulp_kernels::WorkloadConfig;
 
 fn main() {
+    if std::env::args().any(|a| a == "--help" || a == "-h") {
+        println!("usage: table1");
+        println!(
+            "Regenerates Table I of the paper: per-component dynamic power at \
+             8 MOps/s and 1.2 V for both designs. Takes no arguments."
+        );
+        return;
+    }
+    if let Some(arg) = std::env::args().nth(1) {
+        eprintln!("table1: unexpected argument {arg:?} (takes no arguments)");
+        std::process::exit(2);
+    }
     let cfg = WorkloadConfig::paper();
     eprintln!("running 3 benchmarks x 2 designs (n = {}) ...", cfg.n);
     let data = gather(&cfg).expect("benchmark runs valid");

@@ -14,13 +14,23 @@ use std::process::ExitCode;
 use ulp_isa::asm::assemble;
 use ulp_isa::disasm::disassemble_word;
 
+const USAGE: &str = "usage: ulpasm <asm|hex|disasm> <file>
+
+  asm    <file.s>    assemble; print an address/hex listing
+  hex    <file.s>    assemble; print one hex word per line
+  disasm <file.hex>  disassemble hex words (one per line, '#' comments ignored)";
+
 fn usage() -> ExitCode {
-    eprintln!("usage: ulpasm <asm|hex|disasm> <file>");
+    eprintln!("{USAGE}");
     ExitCode::from(2)
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
     let (Some(mode), Some(path)) = (args.get(1), args.get(2)) else {
         return usage();
     };

@@ -68,15 +68,24 @@ fn parse_args() -> Result<Options, String> {
     Ok(opts)
 }
 
+const USAGE: &str = "usage: ulprun <file.s> [options]
+  --no-sync            baseline design (no synchronizer, no ISE)
+  --cores <n>          number of cores (default 8)
+  --max-cycles <n>     cycle budget (default 10_000_000)
+  --dump <addr> <len>  print a data-memory region after the run
+  --trace <cycles>     print the per-core fetch-PC trace
+  --vcd <file>         write a value-change dump of the run";
+
 fn main() -> ExitCode {
+    if std::env::args().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
     let opts = match parse_args() {
         Ok(o) => o,
         Err(e) => {
             eprintln!("ulprun: {e}");
-            eprintln!(
-                "usage: ulprun <file.s> [--no-sync] [--cores n] [--max-cycles n] \
-                 [--dump addr len] [--trace cycles] [--vcd file]"
-            );
+            eprintln!("{USAGE}");
             return ExitCode::from(2);
         }
     };

@@ -80,24 +80,22 @@ impl VcdTracer {
         let mut stamped = false;
         for core in 0..self.cores {
             let c = platform.core(core);
-            let pc = Some(c.pc());
-            let phase = Some(phase_code(c.state()));
+            let pc = c.pc();
+            let phase = phase_code(c.state());
             let (last_pc, last_phase) = self.last[core];
-            if pc != last_pc || phase != last_phase {
+            if Some(pc) != last_pc || Some(phase) != last_phase {
                 if !stamped {
                     writeln!(self.body, "#{}", platform.cycle() * NS_PER_CYCLE)
                         .expect("string write");
                     stamped = true;
                 }
-                if pc != last_pc {
-                    writeln!(self.body, "b{:016b} {}", pc.expect("set"), pc_id(core))
-                        .expect("string write");
+                if Some(pc) != last_pc {
+                    writeln!(self.body, "b{pc:016b} {}", pc_id(core)).expect("string write");
                 }
-                if phase != last_phase {
-                    writeln!(self.body, "b{:03b} {}", phase.expect("set"), phase_id(core))
-                        .expect("string write");
+                if Some(phase) != last_phase {
+                    writeln!(self.body, "b{phase:03b} {}", phase_id(core)).expect("string write");
                 }
-                self.last[core] = (pc, phase);
+                self.last[core] = (Some(pc), Some(phase));
             }
         }
         self.samples += 1;
@@ -180,8 +178,7 @@ mod tests {
             let id = phase_id(core);
             let last_change = vcd
                 .lines()
-                .filter(|l| l.starts_with('b') && l.ends_with(&format!(" {id}")))
-                .next_back()
+                .rfind(|l| l.starts_with('b') && l.ends_with(&format!(" {id}")))
                 .unwrap_or_else(|| panic!("no phase changes for core {core}"));
             assert_eq!(last_change, format!("b101 {id}"), "core {core} halted");
         }

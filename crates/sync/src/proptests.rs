@@ -56,6 +56,17 @@ fn waves() -> impl Strategy<Value = Vec<Vec<usize>>> {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
+    /// `sync_word::make` and the `flags`/`counter` accessors are exact
+    /// inverses over the whole field domain.
+    #[test]
+    fn sync_word_encode_decode_round_trips(flags in any::<u8>(), counter in any::<u8>()) {
+        let word = sync_word::make(flags, counter);
+        prop_assert_eq!(sync_word::flags(word), flags);
+        prop_assert_eq!(sync_word::counter(word), counter);
+        // And the other direction: any word decomposes and recomposes.
+        prop_assert_eq!(sync_word::make(sync_word::flags(word), sync_word::counter(word)), word);
+    }
+
     /// However the eight cores arrive at a barrier — any partition into
     /// check-in waves, any partition into check-out waves — the barrier
     /// releases exactly once, wakes exactly the sleepers, and leaves the
@@ -145,4 +156,49 @@ proptest! {
         prop_assert!(stats.batches >= in_waves.len() as u64);
         prop_assert!(stats.batches <= 8);
     }
+}
+
+/// The counter byte tracks membership beyond the 8 identity-flag bits:
+/// with 12 logical cores checked in (flags alias modulo 8), the barrier
+/// still requires all 12 check-outs before releasing.
+#[test]
+fn counter_tracks_more_than_eight_checkins() {
+    let mut dm = BankedMemory::new(1024, 4, BankMapping::Blocked);
+    let mut sync = Synchronizer::new();
+    let cores: Vec<usize> = (0..12).collect();
+
+    let reqs: Vec<_> = cores.iter().map(|&c| req(c, SyncKind::CheckIn)).collect();
+    drive(&mut sync, &mut dm, reqs);
+    assert_eq!(sync_word::counter(dm.peek(WORD)), 12, "counter exceeds 8");
+    assert_eq!(sync_word::flags(dm.peek(WORD)), 0xFF, "flags saturate at 8 bits");
+
+    // Eleven check-outs leave the barrier armed; the counter never hits 0.
+    for &c in &cores[..11] {
+        drive(&mut sync, &mut dm, vec![req(c, SyncKind::CheckOut)]);
+        assert!(sync_word::counter(dm.peek(WORD)) > 0, "released too early");
+    }
+    assert_eq!(sync.stats().releases, 0);
+
+    // The twelfth check-out drives the counter to zero and releases.
+    drive(&mut sync, &mut dm, vec![req(11, SyncKind::CheckOut)]);
+    assert_eq!(sync.stats().releases, 1, "exactly one release");
+    assert_eq!(dm.peek(WORD), 0, "sync word cleared");
+    assert_eq!(sync.stats().underflows, 0);
+}
+
+/// The counter byte saturates at 255 instead of wrapping to zero — a wrap
+/// would spuriously release the barrier.
+#[test]
+fn counter_saturates_instead_of_wrapping() {
+    let mut dm = BankedMemory::new(1024, 4, BankMapping::Blocked);
+    let mut sync = Synchronizer::new();
+    dm.poke(WORD, sync_word::make(0xFF, 255));
+
+    drive(&mut sync, &mut dm, vec![req(0, SyncKind::CheckIn)]);
+    assert_eq!(sync_word::counter(dm.peek(WORD)), 255, "clamped, not wrapped");
+    assert_eq!(sync.stats().releases, 0, "no spurious release");
+
+    // A check-out still decrements from the clamp.
+    drive(&mut sync, &mut dm, vec![req(0, SyncKind::CheckOut)]);
+    assert_eq!(sync_word::counter(dm.peek(WORD)), 254);
 }

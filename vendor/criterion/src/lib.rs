@@ -1,0 +1,249 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! a minimal wall-clock bench harness exposing the criterion API subset its
+//! benches use: `criterion_group!` / `criterion_main!`, `Criterion`,
+//! benchmark groups with `sample_size` / `throughput` / `bench_function` /
+//! `bench_with_input`, `BenchmarkId`, `Throughput` and `black_box`.
+//!
+//! Measurement model: each benchmark body is warmed up once, then timed over
+//! adaptively-chosen iteration batches until the sample budget is spent; the
+//! per-iteration mean, minimum and maximum are printed. No statistics files,
+//! plots or comparisons — this harness guards that the benches *run*, and
+//! gives a usable first-order number.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement settings shared by a `Criterion` instance and its groups.
+#[derive(Clone, Debug)]
+struct Settings {
+    sample_size: usize,
+    /// Wall-clock budget per benchmark.
+    measurement_time: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(300),
+        }
+    }
+}
+
+#[derive(Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let settings = self.settings.clone();
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            settings,
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&name.into(), &self.settings, None, &mut f);
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    settings: Settings,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.settings.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.settings.measurement_time = t;
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.0);
+        run_one(&label, &self.settings, self.throughput.as_ref(), &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.0);
+        run_one(&label, &self.settings, self.throughput.as_ref(), &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier; renders as the criterion `name/parameter` form.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Passed to the benchmark closure; `iter` times the routine.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    settings: Settings,
+}
+
+impl Bencher {
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up and batch-size calibration: aim for samples of >= ~1ms so
+        // Instant overhead is negligible, without exceeding the time budget.
+        let warm = Instant::now();
+        black_box(routine());
+        let once = warm.elapsed().max(Duration::from_nanos(50));
+        let per_sample = self.settings.measurement_time / self.settings.sample_size as u32;
+        let batch = (per_sample.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        self.samples.clear();
+        for _ in 0..self.settings.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / batch as u32);
+        }
+    }
+}
+
+fn run_one(
+    label: &str,
+    settings: &Settings,
+    throughput: Option<&Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        settings: settings.clone(),
+    };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("{label:<40} (no samples)");
+        return;
+    }
+    let min = bencher.samples.iter().min().expect("non-empty");
+    let max = bencher.samples.iter().max().expect("non-empty");
+    let mean = bencher.samples.iter().sum::<Duration>() / bencher.samples.len() as u32;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if mean > Duration::ZERO => {
+            format!("  {:>12.0} elem/s", *n as f64 / mean.as_secs_f64())
+        }
+        Some(Throughput::Bytes(n)) if mean > Duration::ZERO => {
+            format!("  {:>12.0} B/s", *n as f64 / mean.as_secs_f64())
+        }
+        _ => String::new(),
+    };
+    println!("{label:<40} time: [{min:>10.2?} {mean:>10.2?} {max:>10.2?}]{rate}");
+}
+
+/// Declares a bench group runner function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags like `--bench`; a wall-clock
+            // harness has no options to parse, so they are ignored.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_produces_samples() {
+        let mut c = Criterion::default();
+        c.settings.measurement_time = Duration::from_millis(5);
+        let mut ran = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| ran += 1));
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn group_api_composes() {
+        let mut c = Criterion::default();
+        c.settings.measurement_time = Duration::from_millis(5);
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3).throughput(Throughput::Elements(4));
+        group.bench_function(BenchmarkId::from_parameter("p"), |b| b.iter(|| 2 + 2));
+        group.bench_with_input(BenchmarkId::new("i", 7), &7u32, |b, &x| b.iter(|| x * 2));
+        group.finish();
+    }
+}

@@ -1,0 +1,127 @@
+//! Collection strategies: `vec` and `btree_set`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::collections::BTreeSet;
+
+/// Anything usable as a collection size: an exact length or a range.
+pub trait SizeRange {
+    fn pick(&self, rng: &mut TestRng) -> usize;
+}
+
+impl SizeRange for usize {
+    fn pick(&self, _rng: &mut TestRng) -> usize {
+        *self
+    }
+}
+
+impl SizeRange for std::ops::Range<usize> {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        assert!(self.start < self.end, "empty size range");
+        self.start + rng.index(self.end - self.start)
+    }
+}
+
+impl SizeRange for std::ops::RangeInclusive<usize> {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        assert!(self.start() <= self.end(), "empty size range");
+        self.start() + rng.index(self.end() - self.start() + 1)
+    }
+}
+
+pub struct VecStrategy<S, R> {
+    element: S,
+    size: R,
+}
+
+/// Strategy for `Vec`s whose length is drawn from `size` and whose elements
+/// are drawn from `element`.
+pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+    VecStrategy { element, size }
+}
+
+impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.size.pick(rng);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+pub struct BTreeSetStrategy<S, R> {
+    element: S,
+    size: R,
+}
+
+/// Strategy for `BTreeSet`s with a target size drawn from `size`. If the
+/// element domain is too small to reach the target, the set saturates at
+/// whatever distinct values were drawn (matching proptest's best-effort
+/// behavior for duplicate-heavy domains).
+pub fn btree_set<S, R>(element: S, size: R) -> BTreeSetStrategy<S, R>
+where
+    S: Strategy,
+    S::Value: Ord,
+    R: SizeRange,
+{
+    BTreeSetStrategy { element, size }
+}
+
+impl<S, R> Strategy for BTreeSetStrategy<S, R>
+where
+    S: Strategy,
+    S::Value: Ord,
+    R: SizeRange,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        let target = self.size.pick(rng);
+        let mut set = BTreeSet::new();
+        // Generous attempt budget: covers coupon-collector behavior for the
+        // small domains used in tests without risking an unbounded loop.
+        let budget = 16 * target + 64;
+        for _ in 0..budget {
+            if set.len() >= target {
+                break;
+            }
+            set.insert(self.element.generate(rng));
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_length_in_range() {
+        let s = vec(0u8..10, 2..=5);
+        let mut rng = TestRng::deterministic("collection::vec");
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((2..=5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    #[test]
+    fn btree_set_reaches_full_domain() {
+        // Domain of 8 values, target 8: must collect all of them.
+        let s = btree_set(0usize..8, 8usize..=8);
+        let mut rng = TestRng::deterministic("collection::btree_set");
+        for _ in 0..32 {
+            assert_eq!(s.generate(&mut rng).len(), 8);
+        }
+    }
+
+    #[test]
+    fn btree_set_respects_minimum() {
+        let s = btree_set(0usize..8, 1..=8);
+        let mut rng = TestRng::deterministic("collection::btree_min");
+        for _ in 0..100 {
+            assert!(!s.generate(&mut rng).is_empty());
+        }
+    }
+}

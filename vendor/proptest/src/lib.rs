@@ -1,0 +1,109 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! a small but *functional* property-testing engine exposing the `proptest`
+//! API subset its tests use: the [`proptest!`] macro, the [`Strategy`] trait
+//! with `prop_map` / `prop_flat_map` / `boxed`, integer-range and tuple
+//! strategies, `any::<T>()`, `Just`, `prop_oneof!`, `prop::collection::vec` /
+//! `btree_set`, and `prop::sample::select`.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * cases are generated from a deterministic per-test RNG (seeded from the
+//!   test's module path and name), so runs are reproducible without a
+//!   persistence file;
+//! * there is no shrinking — on failure the case index and panic message are
+//!   reported, and the whole run can be replayed deterministically;
+//! * `prop_assert*!` delegate to the standard `assert*!` macros.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestRng};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+    /// `prop::collection::vec(..)`, `prop::sample::select(..)` etc., exactly
+    /// as the real proptest prelude exposes them.
+    pub use crate as prop;
+}
+
+/// Defines property tests. Each body runs `config.cases` times with freshly
+/// generated inputs from a deterministic RNG.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::deterministic(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for __case in 0..__config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)*
+                let __guard = $crate::test_runner::CaseGuard::new(stringify!($name), __case);
+                { $body }
+                drop(__guard);
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// One-of strategy: picks one of the listed strategies uniformly per case.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Skips the current case when the assumption does not hold. (Real proptest
+/// rejects and retries; skipping keeps the engine minimal.)
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            continue;
+        }
+    };
+}

@@ -1,0 +1,41 @@
+//! Sampling strategies: uniform selection from a fixed set of values.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+pub struct Select<T> {
+    values: Vec<T>,
+}
+
+/// Strategy that picks one of `values` uniformly. Accepts anything that
+/// converts into a `Vec` (slices included), mirroring proptest's
+/// `impl Into<Arc<[T]>>` flexibility for temporaries.
+pub fn select<T: Clone>(values: impl Into<Vec<T>>) -> Select<T> {
+    let values = values.into();
+    assert!(!values.is_empty(), "select over an empty set");
+    Select { values }
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.values[rng.index(self.values.len())].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn select_draws_every_value() {
+        let s = select(&[10u8, 20, 30][..]);
+        let mut rng = TestRng::deterministic("sample::select");
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..64 {
+            seen.insert(s.generate(&mut rng));
+        }
+        assert_eq!(seen.into_iter().collect::<Vec<_>>(), vec![10, 20, 30]);
+    }
+}

@@ -1,0 +1,133 @@
+//! Offline stand-in for the `rand` crate (0.8 API subset).
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! the tiny slice of `rand` it actually uses: `StdRng`, `SeedableRng` and
+//! `Rng::gen` / `Rng::gen_range`. The generator is SplitMix64 — not
+//! cryptographic, but statistically solid and fully deterministic per seed,
+//! which is all the synthetic-ECG generator needs.
+
+pub mod rngs {
+    /// Deterministic 64-bit generator (SplitMix64).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        pub(crate) state: u64,
+    }
+
+    impl StdRng {
+        pub(crate) fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+use rngs::StdRng;
+
+/// Seeding support for [`StdRng`].
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(state: u64) -> Self {
+        // One scramble round so that nearby seeds diverge immediately.
+        let mut rng = StdRng { state };
+        rng.next_u64();
+        rng
+    }
+}
+
+/// Types that `Rng::gen` can produce (the `Standard` distribution).
+pub trait Standard: Sized {
+    fn sample(rng: &mut StdRng) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample(rng: &mut StdRng) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample(rng: &mut StdRng) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for u16 {
+    fn sample(rng: &mut StdRng) -> Self {
+        (rng.next_u64() >> 48) as u16
+    }
+}
+
+impl Standard for bool {
+    fn sample(rng: &mut StdRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample(rng: &mut StdRng) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample(rng: &mut StdRng) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// The `Rng` extension trait: value generation on top of the raw generator.
+pub trait Rng {
+    fn gen<T: Standard>(&mut self) -> T;
+
+    /// Uniform integer in `[range.start, range.end)`.
+    fn gen_range(&mut self, range: std::ops::Range<i64>) -> i64;
+}
+
+impl Rng for StdRng {
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    fn gen_range(&mut self, range: std::ops::Range<i64>) -> i64 {
+        assert!(range.start < range.end, "empty range");
+        let span = (range.end - range.start) as u64;
+        range.start + (self.next_u64() % span) as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..16 {
+            assert_eq!(a.gen::<f64>(), b.gen::<f64>());
+        }
+    }
+
+    #[test]
+    fn unit_interval() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+}
