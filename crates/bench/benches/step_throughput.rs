@@ -1,0 +1,88 @@
+//! Criterion benchmark of the cycle engine itself: simulated cycles per
+//! second of `Platform::step` at 2/4/8 cores, bare and with observers
+//! attached. This tracks the allocation-free `CycleBuffers` hot path —
+//! a regression that reintroduces per-cycle allocation shows up here
+//! directly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ulp_isa::asm::assemble;
+use ulp_platform::{LockstepWidth, Observer, Platform, PlatformConfig, VcdTracer};
+
+/// Cycles stepped per benchmark iteration.
+const CYCLES_PER_ITER: u64 = 1_000;
+
+/// An endless SPMD workload touching every engine phase: per-core
+/// data-dependent spin, a shared `SINC`/`SDEC` barrier, loads and stores.
+/// The cores never halt, so the platform can be stepped indefinitely.
+const SPIN_SRC: &str = "
+        rdid r1
+        mov  r2, r1
+        shl  r2, #11       ; private bank base
+        li   r3, 18432     ; sync array base
+        wrsync r3
+        mov  r4, r1
+loop:   sinc #0
+        add  r4, r1
+        addi r4, #3
+        mov  r5, r4
+        movi r0, #7
+        and  r5, r0
+        inc  r5
+spin:   addi r5, #-1       ; data-dependent 1..8 rounds
+        bne  spin
+        st   r4, [r2]
+        ld   r0, [r2]
+        sdec #0
+        br   loop";
+
+fn prepared_platform(cores: usize) -> Platform {
+    let program = assemble(SPIN_SRC).expect("benchmark program assembles");
+    let cfg = PlatformConfig::paper_with_sync()
+        .with_cores(cores)
+        .with_max_cycles(u64::MAX);
+    let mut p = Platform::new(cfg).expect("valid config");
+    p.load_program(&program);
+    // Warm past the prologue so every iteration measures steady state.
+    for _ in 0..64 {
+        p.step();
+    }
+    p
+}
+
+fn bench_step_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("step_throughput");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(CYCLES_PER_ITER));
+
+    for cores in [2usize, 4, 8] {
+        let mut platform = prepared_platform(cores);
+        group.bench_function(BenchmarkId::new("bare", cores), |b| {
+            b.iter(|| {
+                for _ in 0..CYCLES_PER_ITER {
+                    platform.step();
+                }
+                platform.cycle()
+            })
+        });
+
+        let mut platform = prepared_platform(cores);
+        let mut width = LockstepWidth::new();
+        group.bench_function(BenchmarkId::new("observed", cores), |b| {
+            b.iter(|| {
+                // The tracer lives one iteration, so its change-dump text
+                // stays bounded (~one sample's worth) instead of growing
+                // across the whole measurement and skewing later samples.
+                let mut vcd = VcdTracer::new(&platform);
+                let mut observers: [&mut dyn Observer; 2] = [&mut width, &mut vcd];
+                for _ in 0..CYCLES_PER_ITER {
+                    platform.step_with(&mut observers);
+                }
+                platform.cycle()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_step_throughput);
+criterion_main!(benches);

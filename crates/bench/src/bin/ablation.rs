@@ -22,7 +22,9 @@ fn main() {
     // The single source of truth: study name -> runner. Usage, validation
     // and dispatch all derive from this table.
     let studies: &[(&str, &dyn Fn())] = &[
-        ("im-mapping", &|| println!("{}\n", ablation::im_mapping(b, &cfg))),
+        ("im-mapping", &|| {
+            println!("{}\n", ablation::im_mapping(b, &cfg))
+        }),
         ("policy", &|| println!("{}\n", ablation::policy(b, &cfg))),
         ("cores", &|| println!("{}\n", ablation::cores(b, &cfg))),
         ("granularity", &|| {

@@ -1,0 +1,185 @@
+//! `sweep` — run the (benchmark × design × core-count) grid across OS
+//! threads and print a comparison table.
+//!
+//! ```text
+//! sweep [options]
+//!   --smoke              tiny workload (CI smoke mode)
+//!   --n <samples>        samples per channel (default 256, paper workload)
+//!   --cores <list>       comma-separated core counts (default 2,4,8)
+//!   --benchmarks <list>  comma-separated subset of MRPFLTR,MRPDLN,SQRT32
+//!   --threads <n>        worker threads (default: all hardware threads)
+//! ```
+
+use std::process::ExitCode;
+use ulp_bench::{run_sweep, SweepSpec};
+use ulp_kernels::{Benchmark, WorkloadConfig};
+
+const USAGE: &str = "usage: sweep [options]
+  --smoke              tiny workload (CI smoke mode)
+  --n <samples>        samples per channel (default 256, paper workload)
+  --cores <list>       comma-separated core counts (default 2,4,8)
+  --benchmarks <list>  comma-separated subset of MRPFLTR,MRPDLN,SQRT32
+  --threads <n>        worker threads (default: all hardware threads)";
+
+struct Options {
+    smoke: bool,
+    n: Option<usize>,
+    cores: Vec<usize>,
+    benchmarks: Vec<Benchmark>,
+    threads: usize,
+}
+
+fn parse_benchmark(name: &str) -> Result<Benchmark, String> {
+    Benchmark::ALL
+        .into_iter()
+        .find(|b| b.name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| format!("unknown benchmark {name:?}"))
+}
+
+fn parse_list<T>(
+    value: &str,
+    what: &str,
+    parse: impl Fn(&str) -> Result<T, String>,
+) -> Result<Vec<T>, String> {
+    let items: Result<Vec<T>, String> = value.split(',').map(|s| parse(s.trim())).collect();
+    let items = items?;
+    if items.is_empty() {
+        return Err(format!("empty list for {what}"));
+    }
+    Ok(items)
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        smoke: false,
+        n: None,
+        cores: vec![2, 4, 8],
+        benchmarks: Benchmark::ALL.to_vec(),
+        threads: 0,
+    };
+    let mut args = std::env::args().skip(1);
+    let next_value = |args: &mut dyn Iterator<Item = String>, what: &str| {
+        args.next()
+            .ok_or_else(|| format!("missing value for {what}"))
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => opts.smoke = true,
+            "--n" => {
+                opts.n = Some(
+                    next_value(&mut args, "--n")?
+                        .parse()
+                        .map_err(|e| format!("bad value for --n: {e}"))?,
+                );
+            }
+            "--threads" => {
+                opts.threads = next_value(&mut args, "--threads")?
+                    .parse()
+                    .map_err(|e| format!("bad value for --threads: {e}"))?;
+            }
+            "--cores" => {
+                opts.cores = parse_list(&next_value(&mut args, "--cores")?, "--cores", |s| {
+                    let n: usize = s
+                        .parse()
+                        .map_err(|e| format!("bad core count {s:?}: {e}"))?;
+                    if n == 0 || n > 8 {
+                        return Err(format!("core count {n} outside 1..=8"));
+                    }
+                    Ok(n)
+                })?;
+            }
+            "--benchmarks" => {
+                opts.benchmarks = parse_list(
+                    &next_value(&mut args, "--benchmarks")?,
+                    "--benchmarks",
+                    parse_benchmark,
+                )?;
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    if std::env::args().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("sweep: {e}");
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut workload = if opts.smoke {
+        WorkloadConfig::quick_test()
+    } else {
+        WorkloadConfig::paper()
+    };
+    if let Some(n) = opts.n {
+        workload.n = n;
+    }
+
+    let spec = SweepSpec {
+        benchmarks: opts.benchmarks,
+        designs: vec![true, false],
+        core_counts: opts.cores,
+        workload,
+        threads: opts.threads,
+    };
+    let cells = spec.len();
+    let start = std::time::Instant::now();
+    let results = match run_sweep(&spec) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("sweep: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let elapsed = start.elapsed();
+
+    println!(
+        "{cells} runs on {} threads in {:.2} s ({} platforms built, {} reused)",
+        results.threads_used,
+        elapsed.as_secs_f64(),
+        results.platforms_built,
+        cells - results.platforms_built,
+    );
+    println!();
+    println!(
+        "{:<8} {:>5} | {:>10} {:>10} | {:>7} | {:>9} {:>9} | {:>5}",
+        "bench", "cores", "base cyc", "sync cyc", "speedup", "base o/c", "sync o/c", "IM sav"
+    );
+    for &benchmark in &spec.benchmarks {
+        for &cores in &spec.core_counts {
+            let with = results.cell(benchmark, true, cores);
+            let without = results.cell(benchmark, false, cores);
+            let (Some(with), Some(without)) = (with, without) else {
+                continue;
+            };
+            if let Err(e) = with.run.verify().and_then(|()| without.run.verify()) {
+                eprintln!("sweep: {e}");
+                return ExitCode::FAILURE;
+            }
+            let im_saving = 1.0
+                - with.run.stats.im.total_accesses() as f64
+                    / without.run.stats.im.total_accesses() as f64;
+            println!(
+                "{:<8} {:>5} | {:>10} {:>10} | {:>6.2}x | {:>9.2} {:>9.2} | {:>4.0}%",
+                benchmark.name(),
+                cores,
+                without.run.stats.cycles,
+                with.run.stats.cycles,
+                results.speedup(benchmark, cores).unwrap_or(0.0),
+                without.run.stats.ops_per_cycle(),
+                with.run.stats.ops_per_cycle(),
+                im_saving * 100.0,
+            );
+        }
+    }
+    ExitCode::SUCCESS
+}

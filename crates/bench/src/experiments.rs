@@ -1,6 +1,7 @@
 //! Data gathering and model calibration shared by all experiments.
 
-use ulp_kernels::{run_benchmark, Benchmark, BenchmarkRun, RunnerError, WorkloadConfig};
+use crate::sweep::{run_sweep, SweepSpec};
+use ulp_kernels::{Benchmark, BenchmarkRun, RunnerError, WorkloadConfig};
 use ulp_power::{Activity, EnergyModel, PowerModel, Table1Targets, VoltageModel};
 
 /// Both designs' runs of one benchmark.
@@ -81,18 +82,29 @@ impl ExperimentData {
 }
 
 /// Runs every benchmark on both designs and verifies all outputs against
-/// the golden models.
+/// the golden models. The six runs execute in parallel through the
+/// threaded sweep harness ([`run_sweep`]); every simulation is
+/// deterministic and independent, so the data is identical to a serial
+/// gather.
 ///
 /// # Errors
 ///
 /// Any [`RunnerError`], including bit-exact output mismatches.
 pub fn gather(config: &WorkloadConfig) -> Result<ExperimentData, RunnerError> {
+    let results = run_sweep(&SweepSpec::paper_grid(config.clone()))?;
+    let take = |benchmark, with_sync| -> Result<BenchmarkRun, RunnerError> {
+        let run = results
+            .cell(benchmark, with_sync, 8)
+            .expect("paper grid covers all six runs")
+            .run
+            .clone();
+        run.verify()?;
+        Ok(run)
+    };
     let mut benchmarks = Vec::new();
     for benchmark in Benchmark::ALL {
-        let with_sync = run_benchmark(benchmark, true, config)?;
-        with_sync.verify()?;
-        let without_sync = run_benchmark(benchmark, false, config)?;
-        without_sync.verify()?;
+        let with_sync = take(benchmark, true)?;
+        let without_sync = take(benchmark, false)?;
         let act_with = Activity::from_stats(&with_sync.stats);
         let act_without = Activity::from_stats(&without_sync.stats);
         benchmarks.push(BenchmarkData {

@@ -9,15 +9,21 @@
 //! | Fig. 3a/b/c (power vs workload, voltage scaled) | `fig3` | [`fig3_report`] |
 //! | In-text numbers (speed-up, Ops/cycle, access ratios) | `intext` | [`intext_report`] |
 //! | Ablations A1–A6 of `DESIGN.md` | `ablation` | [`ablation`] |
+//! | (benchmark × design × cores) grid, threaded | `sweep` | [`run_sweep`] |
 //!
 //! The flow mirrors the paper: run the three ECG benchmarks on both
 //! designs ([`gather`]), calibrate the event-energy model against the
 //! baseline column of Table I ([`calibrate`]), then *predict* the improved
-//! design's power from its own measured activity.
+//! design's power from its own measured activity. `gather` itself executes
+//! its six runs through the threaded [`run_sweep`] harness.
 
 pub mod ablation;
 mod experiments;
 mod report;
+mod sweep;
 
 pub use experiments::{calibrate, gather, BenchmarkData, ExperimentData};
-pub use report::{fig3_report, intext_report, table1_report, Fig3Report, IntextReport, Table1Report};
+pub use report::{
+    fig3_report, intext_report, table1_report, Fig3Report, IntextReport, Table1Report,
+};
+pub use sweep::{run_sweep, SweepCell, SweepResults, SweepSpec};

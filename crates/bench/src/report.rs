@@ -39,9 +39,9 @@ pub fn paper_fig3(benchmark: Benchmark) -> PaperFig3 {
 }
 
 fn minmax(values: impl IntoIterator<Item = f64>) -> (f64, f64) {
-    values.into_iter().fold((f64::MAX, f64::MIN), |(lo, hi), v| {
-        (lo.min(v), hi.max(v))
-    })
+    values
+        .into_iter()
+        .fold((f64::MAX, f64::MIN), |(lo, hi), v| (lo.min(v), hi.max(v)))
 }
 
 /// Table I reproduction: per-component dynamic power at 8 MOps/s and
@@ -91,7 +91,12 @@ impl fmt::Display for Table1Report {
             "component", "w/o synchronizer", "with synchronizer"
         )?;
         writeln!(f, "{}", "-".repeat(100))?;
-        type Row = (&'static str, fn(&PowerBreakdown) -> f64, &'static str, &'static str);
+        type Row = (
+            &'static str,
+            fn(&PowerBreakdown) -> f64,
+            &'static str,
+            &'static str,
+        );
         let rows: [Row; 8] = [
             ("Total", |b| b.total(), "0.64 < P < 0.94", "0.47 < P < 0.58"),
             ("Cores", |b| b.cores, "0.14", "0.16"),
@@ -100,7 +105,12 @@ impl fmt::Display for Table1Report {
             ("D-Xbar", |b| b.dxbar, "0.06", "0.05"),
             ("I-Xbar", |b| b.ixbar, "0.03", "0.02"),
             ("Synchronizer", |b| b.synchronizer, "-", "0.01"),
-            ("Clock Tree", |b| b.clock, "0.09 < P < 0.16", "0.05 < P < 0.08"),
+            (
+                "Clock Tree",
+                |b| b.clock,
+                "0.09 < P < 0.16",
+                "0.05 < P < 0.08",
+            ),
         ];
         for (name, get, paper_without, paper_with) in rows {
             let (lo_wo, hi_wo) = self.range(false, get);
@@ -291,7 +301,16 @@ impl fmt::Display for IntextReport {
         writeln!(
             f,
             "{:<8} | {:>7} | {:>9} | {:>9} | {:>7} | {:>7} | {:>8} | {:>8} | {:>6} | {:>6}",
-            "bench", "speedup", "ops/c w/", "ops/c w/o", "IM red.", "DM inc.", "iso-V sv", "scaled sv", "sync%", "clk x"
+            "bench",
+            "speedup",
+            "ops/c w/",
+            "ops/c w/o",
+            "IM red.",
+            "DM inc.",
+            "iso-V sv",
+            "scaled sv",
+            "sync%",
+            "clk x"
         )?;
         writeln!(f, "{}", "-".repeat(104))?;
         for r in &self.rows {
@@ -342,9 +361,7 @@ mod tests {
         assert!(text.contains("FIG. 3"));
         assert!(f3.saving_at_crossover > 0.2, "{}", f3.saving_at_crossover);
         // Improved design extends the workload range.
-        assert!(
-            f3.with_sync.last().unwrap().w_mops > f3.without_sync.last().unwrap().w_mops
-        );
+        assert!(f3.with_sync.last().unwrap().w_mops > f3.without_sync.last().unwrap().w_mops);
 
         let it = intext_report(&data, &model);
         assert_eq!(it.rows.len(), 3);
@@ -352,7 +369,11 @@ mod tests {
             // MRPDLN's baseline only degrades at realistic lengths; at
             // this smoke scale require non-regression for it.
             let strict = r.benchmark != Benchmark::Mrpdln;
-            assert!(r.speedup > if strict { 1.0 } else { 0.97 }, "{}", r.benchmark);
+            assert!(
+                r.speedup > if strict { 1.0 } else { 0.97 },
+                "{}",
+                r.benchmark
+            );
             assert!(r.sync_share < 0.05, "sync share {}", r.sync_share);
             if strict {
                 assert!(r.clock_ratio > 1.0);

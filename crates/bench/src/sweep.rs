@@ -1,0 +1,305 @@
+//! Batched experiment sweeps: run a (benchmark × design × core-count)
+//! grid across OS threads.
+//!
+//! Every grid cell is one deterministic, self-contained simulation, so the
+//! sweep distributes cells over a fixed worker pool with a shared atomic
+//! cursor. Each worker keeps one [`Platform`] per (design, core-count)
+//! pair and reuses it via [`ulp_kernels::run_benchmark_reusing`], so the
+//! engine's memories and cycle buffers are allocated once per thread
+//! rather than once per run. Results are returned in grid order and are
+//! bit-identical to serial execution.
+//!
+//! ```no_run
+//! use ulp_bench::{SweepSpec, run_sweep};
+//! use ulp_kernels::WorkloadConfig;
+//!
+//! let spec = SweepSpec::full_grid(WorkloadConfig::quick_test());
+//! let results = run_sweep(&spec).unwrap();
+//! for cell in &results.cells {
+//!     println!("{}", cell.describe());
+//! }
+//! ```
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use ulp_kernels::{run_benchmark_reusing, Benchmark, BenchmarkRun, RunnerError, WorkloadConfig};
+use ulp_platform::{Platform, PlatformConfig};
+
+/// The grid of a sweep: every combination of benchmark, design and core
+/// count is one simulation.
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    /// Benchmarks to run.
+    pub benchmarks: Vec<Benchmark>,
+    /// Designs to run: `true` = with synchronizer (improved), `false` =
+    /// baseline.
+    pub designs: Vec<bool>,
+    /// Core counts to run (1..=8; the kernels assume one private DM bank
+    /// per core).
+    pub core_counts: Vec<usize>,
+    /// Workload shared by every cell.
+    pub workload: WorkloadConfig,
+    /// Worker threads; `0` = one per available hardware thread.
+    pub threads: usize,
+}
+
+impl SweepSpec {
+    /// The full paper grid on `workload`: all three benchmarks, both
+    /// designs, 2/4/8 cores.
+    pub fn full_grid(workload: WorkloadConfig) -> SweepSpec {
+        SweepSpec {
+            benchmarks: Benchmark::ALL.to_vec(),
+            designs: vec![true, false],
+            core_counts: vec![2, 4, 8],
+            workload,
+            threads: 0,
+        }
+    }
+
+    /// The paper's own evaluation grid: all benchmarks, both designs, the
+    /// 8-core platform only.
+    pub fn paper_grid(workload: WorkloadConfig) -> SweepSpec {
+        SweepSpec {
+            core_counts: vec![8],
+            ..SweepSpec::full_grid(workload)
+        }
+    }
+
+    /// Number of grid cells.
+    pub fn len(&self) -> usize {
+        self.benchmarks.len() * self.designs.len() * self.core_counts.len()
+    }
+
+    /// Whether the grid is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn jobs(&self) -> Vec<(Benchmark, bool, usize)> {
+        let mut jobs = Vec::with_capacity(self.len());
+        for &benchmark in &self.benchmarks {
+            for &with_sync in &self.designs {
+                for &cores in &self.core_counts {
+                    jobs.push((benchmark, with_sync, cores));
+                }
+            }
+        }
+        jobs
+    }
+}
+
+/// One completed grid cell.
+#[derive(Debug, Clone)]
+pub struct SweepCell {
+    /// Core count of this cell's platform.
+    pub cores: usize,
+    /// The run itself (statistics, outputs, golden expectations).
+    pub run: BenchmarkRun,
+}
+
+impl SweepCell {
+    /// One-line human summary of the cell.
+    pub fn describe(&self) -> String {
+        format!(
+            "{:<7} {:<8} {} cores: {:>9} cycles, {:.2} ops/cycle, width {:.2}",
+            self.run.benchmark.name(),
+            if self.run.with_sync {
+                "sync"
+            } else {
+                "baseline"
+            },
+            self.cores,
+            self.run.stats.cycles,
+            self.run.stats.ops_per_cycle(),
+            self.run.stats.avg_lockstep_width(),
+        )
+    }
+}
+
+/// Everything a finished sweep produced.
+#[derive(Debug)]
+pub struct SweepResults {
+    /// Completed cells, in grid order (benchmark-major, then design, then
+    /// core count) regardless of which thread ran them.
+    pub cells: Vec<SweepCell>,
+    /// Worker threads used.
+    pub threads_used: usize,
+    /// Platforms constructed across all workers (the rest were reuses).
+    pub platforms_built: usize,
+}
+
+impl SweepResults {
+    /// The cell for an exact (benchmark, design, cores) coordinate.
+    pub fn cell(&self, benchmark: Benchmark, with_sync: bool, cores: usize) -> Option<&SweepCell> {
+        self.cells.iter().find(|c| {
+            c.run.benchmark == benchmark && c.run.with_sync == with_sync && c.cores == cores
+        })
+    }
+
+    /// Cycle-count speed-up of the improved design over the baseline at
+    /// one (benchmark, cores) coordinate, when both designs were swept.
+    pub fn speedup(&self, benchmark: Benchmark, cores: usize) -> Option<f64> {
+        let with = self.cell(benchmark, true, cores)?;
+        let without = self.cell(benchmark, false, cores)?;
+        Some(without.run.stats.cycles as f64 / with.run.stats.cycles as f64)
+    }
+}
+
+/// Runs every cell of `spec` across OS threads and returns the cells in
+/// grid order. Simulations are deterministic and independent, so the
+/// result is bit-identical to running the grid serially.
+///
+/// # Errors
+///
+/// The first [`RunnerError`] in grid order; remaining cells still run to
+/// completion.
+pub fn run_sweep(spec: &SweepSpec) -> Result<SweepResults, RunnerError> {
+    let jobs = spec.jobs();
+    let threads = if spec.threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        spec.threads
+    }
+    .min(jobs.len())
+    .max(1);
+
+    let cursor = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<Result<SweepCell, RunnerError>>>> =
+        Mutex::new((0..jobs.len()).map(|_| None).collect());
+    let platforms_built = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                // One platform per (design, core-count), reused across
+                // benchmarks: the dominant allocations (memories, cycle
+                // buffers) happen once per worker.
+                let mut cache: HashMap<(bool, usize), Platform> = HashMap::new();
+                loop {
+                    let index = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(&(benchmark, with_sync, cores)) = jobs.get(index) else {
+                        break;
+                    };
+                    let result = platform_for(
+                        &mut cache,
+                        with_sync,
+                        cores,
+                        &spec.workload,
+                        &platforms_built,
+                    )
+                    .and_then(|platform| run_benchmark_reusing(benchmark, platform, &spec.workload))
+                    .map(|run| SweepCell { cores, run });
+                    slots.lock().expect("no poisoned sweeps")[index] = Some(result);
+                }
+            });
+        }
+    });
+
+    let mut cells = Vec::with_capacity(jobs.len());
+    for slot in slots.into_inner().expect("no poisoned sweeps") {
+        cells.push(slot.expect("every job ran")?);
+    }
+    Ok(SweepResults {
+        cells,
+        threads_used: threads,
+        platforms_built: platforms_built.load(Ordering::Relaxed),
+    })
+}
+
+fn platform_for<'a>(
+    cache: &'a mut HashMap<(bool, usize), Platform>,
+    with_sync: bool,
+    cores: usize,
+    workload: &WorkloadConfig,
+    built: &AtomicUsize,
+) -> Result<&'a mut Platform, RunnerError> {
+    use std::collections::hash_map::Entry;
+    match cache.entry((with_sync, cores)) {
+        Entry::Occupied(e) => Ok(e.into_mut()),
+        Entry::Vacant(e) => {
+            let cfg = PlatformConfig::paper(with_sync)
+                .with_cores(cores)
+                .with_max_cycles(workload.max_cycles);
+            let platform = Platform::new(cfg)?;
+            built.fetch_add(1, Ordering::Relaxed);
+            Ok(e.insert(platform))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ulp_kernels::run_benchmark_on;
+
+    fn quick_spec() -> SweepSpec {
+        SweepSpec {
+            benchmarks: vec![Benchmark::Sqrt32, Benchmark::Mrpfltr],
+            designs: vec![true, false],
+            core_counts: vec![2, 4],
+            workload: WorkloadConfig::quick_test(),
+            threads: 0,
+        }
+    }
+
+    #[test]
+    fn sweep_matches_serial_execution_bit_exactly() {
+        let spec = quick_spec();
+        let results = run_sweep(&spec).expect("sweep runs");
+        assert_eq!(results.cells.len(), spec.len());
+        for cell in &results.cells {
+            cell.run.verify().expect("outputs match golden model");
+            let serial = run_benchmark_on(
+                cell.run.benchmark,
+                PlatformConfig::paper(cell.run.with_sync)
+                    .with_cores(cell.cores)
+                    .with_max_cycles(spec.workload.max_cycles),
+                &spec.workload,
+            )
+            .expect("serial run");
+            assert_eq!(cell.run.stats, serial.stats, "{}", cell.describe());
+            assert_eq!(cell.run.outputs, serial.outputs);
+        }
+    }
+
+    #[test]
+    fn sweep_cells_come_back_in_grid_order() {
+        let spec = quick_spec();
+        let results = run_sweep(&spec).expect("sweep runs");
+        let coords: Vec<(Benchmark, bool, usize)> = results
+            .cells
+            .iter()
+            .map(|c| (c.run.benchmark, c.run.with_sync, c.cores))
+            .collect();
+        assert_eq!(coords, spec.jobs());
+        assert!(results.threads_used >= 1);
+        assert!(results.platforms_built >= 1);
+    }
+
+    #[test]
+    fn speedup_is_positive_where_both_designs_ran() {
+        let mut spec = quick_spec();
+        spec.benchmarks = vec![Benchmark::Sqrt32];
+        spec.core_counts = vec![8];
+        let results = run_sweep(&spec).expect("sweep runs");
+        let speedup = results.speedup(Benchmark::Sqrt32, 8).expect("both designs");
+        assert!(speedup > 1.0, "sync design must win: {speedup}");
+        assert!(results.speedup(Benchmark::Mrpdln, 8).is_none());
+    }
+
+    #[test]
+    fn single_threaded_sweep_works() {
+        let mut spec = quick_spec();
+        spec.threads = 1;
+        spec.benchmarks = vec![Benchmark::Sqrt32];
+        let results = run_sweep(&spec).expect("sweep runs");
+        assert_eq!(results.threads_used, 1);
+        assert_eq!(results.cells.len(), 4);
+        // One worker, two designs x two core counts: four platforms, each
+        // reused nowhere in this tiny grid but cached per coordinate.
+        assert_eq!(results.platforms_built, 4);
+    }
+}

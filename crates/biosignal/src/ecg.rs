@@ -83,7 +83,7 @@ impl EcgSignal {
 /// The five characteristic waves of one heartbeat: relative amplitude,
 /// width (seconds) and offset from the R peak (seconds).
 const WAVES: [(f64, f64, f64); 5] = [
-    (0.15, 0.040, -0.180), // P
+    (0.15, 0.040, -0.180),  // P
     (-0.10, 0.012, -0.035), // Q
     (1.00, 0.014, 0.000),   // R
     (-0.22, 0.016, 0.030),  // S
@@ -165,8 +165,7 @@ pub fn generate(cfg: &EcgConfig, n: usize) -> EcgSignal {
     let phase = noise_rng.gen::<f64>() * std::f64::consts::TAU;
     for (i, s) in samples.iter_mut().enumerate() {
         let t = i as f64 / cfg.fs;
-        *s += cfg.baseline_wander
-            * (std::f64::consts::TAU * cfg.wander_freq * t + phase).sin();
+        *s += cfg.baseline_wander * (std::f64::consts::TAU * cfg.wander_freq * t + phase).sin();
         *s += cfg.noise_rms * gauss(&mut noise_rng);
     }
 
@@ -198,7 +197,9 @@ pub fn generate_channels(cfg: &EcgConfig, channels: usize, n: usize) -> Vec<EcgS
                 .noise_seed
                 .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(ch as u64 + 1));
             if cfg.independent_channels {
-                c.seed = cfg.seed.wrapping_add(0xD1B5_4A32_D192_ED03u64.wrapping_mul(ch as u64 + 1));
+                c.seed = cfg
+                    .seed
+                    .wrapping_add(0xD1B5_4A32_D192_ED03u64.wrapping_mul(ch as u64 + 1));
                 c.heart_rate_bpm = cfg.heart_rate_bpm * (0.85 + 0.05 * (ch % 7) as f64);
             }
             generate(&c, n)

@@ -176,7 +176,11 @@ mod tests {
             "sensitivity {:.2}",
             score.sensitivity()
         );
-        assert!(score.mean_abs_error <= 2.0, "localization {:.2}", score.mean_abs_error);
+        assert!(
+            score.mean_abs_error <= 2.0,
+            "localization {:.2}",
+            score.mean_abs_error
+        );
     }
 
     #[test]

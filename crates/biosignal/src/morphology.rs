@@ -58,7 +58,10 @@ pub fn closing(x: &[i16], l: usize) -> Vec<i16> {
 }
 
 fn window_scan(x: &[i16], l: usize, f: fn(i16, i16) -> i16) -> Vec<i16> {
-    assert!(l % 2 == 1, "structuring element length must be odd, got {l}");
+    assert!(
+        l % 2 == 1,
+        "structuring element length must be odd, got {l}"
+    );
     let h = l / 2;
     let n = x.len();
     let mut out = Vec::with_capacity(n);

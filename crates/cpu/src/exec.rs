@@ -193,7 +193,10 @@ mod tests {
 
     #[test]
     fn mul_and_mulh() {
-        assert_eq!(alu_exec(AluOp::Mul, 300, 300, F0).value, (90000u32 & 0xFFFF) as u16);
+        assert_eq!(
+            alu_exec(AluOp::Mul, 300, 300, F0).value,
+            (90000u32 & 0xFFFF) as u16
+        );
         // -2 * 3 = -6 -> high word all ones.
         assert_eq!(alu_exec(AluOp::Mulh, (-2i16) as u16, 3, F0).value, 0xFFFF);
         assert_eq!(alu_exec(AluOp::Mulh, 0x4000, 0x0004, F0).value, 0x0001);
@@ -214,10 +217,7 @@ mod tests {
 
     #[test]
     fn logic_preserves_carry() {
-        let f = Flags {
-            c: true,
-            ..F0
-        };
+        let f = Flags { c: true, ..F0 };
         let r = alu_exec(AluOp::And, 0xF0F0, 0x0FF0, f);
         assert_eq!(r.value, 0x00F0);
         assert!(r.flags.c, "carry must survive logic ops");

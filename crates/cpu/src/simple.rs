@@ -233,23 +233,27 @@ mod tests {
 
     #[test]
     fn arithmetic_program() {
-        let mut h = host("
+        let mut h = host(
+            "
             movi r1, #21
             mov  r2, r1
             add  r1, r2     ; r1 = 42
-            halt");
+            halt",
+        );
         h.run(100).unwrap();
         assert_eq!(h.core().reg(Reg::R1), 42);
     }
 
     #[test]
     fn countdown_loop() {
-        let mut h = host("
+        let mut h = host(
+            "
                 movi r0, #100
             loop:
                 addi r0, #-1
                 bne  loop
-                halt");
+                halt",
+        );
         h.run(10_000).unwrap();
         assert_eq!(h.core().reg(Reg::R0), 0);
         // 2 cycles per instruction: 1 movi + 100*(addi+bne) + halt.
@@ -258,7 +262,8 @@ mod tests {
 
     #[test]
     fn memory_program() {
-        let mut h = host("
+        let mut h = host(
+            "
             .equ BUF, 0x100
                 li   r2, BUF
                 movi r1, #7
@@ -266,7 +271,8 @@ mod tests {
                 stp  r1, [r2]
                 li   r2, BUF
                 ld   r3, [r2, #1]
-                halt");
+                halt",
+        );
         h.run(1000).unwrap();
         assert_eq!(h.dm(0x100), 7);
         assert_eq!(h.dm(0x101), 7);
@@ -275,7 +281,8 @@ mod tests {
 
     #[test]
     fn subroutine_with_stack() {
-        let mut h = host("
+        let mut h = host(
+            "
                 li   sp, 0x7FF
                 movi r0, #5
                 call double
@@ -285,7 +292,8 @@ mod tests {
                 mov  r1, r0
                 add  r0, r1
                 pop  r1
-                ret");
+                ret",
+        );
         h.run(1000).unwrap();
         assert_eq!(h.core().reg(Reg::R0), 10);
         assert_eq!(h.core().reg(Reg::R6), 0x7FF, "stack balanced");
@@ -295,14 +303,16 @@ mod tests {
     fn single_core_sync_section_does_not_block() {
         // A single core checking in and out must pass straight through
         // (counter reaches zero at its own check-out).
-        let mut h = host("
+        let mut h = host(
+            "
             .equ SYNC, 0x4800
                 li   r1, SYNC
                 wrsync r1
                 sinc #0
                 movi r2, #9
                 sdec #0
-                halt");
+                halt",
+        );
         h.run(1000).unwrap();
         assert_eq!(h.core().reg(Reg::R2), 9);
         assert_eq!(h.dm(0x4800), 0, "sync word cleared after barrier");
@@ -312,9 +322,11 @@ mod tests {
 
     #[test]
     fn sync_ops_cost_two_execute_cycles() {
-        let mut h = host("
+        let mut h = host(
+            "
                 sinc #0
-                halt");
+                halt",
+        );
         h.run(100).unwrap();
         // sinc: fetch + 2 execute; halt: fetch + 1 execute.
         assert_eq!(h.core().cycles(), 3 + 2);
@@ -322,7 +334,8 @@ mod tests {
 
     #[test]
     fn sleep_then_interrupt_wakes() {
-        let mut h = host("
+        let mut h = host(
+            "
                 br   main       ; reset vector
                 br   isr        ; irq vector
             main:
@@ -333,7 +346,8 @@ mod tests {
                 halt
             isr:
                 movi r3, #3
-                iret");
+                iret",
+        );
         // Run until the core is asleep.
         for _ in 0..100 {
             h.step().unwrap();
@@ -374,7 +388,8 @@ mod tests {
 
     #[test]
     fn fibonacci() {
-        let mut h = host("
+        let mut h = host(
+            "
                 movi r0, #10    ; n
                 clr  r1         ; fib(0)
                 movi r2, #1     ; fib(1)
@@ -384,7 +399,8 @@ mod tests {
                 mov  r1, r3
                 addi r0, #-1
                 bne  loop
-                halt");
+                halt",
+        );
         h.run(10_000).unwrap();
         assert_eq!(h.core().reg(Reg::R1), 55, "fib(10)");
     }

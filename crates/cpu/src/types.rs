@@ -108,7 +108,10 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = CoreError::IllegalInstruction { pc: 4, word: 0xF800 };
+        let e = CoreError::IllegalInstruction {
+            pc: 4,
+            word: 0xF800,
+        };
         assert_eq!(e.to_string(), "illegal instruction 0xf800 at pc 0x0004");
     }
 }

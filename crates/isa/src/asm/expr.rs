@@ -181,7 +181,9 @@ impl<'a> ExprParser<'a> {
 
 fn wrap_shift(lhs: i64, rhs: i64, left: bool) -> Result<i64, AsmErrorKind> {
     if !(0..64).contains(&rhs) {
-        return Err(AsmErrorKind::Syntax(format!("shift amount {rhs} out of range")));
+        return Err(AsmErrorKind::Syntax(format!(
+            "shift amount {rhs} out of range"
+        )));
     }
     Ok(if left { lhs << rhs } else { lhs >> rhs })
 }

@@ -54,13 +54,14 @@ pub fn lex_line(line: &str) -> Result<Vec<Tok>, AsmErrorKind> {
             }
             c if c.is_ascii_digit() => {
                 let start = i;
-                let (radix, skip) = if c == '0' && matches!(bytes.get(i + 1), Some(b'x') | Some(b'X')) {
-                    (16, 2)
-                } else if c == '0' && matches!(bytes.get(i + 1), Some(b'b') | Some(b'B')) {
-                    (2, 2)
-                } else {
-                    (10, 0)
-                };
+                let (radix, skip) =
+                    if c == '0' && matches!(bytes.get(i + 1), Some(b'x') | Some(b'X')) {
+                        (16, 2)
+                    } else if c == '0' && matches!(bytes.get(i + 1), Some(b'b') | Some(b'B')) {
+                        (2, 2)
+                    } else {
+                        (10, 0)
+                    };
                 i += skip;
                 let digits_start = i;
                 while i < bytes.len()
@@ -68,7 +69,10 @@ pub fn lex_line(line: &str) -> Result<Vec<Tok>, AsmErrorKind> {
                 {
                     i += 1;
                 }
-                let text: String = line[digits_start..i].chars().filter(|c| *c != '_').collect();
+                let text: String = line[digits_start..i]
+                    .chars()
+                    .filter(|c| *c != '_')
+                    .collect();
                 if skip > 0 && text.is_empty() {
                     return Err(AsmErrorKind::BadNumber(line[start..i].to_string()));
                 }

@@ -244,7 +244,10 @@ enum Operand {
     /// `#expr` immediate.
     Imm(i64),
     /// `[base]` or `[base, #off]`.
-    Mem { base: Reg, offset: i64 },
+    Mem {
+        base: Reg,
+        offset: i64,
+    },
     /// Bare expression (branch/call target = absolute word address).
     Target(i64),
 }
@@ -447,10 +450,7 @@ impl Assembler {
     fn parse_space(&self, toks: &[Tok], line: usize) -> Result<(u16, u16), AsmError> {
         let values = self.eval_list(toks, line)?;
         match values.as_slice() {
-            [count] => Ok((
-                to_u16(*count).map_err(|kind| AsmError { line, kind })?,
-                0,
-            )),
+            [count] => Ok((to_u16(*count).map_err(|kind| AsmError { line, kind })?, 0)),
             [count, fill] => Ok((
                 to_u16(*count).map_err(|kind| AsmError { line, kind })?,
                 to_u16(*fill).map_err(|kind| AsmError { line, kind })?,
@@ -637,17 +637,9 @@ fn imm_range(v: i64, lo: i64, hi: i64) -> Result<i64, AsmErrorKind> {
 }
 
 /// Lowers one statement into concrete instructions.
-fn lower_statement(
-    mnemonic: &str,
-    ops: &[Operand],
-    addr: u16,
-) -> Result<Vec<Instr>, AsmErrorKind> {
+fn lower_statement(mnemonic: &str, ops: &[Operand], addr: u16) -> Result<Vec<Instr>, AsmErrorKind> {
     use Operand as O;
-    let bad = || {
-        AsmErrorKind::Syntax(format!(
-            "invalid operands for {mnemonic}: {ops:?}"
-        ))
-    };
+    let bad = || AsmErrorKind::Syntax(format!("invalid operands for {mnemonic}: {ops:?}"));
 
     // Relative displacement from the *next* instruction to target `t`.
     let rel = |t: i64, limit: i64| -> Result<i16, AsmErrorKind> {

@@ -43,13 +43,11 @@ fn basic_instructions() {
 
 #[test]
 fn labels_and_branches() {
-    let p = asm(
-        "start: movi r0, #10
+    let p = asm("start: movi r0, #10
          loop:  addi r0, #-1
                 bne loop
                 br start
-                halt",
-    );
+                halt");
     assert_eq!(p.symbol("start"), Some(0));
     assert_eq!(p.symbol("loop"), Some(1));
     let v: Vec<Instr> = p.iter().map(|(_, w)| decode(w).unwrap()).collect();
@@ -138,13 +136,11 @@ fn memory_operands() {
 
 #[test]
 fn equ_and_expressions() {
-    let p = asm(
-        "   .equ BASE, 0x1000
+    let p = asm("   .equ BASE, 0x1000
             .equ N, 4 * 8
             li r1, BASE + N
             movi r2, #lo(BASE + 2)
-            sinc #N / 8",
-    );
+            sinc #N / 8");
     let v: Vec<Instr> = p.iter().map(|(_, w)| decode(w).unwrap()).collect();
     assert_eq!(
         v[0],
@@ -172,12 +168,10 @@ fn equ_and_expressions() {
 
 #[test]
 fn org_word_space() {
-    let p = asm(
-        "   .org 0x10
+    let p = asm("   .org 0x10
             .word 1, 2, 0xFFFF
             .space 3, 7
-         data_end:",
-    );
+         data_end:");
     let words: Vec<(u16, u16)> = p.iter().collect();
     assert_eq!(
         words,
@@ -196,11 +190,21 @@ fn org_word_space() {
 
 #[test]
 fn to_vec_zero_fills() {
-    let p = asm(
-        "   .org 2
-            movi r0, #1",
+    let p = asm("   .org 2
+            movi r0, #1");
+    assert_eq!(
+        p.to_vec(0, 4),
+        vec![
+            0,
+            0,
+            encode(Instr::MovI {
+                rd: Reg::R0,
+                imm: 1
+            })
+            .unwrap(),
+            0
+        ]
     );
-    assert_eq!(p.to_vec(0, 4), vec![0, 0, encode(Instr::MovI { rd: Reg::R0, imm: 1 }).unwrap(), 0]);
 }
 
 #[test]
@@ -259,7 +263,13 @@ fn pseudo_instructions() {
             imm: 1
         }
     );
-    assert_eq!(v[6], Instr::AddI { rd: Reg::R4, imm: 1 });
+    assert_eq!(
+        v[6],
+        Instr::AddI {
+            rd: Reg::R4,
+            imm: 1
+        }
+    );
     assert_eq!(
         v[7],
         Instr::AddI {
@@ -267,8 +277,20 @@ fn pseudo_instructions() {
             imm: -1
         }
     );
-    assert_eq!(v[8], Instr::MovI { rd: Reg::R0, imm: 0 });
-    assert_eq!(v[9], Instr::CmpI { rd: Reg::R1, imm: 0 });
+    assert_eq!(
+        v[8],
+        Instr::MovI {
+            rd: Reg::R0,
+            imm: 0
+        }
+    );
+    assert_eq!(
+        v[9],
+        Instr::CmpI {
+            rd: Reg::R1,
+            imm: 0
+        }
+    );
     assert_eq!(v[10], Instr::Jr { rs: Reg::LR });
 }
 
@@ -280,7 +302,13 @@ fn immediate_sugar() {
             cmp r1, #-4
             mov r1, #99",
     );
-    assert_eq!(v[0], Instr::AddI { rd: Reg::R1, imm: 3 });
+    assert_eq!(
+        v[0],
+        Instr::AddI {
+            rd: Reg::R1,
+            imm: 3
+        }
+    );
     assert_eq!(
         v[1],
         Instr::AddI {
@@ -337,11 +365,9 @@ fn csr_and_sync() {
 
 #[test]
 fn jal_and_call() {
-    let p = asm(
-        "       call func
+    let p = asm("       call func
                 halt
-         func:  ret",
-    );
+         func:  ret");
     let v: Vec<Instr> = p.iter().map(|(_, w)| decode(w).unwrap()).collect();
     assert_eq!(v[0], Instr::Jal { offset: 1 });
 }
@@ -432,11 +458,9 @@ fn disassembly_reassembles() {
 
 #[test]
 fn listing_shows_labels_data_and_disassembly() {
-    let p = asm(
-        "start:  movi r1, #7
+    let p = asm("start:  movi r1, #7
                  halt
-         table:  .word 0xF800, 42",
-    );
+         table:  .word 0xF800, 42");
     let listing = p.listing();
     assert!(listing.contains("start:"));
     assert!(listing.contains("table:"));
@@ -450,10 +474,8 @@ fn listing_shows_labels_data_and_disassembly() {
 
 #[test]
 fn expressions_in_word_directives() {
-    let p = asm(
-        "   .equ BASE, 0x1200
-            .word lo(BASE), hi(BASE), BASE + 2, ~0 & 0xFF",
-    );
+    let p = asm("   .equ BASE, 0x1200
+            .word lo(BASE), hi(BASE), BASE + 2, ~0 & 0xFF");
     assert_eq!(p.to_vec(0, 4), vec![0x00, 0x12, 0x1202, 0xFF]);
 }
 

@@ -91,7 +91,11 @@ pub struct DecodeError {
 
 impl fmt::Display for DecodeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "word {:#06x} is not a valid ULP16 instruction", self.word)
+        write!(
+            f,
+            "word {:#06x} is not a valid ULP16 instruction",
+            self.word
+        )
     }
 }
 
@@ -141,7 +145,10 @@ pub fn encode(instr: Instr) -> Result<u16, EncodeError> {
             if amount > 15 {
                 return Err(EncodeError::ShiftOutOfRange(amount));
             }
-            let k = ShiftKind::ALL.iter().position(|x| *x == kind).expect("in ALL") as u16;
+            let k = ShiftKind::ALL
+                .iter()
+                .position(|x| *x == kind)
+                .expect("in ALL") as u16;
             OP_SHIFT << 11 | (rd.index() as u16) << 8 | k << 4 | amount as u16
         }
         Instr::Unary { op, rd } => {
@@ -433,7 +440,16 @@ pub(crate) mod tests {
         // NOP with non-zero payload.
         assert!(decode(0x0001).is_err());
         // ALU with non-zero funct bits.
-        assert!(decode(encode(Instr::Alu { op: AluOp::Add, rd: Reg::R0, rs: Reg::R0 }).unwrap() | 1).is_err());
+        assert!(decode(
+            encode(Instr::Alu {
+                op: AluOp::Add,
+                rd: Reg::R0,
+                rs: Reg::R0
+            })
+            .unwrap()
+                | 1
+        )
+        .is_err());
         // UNARY with funct 6 (reserved).
         assert!(decode(OP_UNARY << 11 | 6).is_err());
         // CSR with funct 9 (reserved).

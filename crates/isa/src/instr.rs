@@ -80,7 +80,12 @@ pub enum ShiftKind {
 
 impl ShiftKind {
     /// All shift kinds in encoding order.
-    pub const ALL: [ShiftKind; 4] = [ShiftKind::Shl, ShiftKind::Shr, ShiftKind::Asr, ShiftKind::Ror];
+    pub const ALL: [ShiftKind; 4] = [
+        ShiftKind::Shl,
+        ShiftKind::Shr,
+        ShiftKind::Asr,
+        ShiftKind::Ror,
+    ];
 
     /// The assembler mnemonic.
     pub fn mnemonic(self) -> &'static str {
@@ -367,7 +372,10 @@ impl Instr {
                 | Instr::Jal { .. }
                 | Instr::Jr { .. }
                 | Instr::Jalr { .. }
-                | Instr::Csr { op: CsrOp::Iret, .. }
+                | Instr::Csr {
+                    op: CsrOp::Iret,
+                    ..
+                }
         )
     }
 

@@ -240,9 +240,10 @@ pub fn kernel_source(benchmark: Benchmark, cfg: &WorkloadConfig, instrumented: b
         Benchmark::Mrpfltr => {
             mrpfltr_source(&MrpfltrParams::from_config(cfg.n, &cfg.mrpfltr), &options)
         }
-        Benchmark::Mrpdln => {
-            mrpdln_source(&MrpdlnParams::from_config(cfg.n, &cfg.delineation), &options)
-        }
+        Benchmark::Mrpdln => mrpdln_source(
+            &MrpdlnParams::from_config(cfg.n, &cfg.delineation),
+            &options,
+        ),
         Benchmark::Sqrt32 => sqrt32_source(&Sqrt32Params { n: cfg.n as u16 }, &options),
     }
 }
@@ -309,22 +310,44 @@ pub fn run_benchmark_on(
     platform_cfg: PlatformConfig,
     cfg: &WorkloadConfig,
 ) -> Result<BenchmarkRun, RunnerError> {
+    let mut platform = Platform::new(platform_cfg)?;
+    run_benchmark_reusing(benchmark, &mut platform, cfg)
+}
+
+/// [`run_benchmark_on`] on a caller-owned platform: the platform is
+/// [reset](Platform::reset), loaded and run in place, so its memories and
+/// cycle buffers are reused instead of reallocated. This is what the sweep
+/// runner uses to amortize platform construction over a grid of runs.
+///
+/// # Errors
+///
+/// See [`run_benchmark`].
+///
+/// # Panics
+///
+/// Panics if `cfg.n` is outside the buffer layout's capacity or the
+/// platform has more than 8 cores (one private DM bank per core).
+pub fn run_benchmark_reusing(
+    benchmark: Benchmark,
+    platform: &mut Platform,
+    cfg: &WorkloadConfig,
+) -> Result<BenchmarkRun, RunnerError> {
     assert!(
         cfg.n >= 4 && cfg.n <= crate::layout::MAX_N,
         "n = {} outside supported range",
         cfg.n
     );
     assert!(
-        platform_cfg.num_cores <= 8,
+        platform.config().num_cores <= 8,
         "kernels assume one private DM bank per core"
     );
-    let with_sync = platform_cfg.synchronizer;
-    let num_cores = platform_cfg.num_cores;
+    let with_sync = platform.config().synchronizer;
+    let num_cores = platform.config().num_cores;
     let channels = generate_channels(&cfg.ecg, num_cores, cfg.n);
 
     let source = kernel_source(benchmark, cfg, with_sync);
     let program = assemble(&source)?;
-    let mut platform = Platform::new(platform_cfg)?;
+    platform.reset();
     platform.load_program(&program);
 
     // Load per-core inputs at their configured buffer placement.
@@ -418,12 +441,25 @@ mod tests {
             // baseline to actually diverge, which MRPDLN's only does at
             // realistic signal lengths.
             assert!(
-                with.stats.im_accesses_per_op()
-                    < 1.02 * without.stats.im_accesses_per_op(),
+                with.stats.im_accesses_per_op() < 1.02 * without.stats.im_accesses_per_op(),
                 "{benchmark}: IM/op {:.3} vs {:.3}",
                 with.stats.im_accesses_per_op(),
                 without.stats.im_accesses_per_op()
             );
+        }
+    }
+
+    #[test]
+    fn reused_platform_matches_fresh_runs() {
+        let cfg = WorkloadConfig::quick_test();
+        let mut platform =
+            Platform::new(PlatformConfig::paper(true).with_max_cycles(cfg.max_cycles)).unwrap();
+        for benchmark in Benchmark::ALL {
+            let fresh = run_benchmark(benchmark, true, &cfg).unwrap();
+            let reused = run_benchmark_reusing(benchmark, &mut platform, &cfg).unwrap();
+            reused.verify().unwrap();
+            assert_eq!(fresh.stats, reused.stats, "{benchmark}");
+            assert_eq!(fresh.outputs, reused.outputs, "{benchmark}");
         }
     }
 
@@ -462,8 +498,7 @@ mod footprint_tests {
             for benchmark in Benchmark::ALL {
                 for instrumented in [true, false] {
                     let source = kernel_source(benchmark, &cfg, instrumented);
-                    let program =
-                        ulp_isa::asm::assemble(&source).unwrap_or_else(|e| panic!("{e}"));
+                    let program = ulp_isa::asm::assemble(&source).unwrap_or_else(|e| panic!("{e}"));
                     assert!(
                         program.extent() <= ulp_isa::arch::IM_BANK_WORDS,
                         "{benchmark} ({granularity:?}, instrumented={instrumented}): \

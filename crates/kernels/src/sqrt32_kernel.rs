@@ -140,7 +140,10 @@ mod tests {
     #[test]
     fn assembles_both_variants() {
         for instrumented in [false, true] {
-            let src = sqrt32_source(&Sqrt32Params { n: 32 }, &KernelOptions::for_design(instrumented));
+            let src = sqrt32_source(
+                &Sqrt32Params { n: 32 },
+                &KernelOptions::for_design(instrumented),
+            );
             assemble(&src).unwrap_or_else(|e| panic!("{e}\n{src}"));
             assert_eq!(src.contains("sinc"), instrumented);
         }
@@ -168,7 +171,9 @@ mod tests {
 
     #[test]
     fn single_core_matches_golden_in_both_layouts() {
-        let a: Vec<i16> = (0..48i64).map(|i| ((i * 131) % 4095 - 2047) as i16).collect();
+        let a: Vec<i16> = (0..48i64)
+            .map(|i| ((i * 131) % 4095 - 2047) as i16)
+            .collect();
         let b: Vec<i16> = (0..48i64)
             .map(|i| ((i * 37 + 1000) % 4095 - 2047) as i16)
             .collect();

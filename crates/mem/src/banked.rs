@@ -1,7 +1,5 @@
 //! Banked word-addressed memory with locking and access statistics.
 
-use std::collections::BTreeSet;
-
 /// How word addresses map onto banks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BankMapping {
@@ -17,7 +15,11 @@ pub enum BankMapping {
 }
 
 /// Physical access counters of one [`BankedMemory`].
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+///
+/// A plain `Copy` bundle of counters, so per-run statistics collection
+/// copies it instead of cloning heap state. Per-bank access counts live on
+/// the memory itself ([`BankedMemory::per_bank_accesses`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MemStats {
     /// Physical bank read operations (one per served address-group).
     pub bank_reads: u64,
@@ -26,18 +28,9 @@ pub struct MemStats {
     /// Requesters served on top of the first one by a broadcast read
     /// (i.e. accesses *saved* by broadcasting).
     pub broadcast_extra: u64,
-    /// Per-bank physical access counts (reads + writes).
-    pub per_bank: Vec<u64>,
 }
 
 impl MemStats {
-    fn new(banks: usize) -> MemStats {
-        MemStats {
-            per_bank: vec![0; banks],
-            ..Default::default()
-        }
-    }
-
     /// Total physical bank accesses.
     pub fn total_accesses(&self) -> u64 {
         self.bank_reads + self.bank_writes
@@ -70,8 +63,12 @@ pub struct BankedMemory {
     banks: usize,
     bank_words: usize,
     mapping: BankMapping,
-    locked: BTreeSet<u16>,
+    /// Currently locked words. A plain vector (not a set): at most a
+    /// handful of words are locked at once (one per in-flight synchronizer
+    /// RMW), and lock/unlock must not allocate in steady state.
+    locked: Vec<u16>,
     stats: MemStats,
+    per_bank: Vec<u64>,
 }
 
 impl BankedMemory {
@@ -88,8 +85,9 @@ impl BankedMemory {
             banks,
             bank_words: words / banks,
             mapping,
-            locked: BTreeSet::new(),
-            stats: MemStats::new(banks),
+            locked: Vec::new(),
+            stats: MemStats::default(),
+            per_bank: vec![0; banks],
         }
     }
 
@@ -132,7 +130,7 @@ impl BankedMemory {
     pub fn read(&mut self, addr: u16) -> u16 {
         let bank = self.bank_of(addr);
         self.stats.bank_reads += 1;
-        self.stats.per_bank[bank] += 1;
+        self.per_bank[bank] += 1;
         self.words[self.index(addr)]
     }
 
@@ -150,7 +148,7 @@ impl BankedMemory {
     pub fn write(&mut self, addr: u16, value: u16) {
         let bank = self.bank_of(addr);
         self.stats.bank_writes += 1;
-        self.stats.per_bank[bank] += 1;
+        self.per_bank[bank] += 1;
         let i = self.index(addr);
         self.words[i] = value;
     }
@@ -175,12 +173,14 @@ impl BankedMemory {
 
     /// Locks a word against ordinary accesses (synchronizer RMW in flight).
     pub fn lock_word(&mut self, addr: u16) {
-        self.locked.insert(addr);
+        if !self.locked.contains(&addr) {
+            self.locked.push(addr);
+        }
     }
 
     /// Releases a word lock.
     pub fn unlock_word(&mut self, addr: u16) {
-        self.locked.remove(&addr);
+        self.locked.retain(|&a| a != addr);
     }
 
     /// Whether a word is currently locked.
@@ -193,9 +193,24 @@ impl BankedMemory {
         &self.stats
     }
 
+    /// Per-bank physical access counts (reads + writes), indexed by bank.
+    pub fn per_bank_accesses(&self) -> &[u64] {
+        &self.per_bank
+    }
+
     /// Resets the access statistics (e.g. after a warm-up phase).
     pub fn reset_stats(&mut self) {
-        self.stats = MemStats::new(self.banks);
+        self.stats = MemStats::default();
+        self.per_bank.fill(0);
+    }
+
+    /// Zeroes every word, releases all locks and resets the statistics,
+    /// keeping the allocation — so a platform can be reused for another
+    /// run without reallocating its memories.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+        self.locked.clear();
+        self.reset_stats();
     }
 }
 
@@ -231,7 +246,7 @@ mod tests {
         m.write(4, 1);
         assert_eq!(m.stats().bank_reads, 1);
         assert_eq!(m.stats().bank_writes, 1);
-        assert_eq!(m.stats().per_bank[0], 2);
+        assert_eq!(m.per_bank_accesses()[0], 2);
     }
 
     #[test]

@@ -10,7 +10,6 @@
 //! served, so the group resumes in lockstep.
 
 use crate::banked::BankedMemory;
-use std::collections::BTreeMap;
 
 /// The direction and payload of a data access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -104,8 +103,13 @@ pub struct DXbarOutcome {
 pub struct DXbar {
     policy: ServingPolicy,
     rr: Vec<usize>,
-    /// Held cores per synchronous-group PC: `pc -> held core ids`.
-    held: BTreeMap<u16, Vec<usize>>,
+    /// Synchronous-group PC each core is held under (`None` = not held),
+    /// indexed by core id; grown on demand.
+    held_pc: Vec<Option<u16>>,
+    /// Scratch: requests served this cycle with their read data.
+    serve: Vec<(DmRequest, Option<u16>)>,
+    /// Scratch: per-PC count of requesters left unserved this cycle.
+    unserved: Vec<(u16, usize)>,
     stats: DXbarStats,
 }
 
@@ -115,7 +119,9 @@ impl DXbar {
         DXbar {
             policy,
             rr: vec![0; banks],
-            held: BTreeMap::new(),
+            held_pc: Vec::new(),
+            serve: Vec::new(),
+            unserved: Vec::new(),
             stats: DXbarStats::default(),
         }
     }
@@ -132,18 +138,48 @@ impl DXbar {
 
     /// Core ids currently held by the enhanced policy.
     pub fn held_cores(&self) -> Vec<usize> {
-        let mut v: Vec<usize> = self.held.values().flatten().copied().collect();
-        v.sort_unstable();
-        v
+        self.held_pc
+            .iter()
+            .enumerate()
+            .filter(|(_, pc)| pc.is_some())
+            .map(|(core, _)| core)
+            .collect()
     }
 
-    /// Arbitrates one cycle of data requests.
+    /// Resets the rotating-priority pointers, drops all held groups and
+    /// clears the statistics, so the arbiter can be reused for a fresh run.
+    pub fn reset(&mut self) {
+        self.rr.fill(0);
+        self.held_pc.fill(None);
+        self.stats = DXbarStats::default();
+    }
+
+    /// Arbitrates one cycle of data requests, allocating a fresh outcome.
+    ///
+    /// Convenience wrapper around [`DXbar::arbitrate_into`].
+    pub fn arbitrate(&mut self, requests: &[DmRequest], dmem: &mut BankedMemory) -> DXbarOutcome {
+        let mut outcome = DXbarOutcome::default();
+        self.arbitrate_into(requests, dmem, &mut outcome);
+        outcome
+    }
+
+    /// Arbitrates one cycle of data requests into a caller-provided
+    /// outcome buffer (cleared first).
     ///
     /// `requests` must contain at most one request per core and excludes
     /// cores currently held (they have no outstanding request; they are
-    /// waiting for their group). Returns the grants for this cycle and the
-    /// cores to release.
-    pub fn arbitrate(&mut self, requests: &[DmRequest], dmem: &mut BankedMemory) -> DXbarOutcome {
+    /// waiting for their group). Fills `outcome` with the grants for this
+    /// cycle and the cores to release. All scratch state is reused across
+    /// calls, so a caller that reuses `outcome` runs allocation-free in
+    /// steady state.
+    pub fn arbitrate_into(
+        &mut self,
+        requests: &[DmRequest],
+        dmem: &mut BankedMemory,
+        outcome: &mut DXbarOutcome,
+    ) {
+        outcome.grants.clear();
+        outcome.releases.clear();
         self.stats.requests += requests.len() as u64;
         let banks = dmem.banks();
         let ncores = requests
@@ -154,117 +190,134 @@ impl DXbar {
             .max(self.rr.len());
 
         // ---- per-bank arbitration: pick and serve one address-group ----
-        let mut served: Vec<(DmRequest, Option<u16>)> = Vec::new();
+        let mut serve = std::mem::take(&mut self.serve);
+        serve.clear();
         for bank in 0..banks {
-            let in_bank: Vec<&DmRequest> = requests
-                .iter()
-                .filter(|r| dmem.bank_of(r.addr) == bank)
-                .collect();
-            if in_bank.is_empty() {
+            let mut in_bank = 0usize;
+            let mut unlocked = 0usize;
+            let mut first_addr = None;
+            let mut conflict = false;
+            for r in requests.iter().filter(|r| dmem.bank_of(r.addr) == bank) {
+                in_bank += 1;
+                if !dmem.is_locked(r.addr) {
+                    unlocked += 1;
+                    match first_addr {
+                        None => first_addr = Some(r.addr),
+                        Some(a) if a != r.addr => conflict = true,
+                        Some(_) => {}
+                    }
+                }
+            }
+            if in_bank == 0 {
                 continue;
             }
-            let unlocked: Vec<&DmRequest> = in_bank
-                .iter()
-                .copied()
-                .filter(|r| !dmem.is_locked(r.addr))
-                .collect();
-            let locked_out = in_bank.len() - unlocked.len();
+            let locked_out = in_bank - unlocked;
             self.stats.lock_stalls += locked_out as u64;
-            if unlocked.is_empty() {
+            if unlocked == 0 {
                 self.stats.stalls += locked_out as u64;
                 continue;
             }
-            let distinct = {
-                let mut addrs: Vec<u16> = unlocked.iter().map(|r| r.addr).collect();
-                addrs.sort_unstable();
-                addrs.dedup();
-                addrs.len()
-            };
-            if distinct > 1 {
+            if conflict {
                 self.stats.conflict_cycles += 1;
             }
 
+            let eligible = |r: &DmRequest, dmem: &BankedMemory| {
+                dmem.bank_of(r.addr) == bank && !dmem.is_locked(r.addr)
+            };
             let ptr = self.rr[bank];
             let winner_core = (0..ncores)
                 .map(|i| (ptr + i) % ncores)
-                .find(|c| unlocked.iter().any(|r| r.core == *c))
+                .find(|c| requests.iter().any(|r| r.core == *c && eligible(r, dmem)))
                 .expect("bank has unlocked requests");
-            let winner = *unlocked
+            let winner = *requests
                 .iter()
-                .find(|r| r.core == winner_core)
+                .find(|r| r.core == winner_core && eligible(r, dmem))
                 .expect("winner requested");
             self.rr[bank] = (winner_core + 1) % ncores;
 
             match winner.access {
-                Access::Write(_) => {
+                Access::Write(value) => {
                     // Writes never merge: serve exactly the winner.
-                    let Access::Write(value) = winner.access else {
-                        unreachable!()
-                    };
                     dmem.write(winner.addr, value);
-                    served.push((*winner, None));
-                    self.stats.stalls += (in_bank.len() - 1 - locked_out) as u64;
+                    serve.push((winner, None));
+                    self.stats.stalls += (in_bank - 1 - locked_out) as u64;
                 }
                 Access::Read => {
                     // Broadcast to every reader of the same address.
-                    let group: Vec<&DmRequest> = unlocked
-                        .iter()
-                        .copied()
-                        .filter(|r| r.addr == winner.addr && r.access == Access::Read)
-                        .collect();
-                    let word = dmem.read_broadcast(winner.addr, group.len());
-                    self.stats.stalls += (in_bank.len() - group.len() - locked_out) as u64;
-                    for r in group {
-                        served.push((*r, Some(word)));
+                    let in_group = |r: &DmRequest, dmem: &BankedMemory| {
+                        eligible(r, dmem) && r.addr == winner.addr && r.access == Access::Read
+                    };
+                    let group = requests.iter().filter(|r| in_group(r, dmem)).count();
+                    let word = dmem.read_broadcast(winner.addr, group);
+                    self.stats.stalls += (in_bank - group - locked_out) as u64;
+                    for r in requests.iter().filter(|r| in_group(r, dmem)) {
+                        serve.push((*r, Some(word)));
                     }
                 }
             }
         }
-        self.stats.grants += served.len() as u64;
-        self.stats.transfers += served.len() as u64;
+        self.stats.grants += serve.len() as u64;
+        self.stats.transfers += serve.len() as u64;
 
         // ---- serving-policy post-pass: hold/release synchronous groups ----
-        let mut outcome = DXbarOutcome::default();
         match self.policy {
             ServingPolicy::Baseline => {
-                outcome.grants = served
-                    .into_iter()
-                    .map(|(r, data)| DmGrant::Complete { core: r.core, data })
-                    .collect();
+                outcome.grants.extend(
+                    serve
+                        .iter()
+                        .map(|&(r, data)| DmGrant::Complete { core: r.core, data }),
+                );
             }
             ServingPolicy::SyncAware => {
                 // Unserved requesters per PC (cores still inside the
                 // conflict): the group with that PC must keep waiting.
-                let mut unserved_pcs: BTreeMap<u16, usize> = BTreeMap::new();
+                let mut unserved = std::mem::take(&mut self.unserved);
+                unserved.clear();
                 for r in requests {
-                    if !served.iter().any(|(s, _)| s.core == r.core) {
-                        *unserved_pcs.entry(r.pc).or_insert(0) += 1;
+                    if !serve.iter().any(|(s, _)| s.core == r.core) {
+                        match unserved.iter_mut().find(|(pc, _)| *pc == r.pc) {
+                            Some((_, n)) => *n += 1,
+                            None => unserved.push((r.pc, 1)),
+                        }
                     }
                 }
-                for (r, data) in served {
-                    let group_open = unserved_pcs.get(&r.pc).copied().unwrap_or(0) > 0;
-                    let group_exists = self.held.contains_key(&r.pc);
+                for &(r, data) in &serve {
+                    let group_open = unserved.iter().any(|&(pc, n)| pc == r.pc && n > 0);
+                    let group_exists = self.held_pc.contains(&Some(r.pc));
                     // Hold when synchronous peers are still unserved, or a
                     // held group for this PC already exists and peers remain.
                     if group_open {
-                        self.held.entry(r.pc).or_default().push(r.core);
+                        self.hold(r.core, r.pc);
                         self.stats.holds += 1;
                         outcome.grants.push(DmGrant::Hold { core: r.core, data });
                     } else {
                         // Last members of the group: complete, and release
                         // any held peers.
                         if group_exists {
-                            if let Some(held) = self.held.remove(&r.pc) {
-                                self.stats.releases += held.len() as u64;
-                                outcome.releases.extend(held);
+                            for (core, held) in self.held_pc.iter_mut().enumerate() {
+                                if *held == Some(r.pc) {
+                                    *held = None;
+                                    self.stats.releases += 1;
+                                    outcome.releases.push(core);
+                                }
                             }
                         }
-                        outcome.grants.push(DmGrant::Complete { core: r.core, data });
+                        outcome
+                            .grants
+                            .push(DmGrant::Complete { core: r.core, data });
                     }
                 }
+                self.unserved = unserved;
             }
         }
-        outcome
+        self.serve = serve;
+    }
+
+    fn hold(&mut self, core: usize, pc: u16) {
+        if core >= self.held_pc.len() {
+            self.held_pc.resize(core + 1, None);
+        }
+        self.held_pc[core] = Some(pc);
     }
 }
 

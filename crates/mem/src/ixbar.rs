@@ -64,14 +64,43 @@ impl IXbar {
         &self.stats
     }
 
+    /// Resets the rotating-priority pointers and the statistics, so the
+    /// arbiter can be reused for a fresh run.
+    pub fn reset(&mut self) {
+        self.rr.fill(0);
+        self.stats = IXbarStats::default();
+    }
+
     /// Arbitrates one cycle of fetch requests against the instruction
-    /// memory, returning the granted fetches. Ungranted requesters stall.
+    /// memory, returning the granted fetches.
+    ///
+    /// Convenience wrapper around [`IXbar::arbitrate_into`] that allocates
+    /// a fresh grant buffer per call.
+    pub fn arbitrate(&mut self, requests: &[ImRequest], imem: &mut BankedMemory) -> Vec<ImGrant> {
+        let mut grants = Vec::with_capacity(requests.len());
+        self.arbitrate_into(requests, imem, &mut grants);
+        grants
+    }
+
+    /// Arbitrates one cycle of fetch requests against the instruction
+    /// memory, writing the granted fetches into `grants` (cleared first).
+    /// Ungranted requesters stall.
     ///
     /// Within each bank exactly one address-group is served per cycle; the
-    /// group is chosen by rotating priority so no core starves.
-    pub fn arbitrate(&mut self, requests: &[ImRequest], imem: &mut BankedMemory) -> Vec<ImGrant> {
+    /// group is chosen by rotating priority so no core starves. The method
+    /// performs no heap allocation beyond growing `grants` up to the core
+    /// count, so a caller that reuses the buffer runs allocation-free.
+    pub fn arbitrate_into(
+        &mut self,
+        requests: &[ImRequest],
+        imem: &mut BankedMemory,
+        grants: &mut Vec<ImGrant>,
+    ) {
+        grants.clear();
         self.stats.requests += requests.len() as u64;
-        let mut grants = Vec::with_capacity(requests.len());
+        if requests.is_empty() {
+            return;
+        }
         let banks = imem.banks();
         let ncores = requests
             .iter()
@@ -81,20 +110,21 @@ impl IXbar {
             .max(self.rr.len().min(64));
 
         for bank in 0..banks {
-            let in_bank: Vec<&ImRequest> = requests
-                .iter()
-                .filter(|r| imem.bank_of(r.addr) == bank)
-                .collect();
-            if in_bank.is_empty() {
+            let mut in_bank = 0usize;
+            let mut first_addr = None;
+            let mut conflict = false;
+            for r in requests.iter().filter(|r| imem.bank_of(r.addr) == bank) {
+                in_bank += 1;
+                match first_addr {
+                    None => first_addr = Some(r.addr),
+                    Some(a) if a != r.addr => conflict = true,
+                    Some(_) => {}
+                }
+            }
+            if in_bank == 0 {
                 continue;
             }
-            let distinct: Vec<u16> = {
-                let mut addrs: Vec<u16> = in_bank.iter().map(|r| r.addr).collect();
-                addrs.sort_unstable();
-                addrs.dedup();
-                addrs
-            };
-            if distinct.len() > 1 {
+            if conflict {
                 self.stats.conflict_cycles += 1;
             }
             // Rotating priority: the first requesting core at or after the
@@ -102,27 +132,34 @@ impl IXbar {
             let ptr = self.rr[bank];
             let winner_core = (0..ncores)
                 .map(|i| (ptr + i) % ncores)
-                .find(|c| in_bank.iter().any(|r| r.core == *c))
+                .find(|c| {
+                    requests
+                        .iter()
+                        .any(|r| r.core == *c && imem.bank_of(r.addr) == bank)
+                })
                 .expect("bank has requests");
-            let winner_addr = in_bank
+            let winner_addr = requests
                 .iter()
-                .find(|r| r.core == winner_core)
+                .find(|r| r.core == winner_core && imem.bank_of(r.addr) == bank)
                 .expect("winner requested")
                 .addr;
             self.rr[bank] = (winner_core + 1) % ncores;
 
-            let served: Vec<usize> = in_bank
+            let served = requests
                 .iter()
-                .filter(|r| r.addr == winner_addr)
-                .map(|r| r.core)
-                .collect();
-            let word = imem.read_broadcast(winner_addr, served.len());
-            self.stats.grants += served.len() as u64;
-            self.stats.transfers += served.len() as u64;
-            self.stats.stalls += (in_bank.len() - served.len()) as u64;
-            grants.extend(served.into_iter().map(|core| ImGrant { core, word }));
+                .filter(|r| imem.bank_of(r.addr) == bank && r.addr == winner_addr)
+                .count();
+            let word = imem.read_broadcast(winner_addr, served);
+            self.stats.grants += served as u64;
+            self.stats.transfers += served as u64;
+            self.stats.stalls += (in_bank - served) as u64;
+            grants.extend(
+                requests
+                    .iter()
+                    .filter(|r| imem.bank_of(r.addr) == bank && r.addr == winner_addr)
+                    .map(|r| ImGrant { core: r.core, word }),
+            );
         }
-        grants
     }
 }
 

@@ -1,6 +1,8 @@
 //! Property-based tests of the crossbar arbitration invariants.
 
-use crate::{Access, BankMapping, BankedMemory, DXbar, DmGrant, DmRequest, IXbar, ImRequest, ServingPolicy};
+use crate::{
+    Access, BankMapping, BankedMemory, DXbar, DmGrant, DmRequest, IXbar, ImRequest, ServingPolicy,
+};
 use proptest::prelude::*;
 use std::collections::BTreeSet;
 
@@ -15,10 +17,10 @@ fn dm_requests() -> impl Strategy<Value = Vec<DmRequest>> {
         let n = cores.len();
         (
             Just(cores),
-            prop::collection::vec(0u16..64, n),     // pcs
-            prop::collection::vec(0u16..4096, n),   // addrs
+            prop::collection::vec(0u16..64, n),      // pcs
+            prop::collection::vec(0u16..4096, n),    // addrs
             prop::collection::vec(any::<bool>(), n), // write?
-            prop::collection::vec(any::<u16>(), n), // write values
+            prop::collection::vec(any::<u16>(), n),  // write values
         )
             .prop_map(|(cores, pcs, addrs, writes, values)| {
                 cores

@@ -8,12 +8,15 @@
 //!   --max-cycles <n>     cycle budget (default 10_000_000)
 //!   --dump <addr> <len>  print a data-memory region after the run
 //!   --trace <cycles>     print the per-core fetch-PC trace
-//!   --vcd <file>         write a value-change dump of the run
+//!   --trace-vcd <file>   write a value-change dump of the run
 //! ```
+//!
+//! Tracing attaches [`PcTrace`] / [`VcdTracer`] observers to the run, so
+//! no custom driver loop is needed and the options combine freely.
 
 use std::process::ExitCode;
 use ulp_isa::asm::assemble;
-use ulp_platform::{Platform, PlatformConfig, VcdTracer};
+use ulp_platform::{Observer, PcTrace, Platform, PlatformConfig, VcdTracer};
 
 struct Options {
     path: String,
@@ -48,8 +51,12 @@ fn parse_args() -> Result<Options, String> {
             "--cores" => opts.cores = next_num(&mut args, "--cores")? as usize,
             "--max-cycles" => opts.max_cycles = next_num(&mut args, "--max-cycles")?,
             "--trace" => opts.trace = next_num(&mut args, "--trace")? as usize,
-            "--vcd" => {
-                opts.vcd = Some(args.next().ok_or("missing value for --vcd")?);
+            // `--vcd` is the historical spelling of `--trace-vcd`.
+            "--trace-vcd" | "--vcd" => {
+                opts.vcd = Some(
+                    args.next()
+                        .ok_or_else(|| format!("missing value for {arg}"))?,
+                );
             }
             "--dump" => {
                 let addr = next_num(&mut args, "--dump addr")? as u16;
@@ -74,7 +81,7 @@ const USAGE: &str = "usage: ulprun <file.s> [options]
   --max-cycles <n>     cycle budget (default 10_000_000)
   --dump <addr> <len>  print a data-memory region after the run
   --trace <cycles>     print the per-core fetch-PC trace
-  --vcd <file>         write a value-change dump of the run";
+  --trace-vcd <file>   write a value-change dump of the run";
 
 fn main() -> ExitCode {
     if std::env::args().any(|a| a == "--help" || a == "-h") {
@@ -116,42 +123,36 @@ fn main() -> ExitCode {
         }
     };
     platform.load_program(&program);
-    if opts.trace > 0 {
-        platform.enable_pc_trace(opts.trace);
-    }
 
-    let outcome = if let Some(vcd_path) = &opts.vcd {
-        // Step manually so every cycle can be sampled into the dump.
-        let mut vcd = VcdTracer::new(&platform);
-        let budget = opts.max_cycles;
-        let outcome = loop {
-            platform.step();
-            vcd.sample(&platform);
-            if platform.all_halted() {
-                break Ok(ulp_platform::RunSummary {
-                    cycles: platform.cycle(),
-                });
-            }
-            if platform.cycle() >= budget {
-                break Err(ulp_platform::PlatformError::Timeout { budget });
-            }
-        };
+    // Tracing is plain observation: attach the requested observers and run.
+    let mut pc_trace = (opts.trace > 0).then(|| PcTrace::new(opts.trace));
+    let mut vcd = opts.vcd.as_ref().map(|_| VcdTracer::new(&platform));
+    let mut observers: Vec<&mut dyn Observer> = Vec::new();
+    if let Some(trace) = &mut pc_trace {
+        observers.push(trace);
+    }
+    if let Some(vcd) = &mut vcd {
+        observers.push(vcd);
+    }
+    let outcome = platform.run_with(&mut observers);
+    let stats = platform.stats();
+
+    if let (Some(vcd_path), Some(vcd)) = (&opts.vcd, vcd) {
         if let Err(e) = std::fs::write(vcd_path, vcd.finish()) {
             eprintln!("ulprun: cannot write {vcd_path}: {e}");
             return ExitCode::FAILURE;
         }
         eprintln!("wrote {vcd_path}");
-        outcome
-    } else {
-        platform.run()
-    };
-    let stats = platform.stats();
+    }
 
-    if opts.trace > 0 {
-        for (cycle, row) in platform.pc_trace().iter().enumerate() {
+    if let Some(trace) = &pc_trace {
+        for (cycle, row) in trace.rows().iter().enumerate() {
             let cells: Vec<String> = row
                 .iter()
-                .map(|pc| pc.map(|a| format!("{a:04x}")).unwrap_or_else(|| ".".repeat(4)))
+                .map(|pc| {
+                    pc.map(|a| format!("{a:04x}"))
+                        .unwrap_or_else(|| ".".repeat(4))
+                })
                 .collect();
             println!("{:>6}  {}", cycle + 1, cells.join(" "));
         }
@@ -181,7 +182,12 @@ fn main() -> ExitCode {
 
     if let Some((addr, len)) = opts.dump {
         for (i, value) in platform.dm_slice(addr, len).iter().enumerate() {
-            println!("dm[{:#06x}] = {:#06x} ({})", addr as usize + i, value, *value as i16);
+            println!(
+                "dm[{:#06x}] = {:#06x} ({})",
+                addr as usize + i,
+                value,
+                *value as i16
+            );
         }
     }
     ExitCode::SUCCESS

@@ -109,7 +109,10 @@ impl PlatformConfig {
         if self.synchronizer && self.num_cores > 8 {
             return Err(ConfigError::TooManyCoresForSync(self.num_cores));
         }
-        for (words, banks) in [(self.im_words, self.im_banks), (self.dm_words, self.dm_banks)] {
+        for (words, banks) in [
+            (self.im_words, self.im_banks),
+            (self.dm_words, self.dm_banks),
+        ] {
             if banks == 0 || words == 0 || words % banks != 0 {
                 return Err(ConfigError::BadBankGeometry { words, banks });
             }

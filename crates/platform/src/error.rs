@@ -93,8 +93,14 @@ mod tests {
         );
         let e = PlatformError::CoreFault {
             core: 2,
-            error: CoreError::IllegalInstruction { pc: 1, word: 0xF801 },
+            error: CoreError::IllegalInstruction {
+                pc: 1,
+                word: 0xF801,
+            },
         };
-        assert_eq!(e.to_string(), "core 2: illegal instruction 0xf801 at pc 0x0001");
+        assert_eq!(
+            e.to_string(),
+            "core 2: illegal instruction 0xf801 at pc 0x0001"
+        );
     }
 }

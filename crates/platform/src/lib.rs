@@ -42,12 +42,14 @@
 
 mod config;
 mod error;
+pub mod observer;
 mod sim;
 mod stats;
 pub mod vcd;
 
 pub use config::PlatformConfig;
 pub use error::{ConfigError, PlatformError};
+pub use observer::{LockstepWidth, Observer, PcTrace};
 pub use sim::{Platform, RunSummary};
 pub use stats::SimStats;
 pub use vcd::VcdTracer;

@@ -1,0 +1,191 @@
+//! Pluggable run instrumentation for the cycle engine.
+//!
+//! The engine ([`crate::Platform`]) is observation-free: it advances cores,
+//! memories, crossbars and the synchronizer, and nothing else. Everything
+//! that *watches* a run — lockstep-width accounting, PC tracing, VCD
+//! dumping, custom experiment probes — implements [`Observer`] and is
+//! passed to [`crate::Platform::step_with`] / [`crate::Platform::run_with`].
+//! Hooks default to no-ops, so an observer only pays for what it overrides,
+//! and a run with no observers pays a handful of empty virtual calls.
+//!
+//! ```
+//! use ulp_platform::{Observer, PcTrace, Platform, PlatformConfig};
+//! use ulp_isa::asm::assemble;
+//!
+//! let mut p = Platform::new(PlatformConfig::paper_with_sync()).unwrap();
+//! p.load_program(&assemble("nop\nhalt").unwrap());
+//! let mut trace = PcTrace::new(16);
+//! p.run_with(&mut [&mut trace]).unwrap();
+//! assert!(trace.rows()[0].iter().all(|pc| *pc == Some(0)));
+//! ```
+
+use crate::error::PlatformError;
+use crate::sim::RunSummary;
+use crate::stats::SimStats;
+use ulp_cpu::{Core, CoreState};
+use ulp_mem::ImRequest;
+
+/// Hooks into the deterministic cycle loop.
+///
+/// All hooks receive the 1-based cycle number being simulated. A hook must
+/// not assume it sees every run from the start: observers can be attached
+/// to a platform that has already stepped.
+pub trait Observer {
+    /// Start of a cycle, before interrupt polling and the phase snapshot.
+    /// `cores` is the state left by the previous cycle.
+    fn on_cycle_start(&mut self, _cycle: u64, _cores: &[Core]) {}
+
+    /// A core's phase at the start of the cycle (the phase snapshot that
+    /// decides which engine call the core receives), with its current PC.
+    fn on_core_phase(&mut self, _cycle: u64, _core: usize, _pc: u16, _phase: CoreState) {}
+
+    /// The cycle's instruction-fetch requests, before arbitration. Empty
+    /// when no core is in its fetch phase.
+    fn on_fetch(&mut self, _cycle: u64, _fetch_reqs: &[ImRequest]) {}
+
+    /// End of a cycle, after every phase has been applied.
+    fn on_cycle_end(&mut self, _cycle: u64, _cores: &[Core]) {}
+
+    /// End of a [`crate::Platform::run_with`] loop, with the run's outcome
+    /// and final statistics. Not called for manual `step_with` driving.
+    fn on_run_end(&mut self, _outcome: &Result<RunSummary, PlatformError>, _stats: &SimStats) {}
+}
+
+/// Lockstep-width accounting (the paper's Fig. 2 metric): per fetch cycle,
+/// the size of the largest group of cores fetching the same PC.
+///
+/// [`crate::Platform`] keeps one of these attached by default because
+/// [`SimStats::avg_lockstep_width`] is part of every run's statistics; it
+/// is also usable standalone on top of `step_with`.
+#[derive(Debug, Clone, Default)]
+pub struct LockstepWidth {
+    sum: u64,
+    cycles: u64,
+    scratch: Vec<u16>,
+}
+
+impl LockstepWidth {
+    /// Creates an idle recorder.
+    pub fn new() -> LockstepWidth {
+        LockstepWidth::default()
+    }
+
+    /// Sum over fetch cycles of the largest same-PC group size.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Number of cycles with at least one fetch request.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Clears the recorded totals (the scratch allocation is kept).
+    pub fn reset(&mut self) {
+        self.sum = 0;
+        self.cycles = 0;
+    }
+}
+
+impl Observer for LockstepWidth {
+    fn on_fetch(&mut self, _cycle: u64, fetch_reqs: &[ImRequest]) {
+        if fetch_reqs.is_empty() {
+            return;
+        }
+        self.scratch.clear();
+        self.scratch.extend(fetch_reqs.iter().map(|r| r.addr));
+        self.scratch.sort_unstable();
+        let mut best = 1u64;
+        let mut run = 1u64;
+        for w in self.scratch.windows(2) {
+            if w[0] == w[1] {
+                run += 1;
+                best = best.max(run);
+            } else {
+                run = 1;
+            }
+        }
+        self.sum += best;
+        self.cycles += 1;
+    }
+}
+
+/// Records per-core fetch PCs for the first `limit` cycles (for lockstep
+/// visualisation). Sleeping, halted and non-fetch cycles are recorded as
+/// `None`.
+#[derive(Debug, Clone, Default)]
+pub struct PcTrace {
+    rows: Vec<Vec<Option<u16>>>,
+    current: Vec<Option<u16>>,
+    limit: usize,
+}
+
+impl PcTrace {
+    /// Creates a trace that records at most `limit` cycles.
+    pub fn new(limit: usize) -> PcTrace {
+        PcTrace {
+            rows: Vec::with_capacity(limit.min(1 << 20)),
+            current: Vec::new(),
+            limit,
+        }
+    }
+
+    /// The recorded rows: one per traced cycle, one entry per core.
+    pub fn rows(&self) -> &[Vec<Option<u16>>] {
+        &self.rows
+    }
+}
+
+impl Observer for PcTrace {
+    fn on_core_phase(&mut self, _cycle: u64, core: usize, pc: u16, phase: CoreState) {
+        if self.rows.len() >= self.limit {
+            return;
+        }
+        if core >= self.current.len() {
+            self.current.resize(core + 1, None);
+        }
+        self.current[core] = match phase {
+            CoreState::Fetch => Some(pc),
+            _ => None,
+        };
+    }
+
+    fn on_cycle_end(&mut self, _cycle: u64, _cores: &[Core]) {
+        if self.rows.len() < self.limit && !self.current.is_empty() {
+            self.rows.push(std::mem::take(&mut self.current));
+        }
+        self.current.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lockstep_width_counts_largest_group() {
+        let mut w = LockstepWidth::new();
+        let req = |core, addr| ImRequest { core, addr };
+        w.on_fetch(1, &[]);
+        assert_eq!(w.cycles(), 0, "empty fetch cycles are not counted");
+        w.on_fetch(2, &[req(0, 5), req(1, 5), req(2, 9)]);
+        assert_eq!((w.sum(), w.cycles()), (2, 1));
+        w.on_fetch(3, &[req(0, 1), req(1, 2), req(2, 3)]);
+        assert_eq!((w.sum(), w.cycles()), (3, 2));
+        w.reset();
+        assert_eq!((w.sum(), w.cycles()), (0, 0));
+    }
+
+    #[test]
+    fn pc_trace_respects_limit() {
+        let mut t = PcTrace::new(2);
+        for cycle in 1..=4u64 {
+            t.on_core_phase(cycle, 0, cycle as u16, CoreState::Fetch);
+            t.on_core_phase(cycle, 1, 0, CoreState::Halted);
+            t.on_cycle_end(cycle, &[]);
+        }
+        assert_eq!(t.rows().len(), 2);
+        assert_eq!(t.rows()[0], vec![Some(1), None]);
+        assert_eq!(t.rows()[1], vec![Some(2), None]);
+    }
+}

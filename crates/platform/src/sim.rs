@@ -3,11 +3,14 @@
 
 use crate::config::PlatformConfig;
 use crate::error::{ConfigError, PlatformError};
+use crate::observer::{LockstepWidth, Observer};
 use crate::stats::SimStats;
 use ulp_cpu::{Core, CoreState, MemAccess, SyncRequest, WakeReason};
 use ulp_isa::asm::Program;
-use ulp_mem::{Access, BankedMemory, DXbar, DmGrant, DmRequest, IXbar, ImRequest};
-use ulp_sync::Synchronizer;
+use ulp_mem::{
+    Access, BankedMemory, DXbar, DXbarOutcome, DmGrant, DmRequest, IXbar, ImGrant, ImRequest,
+};
+use ulp_sync::{SyncEvents, Synchronizer};
 
 /// Outcome of a completed run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -16,12 +19,59 @@ pub struct RunSummary {
     pub cycles: u64,
 }
 
+/// Per-cycle scratch buffers of the engine, allocated once at platform
+/// construction and reused every cycle, so [`Platform::step`] performs no
+/// heap allocation in steady state.
+#[derive(Debug, Default)]
+struct CycleBuffers {
+    /// Phase of every core at the start of the cycle.
+    phases: Vec<CoreState>,
+    /// Fetch requests of cores in their fetch phase.
+    fetch_reqs: Vec<ImRequest>,
+    /// Granted fetches (filled by the I-Xbar).
+    im_grants: Vec<ImGrant>,
+    /// Cores whose fetch was granted this cycle.
+    fetched: Vec<bool>,
+    /// `SINC`/`SDEC` requests of cores in their execute phase.
+    sync_reqs: Vec<(usize, SyncRequest)>,
+    /// Events produced by the synchronizer (filled by `step_into`).
+    sync_events: SyncEvents,
+    /// Data-memory requests of cores in their execute phase.
+    dm_reqs: Vec<DmRequest>,
+    /// Grants and releases (filled by the D-Xbar).
+    dm_outcome: DXbarOutcome,
+    /// Cores whose data access was granted this cycle.
+    granted: Vec<bool>,
+}
+
+impl CycleBuffers {
+    fn new(num_cores: usize) -> CycleBuffers {
+        CycleBuffers {
+            phases: Vec::with_capacity(num_cores),
+            fetch_reqs: Vec::with_capacity(num_cores),
+            im_grants: Vec::with_capacity(num_cores),
+            fetched: vec![false; num_cores],
+            sync_reqs: Vec::with_capacity(num_cores),
+            sync_events: SyncEvents::default(),
+            dm_reqs: Vec::with_capacity(num_cores),
+            dm_outcome: DXbarOutcome::default(),
+            granted: vec![false; num_cores],
+        }
+    }
+}
+
 /// The multi-core platform simulator (Fig. 1 of the paper).
 ///
 /// See the crate-level documentation for an example. Construction validates
 /// the [`PlatformConfig`]; programs and data are loaded through backdoors
 /// ([`Platform::load_program`], [`Platform::load_dm`]); [`Platform::run`]
 /// advances the deterministic cycle loop until every core halts.
+///
+/// The engine itself carries no instrumentation: tracing and visualisation
+/// hook in through [`Observer`]s passed to [`Platform::step_with`] and
+/// [`Platform::run_with`]. The only built-in observer is a
+/// [`LockstepWidth`] recorder, because the average lockstep width is part
+/// of [`SimStats`].
 #[derive(Debug)]
 pub struct Platform {
     cfg: PlatformConfig,
@@ -32,11 +82,9 @@ pub struct Platform {
     dxbar: DXbar,
     sync: Option<Synchronizer>,
     cycle: u64,
-    lockstep_width_sum: u64,
-    lockstep_width_cycles: u64,
     fault: Option<PlatformError>,
-    pc_trace: Option<Vec<Vec<Option<u16>>>>,
-    pc_trace_limit: usize,
+    buffers: CycleBuffers,
+    lockstep: LockstepWidth,
 }
 
 impl Platform {
@@ -55,11 +103,9 @@ impl Platform {
             dxbar: DXbar::new(cfg.dm_banks, cfg.dxbar_policy),
             sync: cfg.synchronizer.then(Synchronizer::new),
             cycle: 0,
-            lockstep_width_sum: 0,
-            lockstep_width_cycles: 0,
             fault: None,
-            pc_trace: None,
-            pc_trace_limit: 0,
+            buffers: CycleBuffers::new(cfg.num_cores),
+            lockstep: LockstepWidth::new(),
             cfg,
         })
     }
@@ -67,6 +113,26 @@ impl Platform {
     /// The active configuration.
     pub fn config(&self) -> &PlatformConfig {
         &self.cfg
+    }
+
+    /// Returns the platform to its power-on state — cores reset, memories
+    /// zeroed, statistics cleared — while keeping every allocation, so the
+    /// instance can run another program without rebuilding. Used by the
+    /// sweep runner to amortize construction across a grid of runs.
+    pub fn reset(&mut self) {
+        for (i, core) in self.cores.iter_mut().enumerate() {
+            *core = Core::new(i as u8);
+        }
+        self.imem.clear();
+        self.dmem.clear();
+        self.ixbar.reset();
+        self.dxbar.reset();
+        if let Some(sync) = &mut self.sync {
+            sync.reset();
+        }
+        self.cycle = 0;
+        self.fault = None;
+        self.lockstep.reset();
     }
 
     /// Loads an assembled program into instruction memory.
@@ -128,27 +194,32 @@ impl Platform {
         self.cores[i].raise_irq();
     }
 
-    /// Records per-core PCs for the first `max_cycles` cycles (for
-    /// lockstep visualisation). Sleeping, halted and non-fetch cycles are
-    /// recorded as `None`.
-    pub fn enable_pc_trace(&mut self, max_cycles: usize) {
-        self.pc_trace = Some(Vec::with_capacity(max_cycles.min(1 << 20)));
-        self.pc_trace_limit = max_cycles;
-    }
-
-    /// The recorded PC trace (empty unless [`Platform::enable_pc_trace`]).
-    pub fn pc_trace(&self) -> &[Vec<Option<u16>>] {
-        self.pc_trace.as_deref().unwrap_or(&[])
-    }
-
     /// Whether every core has halted.
     pub fn all_halted(&self) -> bool {
         self.cores.iter().all(|c| c.is_halted())
     }
 
-    /// Advances the platform by one clock cycle.
+    /// Advances the platform by one clock cycle with no observers
+    /// attached. Equivalent to `step_with(&mut [])`.
     pub fn step(&mut self) {
+        self.step_with(&mut []);
+    }
+
+    /// Advances the platform by one clock cycle, notifying `observers` at
+    /// each hook point (after the built-in lockstep recorder).
+    ///
+    /// The engine performs zero heap allocations in steady state: all
+    /// per-cycle working sets live in buffers owned by the platform and
+    /// its components, sized once and reused every cycle.
+    pub fn step_with(&mut self, observers: &mut [&mut dyn Observer]) {
         self.cycle += 1;
+        let cycle = self.cycle;
+        let mut buf = std::mem::take(&mut self.buffers);
+
+        self.lockstep.on_cycle_start(cycle, &self.cores);
+        for o in observers.iter_mut() {
+            o.on_cycle_start(cycle, &self.cores);
+        }
 
         // Interrupt polling happens at instruction boundaries, before the
         // cycle's fetch phase, so a vectoring core fetches its handler in
@@ -160,23 +231,34 @@ impl Platform {
         // Snapshot the phase of every core: each core receives exactly one
         // cycle-consuming call below, based on where it *started* the
         // cycle (fetch completing this cycle executes next cycle).
-        let phases: Vec<CoreState> = self.cores.iter().map(|c| c.state()).collect();
+        buf.phases.clear();
+        buf.phases.extend(self.cores.iter().map(|c| c.state()));
+        for (i, (phase, core)) in buf.phases.iter().zip(&self.cores).enumerate() {
+            self.lockstep.on_core_phase(cycle, i, core.pc(), *phase);
+            for o in observers.iter_mut() {
+                o.on_core_phase(cycle, i, core.pc(), *phase);
+            }
+        }
 
         // ---- fetch phase ----------------------------------------------
-        let fetch_reqs: Vec<ImRequest> = self
-            .cores
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| matches!(phases[*i], CoreState::Fetch))
-            .filter_map(|(i, c)| c.fetch_request().map(|addr| ImRequest { core: i, addr }))
-            .collect();
-        self.record_lockstep(&fetch_reqs);
-        self.record_pc_trace(&phases);
+        buf.fetch_reqs.clear();
+        buf.fetch_reqs.extend(
+            self.cores
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| matches!(buf.phases[*i], CoreState::Fetch))
+                .filter_map(|(i, c)| c.fetch_request().map(|addr| ImRequest { core: i, addr })),
+        );
+        self.lockstep.on_fetch(cycle, &buf.fetch_reqs);
+        for o in observers.iter_mut() {
+            o.on_fetch(cycle, &buf.fetch_reqs);
+        }
 
-        let grants = self.ixbar.arbitrate(&fetch_reqs, &mut self.imem);
-        let mut fetched = vec![false; self.cores.len()];
-        for g in &grants {
-            fetched[g.core] = true;
+        self.ixbar
+            .arbitrate_into(&buf.fetch_reqs, &mut self.imem, &mut buf.im_grants);
+        buf.fetched.fill(false);
+        for g in &buf.im_grants {
+            buf.fetched[g.core] = true;
             if let Err(error) = self.cores[g.core].on_fetch_granted(g.word) {
                 self.fault.get_or_insert(PlatformError::CoreFault {
                     core: g.core,
@@ -184,24 +266,26 @@ impl Platform {
                 });
             }
         }
-        for r in &fetch_reqs {
-            if !fetched[r.core] {
+        for r in &buf.fetch_reqs {
+            if !buf.fetched[r.core] {
                 self.cores[r.core].note_fetch_stall();
             }
         }
 
         // ---- execute phase: synchronization ISE ------------------------
-        let sync_reqs: Vec<(usize, SyncRequest)> = self
-            .cores
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| matches!(phases[*i], CoreState::Execute(_)))
-            .filter_map(|(i, c)| c.sync_request().map(|r| (i, r)))
-            .collect();
+        buf.sync_reqs.clear();
+        buf.sync_reqs.extend(
+            self.cores
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| matches!(buf.phases[*i], CoreState::Execute(_)))
+                .filter_map(|(i, c)| c.sync_request().map(|r| (i, r))),
+        );
 
         if let Some(sync) = &mut self.sync {
-            let events = sync.step(&sync_reqs, &mut self.dmem);
-            for &(core, _) in &sync_reqs {
+            sync.step_into(&buf.sync_reqs, &mut self.dmem, &mut buf.sync_events);
+            let events = &buf.sync_events;
+            for &(core, _) in &buf.sync_reqs {
                 if events.accepted.contains(&core) {
                     self.cores[core].on_sync_accepted();
                 } else {
@@ -209,21 +293,21 @@ impl Platform {
                 }
             }
             // Cores inside the in-flight RMW spend this cycle there.
-            for (i, phase) in phases.iter().enumerate() {
+            for (i, phase) in buf.phases.iter().enumerate() {
                 if matches!(phase, CoreState::SyncIssued(_)) {
                     self.cores[i].note_sync_active();
                 }
             }
             // Sleeping cores burn their cycle before any wake edge.
-            for (i, phase) in phases.iter().enumerate() {
+            for (i, phase) in buf.phases.iter().enumerate() {
                 if matches!(phase, CoreState::Sleeping) {
                     self.cores[i].note_sleep();
                 }
             }
-            for (core, sleep) in events.completed {
+            for &(core, sleep) in &events.completed {
                 self.cores[core].complete_sync(sleep);
             }
-            for core in events.wake {
+            for &core in &events.wake {
                 if core < self.cores.len() {
                     self.cores[core].wake(WakeReason::Synchronizer);
                 }
@@ -231,10 +315,10 @@ impl Platform {
         } else {
             // Baseline design: the ISA has no synchronization ISE, the
             // instructions degenerate to NOPs.
-            for &(core, _) in &sync_reqs {
+            for &(core, _) in &buf.sync_reqs {
                 self.cores[core].skip_sync_op();
             }
-            for (i, phase) in phases.iter().enumerate() {
+            for (i, phase) in buf.phases.iter().enumerate() {
                 if matches!(phase, CoreState::Sleeping) {
                     self.cores[i].note_sleep();
                 }
@@ -242,103 +326,73 @@ impl Platform {
         }
 
         // ---- execute phase: data memory --------------------------------
-        let dm_reqs: Vec<DmRequest> = self
-            .cores
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| matches!(phases[*i], CoreState::Execute(_)))
-            .filter_map(|(i, c)| {
-                c.mem_request().map(|r| DmRequest {
-                    core: i,
-                    pc: c.pc(),
-                    addr: r.addr,
-                    access: match r.access {
-                        MemAccess::Read => Access::Read,
-                        MemAccess::Write(v) => Access::Write(v),
-                    },
-                })
-            })
-            .collect();
+        buf.dm_reqs.clear();
+        buf.dm_reqs.extend(
+            self.cores
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| matches!(buf.phases[*i], CoreState::Execute(_)))
+                .filter_map(|(i, c)| {
+                    c.mem_request().map(|r| DmRequest {
+                        core: i,
+                        pc: c.pc(),
+                        addr: r.addr,
+                        access: match r.access {
+                            MemAccess::Read => Access::Read,
+                            MemAccess::Write(v) => Access::Write(v),
+                        },
+                    })
+                }),
+        );
 
         // Held cores burn their cycle before any release edge.
-        for (i, phase) in phases.iter().enumerate() {
+        for (i, phase) in buf.phases.iter().enumerate() {
             if matches!(phase, CoreState::Held { .. }) {
                 self.cores[i].note_hold();
             }
         }
 
-        let outcome = self.dxbar.arbitrate(&dm_reqs, &mut self.dmem);
-        let mut granted = vec![false; self.cores.len()];
-        for g in &outcome.grants {
+        self.dxbar
+            .arbitrate_into(&buf.dm_reqs, &mut self.dmem, &mut buf.dm_outcome);
+        buf.granted.fill(false);
+        for g in &buf.dm_outcome.grants {
             match *g {
                 DmGrant::Complete { core, data } => {
-                    granted[core] = true;
+                    buf.granted[core] = true;
                     self.cores[core].complete_execute(data);
                 }
                 DmGrant::Hold { core, data } => {
-                    granted[core] = true;
+                    buf.granted[core] = true;
                     self.cores[core].hold_with_data(data);
                 }
             }
         }
-        for r in &dm_reqs {
-            if !granted[r.core] {
+        for r in &buf.dm_reqs {
+            if !buf.granted[r.core] {
                 self.cores[r.core].note_mem_stall();
             }
         }
-        for core in outcome.releases {
+        for &core in &buf.dm_outcome.releases {
             self.cores[core].release();
         }
 
         // ---- execute phase: everything else -----------------------------
-        for (i, phase) in phases.iter().enumerate() {
+        for (i, phase) in buf.phases.iter().enumerate() {
             if let CoreState::Execute(instr) = phase {
                 if !instr.is_mem() && !instr.is_sync() {
                     self.cores[i].complete_execute(None);
                 }
             }
         }
+
+        self.lockstep.on_cycle_end(cycle, &self.cores);
+        for o in observers.iter_mut() {
+            o.on_cycle_end(cycle, &self.cores);
+        }
+        self.buffers = buf;
     }
 
-    fn record_lockstep(&mut self, fetch_reqs: &[ImRequest]) {
-        if fetch_reqs.is_empty() {
-            return;
-        }
-        let mut addrs: Vec<u16> = fetch_reqs.iter().map(|r| r.addr).collect();
-        addrs.sort_unstable();
-        let mut best = 1u64;
-        let mut run = 1u64;
-        for w in addrs.windows(2) {
-            if w[0] == w[1] {
-                run += 1;
-                best = best.max(run);
-            } else {
-                run = 1;
-            }
-        }
-        self.lockstep_width_sum += best;
-        self.lockstep_width_cycles += 1;
-    }
-
-    fn record_pc_trace(&mut self, phases: &[CoreState]) {
-        let limit = self.pc_trace_limit;
-        if let Some(trace) = &mut self.pc_trace {
-            if trace.len() < limit {
-                trace.push(
-                    self.cores
-                        .iter()
-                        .zip(phases)
-                        .map(|(c, phase)| match phase {
-                            CoreState::Fetch => Some(c.pc()),
-                            _ => None,
-                        })
-                        .collect(),
-                );
-            }
-        }
-    }
-
-    /// Runs until every core halts.
+    /// Runs until every core halts. Equivalent to `run_with(&mut [])`.
     ///
     /// # Errors
     ///
@@ -347,21 +401,43 @@ impl Platform {
     ///   synchronizer idle (e.g. an unbalanced check-out);
     /// * [`PlatformError::Timeout`] — the configured cycle budget ran out.
     pub fn run(&mut self) -> Result<RunSummary, PlatformError> {
-        while self.cycle < self.cfg.max_cycles {
-            self.step();
+        self.run_with(&mut [])
+    }
+
+    /// Runs until every core halts, notifying `observers` every cycle and
+    /// once more (via [`Observer::on_run_end`]) when the loop exits.
+    ///
+    /// # Errors
+    ///
+    /// See [`Platform::run`].
+    pub fn run_with(
+        &mut self,
+        observers: &mut [&mut dyn Observer],
+    ) -> Result<RunSummary, PlatformError> {
+        let outcome = loop {
+            if self.cycle >= self.cfg.max_cycles {
+                break Err(PlatformError::Timeout {
+                    budget: self.cfg.max_cycles,
+                });
+            }
+            self.step_with(observers);
             if let Some(fault) = self.fault {
-                return Err(fault);
+                break Err(fault);
             }
             if self.all_halted() {
-                return Ok(RunSummary { cycles: self.cycle });
+                break Ok(RunSummary { cycles: self.cycle });
             }
             if self.is_deadlocked() {
-                return Err(PlatformError::Deadlock { cycle: self.cycle });
+                break Err(PlatformError::Deadlock { cycle: self.cycle });
+            }
+        };
+        if !observers.is_empty() {
+            let stats = self.stats();
+            for o in observers.iter_mut() {
+                o.on_run_end(&outcome, &stats);
             }
         }
-        Err(PlatformError::Timeout {
-            budget: self.cfg.max_cycles,
-        })
+        outcome
     }
 
     /// A deadlock: no core can make progress again — every non-halted core
@@ -370,14 +446,13 @@ impl Platform {
     fn is_deadlocked(&self) -> bool {
         let busy_sync = self.sync.as_ref().map(|s| s.is_busy()).unwrap_or(false);
         !busy_sync
-            && self
-                .cores
-                .iter()
-                .all(|c| c.is_halted() || c.is_sleeping())
+            && self.cores.iter().all(|c| c.is_halted() || c.is_sleeping())
             && self.cores.iter().any(|c| c.is_sleeping())
     }
 
-    /// Collects the aggregated statistics of the run so far.
+    /// Collects the aggregated statistics of the run so far. The memory,
+    /// crossbar and synchronizer counters are plain `Copy` bundles, so
+    /// this clones no heap state beyond the per-core counter list.
     pub fn stats(&self) -> SimStats {
         let cores: Vec<_> = self.cores.iter().map(|c| *c.stats()).collect();
         let mut core_total = ulp_cpu::CoreStats::default();
@@ -389,13 +464,13 @@ impl Platform {
             num_cores: self.cores.len(),
             cores,
             core_total,
-            im: self.imem.stats().clone(),
-            dm: self.dmem.stats().clone(),
+            im: *self.imem.stats(),
+            dm: *self.dmem.stats(),
             ixbar: *self.ixbar.stats(),
             dxbar: *self.dxbar.stats(),
             sync: self.sync.as_ref().map(|s| *s.stats()),
-            lockstep_width_sum: self.lockstep_width_sum,
-            lockstep_width_cycles: self.lockstep_width_cycles,
+            lockstep_width_sum: self.lockstep.sum(),
+            lockstep_width_cycles: self.lockstep.cycles(),
         }
     }
 }

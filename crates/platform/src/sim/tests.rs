@@ -7,10 +7,7 @@ const SYNC_BASE: u16 = 9 * 2048;
 
 fn platform(with_sync: bool, src: &str) -> Platform {
     let program = assemble(src).unwrap_or_else(|e| panic!("asm: {e}"));
-    let mut p = Platform::new(
-        PlatformConfig::paper(with_sync).with_max_cycles(2_000_000),
-    )
-    .unwrap();
+    let mut p = Platform::new(PlatformConfig::paper(with_sync).with_max_cycles(2_000_000)).unwrap();
     p.load_program(&program);
     p
 }
@@ -36,7 +33,11 @@ fn branchless_spmd_stays_in_perfect_lockstep() {
     // Every instruction is fetched once and broadcast to all eight cores.
     assert_eq!(s.im.bank_reads, 9, "one physical IM access per instruction");
     assert_eq!(s.im.broadcast_extra, 9 * 7);
-    assert!((s.avg_lockstep_width() - 8.0).abs() < 1e-9, "width {}", s.avg_lockstep_width());
+    assert!(
+        (s.avg_lockstep_width() - 8.0).abs() < 1e-9,
+        "width {}",
+        s.avg_lockstep_width()
+    );
     assert_eq!(s.ixbar.stalls, 0);
     assert_eq!(s.dxbar.stalls, 0);
 
@@ -119,8 +120,7 @@ loop:   ld   r3, [r2]      ; 8-way bank conflict every iteration
 
     // ...which cuts the physical IM traffic dramatically (the paper's
     // instruction-broadcast power saving; up to 60 % in Section V-B)...
-    let reduction = 1.0
-        - s_with.im.total_accesses() as f64 / s_without.im.total_accesses() as f64;
+    let reduction = 1.0 - s_with.im.total_accesses() as f64 / s_without.im.total_accesses() as f64;
     assert!(reduction > 0.4, "IM access reduction only {reduction:.2}");
 
     // ...at a bounded cycle cost: holding trades a little overlap for
@@ -277,10 +277,7 @@ stop:   halt";
 
 #[test]
 fn timeout_is_reported() {
-    let mut p = Platform::new(
-        PlatformConfig::paper_with_sync().with_max_cycles(100),
-    )
-    .unwrap();
+    let mut p = Platform::new(PlatformConfig::paper_with_sync().with_max_cycles(100)).unwrap();
     p.load_program(&assemble("loop: br loop").unwrap());
     let err = p.run().unwrap_err();
     assert!(matches!(err, PlatformError::Timeout { budget: 100 }));
@@ -323,10 +320,7 @@ isr:    movi r3, #3
 
 #[test]
 fn single_core_platform_works() {
-    let mut p = Platform::new(
-        PlatformConfig::paper_with_sync().with_cores(1),
-    )
-    .unwrap();
+    let mut p = Platform::new(PlatformConfig::paper_with_sync().with_cores(1)).unwrap();
     p.load_program(
         &assemble(
             "   li   r3, 18432
@@ -346,9 +340,9 @@ fn single_core_platform_works() {
 #[test]
 fn pc_trace_records_fetches() {
     let mut p = platform(true, LOCKSTEP_SRC);
-    p.enable_pc_trace(6);
-    p.run().unwrap();
-    let trace = p.pc_trace();
+    let mut trace = crate::PcTrace::new(6);
+    p.run_with(&mut [&mut trace]).unwrap();
+    let trace = trace.rows();
     assert_eq!(trace.len(), 6);
     // Cycle 1: every core fetches address 0.
     assert!(trace[0].iter().all(|pc| *pc == Some(0)));
@@ -356,6 +350,135 @@ fn pc_trace_records_fetches() {
     assert!(trace[1].iter().all(|pc| pc.is_none()));
     // Cycle 3: every core fetches address 1.
     assert!(trace[2].iter().all(|pc| *pc == Some(1)));
+}
+
+/// A probe overriding every hook, counting what it sees.
+#[derive(Default)]
+struct CountingObserver {
+    cycle_starts: u64,
+    core_phases: u64,
+    fetch_cycles: u64,
+    cycle_ends: u64,
+    run_ends: u64,
+    last_outcome_ok: Option<bool>,
+}
+
+impl crate::Observer for CountingObserver {
+    fn on_cycle_start(&mut self, _cycle: u64, _cores: &[ulp_cpu::Core]) {
+        self.cycle_starts += 1;
+    }
+    fn on_core_phase(&mut self, _cycle: u64, _core: usize, _pc: u16, _phase: CoreState) {
+        self.core_phases += 1;
+    }
+    fn on_fetch(&mut self, _cycle: u64, fetch_reqs: &[ulp_mem::ImRequest]) {
+        if !fetch_reqs.is_empty() {
+            self.fetch_cycles += 1;
+        }
+    }
+    fn on_cycle_end(&mut self, _cycle: u64, _cores: &[ulp_cpu::Core]) {
+        self.cycle_ends += 1;
+    }
+    fn on_run_end(&mut self, outcome: &Result<RunSummary, PlatformError>, stats: &SimStats) {
+        self.run_ends += 1;
+        self.last_outcome_ok = Some(outcome.is_ok());
+        assert!(stats.cycles > 0);
+    }
+}
+
+#[test]
+fn observed_run_is_bit_identical_to_bare_run() {
+    let mut bare = platform(true, DIVERGENT_SRC);
+    bare.run().unwrap();
+    let bare_stats = bare.stats();
+
+    let mut observed = platform(true, DIVERGENT_SRC);
+    let mut counting = CountingObserver::default();
+    let mut trace = crate::PcTrace::new(128);
+    let mut vcd = crate::VcdTracer::new(&observed);
+    let mut width = crate::LockstepWidth::new();
+    observed
+        .run_with(&mut [&mut counting, &mut trace, &mut vcd, &mut width])
+        .unwrap();
+    let observed_stats = observed.stats();
+
+    assert_eq!(
+        bare_stats, observed_stats,
+        "observers must not perturb the run"
+    );
+    for id in 0..8u16 {
+        assert_eq!(observed.dm(id * 2048), 42);
+    }
+
+    // The probes actually saw the run.
+    assert_eq!(counting.cycle_starts, observed_stats.cycles);
+    assert_eq!(counting.cycle_ends, observed_stats.cycles);
+    assert_eq!(counting.core_phases, observed_stats.cycles * 8);
+    assert_eq!(counting.run_ends, 1);
+    assert_eq!(counting.last_outcome_ok, Some(true));
+    assert_eq!(trace.rows().len(), 128);
+    assert_eq!(vcd.samples(), observed_stats.cycles);
+    // The standalone width recorder sees the same fetches as the built-in.
+    assert_eq!(width.sum(), observed_stats.lockstep_width_sum);
+    assert_eq!(width.cycles(), observed_stats.lockstep_width_cycles);
+    assert!(counting.fetch_cycles == width.cycles());
+}
+
+#[test]
+fn deadlock_still_fires_with_observers_attached() {
+    let src = "
+        li   r3, 18432
+        wrsync r3
+        sinc #2
+        rdid r1
+        cmpi r1, #3
+        beq  stop        ; core 3 leaves the section without SDEC
+        sdec #2
+        halt
+stop:   halt";
+    let mut p = platform(true, src);
+    let mut counting = CountingObserver::default();
+    let mut vcd = crate::VcdTracer::new(&p);
+    let err = p.run_with(&mut [&mut counting, &mut vcd]).unwrap_err();
+    assert!(matches!(err, PlatformError::Deadlock { .. }), "{err}");
+    assert_eq!(counting.run_ends, 1);
+    assert_eq!(counting.last_outcome_ok, Some(false));
+}
+
+#[test]
+fn timeout_still_fires_with_observers_attached() {
+    let mut p = Platform::new(PlatformConfig::paper_with_sync().with_max_cycles(100)).unwrap();
+    p.load_program(&assemble("loop: br loop").unwrap());
+    let mut counting = CountingObserver::default();
+    let err = p.run_with(&mut [&mut counting]).unwrap_err();
+    assert!(matches!(err, PlatformError::Timeout { budget: 100 }));
+    assert_eq!(counting.cycle_starts, 100, "ran exactly the budget");
+    assert_eq!(counting.last_outcome_ok, Some(false));
+}
+
+#[test]
+fn reset_reuses_a_platform_for_a_fresh_run() {
+    let mut p = platform(true, DIVERGENT_SRC);
+    p.run().unwrap();
+    let first = p.stats();
+
+    p.reset();
+    assert_eq!(p.cycle(), 0);
+    assert_eq!(p.stats().im.total_accesses(), 0);
+    assert_eq!(p.dm(SYNC_BASE), 0);
+
+    // Re-load and re-run: bit-identical statistics.
+    let program = assemble(DIVERGENT_SRC).unwrap();
+    p.load_program(&program);
+    p.run().unwrap();
+    assert_eq!(p.stats(), first, "reset platform must replay identically");
+
+    // Reset also clears loaded state: a fresh run of a different program
+    // must not see the old image.
+    p.reset();
+    p.load_program(&assemble("movi r1, #5\nhalt").unwrap());
+    p.run().unwrap();
+    assert_eq!(p.core(0).reg(Reg::R1), 5);
+    assert_eq!(p.dm(0), 0, "old data memory contents cleared");
 }
 
 #[test]
@@ -382,4 +505,3 @@ fn run_summary_matches_cycle_count() {
     assert_eq!(summary.cycles, p.cycle());
     assert!(p.all_halted());
 }
-

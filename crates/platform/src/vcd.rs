@@ -6,22 +6,26 @@
 //! (3-bit, see [`phase_code`]). One platform cycle is 12 ns — the paper's
 //! relaxed clock period.
 //!
+//! [`VcdTracer`] implements [`Observer`], so the usual way to record a
+//! run is to pass it to [`Platform::run_with`]:
+//!
 //! ```no_run
 //! use ulp_platform::{Platform, PlatformConfig, VcdTracer};
 //!
 //! let mut platform = Platform::new(PlatformConfig::paper_with_sync()).unwrap();
 //! // ... load a program ...
 //! let mut vcd = VcdTracer::new(&platform);
-//! while !platform.all_halted() {
-//!     platform.step();
-//!     vcd.sample(&platform);
-//! }
+//! let _ = platform.run_with(&mut [&mut vcd]);
 //! std::fs::write("run.vcd", vcd.finish()).unwrap();
 //! ```
+//!
+//! Manual driving via [`VcdTracer::sample`] after each
+//! [`Platform::step`] remains supported.
 
+use crate::observer::Observer;
 use crate::sim::Platform;
 use std::fmt::Write as _;
-use ulp_cpu::CoreState;
+use ulp_cpu::{Core, CoreState};
 
 /// 3-bit encoding of a core's execution phase in the trace.
 ///
@@ -80,23 +84,34 @@ impl VcdTracer {
         let mut stamped = false;
         for core in 0..self.cores {
             let c = platform.core(core);
-            let pc = c.pc();
-            let phase = phase_code(c.state());
-            let (last_pc, last_phase) = self.last[core];
-            if Some(pc) != last_pc || Some(phase) != last_phase {
-                if !stamped {
-                    writeln!(self.body, "#{}", platform.cycle() * NS_PER_CYCLE)
-                        .expect("string write");
-                    stamped = true;
-                }
-                if Some(pc) != last_pc {
-                    writeln!(self.body, "b{pc:016b} {}", pc_id(core)).expect("string write");
-                }
-                if Some(phase) != last_phase {
-                    writeln!(self.body, "b{phase:03b} {}", phase_id(core)).expect("string write");
-                }
-                self.last[core] = (Some(pc), Some(phase));
+            self.record(platform.cycle(), core, c.pc(), c.state(), &mut stamped);
+        }
+        self.samples += 1;
+    }
+
+    fn record(&mut self, cycle: u64, core: usize, pc: u16, state: CoreState, stamped: &mut bool) {
+        let phase = phase_code(state);
+        let (last_pc, last_phase) = self.last[core];
+        if Some(pc) != last_pc || Some(phase) != last_phase {
+            if !*stamped {
+                writeln!(self.body, "#{}", cycle * NS_PER_CYCLE).expect("string write");
+                *stamped = true;
             }
+            if Some(pc) != last_pc {
+                writeln!(self.body, "b{pc:016b} {}", pc_id(core)).expect("string write");
+            }
+            if Some(phase) != last_phase {
+                writeln!(self.body, "b{phase:03b} {}", phase_id(core)).expect("string write");
+            }
+            self.last[core] = (Some(pc), Some(phase));
+        }
+    }
+
+    /// Samples from an end-of-cycle observer hook.
+    fn sample_slice(&mut self, cycle: u64, cores: &[Core]) {
+        let mut stamped = false;
+        for (core, c) in cores.iter().enumerate().take(self.cores) {
+            self.record(cycle, core, c.pc(), c.state(), &mut stamped);
         }
         self.samples += 1;
     }
@@ -110,12 +125,23 @@ impl VcdTracer {
         for core in 0..self.cores {
             writeln!(out, "$var wire 16 {} pc{} [15:0] $end", pc_id(core), core)
                 .expect("string write");
-            writeln!(out, "$var wire 3 {} phase{} [2:0] $end", phase_id(core), core)
-                .expect("string write");
+            writeln!(
+                out,
+                "$var wire 3 {} phase{} [2:0] $end",
+                phase_id(core),
+                core
+            )
+            .expect("string write");
         }
         out.push_str("$upscope $end\n$enddefinitions $end\n");
         out.push_str(&self.body);
         out
+    }
+}
+
+impl Observer for VcdTracer {
+    fn on_cycle_end(&mut self, cycle: u64, cores: &[Core]) {
+        self.sample_slice(cycle, cores);
     }
 }
 
@@ -127,8 +153,8 @@ mod tests {
 
     fn traced_run(src: &str) -> String {
         let program = assemble(src).unwrap();
-        let mut p = Platform::new(PlatformConfig::paper_with_sync().with_max_cycles(10_000))
-            .unwrap();
+        let mut p =
+            Platform::new(PlatformConfig::paper_with_sync().with_max_cycles(10_000)).unwrap();
         p.load_program(&program);
         let mut vcd = VcdTracer::new(&p);
         while !p.all_halted() {
@@ -197,10 +223,7 @@ mod tests {
                 halt",
         );
         let changes = vcd.lines().filter(|l| l.starts_with('b')).count();
-        let cycles = vcd
-            .lines()
-            .filter(|l| l.starts_with('#'))
-            .count();
+        let cycles = vcd.lines().filter(|l| l.starts_with('#')).count();
         assert!(changes > 100, "loop activity must be visible: {changes}");
         assert!(
             changes < cycles * 16,

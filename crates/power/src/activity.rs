@@ -64,7 +64,12 @@ impl Activity {
     /// A synthetic activity vector for documentation and tests: a design
     /// achieving `ops_per_cycle` with `im_per_op` IM accesses and
     /// `dm_per_op` DM accesses per op, on an 8-core platform.
-    pub fn synthetic(ops_per_cycle: f64, im_per_op: f64, dm_per_op: f64, has_sync: bool) -> Activity {
+    pub fn synthetic(
+        ops_per_cycle: f64,
+        im_per_op: f64,
+        dm_per_op: f64,
+        has_sync: bool,
+    ) -> Activity {
         let cycles_per_op = 8.0 / ops_per_cycle; // 8 cores' worth of cycles
         Activity {
             ops_per_cycle,

@@ -218,8 +218,7 @@ mod tests {
         let (base, _) = designs();
         let m = PowerModel::calibrated_default();
         let b = m.breakdown(&base, 8.0, 1.2);
-        let sum =
-            b.cores + b.im + b.dm + b.dxbar + b.ixbar + b.synchronizer + b.clock;
+        let sum = b.cores + b.im + b.dm + b.dxbar + b.ixbar + b.synchronizer + b.clock;
         assert!((b.total() - sum).abs() < 1e-12);
         assert_eq!(b.synchronizer, 0.0, "no synchronizer on the baseline");
     }
@@ -258,7 +257,10 @@ mod tests {
         let saving = m.saving_at(&imp, &base, w).unwrap();
         assert!(saving > 0.3, "saving {saving:.2}");
         assert!(saving < 0.8, "saving {saving:.2}");
-        assert!(m.saving_at(&imp, &base, w * 1.01).is_none(), "baseline infeasible");
+        assert!(
+            m.saving_at(&imp, &base, w * 1.01).is_none(),
+            "baseline infeasible"
+        );
     }
 
     #[test]
@@ -297,8 +299,14 @@ mod tests {
         let (_, imp) = designs();
         let m = PowerModel::calibrated_default();
         let knee = m.knee_workload(&imp);
-        let e_low = m.power_at_workload(&imp, knee * 0.2).unwrap().energy_per_op_nj();
-        let e_knee = m.power_at_workload(&imp, knee * 0.99).unwrap().energy_per_op_nj();
+        let e_low = m
+            .power_at_workload(&imp, knee * 0.2)
+            .unwrap()
+            .energy_per_op_nj();
+        let e_knee = m
+            .power_at_workload(&imp, knee * 0.99)
+            .unwrap()
+            .energy_per_op_nj();
         let e_high = m
             .power_at_workload(&imp, (knee * 10.0).min(m.max_workload(&imp)))
             .unwrap()

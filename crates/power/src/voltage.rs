@@ -48,7 +48,11 @@ impl VoltageModel {
     ///
     /// Panics if `v` is not above the threshold voltage.
     pub fn f_max(&self, v: f64) -> f64 {
-        assert!(v > self.v_t, "supply {v} V not above threshold {} V", self.v_t);
+        assert!(
+            v > self.v_t,
+            "supply {v} V not above threshold {} V",
+            self.v_t
+        );
         self.f_nom_mhz * ((v - self.v_t) / (self.v_nom - self.v_t)).powf(self.alpha)
     }
 
@@ -64,8 +68,8 @@ impl VoltageModel {
         if f_mhz <= 0.0 {
             return Some(self.v_min);
         }
-        let v = self.v_t
-            + (self.v_nom - self.v_t) * (f_mhz / self.f_nom_mhz).powf(1.0 / self.alpha);
+        let v =
+            self.v_t + (self.v_nom - self.v_t) * (f_mhz / self.f_nom_mhz).powf(1.0 / self.alpha);
         Some(v.clamp(self.v_min, self.v_nom))
     }
 

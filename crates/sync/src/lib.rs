@@ -120,11 +120,11 @@ impl SyncEvents {
     }
 }
 
-/// One in-flight merged read-modify-write.
-#[derive(Debug, Clone)]
+/// One in-flight merged read-modify-write. The merged batch itself lives
+/// in [`Synchronizer::batch`], reused across operations.
+#[derive(Debug, Clone, Copy)]
 struct InFlight {
     word_addr: u16,
-    batch: Vec<(usize, SyncKind)>,
     /// Remaining cycles (2 at accept; completes when it reaches 0).
     cycles_left: u8,
     /// Word value latched at the read cycle.
@@ -133,11 +133,15 @@ struct InFlight {
 
 /// The hardware synchronizer (Fig. 1 of the paper).
 ///
-/// Driven by the platform once per cycle via [`Synchronizer::step`]; see
-/// the crate-level documentation for the protocol.
+/// Driven by the platform once per cycle via [`Synchronizer::step`] (or
+/// the allocation-free [`Synchronizer::step_into`]); see the crate-level
+/// documentation for the protocol.
 #[derive(Debug, Clone, Default)]
 pub struct Synchronizer {
     inflight: Option<InFlight>,
+    /// The merged `(core, kind)` batch of the in-flight operation; kept on
+    /// the synchronizer so its allocation is reused across operations.
+    batch: Vec<(usize, SyncKind)>,
     stats: SyncStats,
 }
 
@@ -148,7 +152,7 @@ impl fmt::Display for Synchronizer {
                 f,
                 "synchronizer busy: word {:#06x}, {} merged, {} cycles left",
                 op.word_addr,
-                op.batch.len(),
+                self.batch.len(),
                 op.cycles_left
             ),
             None => write!(f, "synchronizer idle"),
@@ -172,18 +176,43 @@ impl Synchronizer {
         &self.stats
     }
 
-    /// Advances the synchronizer by one cycle.
-    ///
-    /// `requests` holds the `SINC`/`SDEC` requests presented by cores this
-    /// cycle (at most one per core). Cores in `accepted` consumed the cycle
-    /// inside the synchronizer; requesters not accepted must record a sync
-    /// stall. Completion events are edge-triggered at the end of the cycle.
+    /// Returns the synchronizer to its idle reset state (no operation in
+    /// flight, statistics cleared), keeping the batch allocation.
+    pub fn reset(&mut self) {
+        self.inflight = None;
+        self.batch.clear();
+        self.stats = SyncStats::default();
+    }
+
+    /// Advances the synchronizer by one cycle, allocating fresh event
+    /// buffers. Convenience wrapper around [`Synchronizer::step_into`].
     pub fn step(
         &mut self,
         requests: &[(usize, SyncRequest)],
         dmem: &mut BankedMemory,
     ) -> SyncEvents {
         let mut events = SyncEvents::default();
+        self.step_into(requests, dmem, &mut events);
+        events
+    }
+
+    /// Advances the synchronizer by one cycle, writing the cycle's events
+    /// into `events` (cleared first) so a caller that reuses the buffer
+    /// runs allocation-free in steady state.
+    ///
+    /// `requests` holds the `SINC`/`SDEC` requests presented by cores this
+    /// cycle (at most one per core). Cores in `accepted` consumed the cycle
+    /// inside the synchronizer; requesters not accepted must record a sync
+    /// stall. Completion events are edge-triggered at the end of the cycle.
+    pub fn step_into(
+        &mut self,
+        requests: &[(usize, SyncRequest)],
+        dmem: &mut BankedMemory,
+        events: &mut SyncEvents,
+    ) {
+        events.accepted.clear();
+        events.completed.clear();
+        events.wake.clear();
 
         if let Some(op) = &mut self.inflight {
             // Busy: all new requesters stall.
@@ -192,13 +221,13 @@ impl Synchronizer {
             op.cycles_left -= 1;
             if op.cycles_left == 0 {
                 let op = self.inflight.take().expect("checked above");
-                self.commit(op, dmem, &mut events);
+                self.commit(op, dmem, events);
             }
-            return events;
+            return;
         }
 
         if requests.is_empty() {
-            return events;
+            return;
         }
 
         // Idle: arbitrate. The point requested by the lowest-numbered core
@@ -210,22 +239,24 @@ impl Synchronizer {
             .expect("non-empty")
             .1
             .word_addr;
-        let mut batch = Vec::new();
+        self.batch.clear();
         for (core, req) in requests {
             if req.word_addr == winner_addr {
                 match req.kind {
                     SyncKind::CheckIn => self.stats.checkin_requests += 1,
                     SyncKind::CheckOut => self.stats.checkout_requests += 1,
                 }
-                batch.push((*core, req.kind));
+                self.batch.push((*core, req.kind));
             } else {
                 self.stats.stalled_requests += 1;
             }
         }
-        batch.sort_unstable_by_key(|(core, _)| *core);
-        events.accepted = batch.iter().map(|(core, _)| *core).collect();
+        self.batch.sort_unstable_by_key(|(core, _)| *core);
+        events
+            .accepted
+            .extend(self.batch.iter().map(|(core, _)| *core));
         self.stats.batches += 1;
-        self.stats.merged += (batch.len() - 1) as u64;
+        self.stats.merged += (self.batch.len() - 1) as u64;
         self.stats.busy_cycles += 1;
 
         // Read cycle: latch the word and lock it against ordinary traffic
@@ -234,11 +265,9 @@ impl Synchronizer {
         let latched = dmem.read(winner_addr);
         self.inflight = Some(InFlight {
             word_addr: winner_addr,
-            batch,
             cycles_left: 1,
             latched,
         });
-        events
     }
 
     /// Write cycle: applies the merged update and produces completions.
@@ -246,7 +275,7 @@ impl Synchronizer {
         let mut flags = sync_word::flags(op.latched);
         let mut counter = sync_word::counter(op.latched) as i32;
         let mut any_checkout = false;
-        for (core, kind) in &op.batch {
+        for (core, kind) in &self.batch {
             match kind {
                 SyncKind::CheckIn => {
                     flags |= 1u8 << (core % 8);
@@ -269,26 +298,24 @@ impl Synchronizer {
             self.stats.releases += 1;
             for bit in 0..8 {
                 let core = bit as usize;
-                if flags & (1 << bit) != 0 && !op.batch.iter().any(|(c, _)| *c == core) {
+                if flags & (1 << bit) != 0 && !self.batch.iter().any(|(c, _)| *c == core) {
                     events.wake.push(core);
                     self.stats.wakeups += 1;
                 }
             }
             dmem.write(op.word_addr, 0);
-            for (core, kind) in op.batch {
-                events.completed.push((core, false));
-                debug_assert!(matches!(
-                    kind,
-                    SyncKind::CheckIn | SyncKind::CheckOut
-                ));
-            }
+            events
+                .completed
+                .extend(self.batch.iter().map(|(core, _)| (*core, false)));
         } else {
             dmem.write(op.word_addr, sync_word::make(flags, counter.min(255) as u8));
-            for (core, kind) in op.batch {
-                let sleep = matches!(kind, SyncKind::CheckOut);
-                events.completed.push((core, sleep));
-            }
+            events.completed.extend(
+                self.batch
+                    .iter()
+                    .map(|(core, kind)| (*core, matches!(kind, SyncKind::CheckOut))),
+            );
         }
+        self.batch.clear();
         dmem.unlock_word(op.word_addr);
     }
 }
@@ -457,7 +484,12 @@ mod tests {
         let mut m = dm();
         let mut s = Synchronizer::new();
         s.step(
-            &[checkin(0, 60), checkin(1, 60), checkin(2, 60), checkin(3, 60)],
+            &[
+                checkin(0, 60),
+                checkin(1, 60),
+                checkin(2, 60),
+                checkin(3, 60),
+            ],
             &mut m,
         );
         s.step(&[], &mut m);

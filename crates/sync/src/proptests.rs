@@ -170,7 +170,11 @@ fn counter_tracks_more_than_eight_checkins() {
     let reqs: Vec<_> = cores.iter().map(|&c| req(c, SyncKind::CheckIn)).collect();
     drive(&mut sync, &mut dm, reqs);
     assert_eq!(sync_word::counter(dm.peek(WORD)), 12, "counter exceeds 8");
-    assert_eq!(sync_word::flags(dm.peek(WORD)), 0xFF, "flags saturate at 8 bits");
+    assert_eq!(
+        sync_word::flags(dm.peek(WORD)),
+        0xFF,
+        "flags saturate at 8 bits"
+    );
 
     // Eleven check-outs leave the barrier armed; the counter never hits 0.
     for &c in &cores[..11] {
@@ -195,7 +199,11 @@ fn counter_saturates_instead_of_wrapping() {
     dm.poke(WORD, sync_word::make(0xFF, 255));
 
     drive(&mut sync, &mut dm, vec![req(0, SyncKind::CheckIn)]);
-    assert_eq!(sync_word::counter(dm.peek(WORD)), 255, "clamped, not wrapped");
+    assert_eq!(
+        sync_word::counter(dm.peek(WORD)),
+        255,
+        "clamped, not wrapped"
+    );
     assert_eq!(sync.stats().releases, 0, "no spurious release");
 
     // A check-out still decrements from the clamp.

@@ -74,8 +74,7 @@ fn reference(x: &[i16], threshold: i16) -> Vec<i16> {
     let n = x.len();
     let mut y = x.to_vec();
     for i in 1..n - 1 {
-        let avg =
-            ((x[i - 1] as i32 + 2 * x[i] as i32 + x[i + 1] as i32) >> 2) as i16;
+        let avg = ((x[i - 1] as i32 + 2 * x[i] as i32 + x[i + 1] as i32) >> 2) as i16;
         y[i] = avg.min(threshold);
     }
     y

@@ -12,7 +12,7 @@
 //! a single column of identical addresses.
 
 use ulp_lockstep::isa::asm::assemble;
-use ulp_lockstep::platform::{Platform, PlatformConfig};
+use ulp_lockstep::platform::{PcTrace, Platform, PlatformConfig};
 
 const PROGRAM: &str = "
         rdid r1
@@ -31,10 +31,10 @@ post:   add  r2, r2        ; lockstep SIMD region
         bne  post
         halt";
 
-fn render(platform: &Platform, title: &str, cycles: usize) {
+fn render(trace: &PcTrace, title: &str, cycles: usize) {
     println!("== {title} ==");
     println!("cycle | c0   c1   c2   c3   c4   c5   c6   c7   | same-PC fetch width");
-    for (cycle, row) in platform.pc_trace().iter().enumerate().take(cycles) {
+    for (cycle, row) in trace.rows().iter().enumerate().take(cycles) {
         let mut line = format!("{:>5} | ", cycle + 1);
         for pc in row {
             match pc {
@@ -64,10 +64,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for with_sync in [true, false] {
         let mut platform = Platform::new(PlatformConfig::paper(with_sync))?;
         platform.load_program(&program);
-        platform.enable_pc_trace(64);
-        platform.run()?;
+        let mut trace = PcTrace::new(64);
+        platform.run_with(&mut [&mut trace])?;
         render(
-            &platform,
+            &trace,
             if with_sync {
                 "improved design (SDEC barrier restores lockstep)"
             } else {

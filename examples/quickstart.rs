@@ -54,11 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
         println!(
             "{:<14} {:>7}  {:>9.2}  {:>11}  {:>14.2}",
-            if with_sync {
-                "with sync"
-            } else {
-                "baseline"
-            },
+            if with_sync { "with sync" } else { "baseline" },
             stats.cycles,
             stats.ops_per_cycle(),
             stats.im.total_accesses(),

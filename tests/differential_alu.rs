@@ -99,14 +99,8 @@ fn mul_mulh_form_exact_signed_product() {
 fn shifts_match_native_semantics() {
     for &a in &samples() {
         for amount in 1u8..=15 {
-            assert_eq!(
-                shift_exec(ShiftKind::Shl, a, amount, F0).value,
-                a << amount
-            );
-            assert_eq!(
-                shift_exec(ShiftKind::Shr, a, amount, F0).value,
-                a >> amount
-            );
+            assert_eq!(shift_exec(ShiftKind::Shl, a, amount, F0).value, a << amount);
+            assert_eq!(shift_exec(ShiftKind::Shr, a, amount, F0).value, a >> amount);
             assert_eq!(
                 shift_exec(ShiftKind::Asr, a, amount, F0).value,
                 ((a as i16) >> amount) as u16

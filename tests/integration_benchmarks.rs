@@ -130,12 +130,10 @@ fn both_layouts_and_granularities_stay_bit_exact() {
             cfg.layout = layout;
             cfg.granularity = granularity;
             for benchmark in Benchmark::ALL {
-                let run = run_benchmark(benchmark, true, &cfg).unwrap_or_else(|e| {
-                    panic!("{benchmark} {layout:?} {granularity:?}: {e}")
-                });
-                run.verify().unwrap_or_else(|e| {
-                    panic!("{benchmark} {layout:?} {granularity:?}: {e}")
-                });
+                let run = run_benchmark(benchmark, true, &cfg)
+                    .unwrap_or_else(|e| panic!("{benchmark} {layout:?} {granularity:?}: {e}"));
+                run.verify()
+                    .unwrap_or_else(|e| panic!("{benchmark} {layout:?} {granularity:?}: {e}"));
             }
         }
     }

@@ -14,8 +14,11 @@ use ulp_lockstep::platform::{Platform, PlatformConfig};
 fn safe_instr() -> impl Strategy<Value = Instr> {
     let reg = || prop::sample::select(&[Reg::R0, Reg::R1, Reg::R3, Reg::R4, Reg::R5][..]);
     prop_oneof![
-        (prop::sample::select(&AluOp::ALL[..]), reg(), reg())
-            .prop_map(|(op, rd, rs)| Instr::Alu { op, rd, rs }),
+        (prop::sample::select(&AluOp::ALL[..]), reg(), reg()).prop_map(|(op, rd, rs)| Instr::Alu {
+            op,
+            rd,
+            rs
+        }),
         (reg(), -16i8..=15).prop_map(|(rd, imm)| Instr::AddI { rd, imm }),
         (reg(), any::<u8>()).prop_map(|(rd, imm)| Instr::MovI { rd, imm }),
         (reg(), any::<u8>()).prop_map(|(rd, imm)| Instr::MovHi { rd, imm }),
@@ -48,15 +51,27 @@ fn build(body: &[Instr], with_section: bool) -> Vec<u16> {
     let mut instrs = vec![
         // RSYNC = 0x200: clear of the 0x100.. data window so stores and
         // seed data can never corrupt the sync word.
-        Instr::MovI { rd: Reg::R2, imm: 0 },
-        Instr::MovHi { rd: Reg::R2, imm: 2 },
+        Instr::MovI {
+            rd: Reg::R2,
+            imm: 0,
+        },
+        Instr::MovHi {
+            rd: Reg::R2,
+            imm: 2,
+        },
         Instr::Csr {
             op: CsrOp::WrSync,
             rd: Reg::R2,
         },
         // r2 = 0x100: the scratch data base used by loads and stores.
-        Instr::MovI { rd: Reg::R2, imm: 0 },
-        Instr::MovHi { rd: Reg::R2, imm: 1 },
+        Instr::MovI {
+            rd: Reg::R2,
+            imm: 0,
+        },
+        Instr::MovHi {
+            rd: Reg::R2,
+            imm: 1,
+        },
     ];
     if with_section {
         instrs.push(Instr::Sinc { index: 9 });

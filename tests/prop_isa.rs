@@ -3,8 +3,8 @@
 
 use proptest::prelude::*;
 use ulp_lockstep::isa::{
-    asm::assemble, decode, disasm::disassemble, encode, AluOp, Cond, CsrOp, Instr, Reg,
-    ShiftKind, UnaryOp,
+    asm::assemble, decode, disasm::disassemble, encode, AluOp, Cond, CsrOp, Instr, Reg, ShiftKind,
+    UnaryOp,
 };
 
 fn reg() -> impl Strategy<Value = Reg> {
@@ -16,8 +16,11 @@ fn instr() -> impl Strategy<Value = Instr> {
         Just(Instr::Nop),
         Just(Instr::Sleep),
         Just(Instr::Halt),
-        (prop::sample::select(&AluOp::ALL[..]), reg(), reg())
-            .prop_map(|(op, rd, rs)| Instr::Alu { op, rd, rs }),
+        (prop::sample::select(&AluOp::ALL[..]), reg(), reg()).prop_map(|(op, rd, rs)| Instr::Alu {
+            op,
+            rd,
+            rs
+        }),
         (reg(), -16i8..=15).prop_map(|(rd, imm)| Instr::AddI { rd, imm }),
         (reg(), -16i8..=15).prop_map(|(rd, imm)| Instr::CmpI { rd, imm }),
         (reg(), any::<u8>()).prop_map(|(rd, imm)| Instr::MovI { rd, imm }),

@@ -7,7 +7,7 @@
 //! cycle — while the baseline design never realigns.
 
 use ulp_lockstep::isa::asm::assemble;
-use ulp_lockstep::platform::{Platform, PlatformConfig};
+use ulp_lockstep::platform::{PcTrace, Platform, PlatformConfig};
 
 /// Core `id` spins `id + 1` times between check-in and check-out, so the
 /// two cores leave the section at different times.
@@ -28,16 +28,16 @@ post:   add  r2, r2        ; lockstep region after the barrier
         bne  post
         halt";
 
-fn run(with_sync: bool) -> Platform {
+fn run(with_sync: bool) -> (Platform, PcTrace) {
     let program = assemble(PROGRAM).expect("program assembles");
     let config = PlatformConfig::paper(with_sync)
         .with_cores(2)
         .with_max_cycles(100_000);
     let mut platform = Platform::new(config).expect("valid config");
     platform.load_program(&program);
-    platform.enable_pc_trace(512);
-    platform.run().expect("program halts");
-    platform
+    let mut trace = PcTrace::new(512);
+    platform.run_with(&mut [&mut trace]).expect("program halts");
+    (platform, trace)
 }
 
 /// Rows of the fetch trace classified per cycle: `Together(pc)` means both
@@ -50,9 +50,9 @@ enum Row {
     Split(u16, u16),
 }
 
-fn classify(platform: &Platform) -> Vec<Row> {
-    platform
-        .pc_trace()
+fn classify(trace: &PcTrace) -> Vec<Row> {
+    trace
+        .rows()
         .iter()
         .map(|row| match (row[0], row[1]) {
             (None, None) => Row::Idle,
@@ -65,7 +65,7 @@ fn classify(platform: &Platform) -> Vec<Row> {
 
 #[test]
 fn two_core_sinc_sdec_resumes_in_lockstep() {
-    let platform = run(true);
+    let (platform, trace) = run(true);
     for i in 0..2 {
         assert!(platform.core(i).is_halted(), "core {i} halted");
     }
@@ -80,7 +80,7 @@ fn two_core_sinc_sdec_resumes_in_lockstep() {
     assert_eq!(platform.dm(18432), 0, "sync word cleared after release");
 
     // The divergent section must actually desynchronize the cores...
-    let rows = classify(&platform);
+    let rows = classify(&trace);
     let last_apart = rows
         .iter()
         .rposition(|r| matches!(r, Row::Single | Row::Split(..)))
@@ -103,7 +103,7 @@ fn two_core_sinc_sdec_resumes_in_lockstep() {
 
 #[test]
 fn baseline_without_synchronizer_never_realigns() {
-    let platform = run(false);
+    let (platform, trace) = run(false);
     for i in 0..2 {
         assert!(platform.core(i).is_halted(), "core {i} halted");
     }
@@ -112,7 +112,7 @@ fn baseline_without_synchronizer_never_realigns() {
     // Once the data-dependent section splits the cores, the baseline has
     // no mechanism to bring them back: no fetch after the split may be a
     // same-address broadcast.
-    let rows = classify(&platform);
+    let rows = classify(&trace);
     let first_apart = rows
         .iter()
         .position(|r| matches!(r, Row::Single | Row::Split(..)))
@@ -127,8 +127,8 @@ fn baseline_without_synchronizer_never_realigns() {
 
 #[test]
 fn synchronizer_improves_lockstep_width() {
-    let with_sync = run(true).stats().avg_lockstep_width();
-    let without = run(false).stats().avg_lockstep_width();
+    let with_sync = run(true).0.stats().avg_lockstep_width();
+    let without = run(false).0.stats().avg_lockstep_width();
     assert!(
         with_sync > without,
         "synchronizer must improve average lockstep width \

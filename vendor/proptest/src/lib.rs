@@ -23,15 +23,15 @@ pub mod strategy;
 pub mod test_runner;
 
 pub mod prelude {
+    /// `prop::collection::vec(..)`, `prop::sample::select(..)` etc., exactly
+    /// as the real proptest prelude exposes them.
+    pub use crate as prop;
     pub use crate::arbitrary::any;
     pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
     pub use crate::test_runner::{ProptestConfig, TestRng};
     pub use crate::{
         prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
     };
-    /// `prop::collection::vec(..)`, `prop::sample::select(..)` etc., exactly
-    /// as the real proptest prelude exposes them.
-    pub use crate as prop;
 }
 
 /// Defines property tests. Each body runs `config.cases` times with freshly
