@@ -1,0 +1,77 @@
+//! Criterion benchmark of the batch simulation service: jobs per second
+//! through [`SimService`] for the two shapes the scheduler must handle
+//! well — a uniform grid that exercises the platform-cache fast path, and
+//! a mixed-size grid that exercises stealing. A regression here means the
+//! scheduler, the deques or the platform cache got slower, independent of
+//! the engine itself (which `step_throughput` tracks).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::sync::Arc;
+use ulp_kernels::{Benchmark, WorkloadConfig};
+use ulp_service::{JobSpec, ServiceConfig, SimService};
+
+/// Jobs submitted (and drained) per benchmark iteration.
+const JOBS_PER_ITER: u64 = 6;
+
+/// The smallest workload the kernels support: the simulations stay short,
+/// so service overhead (scheduling, caching, channels) is a visible
+/// fraction of the measurement rather than noise under the simulation.
+fn tiny_workload() -> Arc<WorkloadConfig> {
+    let mut w = WorkloadConfig::quick_test();
+    w.n = 16;
+    Arc::new(w)
+}
+
+/// One batch: submit `JOBS_PER_ITER` jobs, stream all results back.
+fn run_batch(service: &mut SimService, specs: &[JobSpec]) -> u64 {
+    for spec in specs {
+        service.submit(spec.clone());
+    }
+    let mut cycles = 0;
+    for _ in 0..specs.len() {
+        let result = service.recv().expect("job completes");
+        cycles += result.outcome.expect("job runs").run.stats.cycles;
+    }
+    cycles
+}
+
+fn bench_service_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service_throughput");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(JOBS_PER_ITER));
+    let workload = tiny_workload();
+
+    // Uniform grid, one worker: every job after the first hits the
+    // platform cache — the reuse fast path.
+    let uniform: Vec<JobSpec> = (0..JOBS_PER_ITER)
+        .map(|_| JobSpec::new(Benchmark::Sqrt32, true, 2, workload.clone()))
+        .collect();
+    let mut service = SimService::start(ServiceConfig::with_workers(1));
+    group.bench_function(BenchmarkId::new("uniform_cached", 1), |b| {
+        b.iter(|| run_batch(&mut service, &uniform))
+    });
+    service.finish();
+
+    // Mixed-size grid, two workers: 2-core cells next to 8-core cells,
+    // pinned lopsidedly so the pool must steal to stay busy.
+    let mixed: Vec<JobSpec> = (0..JOBS_PER_ITER)
+        .map(|i| {
+            let cores = if i % 3 == 0 { 8 } else { 2 };
+            JobSpec::new(Benchmark::Sqrt32, i % 2 == 0, cores, workload.clone()).pinned(0)
+        })
+        .collect();
+    let mut service = SimService::start(ServiceConfig::with_workers(2));
+    group.bench_function(BenchmarkId::new("mixed_stealing", 2), |b| {
+        b.iter(|| run_batch(&mut service, &mixed))
+    });
+    let stats = service.finish();
+    println!(
+        "service_throughput/mixed_stealing: {} jobs, {} steals, {} cache hits",
+        stats.jobs_run, stats.steals, stats.platform_cache_hits
+    );
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_service_throughput);
+criterion_main!(benches);

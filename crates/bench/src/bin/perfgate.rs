@@ -1,0 +1,272 @@
+//! `perfgate` — the CI performance-regression gate.
+//!
+//! ```text
+//! perfgate [options]
+//!   --dir <path>        directory of BENCH_*.json records
+//!                       (default: target/bench-json)
+//!   --baseline <path>   checked-in baseline (default: ci/bench-baseline.json)
+//!   --tolerance <frac>  allowed fractional regression (default: 0.20)
+//!   --write-baseline    regenerate the baseline from the records and exit
+//! ```
+//!
+//! The vendored criterion harness writes one `BENCH_<label>.json` record
+//! per benchmark when `ULP_BENCH_JSON_DIR` is set (see `vendor/criterion`).
+//! Every record carries a `per_sec` rate — simulated cycles per second for
+//! `step_throughput`, jobs per second for `service_throughput` — where
+//! higher is faster. The gate compares each baseline entry against the
+//! fresh record and fails (exit 1) if any rate dropped by more than the
+//! tolerance. Benchmarks present in the records but absent from the
+//! baseline are reported but not gated, so adding a bench doesn't require
+//! a lockstep baseline update; refresh with `--write-baseline`.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: perfgate [options]
+  --dir <path>        directory of BENCH_*.json records (default: target/bench-json)
+  --baseline <path>   checked-in baseline (default: ci/bench-baseline.json)
+  --tolerance <frac>  allowed fractional regression (default: 0.20)
+  --write-baseline    regenerate the baseline from the records and exit";
+
+struct Options {
+    dir: PathBuf,
+    baseline: PathBuf,
+    tolerance: f64,
+    write_baseline: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        dir: PathBuf::from("target/bench-json"),
+        baseline: PathBuf::from("ci/bench-baseline.json"),
+        tolerance: 0.20,
+        write_baseline: false,
+    };
+    let mut args = std::env::args().skip(1);
+    let next_value = |args: &mut dyn Iterator<Item = String>, what: &str| {
+        args.next()
+            .ok_or_else(|| format!("missing value for {what}"))
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--dir" => opts.dir = PathBuf::from(next_value(&mut args, "--dir")?),
+            "--baseline" => opts.baseline = PathBuf::from(next_value(&mut args, "--baseline")?),
+            "--tolerance" => {
+                opts.tolerance = next_value(&mut args, "--tolerance")?
+                    .parse()
+                    .map_err(|e| format!("bad value for --tolerance: {e}"))?;
+                if !(0.0..1.0).contains(&opts.tolerance) {
+                    return Err(format!("tolerance {} outside [0, 1)", opts.tolerance));
+                }
+            }
+            "--write-baseline" => opts.write_baseline = true,
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(opts)
+}
+
+/// Extracts the `"key": "string"` field of a single-record JSON object,
+/// honouring `\"` and `\\` escapes in the value.
+fn json_str_field(record: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\":\"");
+    let start = record.find(&needle)? + needle.len();
+    unescape_until_quote(&record[start..])
+}
+
+/// Reads a JSON string body up to its closing quote, resolving `\"` and
+/// `\\`. Returns `None` on an unterminated string.
+fn unescape_until_quote(s: &str) -> Option<String> {
+    let mut out = String::new();
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '\\' => out.push(chars.next()?),
+            '"' => return Some(out),
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+/// Escapes a label for embedding in a JSON string (mirrors the criterion
+/// shim's record writer).
+fn escape(label: &str) -> String {
+    label.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Extracts the `"key": number` field of a single-record JSON object.
+fn json_num_field(record: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let start = record.find(&needle)? + needle.len();
+    let rest = &record[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+/// Reads every `BENCH_*.json` record in `dir` into label → per_sec.
+fn read_records(dir: &Path) -> Result<BTreeMap<String, f64>, String> {
+    let mut records = BTreeMap::new();
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    for entry in entries {
+        let path = entry.map_err(|e| e.to_string())?.path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if !name.starts_with("BENCH_") || !name.ends_with(".json") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let (Some(label), Some(per_sec)) = (
+            json_str_field(&text, "label"),
+            json_num_field(&text, "per_sec"),
+        ) else {
+            return Err(format!("malformed record {}", path.display()));
+        };
+        records.insert(label, per_sec);
+    }
+    Ok(records)
+}
+
+/// Reads the baseline file: a flat JSON object of label → per_sec.
+fn read_baseline(path: &Path) -> Result<BTreeMap<String, f64>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let mut baseline = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some(rest) = line.strip_prefix('"') else {
+            continue;
+        };
+        let Some(label) = unescape_until_quote(rest) else {
+            continue;
+        };
+        // The raw (escaped) label plus its two quotes precede the colon.
+        let after = &rest[rest.len().min(escape(&label).len() + 1)..];
+        let Some(value) = after.trim().strip_prefix(':') else {
+            continue;
+        };
+        let value: f64 = value
+            .trim()
+            .parse()
+            .map_err(|e| format!("bad baseline value for {label:?}: {e}"))?;
+        baseline.insert(label, value);
+    }
+    if baseline.is_empty() {
+        return Err(format!("no entries in baseline {}", path.display()));
+    }
+    Ok(baseline)
+}
+
+fn write_baseline(path: &Path, records: &BTreeMap<String, f64>) -> Result<(), String> {
+    let mut text = String::from("{\n");
+    let last = records.len().saturating_sub(1);
+    for (i, (label, per_sec)) in records.iter().enumerate() {
+        text.push_str(&format!("  \"{}\": {per_sec:.3}", escape(label)));
+        text.push_str(if i == last { "\n" } else { ",\n" });
+    }
+    text.push_str("}\n");
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)
+            .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+    }
+    std::fs::write(path, text).map_err(|e| format!("cannot write {}: {e}", path.display()))
+}
+
+fn main() -> ExitCode {
+    if std::env::args().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("perfgate: {e}");
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let records = match read_records(&opts.dir) {
+        Ok(r) if r.is_empty() => {
+            eprintln!(
+                "perfgate: no BENCH_*.json records in {} — run the benches with \
+                 ULP_BENCH_JSON_DIR={} first",
+                opts.dir.display(),
+                opts.dir.display()
+            );
+            return ExitCode::FAILURE;
+        }
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("perfgate: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if opts.write_baseline {
+        if let Err(e) = write_baseline(&opts.baseline, &records) {
+            eprintln!("perfgate: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "perfgate: wrote {} entries to {}",
+            records.len(),
+            opts.baseline.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = match read_baseline(&opts.baseline) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("perfgate: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "perfgate: gating {} baseline entries at {:.0}% tolerance",
+        baseline.len(),
+        opts.tolerance * 100.0
+    );
+    println!(
+        "{:<42} {:>14} {:>14} {:>7}  status",
+        "benchmark", "baseline/s", "current/s", "ratio"
+    );
+    let mut failures = 0;
+    for (label, &base) in &baseline {
+        match records.get(label) {
+            None => {
+                println!("{label:<42} {base:>14.0} {:>14} {:>7}  MISSING", "-", "-");
+                failures += 1;
+            }
+            Some(&current) => {
+                let ratio = if base > 0.0 { current / base } else { f64::NAN };
+                let ok = ratio >= 1.0 - opts.tolerance;
+                println!(
+                    "{label:<42} {base:>14.0} {current:>14.0} {ratio:>7.2}  {}",
+                    if ok { "ok" } else { "REGRESSED" }
+                );
+                if !ok {
+                    failures += 1;
+                }
+            }
+        }
+    }
+    for label in records.keys().filter(|l| !baseline.contains_key(*l)) {
+        println!("{label:<42} (new benchmark, not gated — refresh the baseline)");
+    }
+
+    if failures > 0 {
+        eprintln!(
+            "perfgate: {failures} benchmark(s) regressed more than {:.0}% (or went missing); \
+             if intentional, refresh with --write-baseline",
+            opts.tolerance * 100.0
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("perfgate: all gated benchmarks within tolerance");
+    ExitCode::SUCCESS
+}

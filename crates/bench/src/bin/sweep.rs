@@ -4,18 +4,54 @@
 //! ```text
 //! sweep [options]
 //!   --smoke              tiny workload (CI smoke mode)
+//!   --stream             print one JSON line per cell as it completes
 //!   --n <samples>        samples per channel (default 256, paper workload)
 //!   --cores <list>       comma-separated core counts (default 2,4,8)
 //!   --benchmarks <list>  comma-separated subset of MRPFLTR,MRPDLN,SQRT32
 //!   --threads <n>        worker threads (default: all hardware threads)
 //! ```
+//!
+//! `--stream` turns the sweep into a JSON-lines producer: cells are
+//! emitted in completion order (not grid order) the moment the service
+//! delivers them, so a long sweep reports incrementally and can be piped
+//! into `jq`-style tooling while still running. In this mode stdout
+//! carries only the records — the closing summary goes to stderr and the
+//! comparison table is suppressed.
 
+use std::io::Write;
 use std::process::ExitCode;
-use ulp_bench::{run_sweep, SweepSpec};
+use ulp_bench::{run_sweep_with, SweepCell, SweepSpec};
 use ulp_kernels::{Benchmark, WorkloadConfig};
+
+/// One completed cell as a JSON-lines record (`--stream`). `emitted` and
+/// `total` number the *emitted* records: gapless from 1, reaching `total`
+/// exactly when every cell of the grid ran and verified.
+fn json_line(cell: &SweepCell, emitted: usize, total: usize) -> String {
+    format!(
+        concat!(
+            "{{\"benchmark\":\"{}\",\"design\":\"{}\",\"cores\":{},",
+            "\"cycles\":{},\"ops_per_cycle\":{:.4},\"lockstep_width\":{:.4},",
+            "\"im_accesses\":{},\"completed\":{},\"total\":{}}}"
+        ),
+        cell.run.benchmark.name(),
+        if cell.run.with_sync {
+            "sync"
+        } else {
+            "baseline"
+        },
+        cell.cores,
+        cell.run.stats.cycles,
+        cell.run.stats.ops_per_cycle(),
+        cell.run.stats.avg_lockstep_width(),
+        cell.run.stats.im.total_accesses(),
+        emitted,
+        total,
+    )
+}
 
 const USAGE: &str = "usage: sweep [options]
   --smoke              tiny workload (CI smoke mode)
+  --stream             print one JSON line per cell as it completes
   --n <samples>        samples per channel (default 256, paper workload)
   --cores <list>       comma-separated core counts (default 2,4,8)
   --benchmarks <list>  comma-separated subset of MRPFLTR,MRPDLN,SQRT32
@@ -23,6 +59,7 @@ const USAGE: &str = "usage: sweep [options]
 
 struct Options {
     smoke: bool,
+    stream: bool,
     n: Option<usize>,
     cores: Vec<usize>,
     benchmarks: Vec<Benchmark>,
@@ -52,6 +89,7 @@ fn parse_list<T>(
 fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
         smoke: false,
+        stream: false,
         n: None,
         cores: vec![2, 4, 8],
         benchmarks: Benchmark::ALL.to_vec(),
@@ -65,6 +103,7 @@ fn parse_args() -> Result<Options, String> {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => opts.smoke = true,
+            "--stream" => opts.stream = true,
             "--n" => {
                 opts.n = Some(
                     next_value(&mut args, "--n")?
@@ -132,8 +171,29 @@ fn main() -> ExitCode {
         threads: opts.threads,
     };
     let cells = spec.len();
+    let stream = opts.stream;
     let start = std::time::Instant::now();
-    let results = match run_sweep(&spec) {
+    let mut emitted = 0;
+    let results = match run_sweep_with(&spec, |cell, progress| {
+        if stream {
+            // Suppress records whose outputs diverged from the golden
+            // model, so a downstream consumer never ingests them (the
+            // pipeline may mask this process's exit code); the post-sweep
+            // verification below reports the mismatch and fails the run.
+            if cell.run.verify().is_err() {
+                return;
+            }
+            // Number the records this process actually emits, so the
+            // stream stays gapless even when a cell was suppressed.
+            emitted += 1;
+            let mut out = std::io::stdout().lock();
+            // Flush per record so a consumer sees cells as they finish,
+            // not when the sweep exits.
+            writeln!(out, "{}", json_line(cell, emitted, progress.total))
+                .and_then(|()| out.flush())
+                .ok();
+        }
+    }) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("sweep: {e}");
@@ -142,13 +202,45 @@ fn main() -> ExitCode {
     };
     let elapsed = start.elapsed();
 
-    println!(
+    // Every cell is validated against its golden model regardless of the
+    // output mode.
+    for cell in &results.cells {
+        if let Err(e) = cell.run.verify() {
+            eprintln!("sweep: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    // In --stream mode stdout carries *only* JSON-lines records (so the
+    // output stays pipeable into jq-style tooling); the human summary
+    // moves to stderr and the table is suppressed — its numbers are all
+    // in the records.
+    let mut summary: Box<dyn Write> = if stream {
+        Box::new(std::io::stderr())
+    } else {
+        Box::new(std::io::stdout())
+    };
+    writeln!(
+        summary,
         "{cells} runs on {} threads in {:.2} s ({} platforms built, {} reused)",
         results.threads_used,
         elapsed.as_secs_f64(),
         results.platforms_built,
-        cells - results.platforms_built,
-    );
+        cells.saturating_sub(results.platforms_built),
+    )
+    .ok();
+    writeln!(
+        summary,
+        "service: {} jobs, {} steals, {} platform-cache hits, {:.2} s wall",
+        results.service.jobs_run,
+        results.service.steals,
+        results.service.platform_cache_hits,
+        results.service.wall.as_secs_f64(),
+    )
+    .ok();
+    if stream {
+        return ExitCode::SUCCESS;
+    }
+
     println!();
     println!(
         "{:<8} {:>5} | {:>10} {:>10} | {:>7} | {:>9} {:>9} | {:>5}",
@@ -161,10 +253,6 @@ fn main() -> ExitCode {
             let (Some(with), Some(without)) = (with, without) else {
                 continue;
             };
-            if let Err(e) = with.run.verify().and_then(|()| without.run.verify()) {
-                eprintln!("sweep: {e}");
-                return ExitCode::FAILURE;
-            }
             let im_saving = 1.0
                 - with.run.stats.im.total_accesses() as f64
                     / without.run.stats.im.total_accesses() as f64;

@@ -1,30 +1,30 @@
 //! Batched experiment sweeps: run a (benchmark × design × core-count)
-//! grid across OS threads.
+//! grid through the batch simulation service.
 //!
 //! Every grid cell is one deterministic, self-contained simulation, so the
-//! sweep distributes cells over a fixed worker pool with a shared atomic
-//! cursor. Each worker keeps one [`Platform`] per (design, core-count)
-//! pair and reuses it via [`ulp_kernels::run_benchmark_reusing`], so the
-//! engine's memories and cycle buffers are allocated once per thread
-//! rather than once per run. Results are returned in grid order and are
-//! bit-identical to serial execution.
+//! sweep is a thin client of [`ulp_service::SimService`]: the grid becomes
+//! a batch of [`ulp_service::JobSpec`]s, the service's work-stealing pool
+//! executes them over per-worker platform caches, and completed cells
+//! stream back incrementally — [`run_sweep_with`] reports each one through
+//! a progress callback the moment it lands, while [`run_sweep`] just
+//! gathers them. Results are returned in grid order and are bit-identical
+//! to serial execution.
 //!
 //! ```no_run
-//! use ulp_bench::{SweepSpec, run_sweep};
+//! use ulp_bench::{SweepSpec, run_sweep_with};
 //! use ulp_kernels::WorkloadConfig;
 //!
 //! let spec = SweepSpec::full_grid(WorkloadConfig::quick_test());
-//! let results = run_sweep(&spec).unwrap();
-//! for cell in &results.cells {
-//!     println!("{}", cell.describe());
-//! }
+//! let results = run_sweep_with(&spec, |cell, progress| {
+//!     println!("[{}/{}] {}", progress.completed, progress.total, cell.describe());
+//! })
+//! .unwrap();
+//! assert_eq!(results.cells.len(), spec.len());
 //! ```
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-use ulp_kernels::{run_benchmark_reusing, Benchmark, BenchmarkRun, RunnerError, WorkloadConfig};
-use ulp_platform::{Platform, PlatformConfig};
+use std::sync::Arc;
+use ulp_kernels::{Benchmark, BenchmarkRun, RunnerError, WorkloadConfig};
+use ulp_service::{JobSpec, ServiceConfig, ServiceStats, SimService};
 
 /// The grid of a sweep: every combination of benchmark, design and core
 /// count is one simulation.
@@ -71,7 +71,9 @@ impl SweepSpec {
         self.benchmarks.len() * self.designs.len() * self.core_counts.len()
     }
 
-    /// Whether the grid is empty.
+    /// Whether the grid is empty — any empty axis empties the whole grid,
+    /// and [`run_sweep`] on an empty grid returns immediately without
+    /// starting the service.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
@@ -117,16 +119,33 @@ impl SweepCell {
     }
 }
 
+/// Incremental completion info handed to the [`run_sweep_with`] callback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepProgress {
+    /// Successfully completed cells so far, this one included — counts
+    /// gaplessly from 1 and reaches `total` exactly when every cell of
+    /// the grid succeeded (errored cells are not streamed; the sweep
+    /// returns their error instead).
+    pub completed: usize,
+    /// Total cells in the grid.
+    pub total: usize,
+    /// Grid-order index of the completed cell (cells complete out of
+    /// order; this is where it belongs).
+    pub index: usize,
+}
+
 /// Everything a finished sweep produced.
 #[derive(Debug)]
 pub struct SweepResults {
     /// Completed cells, in grid order (benchmark-major, then design, then
-    /// core count) regardless of which thread ran them.
+    /// core count) regardless of which worker ran them.
     pub cells: Vec<SweepCell>,
     /// Worker threads used.
     pub threads_used: usize,
     /// Platforms constructed across all workers (the rest were reuses).
     pub platforms_built: usize,
+    /// Scheduling statistics of the service run that executed the grid.
+    pub service: ServiceStats,
 }
 
 impl SweepResults {
@@ -146,94 +165,100 @@ impl SweepResults {
     }
 }
 
-/// Runs every cell of `spec` across OS threads and returns the cells in
-/// grid order. Simulations are deterministic and independent, so the
-/// result is bit-identical to running the grid serially.
+/// Runs every cell of `spec` through the simulation service and returns
+/// the cells in grid order. Simulations are deterministic and independent,
+/// so the result is bit-identical to running the grid serially.
 ///
 /// # Errors
 ///
 /// The first [`RunnerError`] in grid order; remaining cells still run to
 /// completion.
 pub fn run_sweep(spec: &SweepSpec) -> Result<SweepResults, RunnerError> {
+    run_sweep_with(spec, |_, _| {})
+}
+
+/// [`run_sweep`] with streaming: `on_cell` is invoked for every completed
+/// cell the moment the service delivers it (in completion order, which is
+/// not grid order), before the sweep as a whole finishes. The aggregate
+/// [`SweepResults`] is identical to [`run_sweep`]'s.
+///
+/// An empty grid returns immediately — no service, no worker threads.
+///
+/// # Errors
+///
+/// See [`run_sweep`].
+pub fn run_sweep_with(
+    spec: &SweepSpec,
+    mut on_cell: impl FnMut(&SweepCell, SweepProgress),
+) -> Result<SweepResults, RunnerError> {
     let jobs = spec.jobs();
-    let threads = if spec.threads == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    } else {
-        spec.threads
+    if jobs.is_empty() {
+        return Ok(SweepResults {
+            cells: Vec::new(),
+            threads_used: 0,
+            platforms_built: 0,
+            service: ServiceStats::default(),
+        });
     }
-    .min(jobs.len())
-    .max(1);
+    // Resolve exactly like the service would, then cap at the grid size —
+    // a pool larger than the batch would only park the surplus workers.
+    let workers = ServiceConfig::with_workers(spec.threads)
+        .resolved_workers()
+        .min(jobs.len())
+        .max(1);
 
-    let cursor = AtomicUsize::new(0);
-    let slots: Mutex<Vec<Option<Result<SweepCell, RunnerError>>>> =
-        Mutex::new((0..jobs.len()).map(|_| None).collect());
-    let platforms_built = AtomicUsize::new(0);
+    let mut service = SimService::start(ServiceConfig::with_workers(workers));
+    let workload = Arc::new(spec.workload.clone());
+    for &(benchmark, with_sync, cores) in &jobs {
+        // Job ids are assigned in submission order, so id == grid index.
+        service.submit(JobSpec::new(benchmark, with_sync, cores, workload.clone()));
+    }
 
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| {
-                // One platform per (design, core-count), reused across
-                // benchmarks: the dominant allocations (memories, cycle
-                // buffers) happen once per worker.
-                let mut cache: HashMap<(bool, usize), Platform> = HashMap::new();
-                loop {
-                    let index = cursor.fetch_add(1, Ordering::Relaxed);
-                    let Some(&(benchmark, with_sync, cores)) = jobs.get(index) else {
-                        break;
-                    };
-                    let result = platform_for(
-                        &mut cache,
-                        with_sync,
-                        cores,
-                        &spec.workload,
-                        &platforms_built,
-                    )
-                    .and_then(|platform| run_benchmark_reusing(benchmark, platform, &spec.workload))
-                    .map(|run| SweepCell { cores, run });
-                    slots.lock().expect("no poisoned sweeps")[index] = Some(result);
-                }
-            });
+    let total = jobs.len();
+    let mut slots: Vec<Option<Result<SweepCell, RunnerError>>> = (0..total).map(|_| None).collect();
+    let mut completed = 0;
+    while let Some(result) = service.recv() {
+        let index = result.id as usize;
+        let cell = result.outcome.map(|out| SweepCell {
+            cores: out.cores,
+            run: out.run,
+        });
+        if let Ok(cell) = &cell {
+            // Errored cells are not streamed (the sweep as a whole
+            // returns their error), so `completed` counts exactly the
+            // cells the callback sees: it reaches `total` iff every cell
+            // succeeded, with no gaps in between.
+            completed += 1;
+            on_cell(
+                cell,
+                SweepProgress {
+                    completed,
+                    total,
+                    index,
+                },
+            );
         }
-    });
+        slots[index] = Some(cell);
+    }
+    let stats = service.finish();
 
-    let mut cells = Vec::with_capacity(jobs.len());
-    for slot in slots.into_inner().expect("no poisoned sweeps") {
+    let mut cells = Vec::with_capacity(total);
+    for slot in slots {
         cells.push(slot.expect("every job ran")?);
     }
     Ok(SweepResults {
         cells,
-        threads_used: threads,
-        platforms_built: platforms_built.load(Ordering::Relaxed),
+        threads_used: stats.workers,
+        platforms_built: stats.platforms_built as usize,
+        service: stats,
     })
-}
-
-fn platform_for<'a>(
-    cache: &'a mut HashMap<(bool, usize), Platform>,
-    with_sync: bool,
-    cores: usize,
-    workload: &WorkloadConfig,
-    built: &AtomicUsize,
-) -> Result<&'a mut Platform, RunnerError> {
-    use std::collections::hash_map::Entry;
-    match cache.entry((with_sync, cores)) {
-        Entry::Occupied(e) => Ok(e.into_mut()),
-        Entry::Vacant(e) => {
-            let cfg = PlatformConfig::paper(with_sync)
-                .with_cores(cores)
-                .with_max_cycles(workload.max_cycles);
-            let platform = Platform::new(cfg)?;
-            built.fetch_add(1, Ordering::Relaxed);
-            Ok(e.insert(platform))
-        }
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use ulp_kernels::run_benchmark_on;
+    use ulp_platform::PlatformConfig;
 
     fn quick_spec() -> SweepSpec {
         SweepSpec {
@@ -277,6 +302,8 @@ mod tests {
         assert_eq!(coords, spec.jobs());
         assert!(results.threads_used >= 1);
         assert!(results.platforms_built >= 1);
+        assert_eq!(results.service.jobs_run as usize, spec.len());
+        assert_eq!(results.service.workers, results.threads_used);
     }
 
     #[test]
@@ -301,5 +328,70 @@ mod tests {
         // One worker, two designs x two core counts: four platforms, each
         // reused nowhere in this tiny grid but cached per coordinate.
         assert_eq!(results.platforms_built, 4);
+        assert_eq!(results.service.steals, 0, "one worker cannot steal");
+    }
+
+    #[test]
+    fn streaming_reports_every_cell_and_matches_gather() {
+        let spec = quick_spec();
+        let mut seen: Vec<SweepProgress> = Vec::new();
+        let streamed = run_sweep_with(&spec, |cell, progress| {
+            assert!(!cell.describe().is_empty());
+            seen.push(progress);
+        })
+        .expect("sweep runs");
+
+        let total = spec.len();
+        assert_eq!(seen.len(), total);
+        // `completed` counts monotonically 1..=total as cells stream in.
+        assert_eq!(
+            seen.iter().map(|p| p.completed).collect::<Vec<_>>(),
+            (1..=total).collect::<Vec<_>>()
+        );
+        assert!(seen.iter().all(|p| p.total == total));
+        // Every grid index is reported exactly once.
+        let mut indices: Vec<usize> = seen.iter().map(|p| p.index).collect();
+        indices.sort_unstable();
+        assert_eq!(indices, (0..total).collect::<Vec<_>>());
+
+        // The streamed aggregate is the non-streaming result, bit-exactly.
+        let gathered = run_sweep(&spec).expect("sweep runs");
+        assert_eq!(streamed.cells.len(), gathered.cells.len());
+        for (a, b) in streamed.cells.iter().zip(&gathered.cells) {
+            assert_eq!(a.run.stats, b.run.stats);
+            assert_eq!(a.run.outputs, b.run.outputs);
+        }
+    }
+
+    #[test]
+    fn empty_grid_returns_immediately_without_workers() {
+        for spec in [
+            SweepSpec {
+                benchmarks: vec![],
+                ..quick_spec()
+            },
+            SweepSpec {
+                designs: vec![],
+                ..quick_spec()
+            },
+            SweepSpec {
+                core_counts: vec![],
+                ..quick_spec()
+            },
+        ] {
+            assert_eq!(spec.len(), 0);
+            assert!(spec.is_empty());
+            let results = run_sweep(&spec).expect("empty sweep is trivially ok");
+            assert!(results.cells.is_empty());
+            assert_eq!(results.threads_used, 0, "no workers for an empty grid");
+            assert_eq!(results.platforms_built, 0);
+            assert_eq!(results.service, ServiceStats::default());
+            // Lookup paths are well-defined on the empty result.
+            assert!(results.cell(Benchmark::Sqrt32, true, 2).is_none());
+            assert!(results.speedup(Benchmark::Sqrt32, 2).is_none());
+        }
+        let full = quick_spec();
+        assert!(!full.is_empty());
+        assert_eq!(full.len(), 8);
     }
 }

@@ -12,7 +12,7 @@ use ulp_biosignal::{
     EcgSignal, MrpfltrConfig,
 };
 use ulp_isa::asm::{assemble, AsmError};
-use ulp_platform::{ConfigError, Platform, PlatformConfig, PlatformError, SimStats};
+use ulp_platform::{ConfigError, Observer, Platform, PlatformConfig, PlatformError, SimStats};
 
 /// One of the paper's three reference benchmarks (Section II).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -332,6 +332,28 @@ pub fn run_benchmark_reusing(
     platform: &mut Platform,
     cfg: &WorkloadConfig,
 ) -> Result<BenchmarkRun, RunnerError> {
+    run_benchmark_reusing_with(benchmark, platform, cfg, &mut [])
+}
+
+/// [`run_benchmark_reusing`] with observers attached to the run: the
+/// benchmark executes through [`Platform::run_with`], so PC traces, VCD
+/// dumps or custom probes can watch a reused-platform run. This is the
+/// execution path of the batch simulation service, whose jobs carry an
+/// observer selection.
+///
+/// # Errors
+///
+/// See [`run_benchmark`].
+///
+/// # Panics
+///
+/// See [`run_benchmark_reusing`].
+pub fn run_benchmark_reusing_with(
+    benchmark: Benchmark,
+    platform: &mut Platform,
+    cfg: &WorkloadConfig,
+    observers: &mut [&mut dyn Observer],
+) -> Result<BenchmarkRun, RunnerError> {
     assert!(
         cfg.n >= 4 && cfg.n <= crate::layout::MAX_N,
         "n = {} outside supported range",
@@ -370,7 +392,7 @@ pub fn run_benchmark_reusing(
         );
     }
 
-    platform.run()?;
+    platform.run_with(observers)?;
 
     let out_buf = match benchmark {
         Benchmark::Mrpfltr | Benchmark::Mrpdln => 5,

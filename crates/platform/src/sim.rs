@@ -115,6 +115,14 @@ impl Platform {
         &self.cfg
     }
 
+    /// Replaces the cycle budget in place. Part of the reuse surface
+    /// alongside [`Platform::reset`]: a cached platform keyed on
+    /// (design, cores) can serve jobs whose workloads carry different
+    /// budgets without being rebuilt.
+    pub fn set_max_cycles(&mut self, budget: u64) {
+        self.cfg.max_cycles = budget;
+    }
+
     /// Returns the platform to its power-on state — cores reset, memories
     /// zeroed, statistics cleared — while keeping every allocation, so the
     /// instance can run another program without rebuilding. Used by the

@@ -1,0 +1,129 @@
+//! The service's job model: what a client submits and what it gets back.
+
+use std::sync::Arc;
+use ulp_kernels::{Benchmark, BenchmarkRun, RunnerError, WorkloadConfig};
+
+/// Identifier assigned by [`crate::SimService::submit`], monotonically
+/// increasing from 0 in submission order. Results carry it so streamed
+/// completions can be matched back to submissions regardless of the order
+/// in which workers finish them.
+pub type JobId = u64;
+
+/// One unit of work for the service: a benchmark kernel, the platform
+/// design and core count to run it on, the workload, and which observers
+/// (if any) to attach to the run.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// The benchmark kernel to execute.
+    pub benchmark: Benchmark,
+    /// `true` = improved design (hardware synchronizer), `false` =
+    /// baseline.
+    pub with_sync: bool,
+    /// Core count of the platform (1..=8; the kernels assume one private
+    /// DM bank per core).
+    pub cores: usize,
+    /// The workload; shared so a grid of jobs clones a pointer, not the
+    /// config.
+    pub workload: Arc<WorkloadConfig>,
+    /// Instrumentation attached to the run.
+    pub observers: ObserverSelection,
+    /// Placement hint: push the job onto this worker's deque (modulo the
+    /// pool size) instead of the round-robin default. The job may still be
+    /// *stolen* and executed by another worker — affinity shapes the
+    /// initial distribution, not execution.
+    pub affinity: Option<usize>,
+}
+
+impl JobSpec {
+    /// A job with no observers and round-robin placement.
+    pub fn new(
+        benchmark: Benchmark,
+        with_sync: bool,
+        cores: usize,
+        workload: Arc<WorkloadConfig>,
+    ) -> JobSpec {
+        JobSpec {
+            benchmark,
+            with_sync,
+            cores,
+            workload,
+            observers: ObserverSelection::None,
+            affinity: None,
+        }
+    }
+
+    /// Attaches an observer selection.
+    #[must_use]
+    pub fn with_observers(mut self, observers: ObserverSelection) -> JobSpec {
+        self.observers = observers;
+        self
+    }
+
+    /// Pins the job's initial placement to `worker`'s deque.
+    #[must_use]
+    pub fn pinned(mut self, worker: usize) -> JobSpec {
+        self.affinity = Some(worker);
+        self
+    }
+}
+
+/// Which observers a job wants attached to its run. Everything here rides
+/// on the engine's [`ulp_platform::Observer`] hook layer, so adding a
+/// variant never touches the cycle loop.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub enum ObserverSelection {
+    /// Statistics only (the default — the allocation-free fast path).
+    #[default]
+    None,
+    /// Record per-core fetch PCs for the first `limit` cycles.
+    PcTrace {
+        /// Maximum traced cycles.
+        limit: usize,
+    },
+    /// Produce a VCD change dump of the whole run.
+    Vcd,
+}
+
+/// Observer output carried back in a [`JobOutput`], mirroring the job's
+/// [`ObserverSelection`].
+#[derive(Debug, Clone, Default)]
+pub enum JobArtifacts {
+    /// No observers were attached.
+    #[default]
+    None,
+    /// Rows of per-core fetch PCs, one row per traced cycle.
+    PcTrace(Vec<Vec<Option<u16>>>),
+    /// The VCD text of the run.
+    Vcd(String),
+}
+
+/// What a successful job produced.
+#[derive(Debug)]
+pub struct JobOutput {
+    /// Core count the job ran on (mirrors the spec; kept here so a result
+    /// is self-describing without the submission side-table).
+    pub cores: usize,
+    /// The benchmark run: statistics, outputs, golden expectations.
+    pub run: BenchmarkRun,
+    /// Observer output, per the job's selection.
+    pub artifacts: JobArtifacts,
+}
+
+/// One completed job, streamed back to the client as soon as the worker
+/// finishes it.
+#[derive(Debug)]
+pub struct JobResult {
+    /// The id [`crate::SimService::submit`] returned for this job.
+    pub id: JobId,
+    /// Index of the worker that executed the job.
+    pub worker: usize,
+    /// Whether the executing worker stole the job from another worker's
+    /// deque (scheduling observability; stolen results are bit-identical
+    /// to local ones).
+    pub stolen: bool,
+    /// Whether the worker served the job from its platform cache rather
+    /// than constructing a platform.
+    pub cache_hit: bool,
+    /// The run, or the first error it hit.
+    pub outcome: Result<JobOutput, RunnerError>,
+}

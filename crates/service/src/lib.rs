@@ -1,0 +1,145 @@
+//! # ulp-service — the batch simulation service
+//!
+//! A long-lived front-end over the cycle engine: clients submit
+//! [`JobSpec`]s (benchmark + platform design + core count + workload +
+//! observer selection) to a [`SimService`] and receive [`JobResult`]s as a
+//! stream, in completion order. The pool is built for *grids* — the
+//! (benchmark × design × cores) sweeps that every experiment in this
+//! repository runs — and for mixed-size grids in particular:
+//!
+//! * **Work stealing.** Jobs land on per-worker deques (round-robin or
+//!   pinned); owners pop LIFO from the back, idle workers steal FIFO from
+//!   the front. A 2-core SQRT32 cell finishing early frees its worker to
+//!   steal the tail of an 8-core full-signal MRPDLN backlog.
+//! * **Platform caching.** Each worker keeps one [`ulp_platform::Platform`]
+//!   per `(design, cores)` key, reset and reused between jobs
+//!   ([`ulp_kernels::run_benchmark_reusing_with`]) so memories and cycle
+//!   buffers are allocated once per worker, not once per job.
+//! * **Streaming.** Results flow back over a channel the moment a worker
+//!   finishes; long sweeps report incrementally instead of joining at the
+//!   end.
+//! * **Observability.** [`ServiceStats`] counts jobs run, steals,
+//!   platform-cache hits and platforms built, so scheduling quality is
+//!   measurable (see the `service_throughput` bench).
+//!
+//! `ulp_bench::run_sweep` is a thin client of this service; use the
+//! service directly when jobs arrive over time, need observers attached,
+//! or don't form a rectangular grid.
+
+mod job;
+mod service;
+
+pub use job::{JobArtifacts, JobId, JobOutput, JobResult, JobSpec, ObserverSelection};
+pub use service::{ServiceConfig, ServiceStats, SimService};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use ulp_kernels::{Benchmark, WorkloadConfig};
+
+    fn quick() -> Arc<WorkloadConfig> {
+        let mut w = WorkloadConfig::quick_test();
+        w.n = 16;
+        Arc::new(w)
+    }
+
+    #[test]
+    fn results_stream_before_finish() {
+        let mut service = SimService::start(ServiceConfig::with_workers(2));
+        let workload = quick();
+        let a = service.submit(JobSpec::new(Benchmark::Sqrt32, true, 2, workload.clone()));
+        let b = service.submit(JobSpec::new(Benchmark::Sqrt32, false, 2, workload));
+        let mut ids = vec![
+            service.recv().expect("first result").id,
+            service.recv().expect("second result").id,
+        ];
+        ids.sort_unstable();
+        assert_eq!(ids, vec![a, b]);
+        assert!(service.recv().is_none(), "all results received");
+        let stats = service.finish();
+        assert_eq!(stats.jobs_run, 2);
+        assert_eq!(stats.workers, 2);
+    }
+
+    #[test]
+    fn idle_pool_finishes_immediately() {
+        let service = SimService::start(ServiceConfig::with_workers(1));
+        let stats = service.finish();
+        assert_eq!(stats.jobs_run, 0);
+        assert_eq!(stats.steals, 0);
+        assert_eq!(stats.platforms_built, 0);
+    }
+
+    #[test]
+    fn try_recv_is_non_blocking() {
+        let mut service = SimService::start(ServiceConfig::with_workers(1));
+        assert!(service.try_recv().is_none(), "nothing submitted");
+        service.submit(JobSpec::new(Benchmark::Sqrt32, true, 2, quick()));
+        // Poll until the single job lands; try_recv never blocks.
+        let result = loop {
+            if let Some(r) = service.try_recv() {
+                break r;
+            }
+            std::thread::yield_now();
+        };
+        assert_eq!(result.id, 0);
+        assert!(result.outcome.is_ok());
+        service.finish();
+    }
+
+    #[test]
+    fn pc_trace_observer_selection_returns_rows() {
+        let mut service = SimService::start(ServiceConfig::with_workers(1));
+        let spec = JobSpec::new(Benchmark::Sqrt32, true, 2, quick())
+            .with_observers(ObserverSelection::PcTrace { limit: 32 });
+        service.submit(spec);
+        let result = service.recv().expect("job completes");
+        let out = result.outcome.expect("job runs");
+        match out.artifacts {
+            JobArtifacts::PcTrace(rows) => {
+                assert_eq!(rows.len(), 32);
+                assert!(rows.iter().all(|row| row.len() == 2));
+            }
+            other => panic!("expected a PC trace, got {other:?}"),
+        }
+        service.finish();
+    }
+
+    #[test]
+    fn drop_with_backlog_cancels_instead_of_draining() {
+        let mut service = SimService::start(ServiceConfig::with_workers(2));
+        let workload = quick();
+        for _ in 0..32 {
+            service.submit(JobSpec::new(Benchmark::Sqrt32, true, 8, workload.clone()));
+        }
+        let first = service.recv().expect("at least one job completes");
+        assert!(first.outcome.is_ok());
+        // Dropping with a deep backlog must cancel the queued jobs and
+        // join promptly — workers finish at most their current job. A
+        // livelock in claim abandonment would hang this test.
+        drop(service);
+    }
+
+    #[test]
+    fn invalid_core_count_yields_an_error_outcome() {
+        let mut service = SimService::start(ServiceConfig::with_workers(1));
+        for cores in [0, 9, 16] {
+            service.submit(JobSpec::new(Benchmark::Sqrt32, true, cores, quick()));
+        }
+        for _ in 0..3 {
+            let result = service.recv().expect("job completes");
+            let err = result.outcome.expect_err("bad core count must error");
+            assert!(
+                err.to_string().contains("core count"),
+                "unexpected error: {err}"
+            );
+        }
+        let stats = service.finish();
+        assert_eq!(stats.jobs_run, 3);
+        assert_eq!(
+            stats.platforms_built, 0,
+            "no platform is built for bad specs"
+        );
+    }
+}

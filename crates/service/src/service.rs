@@ -1,0 +1,480 @@
+//! The batch simulation service: a long-lived worker pool with per-worker
+//! platform caches, work-stealing deques and streamed results.
+
+use crate::job::{JobArtifacts, JobId, JobOutput, JobResult, JobSpec, ObserverSelection};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use ulp_kernels::{run_benchmark_reusing_with, RunnerError};
+use ulp_platform::{PcTrace, Platform, PlatformConfig, VcdTracer};
+
+/// Pool shape of a [`SimService`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServiceConfig {
+    /// Worker threads; `0` = one per available hardware thread.
+    pub workers: usize,
+}
+
+impl ServiceConfig {
+    /// A pool with exactly `workers` threads.
+    pub fn with_workers(workers: usize) -> ServiceConfig {
+        ServiceConfig { workers }
+    }
+
+    /// The concrete pool size this configuration resolves to: `workers`,
+    /// or one thread per available hardware thread when `workers == 0`.
+    /// Public so clients sizing their own batches (e.g. the sweep runner
+    /// capping the pool at the grid size) resolve exactly like the pool.
+    pub fn resolved_workers(self) -> usize {
+        if self.workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.workers
+        }
+    }
+}
+
+/// Scheduling observability: what the pool did. Snapshot via
+/// [`SimService::stats`], final values from [`SimService::finish`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// Jobs executed to completion (success or error).
+    pub jobs_run: u64,
+    /// Jobs a worker took from another worker's deque.
+    pub steals: u64,
+    /// Jobs served from a worker's platform cache.
+    pub platform_cache_hits: u64,
+    /// Platforms constructed across all workers (the cache misses).
+    pub platforms_built: u64,
+    /// Wall time since the pool started.
+    pub wall: Duration,
+}
+
+/// Guarded by [`Shared::work`]: how many submitted jobs are not yet
+/// claimed by a worker, and whether the service is shutting down.
+struct WorkState {
+    /// Jobs pushed to some deque and not yet claimed. A worker claims by
+    /// decrementing under the lock, then locates the job in the deques —
+    /// the counter is the wait condition, the deques hold the payload.
+    available: u64,
+    /// Set by [`SimService::finish`]; workers exit once `available == 0`.
+    closed: bool,
+    /// Set when the service is dropped without `finish`: queued jobs are
+    /// discarded and workers abandon in-flight claims instead of draining
+    /// the backlog.
+    cancelled: bool,
+}
+
+/// What flows back over the result channel: completed jobs, or a death
+/// notice a panicking worker emits while unwinding so blocked clients
+/// fail fast instead of hanging (surviving workers keep the channel open,
+/// so a plain disconnect is not observable in pools of 2+).
+enum Message {
+    Result(Box<JobResult>),
+    WorkerDied,
+}
+
+struct Shared {
+    /// One deque per worker. Owners pop from the back (LIFO keeps their
+    /// platform cache warm), thieves steal from the front (FIFO takes the
+    /// oldest, largest-backlog work first).
+    queues: Vec<Mutex<VecDeque<(JobId, JobSpec)>>>,
+    work: Mutex<WorkState>,
+    available: Condvar,
+    jobs_run: AtomicU64,
+    steals: AtomicU64,
+    cache_hits: AtomicU64,
+    platforms_built: AtomicU64,
+}
+
+/// A pool of simulation workers behind a submission handle.
+///
+/// Jobs ([`JobSpec`]) are distributed over per-worker deques (round-robin,
+/// or pinned via [`JobSpec::pinned`]); idle workers steal from busy ones,
+/// so mixed-size grids — a 2-core SQRT32 cell next to an 8-core
+/// full-signal MRPDLN cell — keep every thread busy. Each worker keeps one
+/// [`Platform`] per `(design, cores)` key and reuses it via
+/// [`ulp_kernels::run_benchmark_reusing_with`], so the dominant
+/// allocations happen once per worker, not once per job. Completed
+/// [`JobResult`]s stream back through [`SimService::recv`] as workers
+/// finish them — a client never waits for the whole batch.
+///
+/// ```no_run
+/// use std::sync::Arc;
+/// use ulp_kernels::{Benchmark, WorkloadConfig};
+/// use ulp_service::{JobSpec, ServiceConfig, SimService};
+///
+/// let mut service = SimService::start(ServiceConfig::default());
+/// let workload = Arc::new(WorkloadConfig::quick_test());
+/// for cores in [2, 4, 8] {
+///     service.submit(JobSpec::new(Benchmark::Sqrt32, true, cores, workload.clone()));
+/// }
+/// while let Some(result) = service.recv() {
+///     let out = result.outcome.expect("job ran");
+///     println!("{} cores: {} cycles", out.cores, out.run.stats.cycles);
+/// }
+/// let stats = service.finish();
+/// assert_eq!(stats.jobs_run, 3);
+/// ```
+pub struct SimService {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    results: mpsc::Receiver<Message>,
+    next_queue: usize,
+    submitted: u64,
+    received: u64,
+    started: Instant,
+}
+
+impl SimService {
+    /// Starts the worker pool.
+    pub fn start(config: ServiceConfig) -> SimService {
+        let workers = config.resolved_workers().max(1);
+        let shared = Arc::new(Shared {
+            queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            work: Mutex::new(WorkState {
+                available: 0,
+                closed: false,
+                cancelled: false,
+            }),
+            available: Condvar::new(),
+            jobs_run: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            platforms_built: AtomicU64::new(0),
+        });
+        let (tx, rx) = mpsc::channel();
+        let handles = (0..workers)
+            .map(|me| {
+                let shared = Arc::clone(&shared);
+                let tx = tx.clone();
+                std::thread::spawn(move || {
+                    /// Emits [`Message::WorkerDied`] if the worker unwinds,
+                    /// so clients blocked in `recv` panic instead of
+                    /// waiting on a result that will never come.
+                    struct DeathWatch(mpsc::Sender<Message>);
+                    impl Drop for DeathWatch {
+                        fn drop(&mut self) {
+                            if std::thread::panicking() {
+                                let _ = self.0.send(Message::WorkerDied);
+                            }
+                        }
+                    }
+                    let _watch = DeathWatch(tx.clone());
+                    worker_loop(me, &shared, &tx);
+                })
+            })
+            .collect();
+        SimService {
+            shared,
+            workers: handles,
+            results: rx,
+            next_queue: 0,
+            submitted: 0,
+            received: 0,
+            started: Instant::now(),
+        }
+    }
+
+    /// Worker threads in the pool.
+    pub fn workers(&self) -> usize {
+        self.shared.queues.len()
+    }
+
+    /// Jobs submitted so far.
+    pub fn submitted(&self) -> u64 {
+        self.submitted
+    }
+
+    /// Enqueues a job and returns its id. The result arrives through
+    /// [`SimService::recv`] whenever a worker completes it. A core count
+    /// outside 1..=8 is not rejected here — the job completes with a
+    /// [`ulp_platform::ConfigError`] outcome, like any other
+    /// configuration the platform/kernels cannot run.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a workload size outside the kernel layout's capacity
+    /// (the kernels would panic the worker on it), so that class of
+    /// invalid submission fails in the submitting thread, not the pool.
+    pub fn submit(&mut self, spec: JobSpec) -> JobId {
+        assert!(
+            spec.workload.n >= 4 && spec.workload.n <= ulp_kernels::layout::MAX_N,
+            "job workload n = {} outside supported range",
+            spec.workload.n
+        );
+        let id = self.submitted;
+        self.submitted += 1;
+        let queue = match spec.affinity {
+            Some(worker) => worker % self.shared.queues.len(),
+            None => {
+                let q = self.next_queue;
+                self.next_queue = (self.next_queue + 1) % self.shared.queues.len();
+                q
+            }
+        };
+        self.shared.queues[queue]
+            .lock()
+            .expect("queue lock")
+            .push_back((id, spec));
+        let mut state = self.shared.work.lock().expect("work lock");
+        state.available += 1;
+        drop(state);
+        self.shared.available.notify_one();
+        id
+    }
+
+    /// The next completed job, blocking until a worker finishes one.
+    /// Returns `None` once every submitted job's result has been received.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool died (a worker panicked) with results still
+    /// outstanding.
+    pub fn recv(&mut self) -> Option<JobResult> {
+        if self.received == self.submitted {
+            return None;
+        }
+        match self.results.recv() {
+            Ok(Message::Result(result)) => {
+                self.received += 1;
+                Some(*result)
+            }
+            Ok(Message::WorkerDied) | Err(mpsc::RecvError) => {
+                panic!("a service worker died with jobs outstanding")
+            }
+        }
+    }
+
+    /// Like [`SimService::recv`] but non-blocking: `None` when no result
+    /// is ready right now (or all results were already received).
+    pub fn try_recv(&mut self) -> Option<JobResult> {
+        if self.received == self.submitted {
+            return None;
+        }
+        match self.results.try_recv() {
+            Ok(Message::Result(result)) => {
+                self.received += 1;
+                Some(*result)
+            }
+            Ok(Message::WorkerDied) | Err(mpsc::TryRecvError::Disconnected) => {
+                panic!("a service worker died with jobs outstanding")
+            }
+            Err(mpsc::TryRecvError::Empty) => None,
+        }
+    }
+
+    /// Live snapshot of the scheduling counters.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            workers: self.shared.queues.len(),
+            jobs_run: self.shared.jobs_run.load(Ordering::Relaxed),
+            steals: self.shared.steals.load(Ordering::Relaxed),
+            platform_cache_hits: self.shared.cache_hits.load(Ordering::Relaxed),
+            platforms_built: self.shared.platforms_built.load(Ordering::Relaxed),
+            wall: self.started.elapsed(),
+        }
+    }
+
+    /// Shuts the pool down and returns the final statistics. Workers first
+    /// drain every job still queued (results of jobs not [received]
+    /// beforehand are discarded), then exit and are joined.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panicked.
+    ///
+    /// [received]: SimService::recv
+    pub fn finish(mut self) -> ServiceStats {
+        self.close(false);
+        for handle in self.workers.drain(..) {
+            handle.join().expect("service worker panicked");
+        }
+        self.stats()
+    }
+
+    /// Marks the pool closed and wakes every parked worker. With `cancel`,
+    /// the queued backlog is discarded (and in-flight claims abandoned)
+    /// instead of drained.
+    fn close(&self, cancel: bool) {
+        let mut state = self.shared.work.lock().expect("work lock");
+        state.closed = true;
+        if cancel {
+            state.cancelled = true;
+            state.available = 0;
+        }
+        drop(state);
+        if cancel {
+            for queue in &self.shared.queues {
+                queue.lock().expect("queue lock").clear();
+            }
+        }
+        self.shared.available.notify_all();
+    }
+}
+
+impl Drop for SimService {
+    /// A service dropped without [`SimService::finish`] (including during
+    /// a panic) *cancels* the pool: queued jobs are discarded, each worker
+    /// finishes at most its current job, and all workers are joined — so
+    /// no thread outlives its handle and an unwinding client is not
+    /// stalled behind the remaining backlog. Worker panics are swallowed
+    /// here — `finish` is the path that surfaces them.
+    fn drop(&mut self) {
+        if self.workers.is_empty() {
+            return;
+        }
+        self.close(true);
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(me: usize, shared: &Shared, results: &mpsc::Sender<Message>) {
+    // One platform per (design, core-count), reused across jobs: the
+    // dominant allocations (memories, cycle buffers) happen at most once
+    // per key per worker.
+    let mut cache: HashMap<(bool, usize), Platform> = HashMap::new();
+    loop {
+        // Claim one unit of work (or learn the pool is closed and drained).
+        {
+            let mut state = shared.work.lock().expect("work lock");
+            loop {
+                if state.available > 0 {
+                    state.available -= 1;
+                    break;
+                }
+                if state.closed {
+                    return;
+                }
+                state = shared.available.wait(state).expect("work lock");
+            }
+        }
+        // The claim guarantees a job exists in *some* deque; find it. Own
+        // deque first (back = most recently pushed, cache-warm), then
+        // steal from the front of the others. The retry loop covers the
+        // narrow race where another claimant grabs the job this worker
+        // would have found mid-scan.
+        let (id, spec, stolen) = loop {
+            if let Some((id, spec)) = shared.queues[me].lock().expect("queue lock").pop_back() {
+                break (id, spec, false);
+            }
+            let n = shared.queues.len();
+            let mut found = None;
+            for offset in 1..n {
+                let victim = (me + offset) % n;
+                if let Some(job) = shared.queues[victim]
+                    .lock()
+                    .expect("queue lock")
+                    .pop_front()
+                {
+                    found = Some(job);
+                    break;
+                }
+            }
+            if let Some((id, spec)) = found {
+                break (id, spec, true);
+            }
+            // A fully failed scan normally means another claimant grabbed
+            // the job this worker would have found — retry. But under
+            // cancellation the deques were cleared, so the claim can never
+            // be satisfied: abandon it and exit.
+            if shared.work.lock().expect("work lock").cancelled {
+                return;
+            }
+            std::thread::yield_now();
+        };
+        // Close the cancellation window: a job popped between `cancelled`
+        // being set and the queues being cleared must not start — Drop
+        // promises workers finish at most the job they were already
+        // running.
+        if shared.work.lock().expect("work lock").cancelled {
+            return;
+        }
+        if stolen {
+            shared.steals.fetch_add(1, Ordering::Relaxed);
+        }
+        let (cache_hit, outcome) = run_job(&spec, &mut cache, shared);
+        shared.jobs_run.fetch_add(1, Ordering::Relaxed);
+        // A closed receiver (client finished without draining) is fine —
+        // the result is simply discarded.
+        let _ = results.send(Message::Result(Box::new(JobResult {
+            id,
+            worker: me,
+            stolen,
+            cache_hit,
+            outcome,
+        })));
+    }
+}
+
+fn run_job(
+    spec: &JobSpec,
+    cache: &mut HashMap<(bool, usize), Platform>,
+    shared: &Shared,
+) -> (bool, Result<JobOutput, RunnerError>) {
+    use std::collections::hash_map::Entry;
+    // The kernels assume one private DM bank per core (≤ 8); larger
+    // baseline platforms would build fine but panic the worker inside the
+    // kernel runner, so reject the job with an error outcome instead.
+    if spec.cores == 0 || spec.cores > 8 {
+        return (
+            false,
+            Err(ulp_platform::ConfigError::BadCoreCount(spec.cores).into()),
+        );
+    }
+    let (cache_hit, platform) = match cache.entry((spec.with_sync, spec.cores)) {
+        Entry::Occupied(e) => {
+            shared.cache_hits.fetch_add(1, Ordering::Relaxed);
+            let platform = e.into_mut();
+            // Reused platforms keep their allocations but must adopt this
+            // job's cycle budget — workloads differ across jobs.
+            platform.set_max_cycles(spec.workload.max_cycles);
+            (true, platform)
+        }
+        Entry::Vacant(e) => {
+            let cfg = PlatformConfig::paper(spec.with_sync)
+                .with_cores(spec.cores)
+                .with_max_cycles(spec.workload.max_cycles);
+            match Platform::new(cfg) {
+                Ok(platform) => {
+                    shared.platforms_built.fetch_add(1, Ordering::Relaxed);
+                    (false, e.insert(platform))
+                }
+                Err(err) => return (false, Err(err.into())),
+            }
+        }
+    };
+    let outcome = match &spec.observers {
+        ObserverSelection::None => {
+            run_benchmark_reusing_with(spec.benchmark, platform, &spec.workload, &mut [])
+                .map(|run| (run, JobArtifacts::None))
+        }
+        ObserverSelection::PcTrace { limit } => {
+            let mut trace = PcTrace::new(*limit);
+            run_benchmark_reusing_with(spec.benchmark, platform, &spec.workload, &mut [&mut trace])
+                .map(|run| (run, JobArtifacts::PcTrace(trace.rows().to_vec())))
+        }
+        ObserverSelection::Vcd => {
+            let mut vcd = VcdTracer::new(platform);
+            run_benchmark_reusing_with(spec.benchmark, platform, &spec.workload, &mut [&mut vcd])
+                .map(|run| (run, JobArtifacts::Vcd(vcd.finish())))
+        }
+    };
+    (
+        cache_hit,
+        outcome.map(|(run, artifacts)| JobOutput {
+            cores: spec.cores,
+            run,
+            artifacts,
+        }),
+    )
+}

@@ -1,0 +1,77 @@
+//! Batch simulation service demo: submit a mixed-size grid of benchmark
+//! jobs to a [`SimService`] worker pool and consume the results as a
+//! stream, then inspect the scheduling statistics (steals, platform-cache
+//! hits) that make work-stealing quality observable.
+//!
+//! ```sh
+//! cargo run --release --example batch_service
+//! ```
+//!
+//! The grid is deliberately lopsided — cheap 2-core cells next to 8-core
+//! cells — which is exactly the shape the service's work stealing exists
+//! for: a worker that finishes its small cells early steals the tail of a
+//! busy worker's backlog instead of idling.
+
+use std::sync::Arc;
+use ulp_lockstep::kernels::{Benchmark, WorkloadConfig};
+use ulp_lockstep::service::{JobSpec, ServiceConfig, SimService};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workload = Arc::new(WorkloadConfig::quick_test());
+    let mut service = SimService::start(ServiceConfig::with_workers(4));
+
+    // A mixed-size grid: every benchmark, both designs, small and large
+    // platforms interleaved.
+    let mut submitted = 0;
+    for benchmark in Benchmark::ALL {
+        for with_sync in [true, false] {
+            for cores in [2, 8] {
+                service.submit(JobSpec::new(benchmark, with_sync, cores, workload.clone()));
+                submitted += 1;
+            }
+        }
+    }
+    println!(
+        "submitted {submitted} jobs to {} workers",
+        service.workers()
+    );
+    println!();
+
+    // Results stream back in completion order, not submission order.
+    while let Some(result) = service.recv() {
+        let output = result.outcome?;
+        output.run.verify()?;
+        println!(
+            "job {:>2} on worker {}{}: {:<7} {:<8} {} cores  {:>8} cycles  {:.2} ops/cycle",
+            result.id,
+            result.worker,
+            if result.stolen {
+                " (stolen)"
+            } else {
+                "         "
+            },
+            output.run.benchmark.name(),
+            if output.run.with_sync {
+                "sync"
+            } else {
+                "baseline"
+            },
+            output.cores,
+            output.run.stats.cycles,
+            output.run.stats.ops_per_cycle(),
+        );
+    }
+
+    let stats = service.finish();
+    println!();
+    println!(
+        "service: {} jobs on {} workers in {:.2} s — {} steals, {} platform-cache hits, {} platforms built",
+        stats.jobs_run,
+        stats.workers,
+        stats.wall.as_secs_f64(),
+        stats.steals,
+        stats.platform_cache_hits,
+        stats.platforms_built,
+    );
+    Ok(())
+}

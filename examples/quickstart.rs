@@ -9,6 +9,11 @@
 //! enters a data-dependent section (a loop whose trip count depends on its
 //! own data), so the cores drift apart on the baseline design and
 //! resynchronize at every check-out on the improved one.
+//!
+//! This example drives one platform by hand. To run *batches* of
+//! benchmark jobs — mixed core counts, both designs, results streamed as
+//! they finish — submit them to the simulation service instead; see
+//! `examples/batch_service.rs` and the `ulp_lockstep::service` docs.
 
 use ulp_lockstep::isa::asm::assemble;
 use ulp_lockstep::platform::{Platform, PlatformConfig};

@@ -16,7 +16,9 @@
 //! * [`platform`] — the composed multi-core platform and cycle loop;
 //! * [`biosignal`] — synthetic ECG generation and golden reference DSP;
 //! * [`kernels`] — the MRPFLTR / MRPDLN / SQRT32 benchmarks in assembly;
-//! * [`power`] — the calibrated event-energy and voltage-scaling model.
+//! * [`power`] — the calibrated event-energy and voltage-scaling model;
+//! * [`service`] — the batch simulation service: a work-stealing worker
+//!   pool with cached platforms and streamed job results.
 //!
 //! See the repository `README.md` for a quickstart and `EXPERIMENTS.md` for
 //! the paper-versus-measured reproduction results.
@@ -28,4 +30,5 @@ pub use ulp_kernels as kernels;
 pub use ulp_mem as mem;
 pub use ulp_platform as platform;
 pub use ulp_power as power;
+pub use ulp_service as service;
 pub use ulp_sync as sync;

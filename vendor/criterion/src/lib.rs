@@ -8,11 +8,24 @@
 //!
 //! Measurement model: each benchmark body is warmed up once, then timed over
 //! adaptively-chosen iteration batches until the sample budget is spent; the
-//! per-iteration mean, minimum and maximum are printed. No statistics files,
-//! plots or comparisons — this harness guards that the benches *run*, and
-//! gives a usable first-order number.
+//! per-iteration mean, minimum and maximum are printed. No statistics plots
+//! or comparisons — this harness guards that the benches *run*, and gives a
+//! usable first-order number.
+//!
+//! Two environment variables feed the CI perf gate:
+//!
+//! * `ULP_BENCH_QUICK=1` — shrink the per-benchmark budget (fewer samples,
+//!   shorter measurement window) so a full bench binary finishes in
+//!   seconds; the numbers stay comparable run-to-run on the same machine.
+//! * `ULP_BENCH_JSON_DIR=<dir>` — after printing, also write one
+//!   `BENCH_<label>.json` file per benchmark into `<dir>` containing the
+//!   label, the mean per-iteration time and the derived rate. The
+//!   `perfgate` bin compares these records against a checked-in baseline.
+//!   Pass an *absolute* path: cargo runs bench binaries with the package
+//!   directory, not the workspace root, as their working directory.
 
 use std::fmt;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -27,11 +40,29 @@ struct Settings {
 
 impl Default for Settings {
     fn default() -> Self {
+        if quick_mode() {
+            return Settings {
+                sample_size: 5,
+                measurement_time: Duration::from_millis(60),
+            };
+        }
         Settings {
             sample_size: 10,
             measurement_time: Duration::from_millis(300),
         }
     }
+}
+
+/// Whether `ULP_BENCH_QUICK` requests the abbreviated CI budget.
+fn quick_mode() -> bool {
+    std::env::var("ULP_BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// The directory `ULP_BENCH_JSON_DIR` requests machine-readable records in.
+fn json_dir() -> Option<PathBuf> {
+    std::env::var_os("ULP_BENCH_JSON_DIR")
+        .filter(|v| !v.is_empty())
+        .map(PathBuf::from)
 }
 
 #[derive(Default)]
@@ -198,6 +229,60 @@ fn run_one(
         _ => String::new(),
     };
     println!("{label:<40} time: [{min:>10.2?} {mean:>10.2?} {max:>10.2?}]{rate}");
+    if let Some(dir) = json_dir() {
+        emit_json(&dir, label, *min, mean, *max, throughput);
+    }
+}
+
+/// Writes one `BENCH_<label>.json` record for the perf gate. `per_sec` is
+/// the throughput rate when one was declared (elements or bytes per
+/// second), otherwise iterations per second — either way, higher is
+/// faster, which is the direction the gate checks.
+fn emit_json(
+    dir: &std::path::Path,
+    label: &str,
+    min: Duration,
+    mean: Duration,
+    max: Duration,
+    throughput: Option<&Throughput>,
+) {
+    if mean.is_zero() {
+        return;
+    }
+    let per_sec = match throughput {
+        Some(Throughput::Elements(n)) | Some(Throughput::Bytes(n)) => {
+            *n as f64 / mean.as_secs_f64()
+        }
+        None => 1.0 / mean.as_secs_f64(),
+    };
+    // Sanitization is lossy ("a/b" and "a_b" collide), so the file name
+    // carries an FNV-1a hash of the raw label — two distinct labels never
+    // overwrite each other's record. The gate keys on the embedded label,
+    // not the file name.
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in label.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let sanitized: String = label
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .chain(format!("_{:08x}", hash as u32).chars())
+        .collect();
+    // Labels are caller-controlled; escape them so the record stays
+    // valid JSON even for labels containing quotes or backslashes.
+    let escaped = label.replace('\\', "\\\\").replace('"', "\\\"");
+    let record = format!(
+        "{{\"label\":\"{escaped}\",\"mean_ns\":{:.3},\"min_ns\":{:.3},\"max_ns\":{:.3},\"per_sec\":{per_sec:.3}}}\n",
+        mean.as_secs_f64() * 1e9,
+        min.as_secs_f64() * 1e9,
+        max.as_secs_f64() * 1e9,
+    );
+    let path = dir.join(format!("BENCH_{sanitized}.json"));
+    let written = std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, record));
+    if let Err(e) = written {
+        eprintln!("criterion shim: cannot write {}: {e}", path.display());
+    }
 }
 
 /// Declares a bench group runner function, mirroring criterion's macro.
@@ -226,9 +311,17 @@ macro_rules! criterion_main {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Mutex;
+
+    /// `json_emission_writes_a_record_per_benchmark` mutates process
+    /// environment; every test that runs benchmarks takes this lock so a
+    /// concurrently running sibling never observes (or races the cleanup
+    /// of) the temporary `ULP_BENCH_JSON_DIR`.
+    static ENV_LOCK: Mutex<()> = Mutex::new(());
 
     #[test]
     fn bench_function_produces_samples() {
+        let _env = ENV_LOCK.lock().unwrap();
         let mut c = Criterion::default();
         c.settings.measurement_time = Duration::from_millis(5);
         let mut ran = 0u64;
@@ -237,7 +330,37 @@ mod tests {
     }
 
     #[test]
+    fn json_emission_writes_a_record_per_benchmark() {
+        let _env = ENV_LOCK.lock().unwrap();
+        let dir = std::env::temp_dir().join(format!("ulp-bench-json-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut c = Criterion::default();
+        c.settings.measurement_time = Duration::from_millis(5);
+        std::env::set_var("ULP_BENCH_JSON_DIR", &dir);
+        let mut group = c.benchmark_group("json_smoke");
+        group.throughput(Throughput::Elements(100));
+        group.bench_function("emit/1", |b| b.iter(|| black_box(3 * 7)));
+        group.finish();
+        std::env::remove_var("ULP_BENCH_JSON_DIR");
+
+        let record = std::fs::read_dir(&dir)
+            .expect("json dir exists")
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .find_map(|p| {
+                let name = p.file_name()?.to_str()?;
+                (name.starts_with("BENCH_json_smoke_emit_1_") && name.ends_with(".json"))
+                    .then(|| std::fs::read_to_string(&p).expect("record readable"))
+            })
+            .expect("record written");
+        assert!(record.contains("\"label\":\"json_smoke/emit/1\""));
+        assert!(record.contains("\"mean_ns\":"));
+        assert!(record.contains("\"per_sec\":"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn group_api_composes() {
+        let _env = ENV_LOCK.lock().unwrap();
         let mut c = Criterion::default();
         c.settings.measurement_time = Duration::from_millis(5);
         let mut group = c.benchmark_group("g");

@@ -2,7 +2,8 @@
 //!
 //! The build environment has no access to crates.io, so the workspace vendors
 //! a small but *functional* property-testing engine exposing the `proptest`
-//! API subset its tests use: the [`proptest!`] macro, the [`Strategy`] trait
+//! API subset its tests use: the [`proptest!`] macro, the
+//! [`Strategy`](strategy::Strategy) trait
 //! with `prop_map` / `prop_flat_map` / `boxed`, integer-range and tuple
 //! strategies, `any::<T>()`, `Just`, `prop_oneof!`, `prop::collection::vec` /
 //! `btree_set`, and `prop::sample::select`.
