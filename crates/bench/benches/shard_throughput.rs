@@ -1,0 +1,51 @@
+//! Criterion benchmark of the workload-sharding subsystem: recording
+//! samples per second through plan → service fan-out → merge, versus
+//! shard size. Small shards buy parallelism but pay more halo re-work and
+//! more scheduling; this tracks where the trade sits so a regression in
+//! the shard runner or the merge is visible independent of the engine
+//! (`step_throughput`) and the scheduler (`service_throughput`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ulp_kernels::{Benchmark, WorkloadConfig};
+use ulp_shard::{merge, ShardPlan, ShardRunConfig, ShardRunner, ShardedRun};
+
+/// Recording length per iteration: 4× the paper window, long enough for
+/// every shard size below to produce a multi-shard plan.
+const RECORDING: usize = 1024;
+
+fn run_sharded(workload: &WorkloadConfig, samples_per_shard: usize) -> ShardedRun {
+    let plan = ShardPlan::for_workload(Benchmark::Sqrt32, workload, samples_per_shard)
+        .expect("valid geometry");
+    ShardRunner::new(
+        ShardRunConfig::new(Benchmark::Sqrt32, true, 2, workload.clone()),
+        plan,
+    )
+    .expect("plan covers workload")
+    .run_local(2)
+    .expect("shards run")
+}
+
+fn bench_shard_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shard_throughput");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(RECORDING as u64));
+    let workload = WorkloadConfig {
+        n: RECORDING,
+        ..WorkloadConfig::quick_test()
+    };
+
+    for samples_per_shard in [128usize, 256] {
+        group.bench_function(BenchmarkId::new("sqrt32", samples_per_shard), |b| {
+            b.iter(|| {
+                let sharded = run_sharded(&workload, samples_per_shard);
+                let merged = merge(&sharded);
+                assert_eq!(merged.run.outputs[0].len(), RECORDING);
+                merged.run.stats.cycles
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_shard_throughput);
+criterion_main!(benches);

@@ -8,6 +8,10 @@
 //!   --n <samples>        samples per channel (default 256, paper workload)
 //!   --cores <list>       comma-separated core counts (default 2,4,8)
 //!   --benchmarks <list>  comma-separated subset of MRPFLTR,MRPDLN,SQRT32
+//!   --shard <list>       comma-separated shard sizes: each cell splits the
+//!                        recording into ≤ s-sample shards and merges (an
+//!                        entry of `none` runs the single-window cell), so
+//!                        grids sweep shard size × cores
 //!   --threads <n>        worker threads (default: all hardware threads)
 //! ```
 //!
@@ -27,9 +31,13 @@ use ulp_kernels::{Benchmark, WorkloadConfig};
 /// `total` number the *emitted* records: gapless from 1, reaching `total`
 /// exactly when every cell of the grid ran and verified.
 fn json_line(cell: &SweepCell, emitted: usize, total: usize) -> String {
+    let shard = match cell.shard_samples {
+        Some(s) => format!("\"shard\":{s},"),
+        None => String::new(),
+    };
     format!(
         concat!(
-            "{{\"benchmark\":\"{}\",\"design\":\"{}\",\"cores\":{},",
+            "{{\"benchmark\":\"{}\",\"design\":\"{}\",\"cores\":{},{}",
             "\"cycles\":{},\"ops_per_cycle\":{:.4},\"lockstep_width\":{:.4},",
             "\"im_accesses\":{},\"completed\":{},\"total\":{}}}"
         ),
@@ -40,6 +48,7 @@ fn json_line(cell: &SweepCell, emitted: usize, total: usize) -> String {
             "baseline"
         },
         cell.cores,
+        shard,
         cell.run.stats.cycles,
         cell.run.stats.ops_per_cycle(),
         cell.run.stats.avg_lockstep_width(),
@@ -55,6 +64,9 @@ const USAGE: &str = "usage: sweep [options]
   --n <samples>        samples per channel (default 256, paper workload)
   --cores <list>       comma-separated core counts (default 2,4,8)
   --benchmarks <list>  comma-separated subset of MRPFLTR,MRPDLN,SQRT32
+  --shard <list>       comma-separated shard sizes (or `none`): each cell
+                       splits the recording into <= s-sample shards and
+                       merges the partial results
   --threads <n>        worker threads (default: all hardware threads)";
 
 struct Options {
@@ -63,6 +75,7 @@ struct Options {
     n: Option<usize>,
     cores: Vec<usize>,
     benchmarks: Vec<Benchmark>,
+    shard: Vec<Option<usize>>,
     threads: usize,
 }
 
@@ -93,6 +106,7 @@ fn parse_args() -> Result<Options, String> {
         n: None,
         cores: vec![2, 4, 8],
         benchmarks: Benchmark::ALL.to_vec(),
+        shard: vec![None],
         threads: 0,
     };
     let mut args = std::env::args().skip(1);
@@ -134,6 +148,20 @@ fn parse_args() -> Result<Options, String> {
                     parse_benchmark,
                 )?;
             }
+            "--shard" => {
+                opts.shard = parse_list(&next_value(&mut args, "--shard")?, "--shard", |s| {
+                    if s.eq_ignore_ascii_case("none") {
+                        return Ok(None);
+                    }
+                    let samples: usize = s
+                        .parse()
+                        .map_err(|e| format!("bad shard size {s:?}: {e}"))?;
+                    if samples == 0 {
+                        return Err("shard size must be positive".into());
+                    }
+                    Ok(Some(samples))
+                })?;
+            }
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
@@ -167,9 +195,41 @@ fn main() -> ExitCode {
         benchmarks: opts.benchmarks,
         designs: vec![true, false],
         core_counts: opts.cores,
+        shard_samples: opts.shard,
         workload,
         threads: opts.threads,
     };
+    // Bad geometry is a usage error: report it and exit 2, like every
+    // other invalid argument — the sweep library treats it as a caller
+    // bug. Sharded entries must plan within the platform buffers;
+    // unsharded entries must fit a single window outright.
+    for &benchmark in &spec.benchmarks {
+        for shard in &spec.shard_samples {
+            match shard {
+                Some(samples) => {
+                    if let Err(e) =
+                        ulp_shard::ShardPlan::for_workload(benchmark, &spec.workload, *samples)
+                    {
+                        eprintln!("sweep: --shard {samples} with {benchmark}: {e}");
+                        eprintln!("{USAGE}");
+                        return ExitCode::from(2);
+                    }
+                }
+                None => {
+                    let n = spec.workload.n;
+                    if !(4..=ulp_kernels::layout::MAX_N).contains(&n) {
+                        eprintln!(
+                            "sweep: --n {n} outside the unsharded range 4..={} — \
+                             sweep it with --shard <samples> instead",
+                            ulp_kernels::layout::MAX_N
+                        );
+                        eprintln!("{USAGE}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+        }
+    }
     let cells = spec.len();
     let stream = opts.stream;
     let start = std::time::Instant::now();

@@ -24,10 +24,12 @@
 
 use std::sync::Arc;
 use ulp_kernels::{Benchmark, BenchmarkRun, RunnerError, WorkloadConfig};
-use ulp_service::{JobSpec, ServiceConfig, ServiceStats, SimService};
+use ulp_service::{JobOutput, JobSpec, ServiceConfig, ServiceStats, SimService};
+use ulp_shard::{ShardPlan, ShardRunConfig, ShardRunner, ShardedRun};
 
-/// The grid of a sweep: every combination of benchmark, design and core
-/// count is one simulation.
+/// The grid of a sweep: every combination of benchmark, design, core
+/// count and shard size is one simulation (a sharded cell is one *logical*
+/// simulation fanned out over several service jobs and merged).
 #[derive(Debug, Clone)]
 pub struct SweepSpec {
     /// Benchmarks to run.
@@ -38,6 +40,12 @@ pub struct SweepSpec {
     /// Core counts to run (1..=8; the kernels assume one private DM bank
     /// per core).
     pub core_counts: Vec<usize>,
+    /// Shard axis: `None` = run the workload as a single window (it must
+    /// then fit the platform buffers); `Some(s)` = split the workload's
+    /// recording into ≤ `s`-sample shards with the benchmark's required
+    /// halo ([`ulp_shard::required_halo`]), run them as independent jobs
+    /// and merge — so grids can sweep shard size × cores.
+    pub shard_samples: Vec<Option<usize>>,
     /// Workload shared by every cell.
     pub workload: WorkloadConfig,
     /// Worker threads; `0` = one per available hardware thread.
@@ -46,12 +54,13 @@ pub struct SweepSpec {
 
 impl SweepSpec {
     /// The full paper grid on `workload`: all three benchmarks, both
-    /// designs, 2/4/8 cores.
+    /// designs, 2/4/8 cores, unsharded.
     pub fn full_grid(workload: WorkloadConfig) -> SweepSpec {
         SweepSpec {
             benchmarks: Benchmark::ALL.to_vec(),
             designs: vec![true, false],
             core_counts: vec![2, 4, 8],
+            shard_samples: vec![None],
             workload,
             threads: 0,
         }
@@ -68,7 +77,10 @@ impl SweepSpec {
 
     /// Number of grid cells.
     pub fn len(&self) -> usize {
-        self.benchmarks.len() * self.designs.len() * self.core_counts.len()
+        self.benchmarks.len()
+            * self.designs.len()
+            * self.core_counts.len()
+            * self.shard_samples.len()
     }
 
     /// Whether the grid is empty — any empty axis empties the whole grid,
@@ -78,16 +90,18 @@ impl SweepSpec {
         self.len() == 0
     }
 
-    fn jobs(&self) -> Vec<(Benchmark, bool, usize)> {
-        let mut jobs = Vec::with_capacity(self.len());
+    fn cells(&self) -> Vec<(Benchmark, bool, usize, Option<usize>)> {
+        let mut cells = Vec::with_capacity(self.len());
         for &benchmark in &self.benchmarks {
             for &with_sync in &self.designs {
                 for &cores in &self.core_counts {
-                    jobs.push((benchmark, with_sync, cores));
+                    for &shard in &self.shard_samples {
+                        cells.push((benchmark, with_sync, cores, shard));
+                    }
                 }
             }
         }
-        jobs
+        cells
     }
 }
 
@@ -96,6 +110,11 @@ impl SweepSpec {
 pub struct SweepCell {
     /// Core count of this cell's platform.
     pub cores: usize,
+    /// Samples per shard when the cell ran sharded; `None` for a single
+    /// window. Sharded cells carry merged statistics/outputs and
+    /// *full-recording* golden expectations, so `run.verify()` doubles as
+    /// the sharded-versus-golden equivalence check.
+    pub shard_samples: Option<usize>,
     /// The run itself (statistics, outputs, golden expectations).
     pub run: BenchmarkRun,
 }
@@ -103,8 +122,12 @@ pub struct SweepCell {
 impl SweepCell {
     /// One-line human summary of the cell.
     pub fn describe(&self) -> String {
+        let shard = match self.shard_samples {
+            Some(s) => format!(", {s}-sample shards"),
+            None => String::new(),
+        };
         format!(
-            "{:<7} {:<8} {} cores: {:>9} cycles, {:.2} ops/cycle, width {:.2}",
+            "{:<7} {:<8} {} cores: {:>9} cycles, {:.2} ops/cycle, width {:.2}{}",
             self.run.benchmark.name(),
             if self.run.with_sync {
                 "sync"
@@ -115,6 +138,7 @@ impl SweepCell {
             self.run.stats.cycles,
             self.run.stats.ops_per_cycle(),
             self.run.stats.avg_lockstep_width(),
+            shard,
         )
     }
 }
@@ -149,10 +173,29 @@ pub struct SweepResults {
 }
 
 impl SweepResults {
-    /// The cell for an exact (benchmark, design, cores) coordinate.
+    /// The first cell (in grid order) at a (benchmark, design, cores)
+    /// coordinate; with a multi-valued shard axis this is the cell for
+    /// the first shard size — use [`SweepResults::cell_sharded`] for an
+    /// exact four-axis lookup.
     pub fn cell(&self, benchmark: Benchmark, with_sync: bool, cores: usize) -> Option<&SweepCell> {
         self.cells.iter().find(|c| {
             c.run.benchmark == benchmark && c.run.with_sync == with_sync && c.cores == cores
+        })
+    }
+
+    /// The cell for an exact (benchmark, design, cores, shard) coordinate.
+    pub fn cell_sharded(
+        &self,
+        benchmark: Benchmark,
+        with_sync: bool,
+        cores: usize,
+        shard_samples: Option<usize>,
+    ) -> Option<&SweepCell> {
+        self.cells.iter().find(|c| {
+            c.run.benchmark == benchmark
+                && c.run.with_sync == with_sync
+                && c.cores == cores
+                && c.shard_samples == shard_samples
         })
     }
 
@@ -177,9 +220,27 @@ pub fn run_sweep(spec: &SweepSpec) -> Result<SweepResults, RunnerError> {
     run_sweep_with(spec, |_, _| {})
 }
 
+/// How one grid cell executes: a single job, or a fan-out of shard jobs
+/// merged on completion.
+enum CellPlan {
+    Single,
+    // Boxed: a runner carries a whole workload + plan, a single cell
+    // nothing — don't pay the large variant for every cell.
+    Sharded(Box<ShardRunner>),
+}
+
+/// In-flight state of one cell: the outputs of its jobs (one for a single
+/// cell, one per shard for a sharded one) and the first error it hit.
+struct CellState {
+    outputs: Vec<Option<JobOutput>>,
+    remaining: usize,
+    error: Option<RunnerError>,
+}
+
 /// [`run_sweep`] with streaming: `on_cell` is invoked for every completed
 /// cell the moment the service delivers it (in completion order, which is
-/// not grid order), before the sweep as a whole finishes. The aggregate
+/// not grid order), before the sweep as a whole finishes — a sharded cell
+/// completes when its last shard lands and is merged. The aggregate
 /// [`SweepResults`] is identical to [`run_sweep`]'s.
 ///
 /// An empty grid returns immediately — no service, no worker threads.
@@ -187,12 +248,18 @@ pub fn run_sweep(spec: &SweepSpec) -> Result<SweepResults, RunnerError> {
 /// # Errors
 ///
 /// See [`run_sweep`].
+///
+/// # Panics
+///
+/// Panics if a shard-axis entry yields no valid plan for the workload
+/// (e.g. shard + required halo beyond the platform buffer capacity) —
+/// invalid geometry is a caller bug, like an out-of-range workload size.
 pub fn run_sweep_with(
     spec: &SweepSpec,
     mut on_cell: impl FnMut(&SweepCell, SweepProgress),
 ) -> Result<SweepResults, RunnerError> {
-    let jobs = spec.jobs();
-    if jobs.is_empty() {
+    let coords = spec.cells();
+    if coords.is_empty() {
         return Ok(SweepResults {
             cells: Vec::new(),
             threads_used: 0,
@@ -200,29 +267,130 @@ pub fn run_sweep_with(
             service: ServiceStats::default(),
         });
     }
-    // Resolve exactly like the service would, then cap at the grid size —
+
+    // Expand cells into concrete service jobs: sharded cells fan out into
+    // one job per shard. `job_map[job_id] = (cell index, slot in cell)`.
+    let workload = Arc::new(spec.workload.clone());
+    let mut plans = Vec::with_capacity(coords.len());
+    let mut states = Vec::with_capacity(coords.len());
+    let mut specs: Vec<JobSpec> = Vec::new();
+    let mut job_map: Vec<(usize, usize)> = Vec::new();
+    for (cell_idx, &(benchmark, with_sync, cores, shard)) in coords.iter().enumerate() {
+        let (plan, jobs) = match shard {
+            None => (
+                CellPlan::Single,
+                vec![JobSpec::new(benchmark, with_sync, cores, workload.clone())],
+            ),
+            Some(samples) => {
+                let plan = ShardPlan::for_workload(benchmark, &spec.workload, samples)
+                    .unwrap_or_else(|e| {
+                        panic!("invalid shard axis entry {samples} for {benchmark}: {e}")
+                    });
+                let runner = ShardRunner::new(
+                    ShardRunConfig::new(benchmark, with_sync, cores, spec.workload.clone()),
+                    plan,
+                )
+                .expect("plan covers the workload by construction");
+                let jobs = runner.job_specs();
+                (CellPlan::Sharded(Box::new(runner)), jobs)
+            }
+        };
+        states.push(CellState {
+            outputs: (0..jobs.len()).map(|_| None).collect(),
+            remaining: jobs.len(),
+            error: None,
+        });
+        for (slot, job) in jobs.into_iter().enumerate() {
+            job_map.push((cell_idx, slot));
+            specs.push(job);
+        }
+        plans.push(plan);
+    }
+
+    // Resolve exactly like the service would, then cap at the job count —
     // a pool larger than the batch would only park the surplus workers.
     let workers = ServiceConfig::with_workers(spec.threads)
         .resolved_workers()
-        .min(jobs.len())
+        .min(specs.len())
         .max(1);
-
     let mut service = SimService::start(ServiceConfig::with_workers(workers));
-    let workload = Arc::new(spec.workload.clone());
-    for &(benchmark, with_sync, cores) in &jobs {
-        // Job ids are assigned in submission order, so id == grid index.
-        service.submit(JobSpec::new(benchmark, with_sync, cores, workload.clone()));
+    for job in specs {
+        // Job ids are assigned in submission order, so id indexes job_map.
+        service.submit(job);
     }
 
-    let total = jobs.len();
-    let mut slots: Vec<Option<Result<SweepCell, RunnerError>>> = (0..total).map(|_| None).collect();
+    let total = coords.len();
+    let mut cells: Vec<Option<Result<SweepCell, RunnerError>>> = (0..total).map(|_| None).collect();
     let mut completed = 0;
+    // Full-recording golden passes for sharded cells, computed once per
+    // (benchmark, cores): cells along the shard and design axes share
+    // them, and the golden depends on neither.
+    let mut goldens: std::collections::HashMap<(Benchmark, usize), Vec<Vec<u16>>> =
+        std::collections::HashMap::new();
     while let Some(result) = service.recv() {
-        let index = result.id as usize;
-        let cell = result.outcome.map(|out| SweepCell {
-            cores: out.cores,
-            run: out.run,
-        });
+        let (cell_idx, slot) = job_map[result.id as usize];
+        let state = &mut states[cell_idx];
+        match result.outcome {
+            Ok(out) => state.outputs[slot] = Some(out),
+            Err(e) => {
+                // Keep the first error per cell; remaining shards still run.
+                state.error.get_or_insert(e);
+            }
+        }
+        state.remaining -= 1;
+        if state.remaining > 0 {
+            continue;
+        }
+        // The cell's last job landed: finalize it.
+        let (_, _, cores, shard) = coords[cell_idx];
+        let cell = if let Some(error) = state.error.take() {
+            Err(error)
+        } else {
+            let outputs: Vec<JobOutput> = state
+                .outputs
+                .iter_mut()
+                .map(|o| o.take().expect("slot filled"))
+                .collect();
+            Ok(match &plans[cell_idx] {
+                CellPlan::Single => {
+                    let out = outputs.into_iter().next().expect("one job per single cell");
+                    SweepCell {
+                        cores: out.cores,
+                        shard_samples: None,
+                        run: out.run,
+                    }
+                }
+                CellPlan::Sharded(runner) => {
+                    let sharded = ShardedRun {
+                        config: runner.config().clone(),
+                        plan: runner.plan().clone(),
+                        shards: runner
+                            .plan()
+                            .shards()
+                            .iter()
+                            .zip(outputs)
+                            .map(|(&s, out)| ulp_shard::ShardOutput {
+                                shard: s,
+                                run: out.run,
+                                artifacts: out.artifacts,
+                            })
+                            .collect(),
+                    };
+                    let benchmark = sharded.config.benchmark;
+                    let expected = goldens
+                        .entry((benchmark, cores))
+                        .or_insert_with(|| {
+                            ulp_kernels::golden_outputs(benchmark, &spec.workload, cores)
+                        })
+                        .clone();
+                    SweepCell {
+                        cores,
+                        shard_samples: shard,
+                        run: ulp_shard::merge_with_golden(&sharded, expected).run,
+                    }
+                }
+            })
+        };
         if let Ok(cell) = &cell {
             // Errored cells are not streamed (the sweep as a whole
             // returns their error), so `completed` counts exactly the
@@ -234,20 +402,20 @@ pub fn run_sweep_with(
                 SweepProgress {
                     completed,
                     total,
-                    index,
+                    index: cell_idx,
                 },
             );
         }
-        slots[index] = Some(cell);
+        cells[cell_idx] = Some(cell);
     }
     let stats = service.finish();
 
-    let mut cells = Vec::with_capacity(total);
-    for slot in slots {
-        cells.push(slot.expect("every job ran")?);
+    let mut out = Vec::with_capacity(total);
+    for slot in cells {
+        out.push(slot.expect("every cell ran")?);
     }
     Ok(SweepResults {
-        cells,
+        cells: out,
         threads_used: stats.workers,
         platforms_built: stats.platforms_built as usize,
         service: stats,
@@ -265,6 +433,7 @@ mod tests {
             benchmarks: vec![Benchmark::Sqrt32, Benchmark::Mrpfltr],
             designs: vec![true, false],
             core_counts: vec![2, 4],
+            shard_samples: vec![None],
             workload: WorkloadConfig::quick_test(),
             threads: 0,
         }
@@ -294,16 +463,83 @@ mod tests {
     fn sweep_cells_come_back_in_grid_order() {
         let spec = quick_spec();
         let results = run_sweep(&spec).expect("sweep runs");
-        let coords: Vec<(Benchmark, bool, usize)> = results
+        let coords: Vec<(Benchmark, bool, usize, Option<usize>)> = results
             .cells
             .iter()
-            .map(|c| (c.run.benchmark, c.run.with_sync, c.cores))
+            .map(|c| (c.run.benchmark, c.run.with_sync, c.cores, c.shard_samples))
             .collect();
-        assert_eq!(coords, spec.jobs());
+        assert_eq!(coords, spec.cells());
         assert!(results.threads_used >= 1);
         assert!(results.platforms_built >= 1);
         assert_eq!(results.service.jobs_run as usize, spec.len());
         assert_eq!(results.service.workers, results.threads_used);
+    }
+
+    #[test]
+    fn sharded_cells_sweep_shard_size_by_cores_and_verify() {
+        // A 600-sample recording (beyond MAX_N) swept over two shard
+        // sizes × two core counts: every merged cell must match its
+        // full-recording golden pass, and cycles must exceed any single
+        // shard's (several shards were really merged).
+        let spec = SweepSpec {
+            benchmarks: vec![Benchmark::Mrpdln],
+            designs: vec![true],
+            core_counts: vec![2, 4],
+            shard_samples: vec![Some(150), Some(288)],
+            workload: WorkloadConfig {
+                n: 600,
+                ..WorkloadConfig::quick_test()
+            },
+            threads: 0,
+        };
+        let results = run_sweep(&spec).expect("sharded sweep runs");
+        assert_eq!(results.cells.len(), 4);
+        for cell in &results.cells {
+            assert!(cell.shard_samples.is_some());
+            // verify() compares the stitched outputs against the
+            // *full-recording* golden model — the equivalence claim.
+            cell.run
+                .verify()
+                .unwrap_or_else(|e| panic!("{}: {e}", cell.describe()));
+            assert_eq!(cell.run.outputs[0].len(), 600);
+            assert!(cell.describe().contains("-sample shards"));
+        }
+        // Exact four-axis lookup distinguishes the shard sizes.
+        let small = results
+            .cell_sharded(Benchmark::Mrpdln, true, 2, Some(150))
+            .unwrap();
+        let large = results
+            .cell_sharded(Benchmark::Mrpdln, true, 2, Some(288))
+            .unwrap();
+        assert_ne!(small.run.stats.cycles, large.run.stats.cycles);
+        // More shards → more total halo work at equal recording length.
+        assert!(small.run.stats.useful_ops() > large.run.stats.useful_ops());
+    }
+
+    #[test]
+    fn mixed_shard_axis_runs_sharded_and_unsharded_cells_together() {
+        let spec = SweepSpec {
+            benchmarks: vec![Benchmark::Sqrt32],
+            designs: vec![true],
+            core_counts: vec![2],
+            shard_samples: vec![None, Some(24)],
+            workload: WorkloadConfig::quick_test(), // n = 48 fits unsharded
+            threads: 2,
+        };
+        let results = run_sweep(&spec).expect("mixed sweep runs");
+        assert_eq!(results.cells.len(), 2);
+        let single = &results.cells[0];
+        let sharded = &results.cells[1];
+        assert_eq!(single.shard_samples, None);
+        assert_eq!(sharded.shard_samples, Some(24));
+        single.run.verify().unwrap();
+        sharded.run.verify().unwrap();
+        // SQRT32 is point-wise (zero halo): the sharded outputs equal the
+        // single-window outputs exactly.
+        assert_eq!(single.run.outputs, sharded.run.outputs);
+        // Two shards were simulated: per-cell job accounting shows up in
+        // the service stats (1 single + 2 shard jobs).
+        assert_eq!(results.service.jobs_run, 3);
     }
 
     #[test]
@@ -376,6 +612,10 @@ mod tests {
             },
             SweepSpec {
                 core_counts: vec![],
+                ..quick_spec()
+            },
+            SweepSpec {
+                shard_samples: vec![],
                 ..quick_spec()
             },
         ] {

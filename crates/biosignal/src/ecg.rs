@@ -178,33 +178,95 @@ pub fn generate(cfg: &EcgConfig, n: usize) -> EcgSignal {
     }
 }
 
+/// Generates the window `range` of a `total`-sample recording.
+///
+/// The full recording is synthesized (generation is deterministic and
+/// cheap next to simulating even one window) and the requested slice is
+/// cut out, so the returned samples are **bit-identical** to the
+/// corresponding region of `generate(cfg, total)` — the property the
+/// workload-sharding subsystem builds on. Ground-truth R peaks falling
+/// inside the window are kept, re-indexed relative to `range.start`.
+///
+/// # Panics
+///
+/// Panics if `range` does not lie within `0..total`.
+///
+/// # Example
+///
+/// ```
+/// use ulp_biosignal::{generate, generate_window, EcgConfig};
+///
+/// let cfg = EcgConfig::default();
+/// let full = generate(&cfg, 1000);
+/// let window = generate_window(&cfg, 1000, 200..500);
+/// assert_eq!(window.samples[..], full.samples[200..500]);
+/// ```
+pub fn generate_window(cfg: &EcgConfig, total: usize, range: std::ops::Range<usize>) -> EcgSignal {
+    assert!(
+        range.start <= range.end && range.end <= total,
+        "window {range:?} outside recording of {total} samples"
+    );
+    let full = generate(cfg, total);
+    EcgSignal {
+        samples: full.samples[range.clone()].to_vec(),
+        r_peaks: full
+            .r_peaks
+            .iter()
+            .filter(|&&r| range.contains(&r))
+            .map(|&r| r - range.start)
+            .collect(),
+    }
+}
+
 /// Generates a multi-channel recording: `channels` leads of the same heart
 /// activity seen with per-lead gain, polarity and independent noise — the
 /// workload shape of the paper's multi-channel analysis platform (one
 /// channel per core).
 pub fn generate_channels(cfg: &EcgConfig, channels: usize, n: usize) -> Vec<EcgSignal> {
     (0..channels)
-        .map(|ch| {
-            let mut c = cfg.clone();
-            // Per-lead projection: varied gain, alternating polarity for
-            // some leads, lead-specific noise and wander phase.
-            let gain = 1.0 - 0.08 * (ch % 4) as f64;
-            let polarity = if ch % 5 == 3 { -1.0 } else { 1.0 };
-            c.amplitude *= gain * polarity;
-            c.baseline_wander *= 1.0 + 0.15 * (ch % 3) as f64;
-            // Lead-specific noise stream; optionally an independent heart.
-            c.noise_seed = cfg
-                .noise_seed
-                .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(ch as u64 + 1));
-            if cfg.independent_channels {
-                c.seed = cfg
-                    .seed
-                    .wrapping_add(0xD1B5_4A32_D192_ED03u64.wrapping_mul(ch as u64 + 1));
-                c.heart_rate_bpm = cfg.heart_rate_bpm * (0.85 + 0.05 * (ch % 7) as f64);
-            }
-            generate(&c, n)
-        })
+        .map(|ch| generate(&lead_config(cfg, ch), n))
         .collect()
+}
+
+/// The window `range` of every lead of a `total`-sample multi-channel
+/// recording: [`generate_channels`] restricted to a slice, bit-identical
+/// to slicing the full recording (see [`generate_window`]). This is how a
+/// workload shard materializes its input region of a long recording.
+///
+/// # Panics
+///
+/// Panics if `range` does not lie within `0..total`.
+pub fn generate_channels_window(
+    cfg: &EcgConfig,
+    channels: usize,
+    total: usize,
+    range: std::ops::Range<usize>,
+) -> Vec<EcgSignal> {
+    (0..channels)
+        .map(|ch| generate_window(&lead_config(cfg, ch), total, range.clone()))
+        .collect()
+}
+
+/// The per-lead projection of one recording configuration: varied gain,
+/// alternating polarity for some leads, lead-specific noise and wander
+/// phase, and (for independent channels) a lead-specific heart.
+fn lead_config(cfg: &EcgConfig, ch: usize) -> EcgConfig {
+    let mut c = cfg.clone();
+    let gain = 1.0 - 0.08 * (ch % 4) as f64;
+    let polarity = if ch % 5 == 3 { -1.0 } else { 1.0 };
+    c.amplitude *= gain * polarity;
+    c.baseline_wander *= 1.0 + 0.15 * (ch % 3) as f64;
+    // Lead-specific noise stream; optionally an independent heart.
+    c.noise_seed = cfg
+        .noise_seed
+        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(ch as u64 + 1));
+    if cfg.independent_channels {
+        c.seed = cfg
+            .seed
+            .wrapping_add(0xD1B5_4A32_D192_ED03u64.wrapping_mul(ch as u64 + 1));
+        c.heart_rate_bpm = cfg.heart_rate_bpm * (0.85 + 0.05 * (ch % 7) as f64);
+    }
+    c
 }
 
 #[cfg(test)]
@@ -295,6 +357,40 @@ mod tests {
         let r = chans[3].r_peaks[0];
         assert!(chans[3].samples[r] < -500);
         assert!(chans[0].samples[r] > 500);
+    }
+
+    #[test]
+    fn windows_match_full_recording_on_every_lead() {
+        let cfg = EcgConfig {
+            independent_channels: true,
+            ..EcgConfig::default()
+        };
+        let total = 1200;
+        let full = generate_channels(&cfg, 4, total);
+        for range in [0..total, 0..300, 450..707, 900..total, 5..5] {
+            let windows = generate_channels_window(&cfg, 4, total, range.clone());
+            for (ch, w) in windows.iter().enumerate() {
+                assert_eq!(
+                    w.samples[..],
+                    full[ch].samples[range.clone()],
+                    "ch {ch} range {range:?}"
+                );
+                // R peaks inside the window survive, re-indexed.
+                let expected: Vec<usize> = full[ch]
+                    .r_peaks
+                    .iter()
+                    .filter(|&&r| range.contains(&r))
+                    .map(|&r| r - range.start)
+                    .collect();
+                assert_eq!(w.r_peaks, expected, "ch {ch} range {range:?}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside recording")]
+    fn window_outside_recording_panics() {
+        let _ = generate_window(&EcgConfig::default(), 100, 50..101);
     }
 
     #[test]

@@ -32,7 +32,9 @@ pub mod mrpdln;
 pub mod mrpfltr;
 pub mod sqrt32;
 
-pub use ecg::{generate, generate_channels, EcgConfig, EcgSignal};
+pub use ecg::{
+    generate, generate_channels, generate_channels_window, generate_window, EcgConfig, EcgSignal,
+};
 pub use metrics::{score_detections, DetectionScore};
 pub use morphology::{closing, dilation, erosion, opening};
 pub use mrpdln::{delineate, mmd, DelineationConfig, Mark};

@@ -45,7 +45,7 @@ pub use layout::BufferLayout;
 pub use mrpdln_kernel::{mrpdln_source, MrpdlnParams};
 pub use mrpfltr_kernel::{mrpfltr_source, MrpfltrParams};
 pub use runner::{
-    kernel_source, run_benchmark, run_benchmark_on, run_benchmark_reusing,
-    run_benchmark_reusing_with, Benchmark, BenchmarkRun, RunnerError, WorkloadConfig,
+    golden_outputs, kernel_source, run_benchmark, run_benchmark_on, run_benchmark_reusing,
+    run_benchmark_reusing_with, Benchmark, BenchmarkRun, RunnerError, SourceWindow, WorkloadConfig,
 };
 pub use sqrt32_kernel::{sqrt32_source, Sqrt32Params};

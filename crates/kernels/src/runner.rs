@@ -8,8 +8,8 @@ use crate::mrpfltr_kernel::{mrpfltr_source, MrpfltrParams};
 use crate::sqrt32_kernel::{sqrt32_source, Sqrt32Params};
 use std::fmt;
 use ulp_biosignal::{
-    combine_two_leads, delineate, generate_channels, mrpfltr, DelineationConfig, EcgConfig,
-    EcgSignal, MrpfltrConfig,
+    combine_two_leads, delineate, generate_channels, generate_channels_window, mrpfltr,
+    DelineationConfig, EcgConfig, EcgSignal, MrpfltrConfig,
 };
 use ulp_isa::asm::{assemble, AsmError};
 use ulp_platform::{ConfigError, Observer, Platform, PlatformConfig, PlatformError, SimStats};
@@ -46,11 +46,33 @@ impl fmt::Display for Benchmark {
     }
 }
 
+/// Where a workload's `n` samples come from when they are a slice of a
+/// longer recording: the `n` samples starting at `offset` of a
+/// `total`-sample recording generated from the workload's [`EcgConfig`].
+///
+/// This is the kernel-layer half of workload sharding: a shard's job is an
+/// ordinary [`WorkloadConfig`] whose `source` names its time window, so
+/// the service executes it like any other job while the inputs (and golden
+/// expectations) are bit-identical to the corresponding region of the full
+/// recording.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SourceWindow {
+    /// First sample (inclusive) of the window within the recording.
+    pub offset: usize,
+    /// Total length of the source recording in samples (may far exceed
+    /// [`crate::layout::MAX_N`]; only the window itself must fit the
+    /// platform's buffers).
+    pub total: usize,
+}
+
 /// Workload parameters shared by all benchmark runs.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadConfig {
     /// Samples per channel (≤ [`crate::layout::MAX_N`]).
     pub n: usize,
+    /// When set, the `n` samples are the given window of a longer
+    /// recording instead of a standalone `n`-sample recording.
+    pub source: Option<SourceWindow>,
     /// Synthetic ECG recording parameters (one channel per core).
     pub ecg: EcgConfig,
     /// MRPFLTR structuring elements.
@@ -77,6 +99,7 @@ impl WorkloadConfig {
     pub fn paper() -> WorkloadConfig {
         WorkloadConfig {
             n: 256,
+            source: None,
             // Independent per-channel sources (separate sensor streams):
             // the multi-channel scenario with the richest data-dependent
             // divergence, which the synchronization technique targets.
@@ -96,6 +119,7 @@ impl WorkloadConfig {
     pub fn quick_test() -> WorkloadConfig {
         WorkloadConfig {
             n: 48,
+            source: None,
             ecg: EcgConfig {
                 independent_channels: true,
                 ..EcgConfig::default()
@@ -113,6 +137,49 @@ impl WorkloadConfig {
             max_cycles: 80_000_000,
             granularity: SyncGranularity::PerSample,
             layout: BufferLayout::Packed,
+        }
+    }
+
+    /// This workload restricted to the `len`-sample window at `offset` of
+    /// the recording it currently describes: the result runs on the same
+    /// signal data, sliced. Treats the current config as the *full*
+    /// recording (its `n` becomes the window's `total`); windowing an
+    /// already-windowed workload re-slices the same underlying recording.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset + len` exceeds the recording length.
+    #[must_use]
+    pub fn windowed(&self, offset: usize, len: usize) -> WorkloadConfig {
+        let (base, total) = match self.source {
+            // Re-slicing: offsets compose within the original recording.
+            Some(w) => (w.offset, w.total),
+            None => (0, self.n),
+        };
+        assert!(
+            base + offset + len <= total,
+            "window {}..{} outside recording of {total} samples",
+            base + offset,
+            base + offset + len
+        );
+        WorkloadConfig {
+            n: len,
+            source: Some(SourceWindow {
+                offset: base + offset,
+                total,
+            }),
+            ..self.clone()
+        }
+    }
+
+    /// The per-core input channels of this workload: windowed generation
+    /// when `source` is set, a standalone `n`-sample recording otherwise.
+    pub fn channels(&self, num_cores: usize) -> Vec<EcgSignal> {
+        match self.source {
+            Some(w) => {
+                generate_channels_window(&self.ecg, num_cores, w.total, w.offset..w.offset + self.n)
+            }
+            None => generate_channels(&self.ecg, num_cores, self.n),
         }
     }
 }
@@ -248,6 +315,21 @@ pub fn kernel_source(benchmark: Benchmark, cfg: &WorkloadConfig, instrumented: b
     }
 }
 
+/// Golden-model outputs for every core of a `num_cores`-channel run of
+/// `cfg`, computed purely in Rust — no platform, no [`crate::layout`]
+/// capacity limit. This is what a *full-recording* reference pass uses to
+/// check a sharded run: `cfg.n` may be arbitrarily long.
+pub fn golden_outputs(
+    benchmark: Benchmark,
+    cfg: &WorkloadConfig,
+    num_cores: usize,
+) -> Vec<Vec<u16>> {
+    let channels = cfg.channels(num_cores);
+    (0..num_cores)
+        .map(|core| golden_output(benchmark, cfg, &channels, core))
+        .collect()
+}
+
 /// Golden-model output for one core's channel.
 fn golden_output(
     benchmark: Benchmark,
@@ -365,7 +447,7 @@ pub fn run_benchmark_reusing_with(
     );
     let with_sync = platform.config().synchronizer;
     let num_cores = platform.config().num_cores;
-    let channels = generate_channels(&cfg.ecg, num_cores, cfg.n);
+    let channels = cfg.channels(num_cores);
 
     let source = kernel_source(benchmark, cfg, with_sync);
     let program = assemble(&source)?;
@@ -483,6 +565,49 @@ mod tests {
             assert_eq!(fresh.stats, reused.stats, "{benchmark}");
             assert_eq!(fresh.outputs, reused.outputs, "{benchmark}");
         }
+    }
+
+    #[test]
+    fn windowed_workload_runs_on_the_recording_slice() {
+        // A window of a longer recording loads exactly the sliced samples,
+        // and the golden model scores the same slice — so the run stays
+        // bit-exact while the underlying recording exceeds MAX_N.
+        let full = WorkloadConfig {
+            n: 2 * crate::layout::MAX_N,
+            ..WorkloadConfig::quick_test()
+        };
+        let shard = full.windowed(150, 64);
+        assert_eq!(shard.n, 64);
+        assert_eq!(
+            shard.source,
+            Some(SourceWindow {
+                offset: 150,
+                total: 2 * crate::layout::MAX_N
+            })
+        );
+        let run = run_benchmark(Benchmark::Sqrt32, true, &shard).unwrap();
+        run.verify().unwrap();
+        // The loaded inputs equal the slice of the full recording; SQRT32
+        // is pointwise, so the outputs equal the slice of the full golden.
+        let golden_full = golden_outputs(Benchmark::Sqrt32, &full, 8);
+        for (core, out) in run.outputs.iter().enumerate() {
+            assert_eq!(out[..], golden_full[core][150..214], "core {core}");
+        }
+        // Re-windowing composes offsets within the original recording.
+        let nested = shard.windowed(10, 16);
+        assert_eq!(
+            nested.source,
+            Some(SourceWindow {
+                offset: 160,
+                total: 2 * crate::layout::MAX_N
+            })
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "outside recording")]
+    fn window_past_the_recording_end_panics() {
+        let _ = WorkloadConfig::quick_test().windowed(40, 9);
     }
 
     #[test]

@@ -14,6 +14,23 @@ pub enum BankMapping {
     Interleaved,
 }
 
+impl BankMapping {
+    /// The bank `addr` belongs to in a memory of `banks` banks of
+    /// `bank_words` words each (addresses wrap modulo the memory size).
+    /// This is the single address-to-bank computation shared by
+    /// [`BankedMemory`] and external bank-attribution observers (e.g. the
+    /// platform's heat map), so a mapping change cannot desynchronize
+    /// them.
+    #[inline]
+    pub fn bank_of(self, addr: u16, banks: usize, bank_words: usize) -> usize {
+        let a = addr as usize % (banks * bank_words);
+        match self {
+            BankMapping::Blocked => a / bank_words,
+            BankMapping::Interleaved => a % banks,
+        }
+    }
+}
+
 /// Physical access counters of one [`BankedMemory`].
 ///
 /// A plain `Copy` bundle of counters, so per-run statistics collection
@@ -34,6 +51,15 @@ impl MemStats {
     /// Total physical bank accesses.
     pub fn total_accesses(&self) -> u64 {
         self.bank_reads + self.bank_writes
+    }
+
+    /// Adds another memory's counters into this one (multi-run
+    /// aggregates, e.g. summing shard statistics). Kept next to the
+    /// fields so a new counter cannot be forgotten here.
+    pub fn merge(&mut self, other: &MemStats) {
+        self.bank_reads += other.bank_reads;
+        self.bank_writes += other.bank_writes;
+        self.broadcast_extra += other.broadcast_extra;
     }
 }
 
@@ -114,11 +140,7 @@ impl BankedMemory {
     /// The bank an address belongs to.
     #[inline]
     pub fn bank_of(&self, addr: u16) -> usize {
-        let a = addr as usize % self.words.len();
-        match self.mapping {
-            BankMapping::Blocked => a / self.bank_words,
-            BankMapping::Interleaved => a % self.banks,
-        }
+        self.mapping.bank_of(addr, self.banks, self.bank_words)
     }
 
     #[inline]

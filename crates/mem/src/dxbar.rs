@@ -88,6 +88,22 @@ pub struct DXbarStats {
     pub transfers: u64,
 }
 
+impl DXbarStats {
+    /// Adds another crossbar's counters into this one (multi-run
+    /// aggregates, e.g. summing shard statistics). Kept next to the
+    /// fields so a new counter cannot be forgotten here.
+    pub fn merge(&mut self, other: &DXbarStats) {
+        self.requests += other.requests;
+        self.grants += other.grants;
+        self.stalls += other.stalls;
+        self.conflict_cycles += other.conflict_cycles;
+        self.holds += other.holds;
+        self.releases += other.releases;
+        self.lock_stalls += other.lock_stalls;
+        self.transfers += other.transfers;
+    }
+}
+
 /// Result of one arbitration cycle.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DXbarOutcome {

@@ -43,6 +43,19 @@ pub struct IXbarStats {
     pub transfers: u64,
 }
 
+impl IXbarStats {
+    /// Adds another crossbar's counters into this one (multi-run
+    /// aggregates, e.g. summing shard statistics). Kept next to the
+    /// fields so a new counter cannot be forgotten here.
+    pub fn merge(&mut self, other: &IXbarStats) {
+        self.requests += other.requests;
+        self.grants += other.grants;
+        self.stalls += other.stalls;
+        self.conflict_cycles += other.conflict_cycles;
+        self.transfers += other.transfers;
+    }
+}
+
 /// The instruction crossbar arbiter.
 #[derive(Debug, Clone)]
 pub struct IXbar {

@@ -49,7 +49,7 @@ pub mod vcd;
 
 pub use config::PlatformConfig;
 pub use error::{ConfigError, PlatformError};
-pub use observer::{LockstepWidth, Observer, PcTrace};
+pub use observer::{BankHeatMap, LockstepWidth, Observer, PcTrace};
 pub use sim::{Platform, RunSummary};
 pub use stats::SimStats;
 pub use vcd::VcdTracer;

@@ -19,11 +19,12 @@
 //! assert!(trace.rows()[0].iter().all(|pc| *pc == Some(0)));
 //! ```
 
+use crate::config::PlatformConfig;
 use crate::error::PlatformError;
 use crate::sim::RunSummary;
 use crate::stats::SimStats;
 use ulp_cpu::{Core, CoreState};
-use ulp_mem::ImRequest;
+use ulp_mem::{BankMapping, DmRequest, ImRequest};
 
 /// Hooks into the deterministic cycle loop.
 ///
@@ -42,6 +43,12 @@ pub trait Observer {
     /// The cycle's instruction-fetch requests, before arbitration. Empty
     /// when no core is in its fetch phase.
     fn on_fetch(&mut self, _cycle: u64, _fetch_reqs: &[ImRequest]) {}
+
+    /// The cycle's data-memory requests after D-Xbar arbitration:
+    /// `granted[core]` is `true` for the cores whose request in `dm_reqs`
+    /// was served (completed or held) this cycle. Empty when no core is in
+    /// a memory-access execute phase.
+    fn on_dm(&mut self, _cycle: u64, _dm_reqs: &[DmRequest], _granted: &[bool]) {}
 
     /// End of a cycle, after every phase has been applied.
     fn on_cycle_end(&mut self, _cycle: u64, _cores: &[Core]) {}
@@ -158,6 +165,115 @@ impl Observer for PcTrace {
     }
 }
 
+/// Per-bank data-memory heat map: how many granted core accesses each DM
+/// bank served, bucketed into fixed-length cycle windows.
+///
+/// Rides entirely on the [`Observer`] hook layer (the `on_dm` hook carries
+/// the cycle's requests and grant bitmap), so attaching it never touches
+/// the cycle loop. Each row of [`BankHeatMap::rows`] covers `window`
+/// cycles; a trailing partial window is flushed at run end. The counts are
+/// *served core accesses* — under lockstep, a broadcast that satisfies
+/// eight cores with one physical bank access shows up as eight served
+/// accesses on one bank, which is exactly the contention picture a heat
+/// map is after (physical totals live in
+/// [`ulp_mem::BankedMemory::per_bank_accesses`]).
+#[derive(Debug, Clone)]
+pub struct BankHeatMap {
+    banks: usize,
+    bank_words: usize,
+    mapping: BankMapping,
+    window: u64,
+    /// Cycles observed in the in-flight window.
+    seen: u64,
+    current: Vec<u64>,
+    rows: Vec<Vec<u64>>,
+}
+
+impl BankHeatMap {
+    /// A heat map of `banks` banks of `bank_words` words each under
+    /// `mapping`, bucketing counts into `window`-cycle rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `banks`, `bank_words` or `window` is zero.
+    pub fn new(banks: usize, bank_words: usize, mapping: BankMapping, window: u64) -> BankHeatMap {
+        assert!(banks > 0 && bank_words > 0, "empty memory geometry");
+        assert!(window > 0, "zero-cycle window");
+        BankHeatMap {
+            banks,
+            bank_words,
+            mapping,
+            window,
+            seen: 0,
+            current: vec![0; banks],
+            rows: Vec::new(),
+        }
+    }
+
+    /// A heat map of the data memory described by `cfg`.
+    pub fn for_dm(cfg: &PlatformConfig, window: u64) -> BankHeatMap {
+        BankHeatMap::new(
+            cfg.dm_banks,
+            cfg.dm_words / cfg.dm_banks,
+            cfg.dm_mapping,
+            window,
+        )
+    }
+
+    /// The completed windows: one row per `window` cycles (the last row
+    /// may cover fewer, flushed at run end), one count per bank.
+    pub fn rows(&self) -> &[Vec<u64>] {
+        &self.rows
+    }
+
+    /// Total served accesses per bank over all recorded windows, the
+    /// flushed rows and the in-flight window combined.
+    pub fn totals(&self) -> Vec<u64> {
+        let mut totals = self.current.clone();
+        for row in &self.rows {
+            for (t, &v) in totals.iter_mut().zip(row) {
+                *t += v;
+            }
+        }
+        totals
+    }
+
+    fn bank_of(&self, addr: u16) -> usize {
+        self.mapping.bank_of(addr, self.banks, self.bank_words)
+    }
+
+    fn flush(&mut self) {
+        let row = std::mem::replace(&mut self.current, vec![0; self.banks]);
+        self.rows.push(row);
+        self.seen = 0;
+    }
+}
+
+impl Observer for BankHeatMap {
+    fn on_dm(&mut self, _cycle: u64, dm_reqs: &[DmRequest], granted: &[bool]) {
+        for r in dm_reqs {
+            if granted.get(r.core).copied().unwrap_or(false) {
+                let bank = self.bank_of(r.addr);
+                self.current[bank] += 1;
+            }
+        }
+    }
+
+    fn on_cycle_end(&mut self, _cycle: u64, _cores: &[Core]) {
+        self.seen += 1;
+        if self.seen == self.window {
+            self.flush();
+        }
+    }
+
+    fn on_run_end(&mut self, _outcome: &Result<RunSummary, PlatformError>, _stats: &SimStats) {
+        // Flush the trailing partial window, if it saw any cycles.
+        if self.seen > 0 {
+            self.flush();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -174,6 +290,58 @@ mod tests {
         assert_eq!((w.sum(), w.cycles()), (3, 2));
         w.reset();
         assert_eq!((w.sum(), w.cycles()), (0, 0));
+    }
+
+    #[test]
+    fn bank_heat_map_buckets_served_accesses_per_window() {
+        use ulp_mem::Access;
+        let mut map = BankHeatMap::new(4, 16, BankMapping::Blocked, 2);
+        let req = |core, addr| DmRequest {
+            core,
+            pc: 0,
+            addr,
+            access: Access::Read,
+        };
+        // Cycle 1: cores 0 and 1 served in banks 0 and 2; core 2 stalled.
+        map.on_dm(
+            1,
+            &[req(0, 3), req(1, 35), req(2, 35)],
+            &[true, true, false],
+        );
+        map.on_cycle_end(1, &[]);
+        // Cycle 2: the stalled core is served.
+        map.on_dm(2, &[req(2, 35)], &[false, false, true]);
+        map.on_cycle_end(2, &[]);
+        assert_eq!(map.rows(), &[vec![1, 0, 2, 0]]);
+        // Cycle 3 starts a new window; flushed as a partial row at run end.
+        map.on_dm(3, &[req(3, 60)], &[false, false, false, true]);
+        map.on_cycle_end(3, &[]);
+        let stats = SimStats {
+            cycles: 3,
+            num_cores: 4,
+            cores: vec![],
+            core_total: ulp_cpu::CoreStats::default(),
+            im: ulp_mem::MemStats::default(),
+            dm: ulp_mem::MemStats::default(),
+            ixbar: ulp_mem::IXbarStats::default(),
+            dxbar: ulp_mem::DXbarStats::default(),
+            sync: None,
+            lockstep_width_sum: 0,
+            lockstep_width_cycles: 0,
+        };
+        map.on_run_end(&Ok(RunSummary { cycles: 3 }), &stats);
+        assert_eq!(map.rows(), &[vec![1, 0, 2, 0], vec![0, 0, 0, 1]]);
+        assert_eq!(map.totals(), vec![1, 0, 2, 1]);
+    }
+
+    #[test]
+    fn bank_heat_map_interleaved_mapping_and_quiet_run() {
+        let map = BankHeatMap::new(4, 16, BankMapping::Interleaved, 8);
+        assert_eq!(map.bank_of(5), 1);
+        assert_eq!(map.bank_of(7), 3);
+        // A heat map that saw nothing reports no rows and zero totals.
+        assert!(map.rows().is_empty());
+        assert_eq!(map.totals(), vec![0; 4]);
     }
 
     #[test]

@@ -380,6 +380,9 @@ impl Platform {
                 self.cores[r.core].note_mem_stall();
             }
         }
+        for o in observers.iter_mut() {
+            o.on_dm(cycle, &buf.dm_reqs, &buf.granted);
+        }
         for &core in &buf.dm_outcome.releases {
             self.cores[core].release();
         }

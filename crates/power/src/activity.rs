@@ -86,6 +86,54 @@ impl Activity {
         }
     }
 
+    /// Folds the per-shard activity of one *sharded* run into the activity
+    /// of the whole recording: each entry is a shard's activity vector
+    /// with the useful operations that shard retired.
+    ///
+    /// Per-op event rates are op-weighted (total events over total ops)
+    /// and the folded `ops_per_cycle` is total ops over total cycles — so
+    /// the result equals `Activity::from_stats` of the summed shard
+    /// statistics, and the power model prices the sharded recording as one
+    /// logical run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is empty, mixes designs, or retired no ops.
+    pub fn fold_weighted(shards: &[(Activity, u64)]) -> Activity {
+        assert!(!shards.is_empty(), "no shard activity vectors");
+        let has_sync = shards[0].0.has_sync;
+        assert!(
+            shards.iter().all(|(a, _)| a.has_sync == has_sync),
+            "cannot fold across designs"
+        );
+        let total_ops: u64 = shards.iter().map(|(_, ops)| ops).sum();
+        assert!(total_ops > 0, "sharded run retired no useful operations");
+        let fold = |f: fn(&Activity) -> f64| {
+            shards
+                .iter()
+                .map(|(a, ops)| f(a) * *ops as f64)
+                .sum::<f64>()
+                / total_ops as f64
+        };
+        let total_cycles: f64 = shards
+            .iter()
+            .map(|(a, ops)| *ops as f64 / a.ops_per_cycle)
+            .sum();
+        Activity {
+            ops_per_cycle: total_ops as f64 / total_cycles,
+            core_active: fold(|a| a.core_active),
+            core_gated: fold(|a| a.core_gated),
+            core_sleep: fold(|a| a.core_sleep),
+            im_accesses: fold(|a| a.im_accesses),
+            dm_accesses: fold(|a| a.dm_accesses),
+            ixbar_transfers: fold(|a| a.ixbar_transfers),
+            dxbar_transfers: fold(|a| a.dxbar_transfers),
+            sync_batches: fold(|a| a.sync_batches),
+            sync_busy: fold(|a| a.sync_busy),
+            has_sync,
+        }
+    }
+
     /// Element-wise average of several activity vectors (used to calibrate
     /// against the mid-points of Table I ranges over the three
     /// benchmarks).
@@ -139,6 +187,31 @@ mod tests {
         assert!((m.ops_per_cycle - 3.0).abs() < 1e-9);
         assert!((m.im_accesses - 0.75).abs() < 1e-9);
         assert!((m.dm_accesses - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fold_weighted_is_op_weighted_and_cycle_exact() {
+        let a = Activity::synthetic(2.0, 1.0, 0.2, true);
+        let b = Activity::synthetic(4.0, 0.5, 0.4, true);
+        // Shard A retires 300 ops, shard B 100: per-op rates weight 3:1.
+        let folded = Activity::fold_weighted(&[(a, 300), (b, 100)]);
+        assert!((folded.im_accesses - (300.0 * 1.0 + 100.0 * 0.5) / 400.0).abs() < 1e-9);
+        assert!((folded.dm_accesses - (300.0 * 0.2 + 100.0 * 0.4) / 400.0).abs() < 1e-9);
+        // ops/cycle folds over total cycles: 300/2 + 100/4 = 175 cycles.
+        assert!((folded.ops_per_cycle - 400.0 / 175.0).abs() < 1e-9);
+        assert!(folded.has_sync);
+        // A single-shard fold is the identity.
+        let same = Activity::fold_weighted(&[(a, 42)]);
+        assert!((same.ops_per_cycle - a.ops_per_cycle).abs() < 1e-9);
+        assert!((same.im_accesses - a.im_accesses).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot fold across designs")]
+    fn fold_rejects_mixed_designs() {
+        let a = Activity::synthetic(2.0, 1.0, 0.2, true);
+        let b = Activity::synthetic(2.0, 1.0, 0.2, false);
+        let _ = Activity::fold_weighted(&[(a, 1), (b, 1)]);
     }
 
     #[test]

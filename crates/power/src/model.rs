@@ -177,6 +177,16 @@ impl PowerModel {
             .energy_per_op_nj()
     }
 
+    /// Energy to process `ops` useful operations at workload `w_mops`
+    /// with the supply at the minimum feasible voltage, in microjoules —
+    /// the *energy per recording* figure of a (possibly sharded) run over
+    /// a long signal. `None` if the workload exceeds the design's range.
+    pub fn energy_for_ops_uj(&self, act: &Activity, w_mops: f64, ops: u64) -> Option<f64> {
+        let point = self.power_at_workload(act, w_mops)?;
+        // nJ/op × ops → nJ; ×1e-3 → µJ.
+        Some(point.energy_per_op_nj() * ops as f64 * 1e-3)
+    }
+
     /// Relative power saving of `improved` over `baseline` at workload
     /// `w_mops` with voltage scaling, or `None` if either design cannot
     /// sustain the workload.
@@ -314,6 +324,22 @@ mod tests {
         assert!((e_low - e_knee).abs() / e_knee < 1e-6, "flat below knee");
         assert!(e_high > 1.5 * e_knee, "voltage makes ops pricier above");
         assert!((m.min_energy_per_op_nj(&imp) - e_knee).abs() / e_knee < 1e-6);
+    }
+
+    #[test]
+    fn energy_for_ops_scales_linearly_and_respects_feasibility() {
+        let (base, imp) = designs();
+        let m = PowerModel::calibrated_default();
+        let e1 = m.energy_for_ops_uj(&imp, 8.0, 1_000_000).unwrap();
+        let e2 = m.energy_for_ops_uj(&imp, 8.0, 2_000_000).unwrap();
+        assert!(e1 > 0.0);
+        assert!((e2 / e1 - 2.0).abs() < 1e-9, "linear in ops");
+        // Matches the nJ/op figure of the operating point.
+        let per_op = m.power_at_workload(&imp, 8.0).unwrap().energy_per_op_nj();
+        assert!((e1 - per_op * 1_000_000.0 * 1e-3).abs() < 1e-9);
+        // Infeasible workloads price no recording.
+        let too_fast = m.max_workload(&base) * 1.01;
+        assert!(m.energy_for_ops_uj(&base, too_fast, 1).is_none());
     }
 
     #[test]

@@ -59,7 +59,11 @@ impl JobSpec {
         self
     }
 
-    /// Pins the job's initial placement to `worker`'s deque.
+    /// Pins the job's initial placement to `worker`'s deque. The index is
+    /// validated against the actual pool size at submission —
+    /// [`crate::SimService::submit`] clamps it (modulo the worker count),
+    /// so a pin computed against a larger pool than the one the job lands
+    /// on still places onto a real deque instead of stranding the job.
     #[must_use]
     pub fn pinned(mut self, worker: usize) -> JobSpec {
         self.affinity = Some(worker);
@@ -82,6 +86,13 @@ pub enum ObserverSelection {
     },
     /// Produce a VCD change dump of the whole run.
     Vcd,
+    /// Record a per-bank data-memory heat map: served core accesses per
+    /// DM bank, bucketed into `window`-cycle rows
+    /// ([`ulp_platform::BankHeatMap`]).
+    BankHeatMap {
+        /// Cycles per heat-map row.
+        window: u64,
+    },
 }
 
 /// Observer output carried back in a [`JobOutput`], mirroring the job's
@@ -95,6 +106,9 @@ pub enum JobArtifacts {
     PcTrace(Vec<Vec<Option<u16>>>),
     /// The VCD text of the run.
     Vcd(String),
+    /// Heat-map rows: one per cycle window, one served-access count per
+    /// DM bank.
+    BankHeatMap(Vec<Vec<u64>>),
 }
 
 /// What a successful job produced.

@@ -107,6 +107,46 @@ mod tests {
     }
 
     #[test]
+    fn bank_heat_map_observer_selection_returns_rows() {
+        let mut service = SimService::start(ServiceConfig::with_workers(1));
+        let spec = JobSpec::new(Benchmark::Sqrt32, true, 2, quick())
+            .with_observers(ObserverSelection::BankHeatMap { window: 64 });
+        service.submit(spec);
+        let result = service.recv().expect("job completes");
+        let out = result.outcome.expect("job runs");
+        match out.artifacts {
+            JobArtifacts::BankHeatMap(rows) => {
+                assert!(!rows.is_empty(), "the run spans at least one window");
+                // The paper platform has 16 DM banks.
+                assert!(rows.iter().all(|row| row.len() == 16));
+                let total: u64 = rows.iter().flatten().sum();
+                assert!(total > 0, "the kernel reads and writes data memory");
+            }
+            other => panic!("expected a heat map, got {other:?}"),
+        }
+        service.finish();
+    }
+
+    /// Regression: a pin beyond the pool size must land on a real deque
+    /// (clamped modulo the worker count), not strand the job — this would
+    /// hang in `recv` if the job were pushed somewhere no worker scans.
+    #[test]
+    fn out_of_range_pin_is_clamped_onto_a_real_worker() {
+        let mut service = SimService::start(ServiceConfig::with_workers(2));
+        let workload = quick();
+        for pin in [2usize, 7, usize::MAX] {
+            service.submit(JobSpec::new(Benchmark::Sqrt32, true, 2, workload.clone()).pinned(pin));
+        }
+        for _ in 0..3 {
+            let result = service.recv().expect("pinned job completes");
+            assert!(result.worker < 2, "executed by a real worker");
+            assert!(result.outcome.is_ok());
+        }
+        let stats = service.finish();
+        assert_eq!(stats.jobs_run, 3);
+    }
+
+    #[test]
     fn drop_with_backlog_cancels_instead_of_draining() {
         let mut service = SimService::start(ServiceConfig::with_workers(2));
         let workload = quick();

@@ -9,7 +9,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use ulp_kernels::{run_benchmark_reusing_with, RunnerError};
-use ulp_platform::{PcTrace, Platform, PlatformConfig, VcdTracer};
+use ulp_platform::{BankHeatMap, PcTrace, Platform, PlatformConfig, VcdTracer};
 
 /// Pool shape of a [`SimService`].
 #[derive(Debug, Clone, Copy, Default)]
@@ -197,7 +197,10 @@ impl SimService {
     /// [`SimService::recv`] whenever a worker completes it. A core count
     /// outside 1..=8 is not rejected here — the job completes with a
     /// [`ulp_platform::ConfigError`] outcome, like any other
-    /// configuration the platform/kernels cannot run.
+    /// configuration the platform/kernels cannot run. An affinity pin
+    /// ([`JobSpec::pinned`]) is validated against the actual pool size:
+    /// out-of-range indices are clamped (modulo the worker count) onto a
+    /// real deque, never a nonexistent one.
     ///
     /// # Panics
     ///
@@ -467,6 +470,11 @@ fn run_job(
             let mut vcd = VcdTracer::new(platform);
             run_benchmark_reusing_with(spec.benchmark, platform, &spec.workload, &mut [&mut vcd])
                 .map(|run| (run, JobArtifacts::Vcd(vcd.finish())))
+        }
+        ObserverSelection::BankHeatMap { window } => {
+            let mut map = BankHeatMap::for_dm(platform.config(), *window);
+            run_benchmark_reusing_with(spec.benchmark, platform, &spec.workload, &mut [&mut map])
+                .map(|run| (run, JobArtifacts::BankHeatMap(map.rows().to_vec())))
         }
     };
     (

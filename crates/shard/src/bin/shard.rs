@@ -1,0 +1,268 @@
+//! `shard` — plan, run and merge a long-recording workload, as JSON.
+//!
+//! ```text
+//! shard [plan|run] [options]
+//!   plan                 print the shard plan only (no simulation)
+//!   run                  plan, execute on the service, merge (default)
+//!   --n <samples>        recording length (default 2560 = 10× paper window)
+//!   --shard <samples>    target core samples per shard (default 256)
+//!   --halo <n|auto>      overlap per side (default auto = benchmark's radius)
+//!   --benchmark <name>   MRPFLTR | MRPDLN | SQRT32 (default MRPDLN)
+//!   --cores <n>          platform cores = recording channels (default 8)
+//!   --baseline           run the design without the synchronizer
+//!   --threads <n>        service workers (default: all hardware threads)
+//!   --heatmap <window>   attach a per-bank DM heat map (cycles per row)
+//!   --smoke              tiny workload (CI smoke mode: short recording)
+//! ```
+//!
+//! `run` verifies the merged outputs against a single full-recording
+//! golden pass and exits non-zero on any mismatch, so the bin doubles as
+//! an end-to-end equivalence check in CI. Output is one JSON object on
+//! stdout.
+
+use std::process::ExitCode;
+use ulp_kernels::{Benchmark, WorkloadConfig};
+use ulp_power::PowerModel;
+use ulp_service::{JobArtifacts, ObserverSelection};
+use ulp_shard::{merge_verified, required_halo, ShardPlan, ShardRunConfig, ShardRunner};
+
+const USAGE: &str = "usage: shard [plan|run] [options]
+  plan                 print the shard plan only (no simulation)
+  run                  plan, execute on the service, merge (default)
+  --n <samples>        recording length (default 2560 = 10x paper window)
+  --shard <samples>    target core samples per shard (default 256)
+  --halo <n|auto>      overlap per side (default auto = benchmark's radius)
+  --benchmark <name>   MRPFLTR | MRPDLN | SQRT32 (default MRPDLN)
+  --cores <n>          platform cores = recording channels (default 8)
+  --baseline           run the design without the synchronizer
+  --threads <n>        service workers (default: all hardware threads)
+  --heatmap <window>   attach a per-bank DM heat map (cycles per row)
+  --smoke              tiny workload (CI smoke mode: short recording)";
+
+#[derive(Clone)]
+struct Options {
+    plan_only: bool,
+    n: Option<usize>,
+    shard: usize,
+    halo: Option<usize>,
+    benchmark: Benchmark,
+    cores: usize,
+    with_sync: bool,
+    threads: usize,
+    heatmap: Option<u64>,
+    smoke: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        plan_only: false,
+        n: None,
+        shard: 256,
+        halo: None,
+        benchmark: Benchmark::Mrpdln,
+        cores: 8,
+        with_sync: true,
+        threads: 0,
+        heatmap: None,
+        smoke: false,
+    };
+    let mut args = std::env::args().skip(1);
+    let next_value = |args: &mut dyn Iterator<Item = String>, what: &str| {
+        args.next()
+            .ok_or_else(|| format!("missing value for {what}"))
+    };
+    let parse_num = |s: String, what: &str| -> Result<usize, String> {
+        s.parse().map_err(|e| format!("bad value for {what}: {e}"))
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "plan" => opts.plan_only = true,
+            "run" => opts.plan_only = false,
+            "--smoke" => opts.smoke = true,
+            "--baseline" => opts.with_sync = false,
+            "--n" => opts.n = Some(parse_num(next_value(&mut args, "--n")?, "--n")?),
+            "--shard" => opts.shard = parse_num(next_value(&mut args, "--shard")?, "--shard")?,
+            "--halo" => {
+                let v = next_value(&mut args, "--halo")?;
+                opts.halo = if v == "auto" {
+                    None
+                } else {
+                    Some(parse_num(v, "--halo")?)
+                };
+            }
+            "--benchmark" => {
+                let name = next_value(&mut args, "--benchmark")?;
+                opts.benchmark = Benchmark::ALL
+                    .into_iter()
+                    .find(|b| b.name().eq_ignore_ascii_case(&name))
+                    .ok_or_else(|| format!("unknown benchmark {name:?}"))?;
+            }
+            "--cores" => {
+                opts.cores = parse_num(next_value(&mut args, "--cores")?, "--cores")?;
+                if opts.cores == 0 || opts.cores > 8 {
+                    return Err(format!("core count {} outside 1..=8", opts.cores));
+                }
+            }
+            "--threads" => {
+                opts.threads = parse_num(next_value(&mut args, "--threads")?, "--threads")?;
+            }
+            "--heatmap" => {
+                let window = parse_num(next_value(&mut args, "--heatmap")?, "--heatmap")? as u64;
+                if window == 0 {
+                    return Err("heat-map window must be positive".into());
+                }
+                opts.heatmap = Some(window);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn json_u64_list(values: impl IntoIterator<Item = u64>) -> String {
+    let items: Vec<String> = values.into_iter().map(|v| v.to_string()).collect();
+    format!("[{}]", items.join(","))
+}
+
+fn plan_json(plan: &ShardPlan) -> String {
+    let shards: Vec<String> = plan
+        .shards()
+        .iter()
+        .map(|s| {
+            format!(
+                "{{\"index\":{},\"start\":{},\"end\":{},\"load_start\":{},\"load_end\":{}}}",
+                s.index, s.start, s.end, s.load_start, s.load_end
+            )
+        })
+        .collect();
+    format!(
+        "{{\"total\":{},\"halo\":{},\"shards\":[{}]}}",
+        plan.total(),
+        plan.halo(),
+        shards.join(",")
+    )
+}
+
+fn main() -> ExitCode {
+    if std::env::args().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("shard: {e}");
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut workload = if opts.smoke {
+        WorkloadConfig::quick_test()
+    } else {
+        WorkloadConfig::paper()
+    };
+    workload.n = opts.n.unwrap_or(if opts.smoke { 512 } else { 2560 });
+    let halo = opts
+        .halo
+        .unwrap_or_else(|| required_halo(opts.benchmark, &workload));
+
+    let plan = match ShardPlan::new(workload.n, opts.shard, halo) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("shard: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.plan_only {
+        println!(
+            "{{\"benchmark\":\"{}\",\"plan\":{}}}",
+            opts.benchmark.name(),
+            plan_json(&plan)
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let mut config = ShardRunConfig::new(opts.benchmark, opts.with_sync, opts.cores, workload);
+    if let Some(window) = opts.heatmap {
+        config.observers = ObserverSelection::BankHeatMap { window };
+    }
+    let runner = match ShardRunner::new(config, plan.clone()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("shard: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let start = std::time::Instant::now();
+    let sharded = match runner.run_local(opts.threads) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("shard: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Per-bank totals folded over every shard's heat map.
+    let heatmap = opts.heatmap.map(|_| {
+        let mut totals: Vec<u64> = Vec::new();
+        for out in &sharded.shards {
+            if let JobArtifacts::BankHeatMap(rows) = &out.artifacts {
+                for row in rows {
+                    if totals.len() < row.len() {
+                        totals.resize(row.len(), 0);
+                    }
+                    for (t, &v) in totals.iter_mut().zip(row) {
+                        *t += v;
+                    }
+                }
+            }
+        }
+        totals
+    });
+    let merged = match merge_verified(&sharded) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("shard: sharded run diverged from the golden pass: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let elapsed = start.elapsed();
+
+    let stats = &merged.run.stats;
+    let model = PowerModel::calibrated_default();
+    // Price the recording at the paper's Table I workload of 8 MOps/s.
+    let energy = merged.energy_uj(&model, 8.0);
+    let mut fields = vec![
+        format!("\"benchmark\":\"{}\"", opts.benchmark.name()),
+        format!(
+            "\"design\":\"{}\"",
+            if opts.with_sync { "sync" } else { "baseline" }
+        ),
+        format!("\"cores\":{}", opts.cores),
+        format!("\"plan\":{}", plan_json(&plan)),
+        format!("\"cycles\":{}", stats.cycles),
+        format!("\"useful_ops\":{}", stats.useful_ops()),
+        format!("\"ops_per_cycle\":{:.4}", stats.ops_per_cycle()),
+        format!("\"im_accesses\":{}", stats.im.total_accesses()),
+        format!("\"dm_accesses\":{}", stats.dm.total_accesses()),
+        format!(
+            "\"shard_cycles\":{}",
+            json_u64_list(merged.shard_cycles.iter().copied())
+        ),
+        format!("\"events\":{}", merged.events().len()),
+        "\"verified\":true".to_string(),
+        format!("\"wall_s\":{:.3}", elapsed.as_secs_f64()),
+    ];
+    if let Some(uj) = energy {
+        fields.push(format!("\"energy_uj\":{uj:.3}"));
+    }
+    if let Some(totals) = heatmap {
+        fields.push(format!(
+            "\"dm_bank_heatmap\":{}",
+            json_u64_list(totals.iter().copied())
+        ));
+    }
+    println!("{{{}}}", fields.join(","));
+    ExitCode::SUCCESS
+}

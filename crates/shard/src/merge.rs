@@ -1,0 +1,233 @@
+//! Stitching partial shard results back into one logical run.
+//!
+//! The merge has three jobs, each provably lossless:
+//!
+//! 1. **Outputs** — per channel, concatenate every shard's *core* region
+//!    (dropping the halo samples deterministically: each recording sample
+//!    belongs to exactly one shard's core region, so no duplicate can
+//!    survive). With a halo of at least [`crate::required_halo`], the
+//!    stitched signal is bit-identical to a single full-recording pass.
+//! 2. **Statistics** — sum every [`SimStats`] counter across shards, so
+//!    aggregate cycle/access counts equal the sum of the shard runs and
+//!    per-op rates ([`ulp_power::Activity`]) price the recording as one
+//!    run.
+//! 3. **Events** — for MRPDLN, lift per-sample marks into globally-indexed
+//!    [`DelineationEvent`]s, sorted and duplicate-free by construction.
+
+use crate::plan::ShardPlan;
+use crate::runner::ShardedRun;
+use ulp_biosignal::Mark;
+use ulp_kernels::{golden_outputs, Benchmark, BenchmarkRun, RunnerError, WorkloadConfig};
+use ulp_platform::SimStats;
+use ulp_power::{Activity, PowerModel};
+
+/// One delineation event of the merged recording.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct DelineationEvent {
+    /// Channel (= core) the event was detected on.
+    pub channel: usize,
+    /// Sample index within the *full* recording.
+    pub index: usize,
+    /// `true` for a peak, `false` for a pit.
+    pub is_peak: bool,
+}
+
+/// A sharded run merged back into one logical recording-length run.
+#[derive(Debug)]
+pub struct MergedRun {
+    /// The run over the whole recording: summed statistics, stitched
+    /// per-channel outputs, and the *full-recording* golden expectations —
+    /// so [`BenchmarkRun::verify`] checks sharded-versus-golden
+    /// equivalence end to end.
+    pub run: BenchmarkRun,
+    /// Cycles each shard simulated, in plan order (their sum is
+    /// `run.stats.cycles`).
+    pub shard_cycles: Vec<u64>,
+    /// The plan the shards were cut from.
+    pub plan: ShardPlan,
+    /// Op-weighted fold of the per-shard activity vectors (see
+    /// [`MergedRun::activity`]).
+    activity: Activity,
+}
+
+impl MergedRun {
+    /// Delineation events of the merged recording (empty for benchmarks
+    /// other than MRPDLN). Sorted by (channel, index) and duplicate-free:
+    /// every sample's mark comes from exactly one shard.
+    pub fn events(&self) -> Vec<DelineationEvent> {
+        if self.run.benchmark != Benchmark::Mrpdln {
+            return Vec::new();
+        }
+        events_from_marks(&self.run.outputs)
+    }
+
+    /// The activity vector of the whole recording: the per-shard activity
+    /// vectors folded op-weighted into one
+    /// ([`ulp_power::Activity::fold_weighted`]) at merge time. Equal (up
+    /// to floating-point rounding) to `Activity::from_stats` of the
+    /// summed statistics, since both weight every per-op rate by the ops
+    /// that produced it.
+    pub fn activity(&self) -> Activity {
+        self.activity
+    }
+
+    /// Energy to process the recording at workload `w_mops` under
+    /// `model`, in microjoules — the folded activity priced by the power
+    /// model. `None` if the workload exceeds the design's feasible range.
+    pub fn energy_uj(&self, model: &PowerModel, w_mops: f64) -> Option<f64> {
+        model.energy_for_ops_uj(&self.activity, w_mops, self.run.stats.useful_ops())
+    }
+}
+
+/// Extracts globally-indexed events from full-recording mark buffers.
+fn events_from_marks(outputs: &[Vec<u16>]) -> Vec<DelineationEvent> {
+    let mut events = Vec::new();
+    for (channel, marks) in outputs.iter().enumerate() {
+        for (index, &word) in marks.iter().enumerate() {
+            if word == u16::from(Mark::Peak) || word == u16::from(Mark::Pit) {
+                events.push(DelineationEvent {
+                    channel,
+                    index,
+                    is_peak: word == u16::from(Mark::Peak),
+                });
+            }
+        }
+    }
+    events
+}
+
+/// Field-wise sum of shard statistics: every counter adds up, so the
+/// merged [`SimStats`] reports exactly the work the shards performed
+/// together. `num_cores` is taken from the first shard (all shards run the
+/// same platform shape); per-core counters merge index-wise.
+///
+/// # Panics
+///
+/// Panics if `parts` is empty or mixes designs (some shards with
+/// synchronizer statistics, some without).
+pub fn sum_stats(parts: &[&SimStats]) -> SimStats {
+    let first = parts.first().expect("at least one shard");
+    let mut total = SimStats {
+        cycles: 0,
+        num_cores: first.num_cores,
+        cores: vec![Default::default(); first.cores.len()],
+        core_total: Default::default(),
+        im: Default::default(),
+        dm: Default::default(),
+        ixbar: Default::default(),
+        dxbar: Default::default(),
+        sync: first.sync.map(|_| Default::default()),
+        lockstep_width_sum: 0,
+        lockstep_width_cycles: 0,
+    };
+    for part in parts {
+        assert_eq!(
+            part.sync.is_some(),
+            total.sync.is_some(),
+            "cannot sum across designs"
+        );
+        total.cycles += part.cycles;
+        total.core_total.merge(&part.core_total);
+        for (t, p) in total.cores.iter_mut().zip(&part.cores) {
+            t.merge(p);
+        }
+        total.im.merge(&part.im);
+        total.dm.merge(&part.dm);
+        total.ixbar.merge(&part.ixbar);
+        total.dxbar.merge(&part.dxbar);
+        if let (Some(t), Some(p)) = (&mut total.sync, &part.sync) {
+            t.merge(p);
+        }
+        total.lockstep_width_sum += part.lockstep_width_sum;
+        total.lockstep_width_cycles += part.lockstep_width_cycles;
+    }
+    total
+}
+
+/// Merges a completed [`ShardedRun`] into one logical run over the whole
+/// recording.
+///
+/// The returned [`MergedRun`]'s `run.expected` is the **full-recording
+/// golden pass** (computed in Rust over the entire signal, unconstrained
+/// by platform buffer sizes), so `run.verify()` asserts the sharding
+/// subsystem's equivalence claim: with an adequate halo, splitting the
+/// time axis and stitching the partial outputs loses nothing.
+///
+/// # Errors
+///
+/// [`RunnerError::OutputMismatch`] is *not* raised here — like the
+/// kernel runner, mismatches are left to [`BenchmarkRun::verify`] so
+/// callers can inspect the stitched data.
+pub fn merge(sharded: &ShardedRun) -> MergedRun {
+    let expected = golden_outputs(
+        sharded.config.benchmark,
+        &sharded.config.workload,
+        sharded.config.cores,
+    );
+    merge_with_golden(sharded, expected)
+}
+
+/// [`merge`] with a caller-supplied full-recording golden pass, for
+/// callers that merge many sharded runs over the same recording (the
+/// sweep's shard axis) and want to compute the golden once per
+/// (benchmark, cores) instead of once per cell. `expected` must be what
+/// [`golden_outputs`] returns for the run's benchmark, workload and core
+/// count — anything else makes `verify()` meaningless.
+pub fn merge_with_golden(sharded: &ShardedRun, expected: Vec<Vec<u16>>) -> MergedRun {
+    let cores = sharded.config.cores;
+    let total = sharded.plan.total();
+    let mut outputs: Vec<Vec<u16>> = (0..cores).map(|_| Vec::with_capacity(total)).collect();
+    for out in &sharded.shards {
+        let local = out.shard.local_core();
+        for (channel, stitched) in outputs.iter_mut().enumerate() {
+            debug_assert_eq!(stitched.len(), out.shard.start, "gapless stitching");
+            stitched.extend_from_slice(&out.run.outputs[channel][local.clone()]);
+        }
+    }
+    let stats = sum_stats(
+        &sharded
+            .shards
+            .iter()
+            .map(|s| &s.run.stats)
+            .collect::<Vec<_>>(),
+    );
+    // Fold each shard's activity vector, weighted by the ops it retired —
+    // the recording-level input to the power model.
+    let activity = Activity::fold_weighted(
+        &sharded
+            .shards
+            .iter()
+            .map(|s| (Activity::from_stats(&s.run.stats), s.run.stats.useful_ops()))
+            .collect::<Vec<_>>(),
+    );
+    MergedRun {
+        run: BenchmarkRun {
+            benchmark: sharded.config.benchmark,
+            with_sync: sharded.config.with_sync,
+            stats,
+            outputs,
+            expected,
+        },
+        shard_cycles: sharded.shards.iter().map(|s| s.run.stats.cycles).collect(),
+        plan: sharded.plan.clone(),
+        activity,
+    }
+}
+
+/// [`merge`] plus verification: returns the merged run only if the
+/// stitched outputs are bit-identical to the full-recording golden pass.
+///
+/// # Errors
+///
+/// The [`RunnerError::OutputMismatch`] naming the first differing channel.
+pub fn merge_verified(sharded: &ShardedRun) -> Result<MergedRun, RunnerError> {
+    let merged = merge(sharded);
+    merged.run.verify()?;
+    Ok(merged)
+}
+
+/// Convenience used by sweeps and tests: the single-pass golden events of
+/// a full recording, for comparison with [`MergedRun::events`].
+pub fn golden_events(cfg: &WorkloadConfig, cores: usize) -> Vec<DelineationEvent> {
+    events_from_marks(&golden_outputs(Benchmark::Mrpdln, cfg, cores))
+}

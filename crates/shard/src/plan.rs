@@ -1,0 +1,343 @@
+//! Time-axis shard plans: how a long recording is cut into overlapping
+//! windows that each fit one platform's data memory.
+
+use std::fmt;
+use ulp_kernels::{layout, Benchmark, WorkloadConfig};
+
+/// One shard of a recording: the *core* sample range this shard is
+/// responsible for, and the *load* range actually simulated (core plus a
+/// halo of warm-up samples on each side, clipped to the recording).
+///
+/// Only the core region survives merging — halo samples exist so the
+/// morphological filter/delineator state is re-established inside the
+/// shard, and are dropped deterministically by the merge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shard {
+    /// Position of this shard in the plan (0-based).
+    pub index: usize,
+    /// First sample (inclusive) of the core region.
+    pub start: usize,
+    /// One past the last sample of the core region.
+    pub end: usize,
+    /// First sample (inclusive) loaded into the platform.
+    pub load_start: usize,
+    /// One past the last loaded sample.
+    pub load_end: usize,
+}
+
+impl Shard {
+    /// Samples this shard is responsible for after merging.
+    pub fn core_len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Samples simulated (core + halos).
+    pub fn load_len(&self) -> usize {
+        self.load_end - self.load_start
+    }
+
+    /// The core region in shard-local coordinates (indices into the
+    /// shard's output buffer).
+    pub fn local_core(&self) -> std::ops::Range<usize> {
+        (self.start - self.load_start)..(self.end - self.load_start)
+    }
+}
+
+/// Why a plan could not be built.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanError {
+    /// The recording has no samples.
+    EmptyRecording,
+    /// `samples_per_shard` was zero.
+    ZeroShardLength,
+    /// A shard's load window (core + halos) exceeds the platform buffer
+    /// capacity ([`layout::MAX_N`]).
+    ShardTooLarge {
+        /// The offending load length.
+        load_len: usize,
+    },
+    /// A shard's load window is below the kernels' minimum of 4 samples.
+    ShardTooSmall {
+        /// The offending load length.
+        load_len: usize,
+    },
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::EmptyRecording => write!(f, "recording has no samples"),
+            PlanError::ZeroShardLength => write!(f, "samples per shard must be positive"),
+            PlanError::ShardTooLarge { load_len } => write!(
+                f,
+                "shard load window of {load_len} samples exceeds the platform \
+                 buffer capacity of {} (shorten the shard or the halo)",
+                layout::MAX_N
+            ),
+            PlanError::ShardTooSmall { load_len } => write!(
+                f,
+                "shard load window of {load_len} samples is below the kernels' \
+                 minimum of 4"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// The halo (overlap) a benchmark needs so every core-region output of a
+/// shard is bit-identical to the full-recording pass: the dependency
+/// radius of the benchmark's operator chain.
+///
+/// * **MRPFLTR** — opening/closing chains widen the input window of one
+///   output by `l - 1` per stage: `(Lo-1) + (Lc-1) + (Ln-1)`.
+/// * **MRPDLN** — the morphological derivative at the larger scale reaches
+///   `max(s_small, s_large)` samples, plus one for the local-extremum
+///   test.
+/// * **SQRT32** — point-wise; no halo at all.
+pub fn required_halo(benchmark: Benchmark, cfg: &WorkloadConfig) -> usize {
+    match benchmark {
+        Benchmark::Mrpfltr => {
+            (cfg.mrpfltr.baseline_open - 1)
+                + (cfg.mrpfltr.baseline_close - 1)
+                + (cfg.mrpfltr.noise - 1)
+        }
+        Benchmark::Mrpdln => cfg.delineation.scale_small.max(cfg.delineation.scale_large) + 1,
+        Benchmark::Sqrt32 => 0,
+    }
+}
+
+/// A complete sharding of one recording: contiguous, non-overlapping core
+/// regions covering `0..total`, each extended by `halo` samples of overlap
+/// on both sides (clipped at the recording edges, where the platform and
+/// the golden model clip their operator windows identically).
+///
+/// Core lengths are balanced: `ceil(total / samples_per_shard)` shards of
+/// as-equal-as-possible length, so a remainder never produces a degenerate
+/// tail shard.
+///
+/// ```
+/// use ulp_shard::ShardPlan;
+///
+/// // 1000 samples in ≤ 200-sample shards with a 40-sample halo.
+/// let plan = ShardPlan::new(1000, 200, 40).unwrap();
+/// assert_eq!(plan.len(), 5);
+/// assert_eq!(plan.total(), 1000);
+/// // Core regions tile the recording exactly...
+/// assert_eq!(plan.shards()[0].start, 0);
+/// assert_eq!(plan.shards()[4].end, 1000);
+/// // ...while load windows overlap by the halo (clipped at the edges).
+/// let s1 = plan.shards()[1];
+/// assert_eq!(s1.load_start, s1.start - 40);
+/// assert!(plan.shards().iter().all(|s| s.load_len() <= 200 + 2 * 40));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    total: usize,
+    halo: usize,
+    shards: Vec<Shard>,
+}
+
+impl ShardPlan {
+    /// Plans `total` samples into shards of at most `samples_per_shard`
+    /// core samples with `halo` samples of overlap per side.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanError`] when the recording is empty, the shard length is
+    /// zero, or a resulting load window falls outside the platform's
+    /// 4..=[`layout::MAX_N`] sample range.
+    pub fn new(
+        total: usize,
+        samples_per_shard: usize,
+        halo: usize,
+    ) -> Result<ShardPlan, PlanError> {
+        if total == 0 {
+            return Err(PlanError::EmptyRecording);
+        }
+        if samples_per_shard == 0 {
+            return Err(PlanError::ZeroShardLength);
+        }
+        let count = total.div_ceil(samples_per_shard);
+        let base = total / count;
+        let extra = total % count; // the first `extra` shards get +1
+        let mut shards = Vec::with_capacity(count);
+        let mut start = 0;
+        for index in 0..count {
+            let core_len = base + usize::from(index < extra);
+            let end = start + core_len;
+            let shard = Shard {
+                index,
+                start,
+                end,
+                load_start: start.saturating_sub(halo),
+                load_end: (end + halo).min(total),
+            };
+            let load_len = shard.load_len();
+            if load_len > layout::MAX_N {
+                return Err(PlanError::ShardTooLarge { load_len });
+            }
+            if load_len < 4 {
+                return Err(PlanError::ShardTooSmall { load_len });
+            }
+            shards.push(shard);
+            start = end;
+        }
+        Ok(ShardPlan {
+            total,
+            halo,
+            shards,
+        })
+    }
+
+    /// [`ShardPlan::new`] with the halo `benchmark` requires for bit-exact
+    /// merging ([`required_halo`]), over the recording described by
+    /// `workload` (its `n` is the recording length).
+    ///
+    /// # Errors
+    ///
+    /// See [`ShardPlan::new`].
+    pub fn for_workload(
+        benchmark: Benchmark,
+        workload: &WorkloadConfig,
+        samples_per_shard: usize,
+    ) -> Result<ShardPlan, PlanError> {
+        ShardPlan::new(
+            workload.n,
+            samples_per_shard,
+            required_halo(benchmark, workload),
+        )
+    }
+
+    /// Recording length in samples.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Halo samples per side.
+    pub fn halo(&self) -> usize {
+        self.halo
+    }
+
+    /// Number of shards.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Whether the plan has no shards (never true for a valid plan).
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// The shards, ordered by time.
+    pub fn shards(&self) -> &[Shard] {
+        &self.shards
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cores_tile_the_recording_exactly() {
+        for (total, per_shard, halo) in [
+            (1000, 200, 40),
+            (2048, 256, 10),
+            (10, 3, 2),
+            (7, 7, 0),
+            (300, 299, 1),
+        ] {
+            let plan = ShardPlan::new(total, per_shard, halo).unwrap();
+            assert_eq!(plan.shards()[0].start, 0);
+            assert_eq!(plan.shards().last().unwrap().end, total);
+            for pair in plan.shards().windows(2) {
+                assert_eq!(pair[0].end, pair[1].start, "contiguous cores");
+            }
+            for s in plan.shards() {
+                assert!(s.core_len() <= per_shard);
+                assert!(s.load_start <= s.start && s.end <= s.load_end);
+                assert!(s.start - s.load_start <= halo);
+                assert!(s.load_end - s.end <= halo);
+                // Interior shards carry the full halo.
+                if s.start >= halo {
+                    assert_eq!(s.start - s.load_start, halo);
+                }
+                if s.end + halo <= total {
+                    assert_eq!(s.load_end - s.end, halo);
+                }
+                let local = s.local_core();
+                assert_eq!(local.len(), s.core_len());
+            }
+        }
+    }
+
+    #[test]
+    fn uneven_split_balances_core_lengths() {
+        // 10 samples at ≤ 3 per shard → 4 shards of 3,3,2,2 — never a
+        // degenerate 1-sample tail.
+        let plan = ShardPlan::new(10, 3, 2).unwrap();
+        let lens: Vec<usize> = plan.shards().iter().map(Shard::core_len).collect();
+        assert_eq!(lens, vec![3, 3, 2, 2]);
+    }
+
+    #[test]
+    fn halo_longer_than_the_shard_is_legal() {
+        let plan = ShardPlan::new(200, 40, 100).unwrap();
+        assert_eq!(plan.len(), 5);
+        for s in plan.shards() {
+            assert!(s.load_len() <= layout::MAX_N);
+            // The middle shard's load window spans the whole recording.
+        }
+        assert_eq!(plan.shards()[2].load_start, 0);
+        assert_eq!(plan.shards()[2].load_end, 200);
+    }
+
+    #[test]
+    fn single_shard_degenerate_plan() {
+        let plan = ShardPlan::new(100, 256, 40).unwrap();
+        assert_eq!(plan.len(), 1);
+        let s = plan.shards()[0];
+        assert_eq!((s.start, s.end), (0, 100));
+        // Halos clip to the recording: nothing to warm up from.
+        assert_eq!((s.load_start, s.load_end), (0, 100));
+    }
+
+    #[test]
+    fn invalid_plans_are_rejected() {
+        assert_eq!(ShardPlan::new(0, 10, 0), Err(PlanError::EmptyRecording));
+        assert_eq!(ShardPlan::new(10, 0, 0), Err(PlanError::ZeroShardLength));
+        assert_eq!(
+            ShardPlan::new(1000, 250, 40),
+            Err(PlanError::ShardTooLarge { load_len: 330 })
+        );
+        assert_eq!(
+            ShardPlan::new(6, 2, 0),
+            Err(PlanError::ShardTooSmall { load_len: 2 })
+        );
+        // Errors render human-readable messages.
+        assert!(PlanError::ShardTooLarge { load_len: 330 }
+            .to_string()
+            .contains("330"));
+    }
+
+    #[test]
+    fn required_halo_matches_operator_radii() {
+        let cfg = WorkloadConfig::paper();
+        // (15-1) + (23-1) + (5-1)
+        assert_eq!(required_halo(Benchmark::Mrpfltr, &cfg), 40);
+        // max(3, 9) + 1
+        assert_eq!(required_halo(Benchmark::Mrpdln, &cfg), 10);
+        assert_eq!(required_halo(Benchmark::Sqrt32, &cfg), 0);
+    }
+
+    #[test]
+    fn for_workload_uses_the_required_halo() {
+        let mut cfg = WorkloadConfig::paper();
+        cfg.n = 2048;
+        let plan = ShardPlan::for_workload(Benchmark::Mrpdln, &cfg, 256).unwrap();
+        assert_eq!(plan.halo(), 10);
+        assert_eq!(plan.total(), 2048);
+        assert_eq!(plan.len(), 8);
+    }
+}

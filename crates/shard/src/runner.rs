@@ -1,0 +1,240 @@
+//! Executing a shard plan as batch-service jobs.
+
+use crate::plan::{Shard, ShardPlan};
+use std::fmt;
+use std::sync::Arc;
+use ulp_kernels::{Benchmark, BenchmarkRun, RunnerError, WorkloadConfig};
+use ulp_service::{JobArtifacts, JobSpec, ObserverSelection, ServiceConfig, SimService};
+
+/// What to run over the recording: the benchmark, the platform design and
+/// core count every shard job uses, and the observers each shard carries.
+#[derive(Debug, Clone)]
+pub struct ShardRunConfig {
+    /// The benchmark kernel.
+    pub benchmark: Benchmark,
+    /// `true` = improved design (hardware synchronizer).
+    pub with_sync: bool,
+    /// Cores per platform (1..=8); one recording channel per core.
+    pub cores: usize,
+    /// The *full recording* workload: its `n` is the recording length
+    /// (typically far beyond one platform's buffer capacity) and must
+    /// equal the plan's total.
+    pub workload: WorkloadConfig,
+    /// Instrumentation attached to every shard job (e.g. a
+    /// [`ObserverSelection::BankHeatMap`]).
+    pub observers: ObserverSelection,
+}
+
+impl ShardRunConfig {
+    /// A plain configuration with no observers.
+    pub fn new(
+        benchmark: Benchmark,
+        with_sync: bool,
+        cores: usize,
+        workload: WorkloadConfig,
+    ) -> ShardRunConfig {
+        ShardRunConfig {
+            benchmark,
+            with_sync,
+            cores,
+            workload,
+            observers: ObserverSelection::None,
+        }
+    }
+}
+
+/// Errors of a sharded run.
+#[derive(Debug)]
+pub enum ShardError {
+    /// The plan's recording length differs from the workload's `n`.
+    PlanMismatch {
+        /// Samples in the plan.
+        plan_total: usize,
+        /// Samples in the workload.
+        workload_n: usize,
+    },
+    /// A shard job failed; the shard index says which.
+    Job {
+        /// Index of the failing shard.
+        shard: usize,
+        /// The underlying failure.
+        error: RunnerError,
+    },
+}
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardError::PlanMismatch {
+                plan_total,
+                workload_n,
+            } => write!(
+                f,
+                "plan covers {plan_total} samples but the workload describes {workload_n}"
+            ),
+            ShardError::Job { shard, error } => write!(f, "shard {shard} failed: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ShardError::PlanMismatch { .. } => None,
+            ShardError::Job { error, .. } => Some(error),
+        }
+    }
+}
+
+/// One completed shard: its time window and the benchmark run over the
+/// loaded (core + halo) samples.
+#[derive(Debug)]
+pub struct ShardOutput {
+    /// The shard's position and sample ranges.
+    pub shard: Shard,
+    /// The simulated run over the shard's load window.
+    pub run: BenchmarkRun,
+    /// Observer output of the shard job.
+    pub artifacts: JobArtifacts,
+}
+
+/// All shards of one recording, completed and ordered by time — the input
+/// to [`crate::merge::merge`].
+#[derive(Debug)]
+pub struct ShardedRun {
+    /// The configuration the shards ran under.
+    pub config: ShardRunConfig,
+    /// The plan that produced the shards.
+    pub plan: ShardPlan,
+    /// One output per shard, in plan (time) order.
+    pub shards: Vec<ShardOutput>,
+}
+
+/// Turns a [`ShardPlan`] into per-shard [`JobSpec`]s and streams them
+/// through a [`SimService`].
+///
+/// Every shard becomes an ordinary service job whose workload is the full
+/// recording's [`WorkloadConfig`] windowed to the shard's load range
+/// ([`WorkloadConfig::windowed`]), so the pool schedules, caches and
+/// steals shard jobs exactly like grid cells.
+#[derive(Debug, Clone)]
+pub struct ShardRunner {
+    config: ShardRunConfig,
+    plan: ShardPlan,
+}
+
+impl ShardRunner {
+    /// Binds a plan to a run configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`ShardError::PlanMismatch`] if the plan does not cover exactly the
+    /// workload's recording.
+    pub fn new(config: ShardRunConfig, plan: ShardPlan) -> Result<ShardRunner, ShardError> {
+        if plan.total() != config.workload.n {
+            return Err(ShardError::PlanMismatch {
+                plan_total: plan.total(),
+                workload_n: config.workload.n,
+            });
+        }
+        Ok(ShardRunner { config, plan })
+    }
+
+    /// The bound plan.
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// The bound configuration.
+    pub fn config(&self) -> &ShardRunConfig {
+        &self.config
+    }
+
+    /// The per-shard service jobs, in plan order: shard `i`'s workload is
+    /// the recording windowed to `load_start..load_end`.
+    pub fn job_specs(&self) -> Vec<JobSpec> {
+        self.plan
+            .shards()
+            .iter()
+            .map(|s| {
+                let workload = self.config.workload.windowed(s.load_start, s.load_len());
+                JobSpec::new(
+                    self.config.benchmark,
+                    self.config.with_sync,
+                    self.config.cores,
+                    Arc::new(workload),
+                )
+                .with_observers(self.config.observers.clone())
+            })
+            .collect()
+    }
+
+    /// Runs every shard on `service` and gathers the outputs in plan
+    /// order. The service streams results as workers finish; shards of
+    /// different time windows execute concurrently and are re-ordered
+    /// here.
+    ///
+    /// The service must have no other submissions in flight: this method
+    /// drains one result per submitted shard and would otherwise consume
+    /// foreign results.
+    ///
+    /// # Errors
+    ///
+    /// The first failing shard in plan order (all shards still run).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool dies with shards outstanding (a worker
+    /// panicked), mirroring [`SimService::recv`].
+    pub fn run(self, service: &mut SimService) -> Result<ShardedRun, ShardError> {
+        let specs = self.job_specs();
+        let count = specs.len();
+        let ids: Vec<u64> = specs.into_iter().map(|spec| service.submit(spec)).collect();
+        let first_id = *ids.first().expect("a valid plan has at least one shard");
+        let mut slots: Vec<Option<Result<ShardOutput, ShardError>>> =
+            (0..count).map(|_| None).collect();
+        for _ in 0..count {
+            let result = service.recv().expect("one result per submitted shard");
+            let index = (result.id - first_id) as usize;
+            let shard = self.plan.shards()[index];
+            slots[index] = Some(match result.outcome {
+                Ok(out) => Ok(ShardOutput {
+                    shard,
+                    run: out.run,
+                    artifacts: out.artifacts,
+                }),
+                Err(error) => Err(ShardError::Job {
+                    shard: index,
+                    error,
+                }),
+            });
+        }
+        let mut shards = Vec::with_capacity(count);
+        for slot in slots {
+            shards.push(slot.expect("every shard ran")?);
+        }
+        Ok(ShardedRun {
+            config: self.config,
+            plan: self.plan,
+            shards,
+        })
+    }
+
+    /// [`ShardRunner::run`] on a private pool of `threads` workers
+    /// (`0` = one per available hardware thread), capped at the shard
+    /// count.
+    ///
+    /// # Errors
+    ///
+    /// See [`ShardRunner::run`].
+    pub fn run_local(self, threads: usize) -> Result<ShardedRun, ShardError> {
+        let workers = ServiceConfig::with_workers(threads)
+            .resolved_workers()
+            .min(self.plan.len())
+            .max(1);
+        let mut service = SimService::start(ServiceConfig::with_workers(workers));
+        let run = self.run(&mut service)?;
+        service.finish();
+        Ok(run)
+    }
+}

@@ -1,0 +1,136 @@
+//! Property tests of the merge machinery on randomized signals: merged
+//! delineation events are sorted and duplicate-free, and halo-based
+//! stitching reproduces the full-signal golden pass sample for sample —
+//! no platform in the loop, so hundreds of cases stay fast.
+
+use proptest::prelude::*;
+use ulp_biosignal::{delineate, DelineationConfig};
+use ulp_kernels::{Benchmark, WorkloadConfig};
+use ulp_platform::SimStats;
+use ulp_service::JobArtifacts;
+use ulp_shard::{merge, required_halo, ShardPlan, ShardRunConfig, ShardedRun};
+
+fn zero_stats(num_cores: usize, cycles: u64) -> SimStats {
+    SimStats {
+        cycles,
+        num_cores,
+        cores: vec![Default::default(); num_cores],
+        core_total: ulp_cpu::CoreStats {
+            useful_ops: 1,
+            ..Default::default()
+        },
+        im: Default::default(),
+        dm: Default::default(),
+        ixbar: Default::default(),
+        dxbar: Default::default(),
+        sync: None,
+        lockstep_width_sum: 0,
+        lockstep_width_cycles: 0,
+    }
+}
+
+/// Builds a `ShardedRun` whose per-shard outputs are the *golden*
+/// delineator applied to each shard's load window of `signals` — exactly
+/// what the platform produces bit for bit, without simulating it.
+fn golden_sharded_run(
+    signals: &[Vec<i16>],
+    plan: ShardPlan,
+    dln: &DelineationConfig,
+) -> ShardedRun {
+    let cores = signals.len();
+    let total = plan.total();
+    let mut workload = WorkloadConfig::quick_test();
+    workload.n = total;
+    workload.delineation = *dln;
+    let config = ShardRunConfig::new(Benchmark::Mrpdln, false, cores, workload);
+    let shards = plan
+        .shards()
+        .iter()
+        .map(|&shard| {
+            let outputs: Vec<Vec<u16>> = signals
+                .iter()
+                .map(|x| {
+                    delineate(&x[shard.load_start..shard.load_end], dln)
+                        .into_iter()
+                        .map(u16::from)
+                        .collect()
+                })
+                .collect();
+            ulp_shard::ShardOutput {
+                shard,
+                run: ulp_kernels::BenchmarkRun {
+                    benchmark: Benchmark::Mrpdln,
+                    with_sync: false,
+                    stats: zero_stats(cores, 100 + shard.index as u64),
+                    expected: outputs.clone(),
+                    outputs,
+                },
+                artifacts: JobArtifacts::None,
+            }
+        })
+        .collect();
+    ShardedRun {
+        config,
+        plan,
+        shards,
+    }
+}
+
+fn signal(len: usize) -> impl Strategy<Value = Vec<i16>> {
+    prop::collection::vec(-2047i16..=2047, len..=len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Over random signals, shard geometries and channel counts: the
+    /// merged mark stream equals the full-signal pass, and the event list
+    /// is strictly sorted by (channel, index) — hence duplicate-free.
+    #[test]
+    fn merged_events_are_sorted_unique_and_golden(
+        total in 60usize..400,
+        per_shard in 16usize..280,
+        seed_a in signal(400),
+        seed_b in signal(400),
+        threshold in 50i16..400,
+    ) {
+        let dln = DelineationConfig { scale_small: 2, scale_large: 5, threshold };
+        let mut probe = WorkloadConfig::quick_test();
+        probe.delineation = dln;
+        let halo = required_halo(Benchmark::Mrpdln, &probe);
+        prop_assert_eq!(halo, 6);
+        let Ok(plan) = ShardPlan::new(total, per_shard, halo) else {
+            // Geometry outside platform limits — nothing to merge.
+            return;
+        };
+        let signals = vec![seed_a[..total].to_vec(), seed_b[..total].to_vec()];
+        let run = golden_sharded_run(&signals, plan, &dln);
+        let merged = merge(&run);
+
+        // Stitched outputs are bit-identical to the one-pass golden.
+        for (ch, x) in signals.iter().enumerate() {
+            let full: Vec<u16> = delineate(x, &dln).into_iter().map(u16::from).collect();
+            prop_assert_eq!(&merged.run.outputs[ch], &full, "channel {}", ch);
+        }
+
+        // Events are strictly increasing by (channel, index): sorted and
+        // duplicate-free by construction of the halo-dropping merge.
+        let events = merged.events();
+        for pair in events.windows(2) {
+            prop_assert!(
+                (pair[0].channel, pair[0].index) < (pair[1].channel, pair[1].index),
+                "events out of order or duplicated: {:?}", pair
+            );
+        }
+        // Every event indexes a marked sample of the merged stream.
+        for e in &events {
+            prop_assert!(e.index < total);
+            prop_assert!(merged.run.outputs[e.channel][e.index] != 0);
+        }
+
+        // Summed statistics are the shard sums.
+        let cycle_sum: u64 = run.shards.iter().map(|s| s.run.stats.cycles).sum();
+        prop_assert_eq!(merged.run.stats.cycles, cycle_sum);
+        prop_assert_eq!(merged.shard_cycles.len(), run.plan.len());
+    }
+}

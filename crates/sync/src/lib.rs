@@ -99,6 +99,23 @@ pub struct SyncStats {
     pub underflows: u64,
 }
 
+impl SyncStats {
+    /// Adds another synchronizer's counters into this one (multi-run
+    /// aggregates, e.g. summing shard statistics). Kept next to the
+    /// fields so a new counter cannot be forgotten here.
+    pub fn merge(&mut self, other: &SyncStats) {
+        self.checkin_requests += other.checkin_requests;
+        self.checkout_requests += other.checkout_requests;
+        self.batches += other.batches;
+        self.merged += other.merged;
+        self.wakeups += other.wakeups;
+        self.releases += other.releases;
+        self.busy_cycles += other.busy_cycles;
+        self.stalled_requests += other.stalled_requests;
+        self.underflows += other.underflows;
+    }
+}
+
 /// Events produced by one synchronizer cycle, to be applied to the cores.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SyncEvents {

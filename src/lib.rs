@@ -18,7 +18,10 @@
 //! * [`kernels`] — the MRPFLTR / MRPDLN / SQRT32 benchmarks in assembly;
 //! * [`power`] — the calibrated event-energy and voltage-scaling model;
 //! * [`service`] — the batch simulation service: a work-stealing worker
-//!   pool with cached platforms and streamed job results.
+//!   pool with cached platforms and streamed job results;
+//! * [`shard`] — workload sharding: long recordings split into
+//!   overlapping time shards, run as service jobs, merged back into one
+//!   logical run with recording-level statistics and energy.
 //!
 //! See the repository `README.md` for a quickstart and `EXPERIMENTS.md` for
 //! the paper-versus-measured reproduction results.
@@ -31,4 +34,5 @@ pub use ulp_mem as mem;
 pub use ulp_platform as platform;
 pub use ulp_power as power;
 pub use ulp_service as service;
+pub use ulp_shard as shard;
 pub use ulp_sync as sync;
