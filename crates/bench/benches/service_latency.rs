@@ -1,0 +1,159 @@
+//! Latency benchmark of the batch simulation service: drive a *bounded*
+//! [`SimService`] to saturation with a mixed-priority grid and record the
+//! end-to-end latency distribution (queue wait + run time) the pool's own
+//! [`ServiceStats`] report. Where `service_throughput` tracks how many
+//! jobs per second the scheduler moves, this tracks what one job *feels*:
+//! the p50 tells the common case, the p95 the tail that determines usable
+//! capacity under sustained traffic.
+//!
+//! Not a criterion harness: criterion measures iteration wall time, but
+//! the quantity gated here is the per-job latency percentile, which only
+//! the service itself can attribute (queue wait is accumulated inside the
+//! pool). The bench therefore writes its `BENCH_*.json` records directly,
+//! mirroring the criterion shim's format with two extras the perf gate
+//! understands: `"lower_is_better":true` (latency regressions are
+//! *increases*) and a per-record `"tolerance"` (latency tails are noisier
+//! than throughput means, so they get more headroom than the default 20%).
+//!
+//! Honours the shared bench environment:
+//! * `ULP_BENCH_QUICK=1` — fewer jobs (CI smoke sizing).
+//! * `ULP_BENCH_JSON_DIR=<dir>` — write `BENCH_service_latency_*.json`.
+
+use std::sync::Arc;
+use std::time::Duration;
+use ulp_kernels::{Benchmark, WorkloadConfig};
+use ulp_service::{JobSpec, Priority, ServiceConfig, SimService};
+
+/// Workers in the pool; small so queueing (not just run time) is visible.
+const WORKERS: usize = 2;
+
+/// Queue bound: deep enough to keep every worker busy, shallow enough
+/// that the blocking submit path is really exercised at saturation.
+const QUEUE_CAPACITY: usize = 8;
+
+/// Per-record tolerances for the gate: the median is fairly stable, the
+/// tail much noisier under CI scheduling jitter.
+const P50_TOLERANCE: f64 = 0.60;
+const P95_TOLERANCE: f64 = 0.80;
+
+/// The smallest workload the kernels support, so per-job latency is
+/// dominated by service mechanics plus a short simulation — the shape of
+/// a real-time per-window analysis job, not an offline batch.
+fn tiny_workload() -> Arc<WorkloadConfig> {
+    let mut w = WorkloadConfig::quick_test();
+    w.n = 16;
+    Arc::new(w)
+}
+
+/// One mixed-grid job: mostly cheap 2-core cells with a heavier 8-core
+/// cell every third job, alternating designs, and every fourth job at
+/// high priority — the traffic mix the scheduler is hardened for.
+fn spec(i: usize, workload: &Arc<WorkloadConfig>) -> JobSpec {
+    let cores = if i.is_multiple_of(3) { 8 } else { 2 };
+    let priority = if i.is_multiple_of(4) {
+        Priority::High
+    } else {
+        Priority::Normal
+    };
+    JobSpec::new(
+        Benchmark::Sqrt32,
+        i.is_multiple_of(2),
+        cores,
+        workload.clone(),
+    )
+    .with_priority(priority)
+}
+
+/// Writes one perf-gate record, mirroring the criterion shim's escaping
+/// and `BENCH_<label>.json` naming (labels here are ASCII-clean, so the
+/// shim's collision hash is unnecessary).
+fn emit_record(dir: &std::path::Path, label: &str, value_us: f64, tolerance: f64) {
+    let sanitized: String = label
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    let record = format!(
+        "{{\"label\":\"{label}\",\"value\":{value_us:.3},\"lower_is_better\":true,\
+         \"tolerance\":{tolerance}}}\n"
+    );
+    let path = dir.join(format!("BENCH_{sanitized}.json"));
+    if let Err(e) = std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, record)) {
+        eprintln!("service_latency: cannot write {}: {e}", path.display());
+    }
+}
+
+fn as_us(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e6
+}
+
+fn main() {
+    let quick = std::env::var_os("ULP_BENCH_QUICK").is_some();
+    let jobs: usize = if quick { 72 } else { 288 };
+    let workload = tiny_workload();
+
+    let mut service =
+        SimService::start(ServiceConfig::with_workers(WORKERS).with_queue_capacity(QUEUE_CAPACITY));
+    // Warm the platform caches first so the measured distribution reflects
+    // steady-state traffic, not the one-off platform constructions.
+    for i in 0..(WORKERS * 2) {
+        service.submit(spec(i, &workload));
+    }
+    let mut warmed = 0;
+    while warmed < WORKERS * 2 {
+        service.recv().expect("warm-up job completes");
+        warmed += 1;
+    }
+    let warm_samples = service.stats().latency.samples;
+
+    // Saturate: the blocking submit path throttles this loop to the
+    // workers' claim rate once the backlog hits capacity, so the queue
+    // stays at the watermark and queue wait is a real component of every
+    // job's latency.
+    let mut completed = 0u64;
+    for i in 0..jobs {
+        service.submit(spec(i, &workload));
+        // Drain opportunistically so the result channel never balloons.
+        while let Some(result) = service.try_recv() {
+            result.outcome.expect("job runs");
+            completed += 1;
+        }
+    }
+    while let Some(result) = service.recv() {
+        result.outcome.expect("job runs");
+        completed += 1;
+    }
+    assert_eq!(completed, jobs as u64, "every submitted job completes");
+
+    let stats = service.finish();
+    assert_eq!(stats.latency.samples, warm_samples + jobs as u64);
+    assert_eq!(stats.rejections, 0, "the blocking path never rejects");
+
+    println!(
+        "service_latency: {} jobs on {} workers (queue capacity {}): \
+         p50 {:.1} us, p95 {:.1} us, max {:.1} us ({} steal events, {} deadline misses)",
+        jobs,
+        stats.workers,
+        QUEUE_CAPACITY,
+        as_us(stats.latency.p50),
+        as_us(stats.latency.p95),
+        as_us(stats.latency.max),
+        stats.steals,
+        stats.deadline_misses,
+    );
+
+    if let Some(dir) = std::env::var_os("ULP_BENCH_JSON_DIR") {
+        let dir = std::path::PathBuf::from(dir);
+        emit_record(
+            &dir,
+            "service_latency/p50_us",
+            as_us(stats.latency.p50),
+            P50_TOLERANCE,
+        );
+        emit_record(
+            &dir,
+            "service_latency/p95_us",
+            as_us(stats.latency.p95),
+            P95_TOLERANCE,
+        );
+    }
+}

@@ -11,13 +11,21 @@
 //!
 //! The vendored criterion harness writes one `BENCH_<label>.json` record
 //! per benchmark when `ULP_BENCH_JSON_DIR` is set (see `vendor/criterion`).
-//! Every record carries a `per_sec` rate — simulated cycles per second for
-//! `step_throughput`, jobs per second for `service_throughput` — where
-//! higher is faster. The gate compares each baseline entry against the
-//! fresh record and fails (exit 1) if any rate dropped by more than the
-//! tolerance. Benchmarks present in the records but absent from the
-//! baseline are reported but not gated, so adding a bench doesn't require
-//! a lockstep baseline update; refresh with `--write-baseline`.
+//! Every criterion record carries a `per_sec` rate — simulated cycles per
+//! second for `step_throughput`, jobs per second for `service_throughput`
+//! — where higher is faster. Records may instead carry a generic `value`
+//! plus `"lower_is_better":true` — the `service_latency` bench emits its
+//! p50/p95 latency this way — and the gate then fails on *increases*
+//! beyond tolerance rather than decreases. A record may also carry its
+//! own `"tolerance"` (latency is noisier than throughput), overriding
+//! `--tolerance` for that label only. The gate compares each baseline
+//! entry against the fresh record and fails (exit 1) if any gated number
+//! moved in the slow direction by more than the tolerance, naming the
+//! offending record, its baseline, the measured value, the allowed limit
+//! and the exact refresh command. Benchmarks present in the records but
+//! absent from the baseline are reported but not gated, so adding a bench
+//! doesn't require a lockstep baseline update; refresh with
+//! `--write-baseline`.
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -26,7 +34,8 @@ use std::process::ExitCode;
 const USAGE: &str = "usage: perfgate [options]
   --dir <path>        directory of BENCH_*.json records (default: target/bench-json)
   --baseline <path>   checked-in baseline (default: ci/bench-baseline.json)
-  --tolerance <frac>  allowed fractional regression (default: 0.20)
+  --tolerance <frac>  allowed fractional regression (default: 0.20;
+                      a record's own \"tolerance\" field overrides it)
   --write-baseline    regenerate the baseline from the records and exit";
 
 struct Options {
@@ -34,6 +43,19 @@ struct Options {
     baseline: PathBuf,
     tolerance: f64,
     write_baseline: bool,
+}
+
+/// One fresh benchmark record, as read from `BENCH_*.json`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Record {
+    /// The gated number: `value` if the record carries one, else the
+    /// criterion shim's `per_sec` rate.
+    value: f64,
+    /// `true` = the number is a cost (e.g. latency): regressions are
+    /// increases. `false` (the default) = a rate: regressions are drops.
+    lower_is_better: bool,
+    /// Per-record tolerance override; `None` = use `--tolerance`.
+    tolerance: Option<f64>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -105,8 +127,60 @@ fn json_num_field(record: &str, key: &str) -> Option<f64> {
     rest[..end].trim().parse().ok()
 }
 
-/// Reads every `BENCH_*.json` record in `dir` into label → per_sec.
-fn read_records(dir: &Path) -> Result<BTreeMap<String, f64>, String> {
+/// Extracts the `"key": true/false` field of a single-record JSON object.
+fn json_bool_field(record: &str, key: &str) -> Option<bool> {
+    let needle = format!("\"{key}\":");
+    let start = record.find(&needle)? + needle.len();
+    let rest = record[start..].trim_start();
+    if rest.starts_with("true") {
+        Some(true)
+    } else if rest.starts_with("false") {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+/// Parses one record file's text into `(label, Record)`.
+fn parse_record(text: &str) -> Option<(String, Record)> {
+    let label = json_str_field(text, "label")?;
+    let value = json_num_field(text, "value").or_else(|| json_num_field(text, "per_sec"))?;
+    Some((
+        label,
+        Record {
+            value,
+            lower_is_better: json_bool_field(text, "lower_is_better").unwrap_or(false),
+            tolerance: json_num_field(text, "tolerance"),
+        },
+    ))
+}
+
+/// Whether a fresh measurement is within tolerance of its baseline. For
+/// rates (higher is better) the current value may not drop below
+/// `base * (1 - tolerance)`; for costs (lower is better) it may not rise
+/// above `base * (1 + tolerance)`.
+fn within_tolerance(base: f64, current: f64, tolerance: f64, lower_is_better: bool) -> bool {
+    if base <= 0.0 {
+        return false;
+    }
+    if lower_is_better {
+        current <= base * (1.0 + tolerance)
+    } else {
+        current >= base * (1.0 - tolerance)
+    }
+}
+
+/// The boundary value the gate enforces, for the failure report.
+fn limit(base: f64, tolerance: f64, lower_is_better: bool) -> f64 {
+    if lower_is_better {
+        base * (1.0 + tolerance)
+    } else {
+        base * (1.0 - tolerance)
+    }
+}
+
+/// Reads every `BENCH_*.json` record in `dir` into label → [`Record`].
+fn read_records(dir: &Path) -> Result<BTreeMap<String, Record>, String> {
     let mut records = BTreeMap::new();
     let entries =
         std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
@@ -118,18 +192,15 @@ fn read_records(dir: &Path) -> Result<BTreeMap<String, f64>, String> {
         }
         let text = std::fs::read_to_string(&path)
             .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-        let (Some(label), Some(per_sec)) = (
-            json_str_field(&text, "label"),
-            json_num_field(&text, "per_sec"),
-        ) else {
+        let Some((label, record)) = parse_record(&text) else {
             return Err(format!("malformed record {}", path.display()));
         };
-        records.insert(label, per_sec);
+        records.insert(label, record);
     }
     Ok(records)
 }
 
-/// Reads the baseline file: a flat JSON object of label → per_sec.
+/// Reads the baseline file: a flat JSON object of label → value.
 fn read_baseline(path: &Path) -> Result<BTreeMap<String, f64>, String> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
@@ -159,11 +230,11 @@ fn read_baseline(path: &Path) -> Result<BTreeMap<String, f64>, String> {
     Ok(baseline)
 }
 
-fn write_baseline(path: &Path, records: &BTreeMap<String, f64>) -> Result<(), String> {
+fn write_baseline(path: &Path, records: &BTreeMap<String, Record>) -> Result<(), String> {
     let mut text = String::from("{\n");
     let last = records.len().saturating_sub(1);
-    for (i, (label, per_sec)) in records.iter().enumerate() {
-        text.push_str(&format!("  \"{}\": {per_sec:.3}", escape(label)));
+    for (i, (label, record)) in records.iter().enumerate() {
+        text.push_str(&format!("  \"{}\": {:.3}", escape(label), record.value));
         text.push_str(if i == last { "\n" } else { ",\n" });
     }
     text.push_str("}\n");
@@ -226,31 +297,55 @@ fn main() -> ExitCode {
         }
     };
 
+    let refresh = format!(
+        "cargo run --release --bin perfgate -- --dir {} --baseline {} --write-baseline",
+        opts.dir.display(),
+        opts.baseline.display()
+    );
     println!(
-        "perfgate: gating {} baseline entries at {:.0}% tolerance",
+        "perfgate: gating {} baseline entries at {:.0}% default tolerance",
         baseline.len(),
         opts.tolerance * 100.0
     );
     println!(
         "{:<42} {:>14} {:>14} {:>7}  status",
-        "benchmark", "baseline/s", "current/s", "ratio"
+        "benchmark", "baseline", "current", "ratio"
     );
-    let mut failures = 0;
+    // Human-readable detail per failing record, printed after the table.
+    let mut failures: Vec<String> = Vec::new();
     for (label, &base) in &baseline {
         match records.get(label) {
             None => {
                 println!("{label:<42} {base:>14.0} {:>14} {:>7}  MISSING", "-", "-");
-                failures += 1;
+                failures.push(format!(
+                    "{label}: baseline {base:.3} but no fresh record was measured — \
+                     run its bench with ULP_BENCH_JSON_DIR set, or drop the entry \
+                     via: {refresh}"
+                ));
             }
-            Some(&current) => {
+            Some(record) => {
+                let tolerance = record.tolerance.unwrap_or(opts.tolerance);
+                let current = record.value;
                 let ratio = if base > 0.0 { current / base } else { f64::NAN };
-                let ok = ratio >= 1.0 - opts.tolerance;
+                let ok = within_tolerance(base, current, tolerance, record.lower_is_better);
                 println!(
                     "{label:<42} {base:>14.0} {current:>14.0} {ratio:>7.2}  {}",
                     if ok { "ok" } else { "REGRESSED" }
                 );
                 if !ok {
-                    failures += 1;
+                    let (direction, side) = if record.lower_is_better {
+                        ("lower is better", "above the limit")
+                    } else {
+                        ("higher is better", "below the limit")
+                    };
+                    failures.push(format!(
+                        "{label}: baseline {base:.3}, measured {current:.3}, limit \
+                         {:.3} at {:.0}% tolerance ({direction}, measured value is \
+                         {side}) — if this change is intentional, refresh the \
+                         baseline via: {refresh}",
+                        limit(base, tolerance, record.lower_is_better),
+                        tolerance * 100.0,
+                    ));
                 }
             }
         }
@@ -259,14 +354,98 @@ fn main() -> ExitCode {
         println!("{label:<42} (new benchmark, not gated — refresh the baseline)");
     }
 
-    if failures > 0 {
+    if !failures.is_empty() {
+        for failure in &failures {
+            eprintln!("perfgate: FAIL {failure}");
+        }
         eprintln!(
-            "perfgate: {failures} benchmark(s) regressed more than {:.0}% (or went missing); \
-             if intentional, refresh with --write-baseline",
-            opts.tolerance * 100.0
+            "perfgate: {} benchmark(s) regressed beyond tolerance (or went missing)",
+            failures.len()
         );
         return ExitCode::FAILURE;
     }
     println!("perfgate: all gated benchmarks within tolerance");
     ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Higher-is-better (rates): only drops beyond tolerance fail.
+    #[test]
+    fn rate_gating_fails_on_drops_only() {
+        // 15% drop within 20% tolerance.
+        assert!(within_tolerance(1000.0, 850.0, 0.20, false));
+        // Exactly at the limit is still ok.
+        assert!(within_tolerance(1000.0, 800.0, 0.20, false));
+        // 25% drop beyond 20% tolerance.
+        assert!(!within_tolerance(1000.0, 750.0, 0.20, false));
+        // Getting faster never fails a rate.
+        assert!(within_tolerance(1000.0, 5000.0, 0.20, false));
+        assert_eq!(limit(1000.0, 0.20, false), 800.0);
+    }
+
+    /// Lower-is-better (costs, e.g. latency): the comparison direction
+    /// flips — increases beyond tolerance fail, drops never do.
+    #[test]
+    fn cost_gating_fails_on_increases_only() {
+        // 15% increase within 20% tolerance.
+        assert!(within_tolerance(1000.0, 1150.0, 0.20, true));
+        // Exactly at the limit is still ok.
+        assert!(within_tolerance(1000.0, 1200.0, 0.20, true));
+        // 25% increase beyond 20% tolerance.
+        assert!(!within_tolerance(1000.0, 1250.0, 0.20, true));
+        // Getting faster (latency dropping) never fails a cost — even by
+        // an amount that would fail a rate.
+        assert!(within_tolerance(1000.0, 10.0, 0.20, true));
+        assert_eq!(limit(1000.0, 0.20, true), 1200.0);
+    }
+
+    /// A non-positive baseline can never pass: the gate has nothing
+    /// meaningful to compare against and must flag the entry.
+    #[test]
+    fn degenerate_baselines_always_fail() {
+        assert!(!within_tolerance(0.0, 100.0, 0.20, false));
+        assert!(!within_tolerance(0.0, 100.0, 0.20, true));
+        assert!(!within_tolerance(-5.0, 100.0, 0.20, true));
+    }
+
+    /// Criterion-shim records: `per_sec`, no direction, no tolerance.
+    #[test]
+    fn parses_throughput_records() {
+        let (label, record) = parse_record(
+            "{\"label\":\"step_throughput/bare/2\",\"mean_ns\":191.0,\
+             \"min_ns\":190.0,\"max_ns\":192.0,\"per_sec\":5212677.231}\n",
+        )
+        .expect("valid record");
+        assert_eq!(label, "step_throughput/bare/2");
+        assert_eq!(record.value, 5212677.231);
+        assert!(!record.lower_is_better);
+        assert_eq!(record.tolerance, None);
+    }
+
+    /// Latency-style records: a generic `value` gated downward, with a
+    /// per-record tolerance override. `value` wins over `per_sec`.
+    #[test]
+    fn parses_lower_is_better_records() {
+        let (label, record) = parse_record(
+            "{\"label\":\"service_latency/p95_us\",\"value\":812.5,\
+             \"per_sec\":99.0,\"lower_is_better\":true,\"tolerance\":0.75}\n",
+        )
+        .expect("valid record");
+        assert_eq!(label, "service_latency/p95_us");
+        assert_eq!(record.value, 812.5);
+        assert!(record.lower_is_better);
+        assert_eq!(record.tolerance, Some(0.75));
+    }
+
+    #[test]
+    fn malformed_records_are_rejected() {
+        assert!(parse_record("{\"per_sec\":1.0}").is_none(), "no label");
+        assert!(
+            parse_record("{\"label\":\"x\",\"lower_is_better\":true}").is_none(),
+            "no value"
+        );
+    }
 }

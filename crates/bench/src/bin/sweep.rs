@@ -198,6 +198,9 @@ fn main() -> ExitCode {
         shard_samples: opts.shard,
         workload,
         threads: opts.threads,
+        // Auto-bounded backpressure queue (four jobs per worker): huge
+        // grids are fed at the workers' claim rate.
+        queue_capacity: 0,
     };
     // Bad geometry is a usage error: report it and exit 2, like every
     // other invalid argument — the sweep library treats it as a caller
@@ -290,11 +293,22 @@ fn main() -> ExitCode {
     .ok();
     writeln!(
         summary,
-        "service: {} jobs, {} steals, {} platform-cache hits, {:.2} s wall",
+        "service: {} jobs, {} steals ({} jobs moved, max batch {}), {} platform-cache hits, {:.2} s wall",
         results.service.jobs_run,
         results.service.steals,
+        results.service.jobs_stolen,
+        results.service.steal_batch_max,
         results.service.platform_cache_hits,
         results.service.wall.as_secs_f64(),
+    )
+    .ok();
+    writeln!(
+        summary,
+        "latency: p50 {:?}, p95 {:?}, max {:?} over {} jobs",
+        results.service.latency.p50,
+        results.service.latency.p95,
+        results.service.latency.max,
+        results.service.latency.samples,
     )
     .ok();
     if stream {

@@ -50,6 +50,11 @@ pub struct SweepSpec {
     pub workload: WorkloadConfig,
     /// Worker threads; `0` = one per available hardware thread.
     pub threads: usize,
+    /// Bound on the service's queued backlog; `0` = auto (four jobs per
+    /// worker). The sweep submits through the service's *blocking*
+    /// bounded path, so a huge grid throttles to the workers' claim rate
+    /// instead of materializing its whole job list as queued backlog.
+    pub queue_capacity: usize,
 }
 
 impl SweepSpec {
@@ -63,6 +68,7 @@ impl SweepSpec {
             shard_samples: vec![None],
             workload,
             threads: 0,
+            queue_capacity: 0,
         }
     }
 
@@ -313,11 +319,18 @@ pub fn run_sweep_with(
         .resolved_workers()
         .min(specs.len())
         .max(1);
-    let mut service = SimService::start(ServiceConfig::with_workers(workers));
-    for job in specs {
-        // Job ids are assigned in submission order, so id indexes job_map.
-        service.submit(job);
-    }
+    // Submit through the bounded path: the blocking `submit` below parks
+    // this thread whenever the backlog hits capacity, so the grid is fed
+    // at the workers' claim rate. Shard jobs run at elevated priority
+    // (see `ShardRunner::job_specs`), so a sharded cell's merge is never
+    // starved behind normal-priority single cells.
+    let capacity = if spec.queue_capacity == 0 {
+        workers * 4
+    } else {
+        spec.queue_capacity
+    };
+    let mut service =
+        SimService::start(ServiceConfig::with_workers(workers).with_queue_capacity(capacity));
 
     let total = coords.len();
     let mut cells: Vec<Option<Result<SweepCell, RunnerError>>> = (0..total).map(|_| None).collect();
@@ -327,7 +340,11 @@ pub fn run_sweep_with(
     // them, and the golden depends on neither.
     let mut goldens: std::collections::HashMap<(Benchmark, usize), Vec<Vec<u16>>> =
         std::collections::HashMap::new();
-    while let Some(result) = service.recv() {
+    // One completed job landing — shared by the drain during submission
+    // and the final drain, so cells stream (and the callback fires) while
+    // the blocking bounded submission is still feeding the grid, not in a
+    // burst after it.
+    let mut handle = |result: ulp_service::JobResult| {
         let (cell_idx, slot) = job_map[result.id as usize];
         let state = &mut states[cell_idx];
         match result.outcome {
@@ -339,7 +356,7 @@ pub fn run_sweep_with(
         }
         state.remaining -= 1;
         if state.remaining > 0 {
-            continue;
+            return;
         }
         // The cell's last job landed: finalize it.
         let (_, _, cores, shard) = coords[cell_idx];
@@ -407,6 +424,20 @@ pub fn run_sweep_with(
             );
         }
         cells[cell_idx] = Some(cell);
+    };
+
+    for job in specs {
+        // Job ids are assigned in submission order, so id indexes job_map.
+        service.submit(job);
+        // Drain whatever finished so far: keeps the callback streaming
+        // during the (now backpressure-throttled, sweep-long) submission
+        // phase and the result channel shallow.
+        while let Some(result) = service.try_recv() {
+            handle(result);
+        }
+    }
+    while let Some(result) = service.recv() {
+        handle(result);
     }
     let stats = service.finish();
 
@@ -436,6 +467,7 @@ mod tests {
             shard_samples: vec![None],
             workload: WorkloadConfig::quick_test(),
             threads: 0,
+            queue_capacity: 0,
         }
     }
 
@@ -491,6 +523,9 @@ mod tests {
                 ..WorkloadConfig::quick_test()
             },
             threads: 0,
+            // A deliberately tiny bound: shard jobs must flow through a
+            // saturated bounded queue and still merge bit-exactly.
+            queue_capacity: 2,
         };
         let results = run_sweep(&spec).expect("sharded sweep runs");
         assert_eq!(results.cells.len(), 4);
@@ -525,6 +560,7 @@ mod tests {
             shard_samples: vec![None, Some(24)],
             workload: WorkloadConfig::quick_test(), // n = 48 fits unsharded
             threads: 2,
+            queue_capacity: 0,
         };
         let results = run_sweep(&spec).expect("mixed sweep runs");
         assert_eq!(results.cells.len(), 2);

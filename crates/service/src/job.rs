@@ -1,7 +1,46 @@
 //! The service's job model: what a client submits and what it gets back.
 
 use std::sync::Arc;
+use std::time::Duration;
 use ulp_kernels::{Benchmark, BenchmarkRun, RunnerError, WorkloadConfig};
+
+/// Urgency class of a job. Each worker deque is segregated by priority:
+/// owners and thieves always serve the highest non-empty class first, so a
+/// [`High`] job overtakes any backlog of [`Normal`]/[`Low`] jobs that are
+/// still queued (jobs already claimed by a worker are never preempted).
+///
+/// The ordering follows scheduling urgency: `High < Normal < Low`, so
+/// sorting job specs by priority yields most-urgent-first.
+///
+/// [`High`]: Priority::High
+/// [`Normal`]: Priority::Normal
+/// [`Low`]: Priority::Low
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// Served before everything else still queued — e.g. shards of a
+    /// recording whose merge a client is blocked on.
+    High,
+    /// The default class for grid cells and ad-hoc jobs.
+    #[default]
+    Normal,
+    /// Background work: served only when no higher class is queued.
+    Low,
+}
+
+impl Priority {
+    /// Number of priority classes (one deque segment per class).
+    pub const LEVELS: usize = 3;
+
+    /// Dense index of the class, `0` = most urgent — the scan order of
+    /// the per-worker deque segments.
+    pub(crate) fn index(self) -> usize {
+        match self {
+            Priority::High => 0,
+            Priority::Normal => 1,
+            Priority::Low => 2,
+        }
+    }
+}
 
 /// Identifier assigned by [`crate::SimService::submit`], monotonically
 /// increasing from 0 in submission order. Results carry it so streamed
@@ -32,6 +71,14 @@ pub struct JobSpec {
     /// *stolen* and executed by another worker — affinity shapes the
     /// initial distribution, not execution.
     pub affinity: Option<usize>,
+    /// Urgency class: queued [`Priority::High`] jobs are claimed before
+    /// queued [`Priority::Normal`] ones, which beat [`Priority::Low`].
+    pub priority: Priority,
+    /// Simulated-cycle budget: a job whose run takes more platform cycles
+    /// than this is still completed and returned, but flagged as a
+    /// deadline miss ([`JobResult::deadline_missed`]) and counted in
+    /// [`crate::ServiceStats::deadline_misses`]. `None` = no deadline.
+    pub deadline_cycles: Option<u64>,
 }
 
 impl JobSpec {
@@ -49,7 +96,25 @@ impl JobSpec {
             workload,
             observers: ObserverSelection::None,
             affinity: None,
+            priority: Priority::Normal,
+            deadline_cycles: None,
         }
+    }
+
+    /// Assigns the job's urgency class (the default is
+    /// [`Priority::Normal`]).
+    #[must_use]
+    pub fn with_priority(mut self, priority: Priority) -> JobSpec {
+        self.priority = priority;
+        self
+    }
+
+    /// Attaches a simulated-cycle deadline budget: runs longer than
+    /// `cycles` are flagged as deadline misses on the result.
+    #[must_use]
+    pub fn with_deadline_cycles(mut self, cycles: u64) -> JobSpec {
+        self.deadline_cycles = Some(cycles);
+        self
     }
 
     /// Attaches an observer selection.
@@ -131,13 +196,29 @@ pub struct JobResult {
     pub id: JobId,
     /// Index of the worker that executed the job.
     pub worker: usize,
-    /// Whether the executing worker stole the job from another worker's
-    /// deque (scheduling observability; stolen results are bit-identical
-    /// to local ones).
+    /// Whether the job was ever moved by a steal: claimed directly by a
+    /// thief, or relocated to the thief's deque as part of a half-batch
+    /// (scheduling observability; stolen results are bit-identical to
+    /// local ones).
     pub stolen: bool,
     /// Whether the worker served the job from its platform cache rather
     /// than constructing a platform.
     pub cache_hit: bool,
+    /// Wall time the job spent queued before a worker claimed it.
+    pub queue_wait: Duration,
+    /// Wall time the executing worker spent running the job.
+    pub run_time: Duration,
+    /// Whether the run exceeded the spec's [`JobSpec::deadline_cycles`]
+    /// budget (always `false` for jobs without a deadline, and for jobs
+    /// whose outcome is an error).
+    pub deadline_missed: bool,
     /// The run, or the first error it hit.
     pub outcome: Result<JobOutput, RunnerError>,
+}
+
+impl JobResult {
+    /// End-to-end latency of the job: queue wait plus run time.
+    pub fn latency(&self) -> Duration {
+        self.queue_wait + self.run_time
+    }
 }

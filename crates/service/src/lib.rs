@@ -7,10 +7,28 @@
 //! (benchmark × design × cores) sweeps that every experiment in this
 //! repository runs — and for mixed-size grids in particular:
 //!
-//! * **Work stealing.** Jobs land on per-worker deques (round-robin or
-//!   pinned); owners pop LIFO from the back, idle workers steal FIFO from
-//!   the front. A 2-core SQRT32 cell finishing early frees its worker to
-//!   steal the tail of an 8-core full-signal MRPDLN backlog.
+//! * **Priorities.** Every job carries a [`Priority`] class; queued
+//!   `High` jobs are claimed before queued `Normal` and `Low` ones, so a
+//!   blocked client's urgent work (e.g. the shards a recording merge
+//!   waits on) overtakes a deep background backlog.
+//! * **Deadlines.** A job may carry a simulated-cycle budget
+//!   ([`JobSpec::deadline_cycles`]); runs that exceed it are flagged as
+//!   deadline misses on the result and counted in the stats.
+//! * **Bounded queues with backpressure.** With a
+//!   [`ServiceConfig::queue_capacity`] bound, [`SimService::try_submit`]
+//!   rejects at capacity (returning the spec as [`Rejected`]) and the
+//!   blocking [`SimService::submit`] waits until workers drain the
+//!   backlog to the watermark — sustained traffic cannot grow an
+//!   unbounded backlog.
+//! * **Half-batch work stealing.** Jobs land on per-worker priority
+//!   deques (round-robin or pinned); within a class everyone serves the
+//!   oldest work first (bounded queue wait beats LIFO cache folklore —
+//!   the platform cache is keyed by design and cores, not arrival
+//!   order), and idle workers steal the older *half* of a victim's
+//!   highest class in one lock acquisition, relocating the surplus to
+//!   their own deque. A
+//!   2-core SQRT32 cell finishing early frees its worker to steal the
+//!   tail of an 8-core full-signal MRPDLN backlog.
 //! * **Platform caching.** Each worker keeps one [`ulp_platform::Platform`]
 //!   per `(design, cores)` key, reset and reused between jobs
 //!   ([`ulp_kernels::run_benchmark_reusing_with`]) so memories and cycle
@@ -18,9 +36,12 @@
 //! * **Streaming.** Results flow back over a channel the moment a worker
 //!   finishes; long sweeps report incrementally instead of joining at the
 //!   end.
-//! * **Observability.** [`ServiceStats`] counts jobs run, steals,
-//!   platform-cache hits and platforms built, so scheduling quality is
-//!   measurable (see the `service_throughput` bench).
+//! * **Observability.** Every [`JobResult`] carries queue-wait and run
+//!   latency; [`ServiceStats`] aggregates p50/p95/max latency
+//!   ([`LatencyStats`]) next to jobs run, steal events and batch sizes,
+//!   rejections, deadline misses, platform-cache hits and platforms
+//!   built, so scheduling quality *and* tail latency are measurable (the
+//!   `service_throughput` and `service_latency` benches gate both in CI).
 //!
 //! `ulp_bench::run_sweep` is a thin client of this service; use the
 //! service directly when jobs arrive over time, need observers attached,
@@ -29,8 +50,10 @@
 mod job;
 mod service;
 
-pub use job::{JobArtifacts, JobId, JobOutput, JobResult, JobSpec, ObserverSelection};
-pub use service::{ServiceConfig, ServiceStats, SimService};
+pub use job::{JobArtifacts, JobId, JobOutput, JobResult, JobSpec, ObserverSelection, Priority};
+pub use service::{
+    LatencyStats, Rejected, ServiceConfig, ServiceStats, SimService, LATENCY_WINDOW,
+};
 
 #[cfg(test)]
 mod tests {

@@ -1,8 +1,11 @@
 //! The batch simulation service: a long-lived worker pool with per-worker
-//! platform caches, work-stealing deques and streamed results.
+//! platform caches, bounded priority deques with work stealing, and
+//! streamed results.
 
-use crate::job::{JobArtifacts, JobId, JobOutput, JobResult, JobSpec, ObserverSelection};
-use std::collections::{HashMap, VecDeque};
+use crate::job::{JobArtifacts, JobId, JobOutput, JobResult, JobSpec, ObserverSelection, Priority};
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
@@ -16,12 +19,27 @@ use ulp_platform::{BankHeatMap, PcTrace, Platform, PlatformConfig, VcdTracer};
 pub struct ServiceConfig {
     /// Worker threads; `0` = one per available hardware thread.
     pub workers: usize,
+    /// Bound on the queued (submitted but unclaimed) backlog; `0` =
+    /// unbounded. At capacity, [`SimService::try_submit`] rejects and
+    /// [`SimService::submit`] blocks until the backlog drains to the
+    /// watermark (half the capacity).
+    pub queue_capacity: usize,
 }
 
 impl ServiceConfig {
-    /// A pool with exactly `workers` threads.
+    /// A pool with exactly `workers` threads and an unbounded queue.
     pub fn with_workers(workers: usize) -> ServiceConfig {
-        ServiceConfig { workers }
+        ServiceConfig {
+            workers,
+            queue_capacity: 0,
+        }
+    }
+
+    /// Bounds the queued backlog at `capacity` jobs (`0` = unbounded).
+    #[must_use]
+    pub fn with_queue_capacity(mut self, capacity: usize) -> ServiceConfig {
+        self.queue_capacity = capacity;
+        self
     }
 
     /// The concrete pool size this configuration resolves to: `workers`,
@@ -39,6 +57,80 @@ impl ServiceConfig {
     }
 }
 
+/// Latency distribution of completed jobs (queue wait + run time).
+/// `samples` and `max` cover the pool's whole lifetime; the percentiles
+/// are computed over a sliding window of the most recent
+/// [`LATENCY_WINDOW`] completions, so a long-lived service's memory stays
+/// bounded and its percentiles track *current* traffic, not ancient
+/// history.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencyStats {
+    /// Completed jobs over the pool's lifetime.
+    pub samples: u64,
+    /// Median end-to-end latency (nearest-rank, recent window).
+    pub p50: Duration,
+    /// 95th-percentile end-to-end latency (nearest-rank, recent window —
+    /// the tail CI gates on).
+    pub p95: Duration,
+    /// Worst end-to-end latency ever observed (not windowed).
+    pub max: Duration,
+}
+
+impl LatencyStats {
+    fn compute(total: u64, max_ns: u64, window: &[u64]) -> LatencyStats {
+        if window.is_empty() {
+            return LatencyStats::default();
+        }
+        let mut sorted = window.to_vec();
+        sorted.sort_unstable();
+        // Nearest-rank: the ceil(p/100 * N)-th smallest sample.
+        let rank = |p: usize| sorted[(p * sorted.len()).div_ceil(100).max(1) - 1];
+        LatencyStats {
+            samples: total,
+            p50: Duration::from_nanos(rank(50)),
+            p95: Duration::from_nanos(rank(95)),
+            max: Duration::from_nanos(max_ns),
+        }
+    }
+}
+
+/// Completions the latency percentiles are computed over (the ring's
+/// bound). Big enough that quick-mode benches and tests see every sample,
+/// small enough that a service running for months holds kilobytes, not
+/// gigabytes.
+pub const LATENCY_WINDOW: usize = 4096;
+
+/// Fixed-memory recorder behind [`LatencyStats`]: a ring of the last
+/// [`LATENCY_WINDOW`] total-latency samples plus lifetime count and max.
+struct LatencyRing {
+    window: Vec<u64>,
+    next: usize,
+    total: u64,
+    max_ns: u64,
+}
+
+impl LatencyRing {
+    fn new() -> LatencyRing {
+        LatencyRing {
+            window: Vec::new(),
+            next: 0,
+            total: 0,
+            max_ns: 0,
+        }
+    }
+
+    fn record(&mut self, nanos: u64) {
+        if self.window.len() < LATENCY_WINDOW {
+            self.window.push(nanos);
+        } else {
+            self.window[self.next] = nanos;
+            self.next = (self.next + 1) % LATENCY_WINDOW;
+        }
+        self.total += 1;
+        self.max_ns = self.max_ns.max(nanos);
+    }
+}
+
 /// Scheduling observability: what the pool did. Snapshot via
 /// [`SimService::stats`], final values from [`SimService::finish`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -47,14 +139,130 @@ pub struct ServiceStats {
     pub workers: usize,
     /// Jobs executed to completion (success or error).
     pub jobs_run: u64,
-    /// Jobs a worker took from another worker's deque.
+    /// Steal events: times an idle worker took a half-batch from another
+    /// worker's deque.
     pub steals: u64,
+    /// Jobs moved by steals, summed over every steal event (a job
+    /// relocated twice counts twice).
+    pub jobs_stolen: u64,
+    /// Largest half-batch a single steal event moved.
+    pub steal_batch_max: u64,
+    /// Submissions [`SimService::try_submit`] rejected at capacity.
+    pub rejections: u64,
+    /// Completed jobs whose run exceeded their simulated-cycle deadline.
+    pub deadline_misses: u64,
     /// Jobs served from a worker's platform cache.
     pub platform_cache_hits: u64,
     /// Platforms constructed across all workers (the cache misses).
     pub platforms_built: u64,
+    /// End-to-end latency distribution of completed jobs.
+    pub latency: LatencyStats,
     /// Wall time since the pool started.
     pub wall: Duration,
+}
+
+/// Backpressure signal of [`SimService::try_submit`]: the bounded queue
+/// is at capacity. Carries the spec back so the caller can retry it
+/// (after draining results, or through the blocking [`SimService::submit`]
+/// path) without cloning up front.
+#[derive(Debug)]
+pub struct Rejected {
+    /// The job that was not enqueued, returned for retry.
+    pub spec: JobSpec,
+    /// The capacity the queue was full at.
+    pub capacity: usize,
+}
+
+impl fmt::Display for Rejected {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "submission rejected: queue at capacity ({} queued jobs)",
+            self.capacity
+        )
+    }
+}
+
+impl std::error::Error for Rejected {}
+
+/// One queued unit of work: the spec plus the scheduling metadata the
+/// deques track for it.
+struct QueuedJob {
+    id: JobId,
+    spec: JobSpec,
+    /// Set once a steal moves the job off the deque it was submitted to;
+    /// survives relocation so the executing worker reports it faithfully.
+    stolen: bool,
+    /// When the job was enqueued — queue-wait latency is measured from
+    /// here to the executing worker's claim, across any relocations.
+    enqueued: Instant,
+}
+
+/// One worker's deque, segregated by priority class: level 0
+/// ([`Priority::High`]) is always served before level 1, and so on.
+/// Within a class both owners and thieves serve the *oldest* work first
+/// (FIFO): priorities express urgency, arrival order bounds queue wait —
+/// a LIFO pop would starve the oldest job until the backlog drains,
+/// exactly the tail latency the stats exist to police. (The platform
+/// cache is keyed by `(design, cores)`, so pop order costs no cache
+/// warmth.) Thieves take the front half of the highest non-empty level.
+struct WorkerQueue {
+    levels: [VecDeque<QueuedJob>; Priority::LEVELS],
+}
+
+impl WorkerQueue {
+    fn new() -> WorkerQueue {
+        WorkerQueue {
+            levels: Default::default(),
+        }
+    }
+
+    fn push(&mut self, job: QueuedJob) {
+        self.levels[job.spec.priority.index()].push_back(job);
+    }
+
+    /// The owner's claim: oldest job of the most urgent non-empty class.
+    fn pop_own(&mut self) -> Option<QueuedJob> {
+        self.levels.iter_mut().find_map(|level| level.pop_front())
+    }
+
+    /// The owner's claim restricted to the [`Priority::High`] class
+    /// (level 0) — the pool-wide-priority fast path.
+    fn pop_high(&mut self) -> Option<QueuedJob> {
+        self.levels[0].pop_front()
+    }
+
+    /// A thief's claim: the older *half* (rounded up) of the most urgent
+    /// non-empty class, oldest first. Taking a batch instead of a single
+    /// job amortizes the lock traffic of repeated steals on mixed grids —
+    /// the thief runs the first job and relocates the rest to its own
+    /// deque, where they stay claimable by everyone.
+    fn steal_half(&mut self) -> VecDeque<QueuedJob> {
+        for level in &mut self.levels {
+            if !level.is_empty() {
+                let take = level.len().div_ceil(2);
+                return level.drain(..take).collect();
+            }
+        }
+        VecDeque::new()
+    }
+
+    /// [`WorkerQueue::steal_half`] restricted to the [`Priority::High`]
+    /// class.
+    fn steal_half_high(&mut self) -> VecDeque<QueuedJob> {
+        let level = &mut self.levels[0];
+        if level.is_empty() {
+            return VecDeque::new();
+        }
+        let take = level.len().div_ceil(2);
+        level.drain(..take).collect()
+    }
+
+    fn clear(&mut self) {
+        for level in &mut self.levels {
+            level.clear();
+        }
+    }
 }
 
 /// Guarded by [`Shared::work`]: how many submitted jobs are not yet
@@ -63,6 +271,7 @@ struct WorkState {
     /// Jobs pushed to some deque and not yet claimed. A worker claims by
     /// decrementing under the lock, then locates the job in the deques —
     /// the counter is the wait condition, the deques hold the payload.
+    /// With a bounded queue this is also the backlog the capacity bounds.
     available: u64,
     /// Set by [`SimService::finish`]; workers exit once `available == 0`.
     closed: bool,
@@ -70,6 +279,11 @@ struct WorkState {
     /// discarded and workers abandon in-flight claims instead of draining
     /// the backlog.
     cancelled: bool,
+    /// Worker threads that panicked. A blocking [`SimService::submit`]
+    /// parked on the space condvar checks this so a dying pool fails it
+    /// fast instead of leaving it waiting on a drain that may never come
+    /// (the result-channel death notice only reaches `recv`).
+    dead_workers: usize,
 }
 
 /// What flows back over the result channel: completed jobs, or a death
@@ -82,29 +296,55 @@ enum Message {
 }
 
 struct Shared {
-    /// One deque per worker. Owners pop from the back (LIFO keeps their
-    /// platform cache warm), thieves steal from the front (FIFO takes the
-    /// oldest, largest-backlog work first).
-    queues: Vec<Mutex<VecDeque<(JobId, JobSpec)>>>,
+    /// Bound on the unclaimed backlog; `0` = unbounded.
+    capacity: usize,
+    /// One priority deque per worker (see [`WorkerQueue`]).
+    queues: Vec<Mutex<WorkerQueue>>,
     work: Mutex<WorkState>,
     available: Condvar,
+    /// Signalled (with [`Shared::work`]) every time a worker claims a
+    /// job, so a [`SimService::submit`] blocked at capacity can re-check
+    /// the watermark. Only waited on when `capacity != 0`.
+    space: Condvar,
+    /// [`Priority::High`] jobs queued anywhere in the pool. Lets a claim
+    /// serve the High class *pool-wide* — own deque, then a High-only
+    /// steal scan — before touching its own lower classes, while keeping
+    /// the common no-High case a single relaxed load. Incremented on
+    /// submission, decremented when a High job is claimed for execution
+    /// (relocated-but-still-queued jobs stay counted).
+    queued_high: AtomicU64,
     jobs_run: AtomicU64,
     steals: AtomicU64,
+    jobs_stolen: AtomicU64,
+    steal_batch_max: AtomicU64,
+    rejections: AtomicU64,
+    deadline_misses: AtomicU64,
     cache_hits: AtomicU64,
     platforms_built: AtomicU64,
+    /// Bounded recorder behind [`ServiceStats::latency`].
+    latencies: Mutex<LatencyRing>,
 }
 
 /// A pool of simulation workers behind a submission handle.
 ///
-/// Jobs ([`JobSpec`]) are distributed over per-worker deques (round-robin,
-/// or pinned via [`JobSpec::pinned`]); idle workers steal from busy ones,
-/// so mixed-size grids — a 2-core SQRT32 cell next to an 8-core
-/// full-signal MRPDLN cell — keep every thread busy. Each worker keeps one
-/// [`Platform`] per `(design, cores)` key and reuses it via
-/// [`ulp_kernels::run_benchmark_reusing_with`], so the dominant
-/// allocations happen once per worker, not once per job. Completed
-/// [`JobResult`]s stream back through [`SimService::recv`] as workers
-/// finish them — a client never waits for the whole batch.
+/// Jobs ([`JobSpec`]) are distributed over per-worker priority deques
+/// (round-robin, or pinned via [`JobSpec::pinned`]); idle workers steal
+/// half-batches from busy ones, so mixed-size grids — a 2-core SQRT32
+/// cell next to an 8-core full-signal MRPDLN cell — keep every thread
+/// busy, and within a priority class the oldest job is always served
+/// first, so queue wait stays bounded under sustained traffic. Queued
+/// [`Priority::High`] jobs are always claimed before queued
+/// [`Priority::Normal`] and [`Priority::Low`] ones. With a
+/// [`ServiceConfig::queue_capacity`] bound, the submission path exerts
+/// explicit backpressure: [`SimService::try_submit`] rejects at capacity
+/// and [`SimService::submit`] blocks until the backlog drains to the
+/// watermark. Each worker keeps one [`Platform`] per `(design, cores)`
+/// key and reuses it via [`ulp_kernels::run_benchmark_reusing_with`], so
+/// the dominant allocations happen once per worker, not once per job.
+/// Completed [`JobResult`]s stream back through [`SimService::recv`] as
+/// workers finish them — a client never waits for the whole batch — and
+/// carry per-job queue-wait and run latency; [`ServiceStats::latency`]
+/// aggregates them into p50/p95/max.
 ///
 /// ```no_run
 /// use std::sync::Arc;
@@ -138,17 +378,28 @@ impl SimService {
     pub fn start(config: ServiceConfig) -> SimService {
         let workers = config.resolved_workers().max(1);
         let shared = Arc::new(Shared {
-            queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            capacity: config.queue_capacity,
+            queues: (0..workers)
+                .map(|_| Mutex::new(WorkerQueue::new()))
+                .collect(),
             work: Mutex::new(WorkState {
                 available: 0,
                 closed: false,
                 cancelled: false,
+                dead_workers: 0,
             }),
             available: Condvar::new(),
+            space: Condvar::new(),
+            queued_high: AtomicU64::new(0),
             jobs_run: AtomicU64::new(0),
             steals: AtomicU64::new(0),
+            jobs_stolen: AtomicU64::new(0),
+            steal_batch_max: AtomicU64::new(0),
+            rejections: AtomicU64::new(0),
+            deadline_misses: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             platforms_built: AtomicU64::new(0),
+            latencies: Mutex::new(LatencyRing::new()),
         });
         let (tx, rx) = mpsc::channel();
         let handles = (0..workers)
@@ -156,18 +407,25 @@ impl SimService {
                 let shared = Arc::clone(&shared);
                 let tx = tx.clone();
                 std::thread::spawn(move || {
-                    /// Emits [`Message::WorkerDied`] if the worker unwinds,
-                    /// so clients blocked in `recv` panic instead of
-                    /// waiting on a result that will never come.
-                    struct DeathWatch(mpsc::Sender<Message>);
+                    /// On unwind: emits [`Message::WorkerDied`] so clients
+                    /// blocked in `recv` panic instead of waiting on a
+                    /// result that will never come, and raises the
+                    /// dead-worker flag + wakes the space condvar so a
+                    /// client blocked in the backpressured `submit` fails
+                    /// fast too (it waits on a condvar, not the channel).
+                    struct DeathWatch(mpsc::Sender<Message>, Arc<Shared>);
                     impl Drop for DeathWatch {
                         fn drop(&mut self) {
                             if std::thread::panicking() {
+                                if let Ok(mut state) = self.1.work.lock() {
+                                    state.dead_workers += 1;
+                                }
+                                self.1.space.notify_all();
                                 let _ = self.0.send(Message::WorkerDied);
                             }
                         }
                     }
-                    let _watch = DeathWatch(tx.clone());
+                    let _watch = DeathWatch(tx.clone(), Arc::clone(&shared));
                     worker_loop(me, &shared, &tx);
                 })
             })
@@ -188,19 +446,27 @@ impl SimService {
         self.shared.queues.len()
     }
 
+    /// The configured queue capacity (`0` = unbounded).
+    pub fn queue_capacity(&self) -> usize {
+        self.shared.capacity
+    }
+
     /// Jobs submitted so far.
     pub fn submitted(&self) -> u64 {
         self.submitted
     }
 
-    /// Enqueues a job and returns its id. The result arrives through
-    /// [`SimService::recv`] whenever a worker completes it. A core count
-    /// outside 1..=8 is not rejected here — the job completes with a
-    /// [`ulp_platform::ConfigError`] outcome, like any other
-    /// configuration the platform/kernels cannot run. An affinity pin
-    /// ([`JobSpec::pinned`]) is validated against the actual pool size:
-    /// out-of-range indices are clamped (modulo the worker count) onto a
-    /// real deque, never a nonexistent one.
+    /// Enqueues a job and returns its id, *blocking* while a bounded
+    /// queue is at capacity: admission resumes once workers drain the
+    /// backlog to the watermark (half the capacity — the hysteresis stops
+    /// a saturated client from thrashing on every single claim). The
+    /// result arrives through [`SimService::recv`] whenever a worker
+    /// completes it. A core count outside 1..=8 is not rejected here —
+    /// the job completes with a [`ulp_platform::ConfigError`] outcome,
+    /// like any other configuration the platform/kernels cannot run. An
+    /// affinity pin ([`JobSpec::pinned`]) is validated against the actual
+    /// pool size: out-of-range indices are clamped (modulo the worker
+    /// count) onto a real deque, never a nonexistent one.
     ///
     /// # Panics
     ///
@@ -208,11 +474,65 @@ impl SimService {
     /// (the kernels would panic the worker on it), so that class of
     /// invalid submission fails in the submitting thread, not the pool.
     pub fn submit(&mut self, spec: JobSpec) -> JobId {
+        match self.submit_inner(spec, true) {
+            Ok(id) => id,
+            Err(_) => unreachable!("blocking submit never rejects"),
+        }
+    }
+
+    /// Non-blocking submission for the bounded queue: enqueues like
+    /// [`SimService::submit`] unless the backlog is at capacity, in which
+    /// case the spec comes straight back as [`Rejected`] (counted in
+    /// [`ServiceStats::rejections`]) and the caller decides — drop it,
+    /// retry after draining some results, or fall back to the blocking
+    /// path. On an unbounded queue this never rejects.
+    ///
+    /// # Errors
+    ///
+    /// [`Rejected`] when the bounded backlog is full; the spec is
+    /// returned inside the error.
+    ///
+    /// # Panics
+    ///
+    /// Like [`SimService::submit`], panics on a workload size outside the
+    /// kernel layout's capacity.
+    pub fn try_submit(&mut self, spec: JobSpec) -> Result<JobId, Rejected> {
+        self.submit_inner(spec, false)
+    }
+
+    fn submit_inner(&mut self, spec: JobSpec, block: bool) -> Result<JobId, Rejected> {
         assert!(
             spec.workload.n >= 4 && spec.workload.n <= ulp_kernels::layout::MAX_N,
             "job workload n = {} outside supported range",
             spec.workload.n
         );
+        // Admission control: reserve a backlog slot under the work lock.
+        // The slot is reserved *before* the push lands in a deque; the
+        // workers' claim/scan retry loop already tolerates that gap (it
+        // is the same race as a claim overlapping another worker's scan).
+        {
+            let mut state = self.shared.work.lock().expect("work lock");
+            let capacity = self.shared.capacity as u64;
+            if capacity != 0 && state.available >= capacity {
+                if !block {
+                    drop(state);
+                    self.shared.rejections.fetch_add(1, Ordering::Relaxed);
+                    return Err(Rejected {
+                        spec,
+                        capacity: self.shared.capacity,
+                    });
+                }
+                let watermark = capacity / 2;
+                while state.available > watermark {
+                    assert!(
+                        state.dead_workers == 0,
+                        "a service worker died while a submission was blocked on backpressure"
+                    );
+                    state = self.shared.space.wait(state).expect("work lock");
+                }
+            }
+            state.available += 1;
+        }
         let id = self.submitted;
         self.submitted += 1;
         let queue = match spec.affinity {
@@ -223,15 +543,20 @@ impl SimService {
                 q
             }
         };
+        if spec.priority == Priority::High {
+            self.shared.queued_high.fetch_add(1, Ordering::Relaxed);
+        }
         self.shared.queues[queue]
             .lock()
             .expect("queue lock")
-            .push_back((id, spec));
-        let mut state = self.shared.work.lock().expect("work lock");
-        state.available += 1;
-        drop(state);
+            .push(QueuedJob {
+                id,
+                spec,
+                stolen: false,
+                enqueued: Instant::now(),
+            });
         self.shared.available.notify_one();
-        id
+        Ok(id)
     }
 
     /// The next completed job, blocking until a worker finishes one.
@@ -274,14 +599,27 @@ impl SimService {
         }
     }
 
-    /// Live snapshot of the scheduling counters.
+    /// Live snapshot of the scheduling counters and latency distribution.
     pub fn stats(&self) -> ServiceStats {
+        // Snapshot the ring under the lock, sort outside it: workers push
+        // one sample per completed job and must not stall behind an
+        // O(n log n) percentile computation.
+        let (total, max_ns, window) = {
+            let ring = self.shared.latencies.lock().expect("latency lock");
+            (ring.total, ring.max_ns, ring.window.clone())
+        };
+        let latency = LatencyStats::compute(total, max_ns, &window);
         ServiceStats {
             workers: self.shared.queues.len(),
             jobs_run: self.shared.jobs_run.load(Ordering::Relaxed),
             steals: self.shared.steals.load(Ordering::Relaxed),
+            jobs_stolen: self.shared.jobs_stolen.load(Ordering::Relaxed),
+            steal_batch_max: self.shared.steal_batch_max.load(Ordering::Relaxed),
+            rejections: self.shared.rejections.load(Ordering::Relaxed),
+            deadline_misses: self.shared.deadline_misses.load(Ordering::Relaxed),
             platform_cache_hits: self.shared.cache_hits.load(Ordering::Relaxed),
             platforms_built: self.shared.platforms_built.load(Ordering::Relaxed),
+            latency,
             wall: self.started.elapsed(),
         }
     }
@@ -361,30 +699,40 @@ fn worker_loop(me: usize, shared: &Shared, results: &mpsc::Sender<Message>) {
                 state = shared.available.wait(state).expect("work lock");
             }
         }
-        // The claim guarantees a job exists in *some* deque; find it. Own
-        // deque first (back = most recently pushed, cache-warm), then
-        // steal from the front of the others. The retry loop covers the
+        // With a bounded queue, a claim is exactly what frees backlog
+        // space — wake a submitter blocked at capacity to re-check the
+        // watermark.
+        if shared.capacity != 0 {
+            shared.space.notify_all();
+        }
+        // The claim guarantees a job exists in *some* deque; find it.
+        // Priority is pool-wide: when the relaxed counter says a High job
+        // is queued anywhere, serve the High class first — own deque,
+        // then a High-only steal sweep — before touching lower classes on
+        // the own deque. (The microsecond window where a submitter has
+        // incremented the counter but not yet pushed simply falls through
+        // to the general path.) The general path takes the own deque's
+        // most urgent class, then steals the front *half* of another
+        // worker's highest class: the thief runs the oldest job of the
+        // batch now and relocates the rest onto its own deque — still
+        // claimable by everyone — so one lock acquisition pays for
+        // several future claims instead of one. The retry loop covers the
         // narrow race where another claimant grabs the job this worker
         // would have found mid-scan.
-        let (id, spec, stolen) = loop {
-            if let Some((id, spec)) = shared.queues[me].lock().expect("queue lock").pop_back() {
-                break (id, spec, false);
-            }
-            let n = shared.queues.len();
-            let mut found = None;
-            for offset in 1..n {
-                let victim = (me + offset) % n;
-                if let Some(job) = shared.queues[victim]
-                    .lock()
-                    .expect("queue lock")
-                    .pop_front()
-                {
-                    found = Some(job);
-                    break;
+        let job = loop {
+            if shared.queued_high.load(Ordering::Relaxed) > 0 {
+                if let Some(job) = shared.queues[me].lock().expect("queue lock").pop_high() {
+                    break job;
+                }
+                if let Some(job) = steal_scan(me, shared, true) {
+                    break job;
                 }
             }
-            if let Some((id, spec)) = found {
-                break (id, spec, true);
+            if let Some(job) = shared.queues[me].lock().expect("queue lock").pop_own() {
+                break job;
+            }
+            if let Some(job) = steal_scan(me, shared, false) {
+                break job;
             }
             // A fully failed scan normally means another claimant grabbed
             // the job this worker would have found — retry. But under
@@ -395,6 +743,11 @@ fn worker_loop(me: usize, shared: &Shared, results: &mpsc::Sender<Message>) {
             }
             std::thread::yield_now();
         };
+        if job.spec.priority == Priority::High {
+            // Exactly one decrement per High job, at the moment it is
+            // claimed for execution (relocations keep it queued).
+            shared.queued_high.fetch_sub(1, Ordering::Relaxed);
+        }
         // Close the cancellation window: a job popped between `cancelled`
         // being set and the queues being cleared must not start — Drop
         // promises workers finish at most the job they were already
@@ -402,21 +755,78 @@ fn worker_loop(me: usize, shared: &Shared, results: &mpsc::Sender<Message>) {
         if shared.work.lock().expect("work lock").cancelled {
             return;
         }
-        if stolen {
-            shared.steals.fetch_add(1, Ordering::Relaxed);
+        let queue_wait = job.enqueued.elapsed();
+        let run_start = Instant::now();
+        let (cache_hit, outcome) = run_job(&job.spec, &mut cache, shared);
+        let run_time = run_start.elapsed();
+        let deadline_missed = match (&outcome, job.spec.deadline_cycles) {
+            (Ok(out), Some(budget)) => out.run.stats.cycles > budget,
+            _ => false,
+        };
+        if deadline_missed {
+            shared.deadline_misses.fetch_add(1, Ordering::Relaxed);
         }
-        let (cache_hit, outcome) = run_job(&spec, &mut cache, shared);
+        shared
+            .latencies
+            .lock()
+            .expect("latency lock")
+            .record((queue_wait + run_time).as_nanos() as u64);
         shared.jobs_run.fetch_add(1, Ordering::Relaxed);
         // A closed receiver (client finished without draining) is fine —
         // the result is simply discarded.
         let _ = results.send(Message::Result(Box::new(JobResult {
-            id,
+            id: job.id,
             worker: me,
-            stolen,
+            stolen: job.stolen,
             cache_hit,
+            queue_wait,
+            run_time,
+            deadline_missed,
             outcome,
         })));
     }
+}
+
+/// One full steal sweep over the other workers' deques: takes the older
+/// half of the first victim with matching work (the [`Priority::High`]
+/// class only, with `high_only`), relocates the surplus onto `me`'s own
+/// deque — still claimable by everyone — and returns the oldest stolen
+/// job to run now. `None` when no victim had matching work.
+fn steal_scan(me: usize, shared: &Shared, high_only: bool) -> Option<QueuedJob> {
+    let n = shared.queues.len();
+    for offset in 1..n {
+        let victim = (me + offset) % n;
+        let mut batch = {
+            let mut queue = shared.queues[victim].lock().expect("queue lock");
+            if high_only {
+                queue.steal_half_high()
+            } else {
+                queue.steal_half()
+            }
+        };
+        if batch.is_empty() {
+            continue;
+        }
+        shared.steals.fetch_add(1, Ordering::Relaxed);
+        shared
+            .jobs_stolen
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        shared
+            .steal_batch_max
+            .fetch_max(batch.len() as u64, Ordering::Relaxed);
+        for job in &mut batch {
+            job.stolen = true;
+        }
+        let first = batch.pop_front().expect("non-empty batch");
+        if !batch.is_empty() {
+            let mut own = shared.queues[me].lock().expect("queue lock");
+            for job in batch {
+                own.push(job);
+            }
+        }
+        return Some(first);
+    }
+    None
 }
 
 fn run_job(

@@ -4,7 +4,7 @@ use crate::plan::{Shard, ShardPlan};
 use std::fmt;
 use std::sync::Arc;
 use ulp_kernels::{Benchmark, BenchmarkRun, RunnerError, WorkloadConfig};
-use ulp_service::{JobArtifacts, JobSpec, ObserverSelection, ServiceConfig, SimService};
+use ulp_service::{JobArtifacts, JobSpec, ObserverSelection, Priority, ServiceConfig, SimService};
 
 /// What to run over the recording: the benchmark, the platform design and
 /// core count every shard job uses, and the observers each shard carries.
@@ -151,7 +151,10 @@ impl ShardRunner {
     }
 
     /// The per-shard service jobs, in plan order: shard `i`'s workload is
-    /// the recording windowed to `load_start..load_end`.
+    /// the recording windowed to `load_start..load_end`. Shards run at
+    /// [`Priority::High`]: the merge of this recording is blocked on its
+    /// *last* shard, so on a shared pool the shards must not be starved
+    /// behind a deep normal-priority grid backlog.
     pub fn job_specs(&self) -> Vec<JobSpec> {
         self.plan
             .shards()
@@ -165,6 +168,7 @@ impl ShardRunner {
                     Arc::new(workload),
                 )
                 .with_observers(self.config.observers.clone())
+                .with_priority(Priority::High)
             })
             .collect()
     }

@@ -1,32 +1,51 @@
 //! Batch simulation service demo: submit a mixed-size grid of benchmark
 //! jobs to a [`SimService`] worker pool and consume the results as a
-//! stream, then inspect the scheduling statistics (steals, platform-cache
-//! hits) that make work-stealing quality observable.
+//! stream, then drive a *bounded* pool to saturation to show explicit
+//! backpressure — `try_submit` rejections, retry-after-drain handling,
+//! deadline misses and the latency percentiles the service accumulates.
 //!
 //! ```sh
 //! cargo run --release --example batch_service
 //! ```
 //!
 //! The grid is deliberately lopsided — cheap 2-core cells next to 8-core
-//! cells — which is exactly the shape the service's work stealing exists
-//! for: a worker that finishes its small cells early steals the tail of a
-//! busy worker's backlog instead of idling.
+//! cells — which is exactly the shape the service's half-batch work
+//! stealing exists for: a worker that finishes its small cells early
+//! steals the older half of a busy worker's backlog instead of idling.
+//!
+//! CI runs this example as its backpressure smoke: the `saturation:` line
+//! printed at the end must report at least one rejection, and every
+//! accepted job must complete.
 
 use std::sync::Arc;
 use ulp_lockstep::kernels::{Benchmark, WorkloadConfig};
-use ulp_lockstep::service::{JobSpec, ServiceConfig, SimService};
+use ulp_lockstep::service::{JobSpec, Priority, ServiceConfig, SimService};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    streaming_grid_demo()?;
+    saturation_demo()
+}
+
+/// Part 1: the streaming mixed grid from the service's happy path, now
+/// with a priority and a deadline in the mix.
+fn streaming_grid_demo() -> Result<(), Box<dyn std::error::Error>> {
     let workload = Arc::new(WorkloadConfig::quick_test());
     let mut service = SimService::start(ServiceConfig::with_workers(4));
 
     // A mixed-size grid: every benchmark, both designs, small and large
-    // platforms interleaved.
+    // platforms interleaved. The 8-core cells ride at high priority with
+    // a simulated-cycle deadline only the synchronizer design can make.
     let mut submitted = 0;
     for benchmark in Benchmark::ALL {
         for with_sync in [true, false] {
             for cores in [2, 8] {
-                service.submit(JobSpec::new(benchmark, with_sync, cores, workload.clone()));
+                let mut spec = JobSpec::new(benchmark, with_sync, cores, workload.clone());
+                if cores == 8 {
+                    spec = spec
+                        .with_priority(Priority::High)
+                        .with_deadline_cycles(40_000);
+                }
+                service.submit(spec);
                 submitted += 1;
             }
         }
@@ -42,7 +61,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let output = result.outcome?;
         output.run.verify()?;
         println!(
-            "job {:>2} on worker {}{}: {:<7} {:<8} {} cores  {:>8} cycles  {:.2} ops/cycle",
+            "job {:>2} on worker {}{}: {:<7} {:<8} {} cores  {:>8} cycles  {:.2} ops/cycle  \
+             wait {:>7.1?}  run {:>7.1?}{}",
             result.id,
             result.worker,
             if result.stolen {
@@ -59,19 +79,98 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             output.cores,
             output.run.stats.cycles,
             output.run.stats.ops_per_cycle(),
+            result.queue_wait,
+            result.run_time,
+            if result.deadline_missed {
+                "  DEADLINE MISSED"
+            } else {
+                ""
+            },
         );
     }
 
     let stats = service.finish();
     println!();
     println!(
-        "service: {} jobs on {} workers in {:.2} s — {} steals, {} platform-cache hits, {} platforms built",
+        "service: {} jobs on {} workers in {:.2} s — {} steals ({} jobs moved, max batch {}), \
+         {} platform-cache hits, {} platforms built, {} deadline misses",
         stats.jobs_run,
         stats.workers,
         stats.wall.as_secs_f64(),
         stats.steals,
+        stats.jobs_stolen,
+        stats.steal_batch_max,
         stats.platform_cache_hits,
         stats.platforms_built,
+        stats.deadline_misses,
+    );
+    Ok(())
+}
+
+/// Part 2: a deliberately tiny bounded queue fed far more jobs than it
+/// can hold. `try_submit` returns [`Rejected`] at capacity — this demo
+/// counts the rejections and retries each rejected spec once after
+/// draining a result (the other standard moves: drop it, or fall back to
+/// the blocking `submit`).
+///
+/// [`Rejected`]: ulp_lockstep::service::Rejected
+fn saturation_demo() -> Result<(), Box<dyn std::error::Error>> {
+    // A heavier workload so the single worker is the bottleneck and the
+    // queue really saturates while the submission loop runs.
+    let workload = Arc::new(WorkloadConfig {
+        n: 128,
+        ..WorkloadConfig::quick_test()
+    });
+    let capacity = 2;
+    let mut service =
+        SimService::start(ServiceConfig::with_workers(1).with_queue_capacity(capacity));
+
+    println!();
+    println!(
+        "saturating a bounded queue: capacity {capacity}, {} worker",
+        service.workers()
+    );
+
+    let attempts = 32;
+    let mut accepted = 0u64;
+    let mut rejected = 0u64;
+    let mut completed = 0u64;
+    for i in 0..attempts {
+        let spec = JobSpec::new(Benchmark::Sqrt32, i % 2 == 0, 2, workload.clone());
+        match service.try_submit(spec) {
+            Ok(_) => accepted += 1,
+            Err(rejection) => {
+                rejected += 1;
+                // Backpressure handling: drain one result (blocking), then
+                // retry the returned spec once — it may be rejected again
+                // if the queue refilled, in which case it is dropped.
+                if let Some(result) = service.recv() {
+                    result.outcome?.run.verify()?;
+                    completed += 1;
+                }
+                if service.try_submit(rejection.spec).is_ok() {
+                    accepted += 1;
+                } else {
+                    rejected += 1;
+                }
+            }
+        }
+    }
+    // Drain everything that was accepted.
+    while let Some(result) = service.recv() {
+        result.outcome?.run.verify()?;
+        completed += 1;
+    }
+
+    let stats = service.finish();
+    assert_eq!(stats.rejections, rejected, "the pool counts what we saw");
+    assert_eq!(completed, accepted, "every accepted job completes");
+    // CI parses this line: rejections must be observed and every accepted
+    // job must come back.
+    println!("saturation: attempts={attempts} accepted={accepted} rejected={rejected} completed={completed}");
+    println!(
+        "latency: p50 {:?}, p95 {:?}, max {:?} over {} jobs",
+        stats.latency.p50, stats.latency.p95, stats.latency.max, stats.latency.samples,
     );
     Ok(())
 }

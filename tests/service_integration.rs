@@ -4,7 +4,7 @@
 
 use std::sync::Arc;
 use ulp_lockstep::kernels::{Benchmark, WorkloadConfig};
-use ulp_lockstep::service::{JobSpec, ServiceConfig, SimService};
+use ulp_lockstep::service::{JobSpec, Priority, ServiceConfig, SimService};
 
 #[test]
 fn facade_service_streams_a_mixed_grid() {
@@ -37,4 +37,55 @@ fn facade_service_streams_a_mixed_grid() {
     // either built a platform or reused a cached one. (Deterministic
     // cache-hit coverage lives in the single-worker service tests.)
     assert_eq!(stats.platform_cache_hits + stats.platforms_built, 4);
+    // Every completed job feeds the latency distribution.
+    assert_eq!(stats.latency.samples, 4);
+    assert!(stats.latency.p50 <= stats.latency.p95);
+    assert!(stats.latency.p95 <= stats.latency.max);
+}
+
+/// The hardened submission path through the facade: a bounded queue fed
+/// by both submission flavours, with priorities and a deadline — results
+/// stay bit-identical scheduling-metadata aside, and the backpressure
+/// counters surface in the final stats.
+#[test]
+fn facade_bounded_queue_backpressure_round_trip() {
+    let workload = Arc::new(WorkloadConfig::quick_test());
+    let mut service = SimService::start(ServiceConfig::with_workers(2).with_queue_capacity(2));
+    let mut accepted = 0u64;
+    let mut rejected = 0u64;
+    for i in 0..16 {
+        let spec = JobSpec::new(Benchmark::Sqrt32, i % 2 == 0, 2, workload.clone())
+            .with_priority(if i % 4 == 0 {
+                Priority::High
+            } else {
+                Priority::Low
+            })
+            .with_deadline_cycles(u64::MAX);
+        if i % 2 == 0 {
+            // The blocking path throttles instead of rejecting.
+            service.submit(spec);
+            accepted += 1;
+        } else {
+            match service.try_submit(spec) {
+                Ok(_) => accepted += 1,
+                Err(rejection) => {
+                    assert_eq!(rejection.capacity, 2);
+                    rejected += 1;
+                }
+            }
+        }
+    }
+    let mut completed = 0u64;
+    while let Some(result) = service.recv() {
+        let out = result.outcome.expect("job ran");
+        out.run.verify().expect("outputs match golden model");
+        assert!(!result.deadline_missed, "u64::MAX budget is never missed");
+        completed += 1;
+    }
+    assert_eq!(completed, accepted);
+    let stats = service.finish();
+    assert_eq!(stats.jobs_run, accepted);
+    assert_eq!(stats.rejections, rejected);
+    assert_eq!(stats.deadline_misses, 0);
+    assert_eq!(stats.latency.samples, accepted);
 }
