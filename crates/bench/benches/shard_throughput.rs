@@ -38,7 +38,7 @@ fn bench_shard_throughput(c: &mut Criterion) {
         group.bench_function(BenchmarkId::new("sqrt32", samples_per_shard), |b| {
             b.iter(|| {
                 let sharded = run_sharded(&workload, samples_per_shard);
-                let merged = merge(&sharded);
+                let merged = merge(&sharded).expect("plan-ordered shards merge");
                 assert_eq!(merged.run.outputs[0].len(), RECORDING);
                 merged.run.stats.cycles
             })

@@ -12,6 +12,8 @@
 //!                        recording into ≤ s-sample shards and merges (an
 //!                        entry of `none` runs the single-window cell), so
 //!                        grids sweep shard size × cores
+//!   --heatmap <window>   attach a per-bank DM heat map to every cell
+//!   --pctrace <limit>    attach a PC trace to every cell
 //!   --threads <n>        worker threads (default: all hardware threads)
 //! ```
 //!
@@ -20,12 +22,18 @@
 //! delivers them, so a long sweep reports incrementally and can be piped
 //! into `jq`-style tooling while still running. In this mode stdout
 //! carries only the records — the closing summary goes to stderr and the
-//! comparison table is suppressed.
+//! comparison table is suppressed. Every record carries the cell's
+//! `energy_uj` (priced at the paper's Table I workload) and, when
+//! observers are selected, its merged artifacts — e.g. `--heatmap` adds
+//! recording-level `dm_bank_heatmap` per-bank totals even for sharded
+//! cells, whose rows were re-indexed onto the global cycle axis at the
+//! merge.
 
 use std::io::Write;
 use std::process::ExitCode;
 use ulp_bench::{run_sweep_with, SweepCell, SweepSpec};
 use ulp_kernels::{Benchmark, WorkloadConfig};
+use ulp_service::ObserverSelection;
 
 /// One completed cell as a JSON-lines record (`--stream`). `emitted` and
 /// `total` number the *emitted* records: gapless from 1, reaching `total`
@@ -35,11 +43,34 @@ fn json_line(cell: &SweepCell, emitted: usize, total: usize) -> String {
         Some(s) => format!("\"shard\":{s},"),
         None => String::new(),
     };
+    // Recording-level energy at the paper's Table I workload; absent when
+    // that workload is infeasible for the cell's design.
+    let energy = match cell.energy_uj {
+        Some(uj) => format!("\"energy_uj\":{uj:.3},"),
+        None => String::new(),
+    };
+    // Merged observer artifacts: the heat map's per-bank totals (sharded
+    // cells merge every shard's rows onto the global cycle axis first),
+    // or the sizes of the other artifact kinds.
+    let artifacts = if let Some(map) = cell.artifacts.bank_heat_map() {
+        let totals: Vec<String> = map.totals().iter().map(u64::to_string).collect();
+        format!(
+            "\"dm_bank_heatmap\":[{}],\"heatmap_rows\":{},",
+            totals.join(","),
+            map.rows.len()
+        )
+    } else if let Some(trace) = cell.artifacts.pc_trace() {
+        format!("\"pc_trace_rows\":{},", trace.len())
+    } else if let Some(vcds) = cell.artifacts.vcds() {
+        format!("\"vcd_shards\":{},", vcds.len())
+    } else {
+        String::new()
+    };
     format!(
         concat!(
             "{{\"benchmark\":\"{}\",\"design\":\"{}\",\"cores\":{},{}",
             "\"cycles\":{},\"ops_per_cycle\":{:.4},\"lockstep_width\":{:.4},",
-            "\"im_accesses\":{},\"completed\":{},\"total\":{}}}"
+            "\"im_accesses\":{},{}{}\"completed\":{},\"total\":{}}}"
         ),
         cell.run.benchmark.name(),
         if cell.run.with_sync {
@@ -53,6 +84,8 @@ fn json_line(cell: &SweepCell, emitted: usize, total: usize) -> String {
         cell.run.stats.ops_per_cycle(),
         cell.run.stats.avg_lockstep_width(),
         cell.run.stats.im.total_accesses(),
+        energy,
+        artifacts,
         emitted,
         total,
     )
@@ -67,6 +100,9 @@ const USAGE: &str = "usage: sweep [options]
   --shard <list>       comma-separated shard sizes (or `none`): each cell
                        splits the recording into <= s-sample shards and
                        merges the partial results
+  --heatmap <window>   attach a per-bank DM heat map to every cell
+                       (cycles per row; merged across shards)
+  --pctrace <limit>    attach a PC trace to every cell (cycles per shard)
   --threads <n>        worker threads (default: all hardware threads)";
 
 struct Options {
@@ -76,6 +112,7 @@ struct Options {
     cores: Vec<usize>,
     benchmarks: Vec<Benchmark>,
     shard: Vec<Option<usize>>,
+    observers: ObserverSelection,
     threads: usize,
 }
 
@@ -107,6 +144,7 @@ fn parse_args() -> Result<Options, String> {
         cores: vec![2, 4, 8],
         benchmarks: Benchmark::ALL.to_vec(),
         shard: vec![None],
+        observers: ObserverSelection::None,
         threads: 0,
     };
     let mut args = std::env::args().skip(1);
@@ -162,6 +200,24 @@ fn parse_args() -> Result<Options, String> {
                     Ok(Some(samples))
                 })?;
             }
+            "--heatmap" => {
+                let window: u64 = next_value(&mut args, "--heatmap")?
+                    .parse()
+                    .map_err(|e| format!("bad value for --heatmap: {e}"))?;
+                if window == 0 {
+                    return Err("heat-map window must be positive".into());
+                }
+                opts.observers = ObserverSelection::BankHeatMap { window };
+            }
+            "--pctrace" => {
+                let limit: usize = next_value(&mut args, "--pctrace")?
+                    .parse()
+                    .map_err(|e| format!("bad value for --pctrace: {e}"))?;
+                if limit == 0 {
+                    return Err("PC-trace limit must be positive".into());
+                }
+                opts.observers = ObserverSelection::PcTrace { limit };
+            }
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
@@ -197,6 +253,7 @@ fn main() -> ExitCode {
         core_counts: opts.cores,
         shard_samples: opts.shard,
         workload,
+        observers: opts.observers,
         threads: opts.threads,
         // Auto-bounded backpressure queue (four jobs per worker): huge
         // grids are fed at the workers' claim rate.

@@ -30,4 +30,7 @@ pub use experiments::{calibrate, gather, BenchmarkData, ExperimentData};
 pub use report::{
     fig3_report, intext_report, table1_report, Fig3Report, IntextReport, Table1Report,
 };
-pub use sweep::{run_sweep, run_sweep_with, SweepCell, SweepProgress, SweepResults, SweepSpec};
+pub use sweep::{
+    run_sweep, run_sweep_with, SweepCell, SweepProgress, SweepResults, SweepSpec,
+    PAPER_WORKLOAD_MOPS,
+};

@@ -24,8 +24,13 @@
 
 use std::sync::Arc;
 use ulp_kernels::{Benchmark, BenchmarkRun, RunnerError, WorkloadConfig};
-use ulp_service::{JobOutput, JobSpec, ServiceConfig, ServiceStats, SimService};
-use ulp_shard::{ShardPlan, ShardRunConfig, ShardRunner, ShardedRun};
+use ulp_power::{Activity, PowerModel};
+use ulp_service::{JobOutput, JobSpec, ObserverSelection, ServiceConfig, ServiceStats, SimService};
+use ulp_shard::{MergedArtifacts, ShardPlan, ShardRunConfig, ShardRunner, ShardedRun};
+
+/// The paper's Table I workload in MOps/s — what every cell's
+/// [`SweepCell::energy_uj`] is priced at.
+pub const PAPER_WORKLOAD_MOPS: f64 = 8.0;
 
 /// The grid of a sweep: every combination of benchmark, design, core
 /// count and shard size is one simulation (a sharded cell is one *logical*
@@ -48,6 +53,13 @@ pub struct SweepSpec {
     pub shard_samples: Vec<Option<usize>>,
     /// Workload shared by every cell.
     pub workload: WorkloadConfig,
+    /// Instrumentation attached to every cell's jobs. Sharded cells
+    /// attach it to every shard job and the merge re-indexes the
+    /// artifacts onto the recording's global axes; unsharded cells lift
+    /// their single job's artifacts into the same
+    /// [`MergedArtifacts`] representation — either way
+    /// [`SweepCell::artifacts`] carries the result.
+    pub observers: ObserverSelection,
     /// Worker threads; `0` = one per available hardware thread.
     pub threads: usize,
     /// Bound on the service's queued backlog; `0` = auto (four jobs per
@@ -67,6 +79,7 @@ impl SweepSpec {
             core_counts: vec![2, 4, 8],
             shard_samples: vec![None],
             workload,
+            observers: ObserverSelection::None,
             threads: 0,
             queue_capacity: 0,
         }
@@ -123,6 +136,15 @@ pub struct SweepCell {
     pub shard_samples: Option<usize>,
     /// The run itself (statistics, outputs, golden expectations).
     pub run: BenchmarkRun,
+    /// Observer output of the cell, per the spec's
+    /// [`SweepSpec::observers`]: merged across shards for a sharded cell,
+    /// the single job's artifacts lifted to the same representation
+    /// otherwise.
+    pub artifacts: MergedArtifacts,
+    /// Energy to process the cell's recording at the paper's Table I
+    /// workload ([`PAPER_WORKLOAD_MOPS`]), in microjoules; `None` when
+    /// that workload exceeds the design's feasible range.
+    pub energy_uj: Option<f64>,
 }
 
 impl SweepCell {
@@ -285,7 +307,8 @@ pub fn run_sweep_with(
         let (plan, jobs) = match shard {
             None => (
                 CellPlan::Single,
-                vec![JobSpec::new(benchmark, with_sync, cores, workload.clone())],
+                vec![JobSpec::new(benchmark, with_sync, cores, workload.clone())
+                    .with_observers(spec.observers.clone())],
             ),
             Some(samples) => {
                 let plan = ShardPlan::for_workload(benchmark, &spec.workload, samples)
@@ -293,7 +316,8 @@ pub fn run_sweep_with(
                         panic!("invalid shard axis entry {samples} for {benchmark}: {e}")
                     });
                 let runner = ShardRunner::new(
-                    ShardRunConfig::new(benchmark, with_sync, cores, spec.workload.clone()),
+                    ShardRunConfig::new(benchmark, with_sync, cores, spec.workload.clone())
+                        .with_observers(spec.observers.clone()),
                     plan,
                 )
                 .expect("plan covers the workload by construction");
@@ -340,6 +364,9 @@ pub fn run_sweep_with(
     // them, and the golden depends on neither.
     let mut goldens: std::collections::HashMap<(Benchmark, usize), Vec<Vec<u16>>> =
         std::collections::HashMap::new();
+    // Every cell is priced by the same calibrated model at the paper's
+    // Table I workload.
+    let model = PowerModel::calibrated_default();
     // One completed job landing — shared by the drain during submission
     // and the final drain, so cells stream (and the callback fires) while
     // the blocking bounded submission is still feeding the grid, not in a
@@ -371,10 +398,23 @@ pub fn run_sweep_with(
             Ok(match &plans[cell_idx] {
                 CellPlan::Single => {
                     let out = outputs.into_iter().next().expect("one job per single cell");
+                    let activity = Activity::from_stats(&out.run.stats);
+                    let energy_uj = model.energy_for_ops_uj(
+                        &activity,
+                        PAPER_WORKLOAD_MOPS,
+                        out.run.stats.useful_ops(),
+                    );
+                    let artifacts = MergedArtifacts::from_single(
+                        out.artifacts,
+                        &spec.observers,
+                        out.run.stats.cycles,
+                    );
                     SweepCell {
                         cores: out.cores,
                         shard_samples: None,
                         run: out.run,
+                        artifacts,
+                        energy_uj,
                     }
                 }
                 CellPlan::Sharded(runner) => {
@@ -400,10 +440,17 @@ pub fn run_sweep_with(
                             ulp_kernels::golden_outputs(benchmark, &spec.workload, cores)
                         })
                         .clone();
+                    // The sweep built the shards in plan order itself, so a
+                    // merge failure is an internal invariant break, not input.
+                    let merged = ulp_shard::merge_with_golden(&sharded, expected)
+                        .expect("sweep-built shards are plan-ordered and well-shaped");
+                    let energy_uj = merged.energy_uj(&model, PAPER_WORKLOAD_MOPS);
                     SweepCell {
                         cores,
                         shard_samples: shard,
-                        run: ulp_shard::merge_with_golden(&sharded, expected).run,
+                        run: merged.run,
+                        artifacts: merged.artifacts,
+                        energy_uj,
                     }
                 }
             })
@@ -466,6 +513,7 @@ mod tests {
             core_counts: vec![2, 4],
             shard_samples: vec![None],
             workload: WorkloadConfig::quick_test(),
+            observers: ObserverSelection::None,
             threads: 0,
             queue_capacity: 0,
         }
@@ -522,6 +570,7 @@ mod tests {
                 n: 600,
                 ..WorkloadConfig::quick_test()
             },
+            observers: ObserverSelection::None,
             threads: 0,
             // A deliberately tiny bound: shard jobs must flow through a
             // saturated bounded queue and still merge bit-exactly.
@@ -559,6 +608,7 @@ mod tests {
             core_counts: vec![2],
             shard_samples: vec![None, Some(24)],
             workload: WorkloadConfig::quick_test(), // n = 48 fits unsharded
+            observers: ObserverSelection::None,
             threads: 2,
             queue_capacity: 0,
         };
@@ -576,6 +626,58 @@ mod tests {
         // Two shards were simulated: per-cell job accounting shows up in
         // the service stats (1 single + 2 shard jobs).
         assert_eq!(results.service.jobs_run, 3);
+        // No observers were selected: the artifact slots are explicit
+        // `None`s, not dropped fields.
+        assert!(matches!(single.artifacts, MergedArtifacts::None));
+        assert!(matches!(sharded.artifacts, MergedArtifacts::None));
+    }
+
+    /// The artifact-drop regression: with observers selected, *both* the
+    /// unsharded and the sharded cell of a mixed grid must carry their
+    /// heat map and energy through the sweep — the sharded one merged
+    /// onto the recording's global cycle axis.
+    #[test]
+    fn observer_sweep_carries_artifacts_and_energy_on_every_cell() {
+        let spec = SweepSpec {
+            benchmarks: vec![Benchmark::Sqrt32],
+            designs: vec![true],
+            core_counts: vec![2],
+            shard_samples: vec![None, Some(24)],
+            workload: WorkloadConfig::quick_test(), // n = 48 fits unsharded
+            observers: ObserverSelection::BankHeatMap { window: 256 },
+            threads: 2,
+            queue_capacity: 0,
+        };
+        let mut streamed = 0;
+        let results = run_sweep_with(&spec, |cell, _| {
+            // Artifacts are present already at streaming time, not only
+            // in the gathered aggregate.
+            assert!(cell.artifacts.bank_heat_map().is_some(), "streamed cell");
+            streamed += 1;
+        })
+        .expect("observer sweep runs");
+        assert_eq!(streamed, 2);
+
+        let single = &results.cells[0];
+        let sharded = &results.cells[1];
+        for cell in [single, sharded] {
+            let map = cell.artifacts.bank_heat_map().expect("a heat map");
+            assert!(map.banks() > 0);
+            assert!(map.totals().iter().sum::<u64>() > 0, "the kernel hits DM");
+            // Rows tile the cell's cycle axis gaplessly.
+            let mut cursor = 0;
+            for row in &map.rows {
+                assert_eq!(row.start_cycle, cursor);
+                cursor = row.end_cycle;
+            }
+            assert_eq!(cursor, cell.run.stats.cycles);
+            let energy = cell.energy_uj.expect("8 MOps/s is feasible with sync");
+            assert!(energy > 0.0);
+        }
+        // The sharded map spans both shards.
+        let map = sharded.artifacts.bank_heat_map().unwrap();
+        let shards: std::collections::HashSet<usize> = map.rows.iter().map(|r| r.shard).collect();
+        assert_eq!(shards.len(), 2, "rows from both shards survive the merge");
     }
 
     #[test]

@@ -8,6 +8,15 @@
 //! Hooks default to no-ops, so an observer only pays for what it overrides,
 //! and a run with no observers pays a handful of empty virtual calls.
 //!
+//! Observer output is first-class payload in the layers above the engine:
+//! service jobs select observers per job (`ulp_service::ObserverSelection`)
+//! and carry the output back as `ulp_service::JobArtifacts`; the
+//! workload-sharding merge re-indexes per-shard artifacts onto a
+//! recording's global cycle/sample axes (`ulp_shard::MergedArtifacts`),
+//! and sweep cells carry the merged result. An observer that buckets by
+//! cycle (like [`BankHeatMap`]'s windows) therefore flushes its trailing
+//! partial bucket at run end, so shard boundaries stay lossless.
+//!
 //! ```
 //! use ulp_platform::{Observer, PcTrace, Platform, PlatformConfig};
 //! use ulp_isa::asm::assemble;

@@ -160,6 +160,20 @@ pub enum ObserverSelection {
     },
 }
 
+impl ObserverSelection {
+    /// The [`JobArtifacts::kind`] string a run under this selection
+    /// produces — what a consumer (e.g. the shard merge) should expect on
+    /// every result of a job batch sharing one selection.
+    pub fn artifact_kind(&self) -> &'static str {
+        match self {
+            ObserverSelection::None => "none",
+            ObserverSelection::PcTrace { .. } => "pc-trace",
+            ObserverSelection::Vcd => "vcd",
+            ObserverSelection::BankHeatMap { .. } => "bank-heat-map",
+        }
+    }
+}
+
 /// Observer output carried back in a [`JobOutput`], mirroring the job's
 /// [`ObserverSelection`].
 #[derive(Debug, Clone, Default)]
@@ -174,6 +188,45 @@ pub enum JobArtifacts {
     /// Heat-map rows: one per cycle window, one served-access count per
     /// DM bank.
     BankHeatMap(Vec<Vec<u64>>),
+}
+
+impl JobArtifacts {
+    /// Stable name of the variant, matching
+    /// [`ObserverSelection::artifact_kind`] for the selection that
+    /// produced it. Used by consumers (the shard merge, JSON emitters) to
+    /// validate and label artifacts without matching on the enum.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            JobArtifacts::None => "none",
+            JobArtifacts::PcTrace(_) => "pc-trace",
+            JobArtifacts::Vcd(_) => "vcd",
+            JobArtifacts::BankHeatMap(_) => "bank-heat-map",
+        }
+    }
+
+    /// The PC-trace rows, if this is a [`JobArtifacts::PcTrace`].
+    pub fn pc_trace(&self) -> Option<&[Vec<Option<u16>>]> {
+        match self {
+            JobArtifacts::PcTrace(rows) => Some(rows),
+            _ => None,
+        }
+    }
+
+    /// The VCD text, if this is a [`JobArtifacts::Vcd`].
+    pub fn vcd(&self) -> Option<&str> {
+        match self {
+            JobArtifacts::Vcd(text) => Some(text),
+            _ => None,
+        }
+    }
+
+    /// The heat-map rows, if this is a [`JobArtifacts::BankHeatMap`].
+    pub fn bank_heat_map(&self) -> Option<&[Vec<u64>]> {
+        match self {
+            JobArtifacts::BankHeatMap(rows) => Some(rows),
+            _ => None,
+        }
+    }
 }
 
 /// What a successful job produced.

@@ -43,6 +43,13 @@
 //!   built, so scheduling quality *and* tail latency are measurable (the
 //!   `service_throughput` and `service_latency` benches gate both in CI).
 //!
+//! Observer output rides back on every result as [`JobArtifacts`],
+//! mirroring the spec's [`ObserverSelection`]; artifacts are first-class
+//! payload, not a side channel — the workload-sharding layer merges the
+//! per-shard artifacts of a recording onto global cycle/sample axes
+//! (`ulp_shard::MergedRun::artifacts`) and the sweep carries them per
+//! cell, so instrumentation survives every aggregation boundary.
+//!
 //! `ulp_bench::run_sweep` is a thin client of this service; use the
 //! service directly when jobs arrive over time, need observers attached,
 //! or don't form a rectangular grid.
@@ -52,7 +59,7 @@ mod service;
 
 pub use job::{JobArtifacts, JobId, JobOutput, JobResult, JobSpec, ObserverSelection, Priority};
 pub use service::{
-    LatencyStats, Rejected, ServiceConfig, ServiceStats, SimService, LATENCY_WINDOW,
+    LatencyStats, PoolDied, Rejected, ServiceConfig, ServiceStats, SimService, LATENCY_WINDOW,
 };
 
 #[cfg(test)]

@@ -185,6 +185,28 @@ impl fmt::Display for Rejected {
 
 impl std::error::Error for Rejected {}
 
+/// The pool died (a worker thread panicked) with results still
+/// outstanding — returned by [`SimService::checked_recv`] so clients can
+/// surface worker death as a structured error instead of a panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolDied {
+    /// Submitted jobs whose results had not been received when the pool
+    /// died; they are lost.
+    pub outstanding: u64,
+}
+
+impl fmt::Display for PoolDied {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "a service worker died with {} job result(s) outstanding",
+            self.outstanding
+        )
+    }
+}
+
+impl std::error::Error for PoolDied {}
+
 /// One queued unit of work: the spec plus the scheduling metadata the
 /// deques track for it.
 struct QueuedJob {
@@ -565,19 +587,39 @@ impl SimService {
     /// # Panics
     ///
     /// Panics if the pool died (a worker panicked) with results still
-    /// outstanding.
+    /// outstanding. Clients that must survive worker death (e.g. a shard
+    /// runner reporting a structured error) use
+    /// [`SimService::checked_recv`] instead.
     pub fn recv(&mut self) -> Option<JobResult> {
+        self.checked_recv()
+            .expect("a service worker died with jobs outstanding")
+    }
+
+    /// Like [`SimService::recv`], but reports pool death as a
+    /// [`PoolDied`] error instead of panicking: `Ok(None)` once every
+    /// submitted job's result has been received, `Ok(Some(..))` for the
+    /// next completed job, `Err(PoolDied)` if a worker panicked with
+    /// results still outstanding.
+    ///
+    /// After `Err(PoolDied)` the pool is dead: no further results will
+    /// arrive, and the remaining submitted-but-unreceived jobs are lost.
+    ///
+    /// # Errors
+    ///
+    /// [`PoolDied`] when a worker thread panicked before every
+    /// outstanding result was delivered.
+    pub fn checked_recv(&mut self) -> Result<Option<JobResult>, PoolDied> {
         if self.received == self.submitted {
-            return None;
+            return Ok(None);
         }
         match self.results.recv() {
             Ok(Message::Result(result)) => {
                 self.received += 1;
-                Some(*result)
+                Ok(Some(*result))
             }
-            Ok(Message::WorkerDied) | Err(mpsc::RecvError) => {
-                panic!("a service worker died with jobs outstanding")
-            }
+            Ok(Message::WorkerDied) | Err(mpsc::RecvError) => Err(PoolDied {
+                outstanding: self.submitted - self.received,
+            }),
         }
     }
 

@@ -1,0 +1,396 @@
+//! Recording-level observer artifacts: merging per-shard [`JobArtifacts`]
+//! back onto the merged run's global cycle/sample axes.
+//!
+//! The merge of outputs, statistics and events ([`crate::merge`]) makes the
+//! *numbers* of a sharded run recording-scale; this module does the same
+//! for the *instrumentation*. Every shard job runs its observers over its
+//! own local cycle axis (cycle 1 is the shard's first cycle) and its own
+//! local sample window; stitching them back requires the per-shard cycle
+//! offsets that only the merge knows:
+//!
+//! * [`MergedHeatMap`] — every shard's [`BankHeatMap`] rows re-indexed to
+//!   the merged recording's cycle axis (shard `i`'s rows start at the sum
+//!   of the preceding shards' cycle counts), each row carrying its global
+//!   `[start_cycle, end_cycle)` window explicitly, so per-bank totals and
+//!   time-resolved heat maps survive sharding losslessly;
+//! * [`MergedPcTrace`] — per-shard PC-trace rows concatenated in plan
+//!   order as labeled [`TraceSegment`]s with global cycle and sample
+//!   offsets;
+//! * [`ShardVcd`] — VCD texts cannot be spliced (each dump has its own
+//!   header and zero-based timebase), so they are kept whole, one per
+//!   shard, labeled with the shard's global offsets.
+//!
+//! [`BankHeatMap`]: ulp_platform::BankHeatMap
+//! [`JobArtifacts`]: ulp_service::JobArtifacts
+
+use crate::merge::MergeError;
+use crate::runner::ShardOutput;
+use ulp_service::{JobArtifacts, ObserverSelection};
+
+/// One heat-map row on the merged recording's global cycle axis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HeatMapRow {
+    /// Shard (plan index) the row was recorded by.
+    pub shard: usize,
+    /// First cycle (0-based) of the merged recording this row covers.
+    pub start_cycle: u64,
+    /// One past the last covered cycle.
+    pub end_cycle: u64,
+    /// Served core accesses per DM bank within the window.
+    pub banks: Vec<u64>,
+}
+
+/// A recording-level per-bank DM heat map: every shard's rows re-indexed
+/// from shard-local to global cycle windows.
+///
+/// Rows are in global cycle order and tile the merged cycle axis gaplessly
+/// (`rows[i+1].start_cycle == rows[i].end_cycle`, starting at 0 and ending
+/// at the merged run's total cycles). Shard boundaries flush partial
+/// windows, so a row may cover fewer than `window` cycles.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MergedHeatMap {
+    /// Cycles per full row (the job's [`ObserverSelection::BankHeatMap`]
+    /// window).
+    pub window: u64,
+    /// The re-indexed rows, in global cycle order.
+    pub rows: Vec<HeatMapRow>,
+}
+
+impl MergedHeatMap {
+    /// Number of DM banks per row (0 for an empty map).
+    pub fn banks(&self) -> usize {
+        self.rows.first().map_or(0, |r| r.banks.len())
+    }
+
+    /// Total served accesses per bank over the whole recording — the sum
+    /// of every shard's per-bank totals, exactly.
+    pub fn totals(&self) -> Vec<u64> {
+        let mut totals = vec![0u64; self.banks()];
+        for row in &self.rows {
+            for (t, &v) in totals.iter_mut().zip(&row.banks) {
+                *t += v;
+            }
+        }
+        totals
+    }
+}
+
+/// One shard's PC-trace rows, labeled with where the shard sits in the
+/// merged recording.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSegment {
+    /// Shard (plan index) the rows were recorded by.
+    pub shard: usize,
+    /// Global cycle of the shard's first simulated cycle: the sum of the
+    /// preceding shards' cycle counts.
+    pub cycle_offset: u64,
+    /// First *loaded* sample (global recording index) of the shard — the
+    /// traced PCs process the shard's load window, halo included.
+    pub sample_offset: usize,
+    /// The traced rows: one per cycle, one fetch PC per core (`None` for
+    /// sleeping/halted/non-fetch cycles).
+    pub rows: Vec<Vec<Option<u16>>>,
+}
+
+/// Per-shard PC traces concatenated in plan order.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MergedPcTrace {
+    /// One segment per shard, in plan (time) order.
+    pub segments: Vec<TraceSegment>,
+}
+
+impl MergedPcTrace {
+    /// Total traced rows across all segments.
+    pub fn len(&self) -> usize {
+        self.segments.iter().map(|s| s.rows.len()).sum()
+    }
+
+    /// Whether no cycle was traced at all.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The rows of every segment, concatenated in plan order.
+    pub fn rows(&self) -> impl Iterator<Item = &Vec<Option<u16>>> {
+        self.segments.iter().flat_map(|s| s.rows.iter())
+    }
+}
+
+/// One shard's VCD dump, kept whole (a VCD has its own header and
+/// zero-based timebase, so texts are labeled rather than spliced).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardVcd {
+    /// Shard (plan index) the dump came from.
+    pub shard: usize,
+    /// Global cycle the dump's time 0 corresponds to.
+    pub cycle_offset: u64,
+    /// First loaded sample (global recording index) of the shard.
+    pub sample_offset: usize,
+    /// The VCD text.
+    pub vcd: String,
+}
+
+/// Observer output of a whole (possibly sharded) recording, mirroring
+/// [`ObserverSelection`] — what [`crate::MergedRun::artifacts`] and the
+/// sweep's cells carry.
+#[derive(Debug, Clone, Default)]
+pub enum MergedArtifacts {
+    /// No observers were attached.
+    #[default]
+    None,
+    /// Per-shard PC traces with global offsets.
+    PcTrace(MergedPcTrace),
+    /// Labeled per-shard VCD dumps.
+    Vcd(Vec<ShardVcd>),
+    /// The recording-level per-bank heat map.
+    BankHeatMap(MergedHeatMap),
+}
+
+impl MergedArtifacts {
+    /// The heat map, when the run carried a
+    /// [`ObserverSelection::BankHeatMap`].
+    pub fn bank_heat_map(&self) -> Option<&MergedHeatMap> {
+        match self {
+            MergedArtifacts::BankHeatMap(map) => Some(map),
+            _ => None,
+        }
+    }
+
+    /// The PC trace, when the run carried a
+    /// [`ObserverSelection::PcTrace`].
+    pub fn pc_trace(&self) -> Option<&MergedPcTrace> {
+        match self {
+            MergedArtifacts::PcTrace(trace) => Some(trace),
+            _ => None,
+        }
+    }
+
+    /// The per-shard VCD dumps, when the run carried
+    /// [`ObserverSelection::Vcd`].
+    pub fn vcds(&self) -> Option<&[ShardVcd]> {
+        match self {
+            MergedArtifacts::Vcd(vcds) => Some(vcds),
+            _ => None,
+        }
+    }
+
+    /// Diagnostic name of the artifact kind.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            MergedArtifacts::None => "none",
+            MergedArtifacts::PcTrace(_) => "pc-trace",
+            MergedArtifacts::Vcd(_) => "vcd",
+            MergedArtifacts::BankHeatMap(_) => "bank-heat-map",
+        }
+    }
+
+    /// Lifts a *single-window* job's artifacts onto the merged
+    /// representation: one segment/dump at offset 0, heat-map rows spanning
+    /// `cycles` in `observers`' window. This is how the sweep gives its
+    /// unsharded cells the same artifact type as its sharded ones.
+    pub fn from_single(
+        artifacts: JobArtifacts,
+        observers: &ObserverSelection,
+        cycles: u64,
+    ) -> MergedArtifacts {
+        match artifacts {
+            JobArtifacts::None => MergedArtifacts::None,
+            JobArtifacts::PcTrace(rows) => MergedArtifacts::PcTrace(MergedPcTrace {
+                segments: vec![TraceSegment {
+                    shard: 0,
+                    cycle_offset: 0,
+                    sample_offset: 0,
+                    rows,
+                }],
+            }),
+            JobArtifacts::Vcd(vcd) => MergedArtifacts::Vcd(vec![ShardVcd {
+                shard: 0,
+                cycle_offset: 0,
+                sample_offset: 0,
+                vcd,
+            }]),
+            JobArtifacts::BankHeatMap(rows) => {
+                let window = match observers {
+                    ObserverSelection::BankHeatMap { window } => *window,
+                    // The artifact proves a heat map was attached; an
+                    // inconsistent selection only loses the row width.
+                    _ => cycles.max(1),
+                };
+                MergedArtifacts::BankHeatMap(MergedHeatMap {
+                    window,
+                    rows: reindex_heat_map(0, 0, cycles, window, &rows),
+                })
+            }
+        }
+    }
+}
+
+/// Re-indexes one shard's heat-map rows onto the global cycle axis: row
+/// `j` covered local cycles `[j*window, (j+1)*window)` (the last row the
+/// remainder up to `cycles`), shifted by `offset`.
+fn reindex_heat_map(
+    shard: usize,
+    offset: u64,
+    cycles: u64,
+    window: u64,
+    rows: &[Vec<u64>],
+) -> Vec<HeatMapRow> {
+    let count = rows.len();
+    rows.iter()
+        .enumerate()
+        .map(|(j, banks)| {
+            let start = (j as u64 * window).min(cycles);
+            // The shard's last row is its run-end flush: it ends exactly at
+            // the shard's cycle count, keeping the global axis gapless.
+            let end = if j + 1 == count {
+                cycles
+            } else {
+                ((j as u64 + 1) * window).min(cycles)
+            };
+            HeatMapRow {
+                shard,
+                start_cycle: offset + start,
+                end_cycle: offset + end,
+                banks: banks.clone(),
+            }
+        })
+        .collect()
+}
+
+/// Merges the per-shard artifacts of a completed sharded run onto the
+/// merged recording's global axes. `shards` must be in plan order (the
+/// caller — [`crate::merge_with_golden`] — has already validated order and
+/// shape).
+///
+/// # Errors
+///
+/// [`MergeError::ArtifactKindMismatch`] when a shard's artifacts do not
+/// mirror `observers` (a shard job ran with a different selection), and
+/// [`MergeError::HeatMapShapeMismatch`] when shards disagree on the bank
+/// count.
+pub(crate) fn merge_artifacts(
+    observers: &ObserverSelection,
+    shards: &[ShardOutput],
+) -> Result<MergedArtifacts, MergeError> {
+    for (index, out) in shards.iter().enumerate() {
+        if out.artifacts.kind() != observers.artifact_kind() {
+            return Err(MergeError::ArtifactKindMismatch {
+                shard: index,
+                expected: observers.artifact_kind(),
+                found: out.artifacts.kind(),
+            });
+        }
+    }
+    let offsets = cycle_offsets(shards);
+    Ok(match observers {
+        ObserverSelection::None => MergedArtifacts::None,
+        ObserverSelection::PcTrace { .. } => {
+            let segments = shards
+                .iter()
+                .zip(&offsets)
+                .map(|(out, &cycle_offset)| TraceSegment {
+                    shard: out.shard.index,
+                    cycle_offset,
+                    sample_offset: out.shard.load_start,
+                    rows: out.artifacts.pc_trace().unwrap_or_default().to_vec(),
+                })
+                .collect();
+            MergedArtifacts::PcTrace(MergedPcTrace { segments })
+        }
+        ObserverSelection::Vcd => {
+            let vcds = shards
+                .iter()
+                .zip(&offsets)
+                .map(|(out, &cycle_offset)| ShardVcd {
+                    shard: out.shard.index,
+                    cycle_offset,
+                    sample_offset: out.shard.load_start,
+                    vcd: out.artifacts.vcd().unwrap_or_default().to_string(),
+                })
+                .collect();
+            MergedArtifacts::Vcd(vcds)
+        }
+        ObserverSelection::BankHeatMap { window } => {
+            let mut rows = Vec::new();
+            let mut banks: Option<usize> = None;
+            for (out, &offset) in shards.iter().zip(&offsets) {
+                let shard_rows = out.artifacts.bank_heat_map().unwrap_or_default();
+                if let Some(first) = shard_rows.first() {
+                    let expected = *banks.get_or_insert(first.len());
+                    if first.len() != expected {
+                        return Err(MergeError::HeatMapShapeMismatch {
+                            shard: out.shard.index,
+                            expected_banks: expected,
+                            found_banks: first.len(),
+                        });
+                    }
+                }
+                rows.extend(reindex_heat_map(
+                    out.shard.index,
+                    offset,
+                    out.run.stats.cycles,
+                    *window,
+                    shard_rows,
+                ));
+            }
+            MergedArtifacts::BankHeatMap(MergedHeatMap {
+                window: *window,
+                rows,
+            })
+        }
+    })
+}
+
+/// Global cycle offset of each shard: the prefix sums of the per-shard
+/// cycle counts, in plan order.
+fn cycle_offsets(shards: &[ShardOutput]) -> Vec<u64> {
+    let mut offsets = Vec::with_capacity(shards.len());
+    let mut offset = 0u64;
+    for out in shards {
+        offsets.push(offset);
+        offset += out.run.stats.cycles;
+    }
+    offsets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reindex_is_gapless_and_clamps_the_tail() {
+        // 250 cycles in 100-cycle windows → rows of 100, 100, 50.
+        let rows = vec![vec![1, 2], vec![3, 4], vec![5, 6]];
+        let out = reindex_heat_map(2, 1000, 250, 100, &rows);
+        assert_eq!(out.len(), 3);
+        assert_eq!((out[0].start_cycle, out[0].end_cycle), (1000, 1100));
+        assert_eq!((out[1].start_cycle, out[1].end_cycle), (1100, 1200));
+        assert_eq!((out[2].start_cycle, out[2].end_cycle), (1200, 1250));
+        assert!(out.iter().all(|r| r.shard == 2));
+    }
+
+    #[test]
+    fn from_single_lifts_each_kind_at_offset_zero() {
+        let sel = ObserverSelection::BankHeatMap { window: 64 };
+        let lifted =
+            MergedArtifacts::from_single(JobArtifacts::BankHeatMap(vec![vec![7, 0]]), &sel, 40);
+        let map = lifted.bank_heat_map().expect("a heat map");
+        assert_eq!(map.window, 64);
+        assert_eq!(map.rows.len(), 1);
+        assert_eq!((map.rows[0].start_cycle, map.rows[0].end_cycle), (0, 40));
+        assert_eq!(map.totals(), vec![7, 0]);
+
+        let trace = MergedArtifacts::from_single(
+            JobArtifacts::PcTrace(vec![vec![Some(3)]]),
+            &ObserverSelection::PcTrace { limit: 8 },
+            40,
+        );
+        let trace = trace.pc_trace().expect("a trace");
+        assert_eq!(trace.len(), 1);
+        assert_eq!(trace.segments[0].cycle_offset, 0);
+
+        let none = MergedArtifacts::from_single(JobArtifacts::None, &ObserverSelection::None, 40);
+        assert!(matches!(none, MergedArtifacts::None));
+        assert_eq!(none.kind(), "none");
+    }
+}

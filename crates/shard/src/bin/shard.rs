@@ -23,7 +23,7 @@
 use std::process::ExitCode;
 use ulp_kernels::{Benchmark, WorkloadConfig};
 use ulp_power::PowerModel;
-use ulp_service::{JobArtifacts, ObserverSelection};
+use ulp_service::ObserverSelection;
 use ulp_shard::{merge_verified, required_halo, ShardPlan, ShardRunConfig, ShardRunner};
 
 const USAGE: &str = "usage: shard [plan|run] [options]
@@ -203,23 +203,6 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    // Per-bank totals folded over every shard's heat map.
-    let heatmap = opts.heatmap.map(|_| {
-        let mut totals: Vec<u64> = Vec::new();
-        for out in &sharded.shards {
-            if let JobArtifacts::BankHeatMap(rows) = &out.artifacts {
-                for row in rows {
-                    if totals.len() < row.len() {
-                        totals.resize(row.len(), 0);
-                    }
-                    for (t, &v) in totals.iter_mut().zip(row) {
-                        *t += v;
-                    }
-                }
-            }
-        }
-        totals
-    });
     let merged = match merge_verified(&sharded) {
         Ok(m) => m,
         Err(e) => {
@@ -228,6 +211,9 @@ fn main() -> ExitCode {
         }
     };
     let elapsed = start.elapsed();
+    // Recording-level heat map: the merge already re-indexed every
+    // shard's rows onto the global cycle axis.
+    let heatmap = merged.artifacts.bank_heat_map();
 
     let stats = &merged.run.stats;
     let model = PowerModel::calibrated_default();
@@ -257,11 +243,12 @@ fn main() -> ExitCode {
     if let Some(uj) = energy {
         fields.push(format!("\"energy_uj\":{uj:.3}"));
     }
-    if let Some(totals) = heatmap {
+    if let Some(map) = heatmap {
         fields.push(format!(
             "\"dm_bank_heatmap\":{}",
-            json_u64_list(totals.iter().copied())
+            json_u64_list(map.totals())
         ));
+        fields.push(format!("\"heatmap_rows\":{}", map.rows.len()));
     }
     println!("{{{}}}", fields.join(","));
     ExitCode::SUCCESS

@@ -18,9 +18,12 @@
 //!   streams them through the service's work-stealing pool;
 //! * [`merge`] — stitches per-channel outputs (dropping halo duplicates
 //!   deterministically), sums [`SimStats`] into recording totals, lifts
-//!   MRPDLN marks into sorted, duplicate-free [`DelineationEvent`]s, and
+//!   MRPDLN marks into sorted, duplicate-free [`DelineationEvent`]s,
 //!   folds per-shard activity into [`ulp_power`] so energy-per-recording
-//!   is a first-class figure.
+//!   is a first-class figure, and merges observer artifacts
+//!   ([`MergedArtifacts`]): heat-map rows re-indexed onto the
+//!   recording's global cycle axis, PC-trace segments labeled with
+//!   global cycle/sample offsets, per-shard VCDs kept whole and labeled.
 //!
 //! The subsystem's correctness anchor: with a halo of at least
 //! [`required_halo`], a sharded run is **bit-identical** to a single
@@ -54,12 +57,17 @@
 //! [`JobSpec`]: ulp_service::JobSpec
 //! [`SimStats`]: ulp_platform::SimStats
 
+mod artifacts;
 mod merge;
 mod plan;
 mod runner;
 
+pub use artifacts::{
+    HeatMapRow, MergedArtifacts, MergedHeatMap, MergedPcTrace, ShardVcd, TraceSegment,
+};
 pub use merge::{
-    golden_events, merge, merge_verified, merge_with_golden, sum_stats, DelineationEvent, MergedRun,
+    golden_events, merge, merge_verified, merge_with_golden, sum_stats, DelineationEvent,
+    MergeError, MergedRun,
 };
 pub use plan::{required_halo, PlanError, Shard, ShardPlan};
 pub use runner::{ShardError, ShardOutput, ShardRunConfig, ShardRunner, ShardedRun};

@@ -1,6 +1,7 @@
 //! Executing a shard plan as batch-service jobs.
 
 use crate::plan::{Shard, ShardPlan};
+use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 use ulp_kernels::{Benchmark, BenchmarkRun, RunnerError, WorkloadConfig};
@@ -41,6 +42,15 @@ impl ShardRunConfig {
             observers: ObserverSelection::None,
         }
     }
+
+    /// Attaches an observer selection to every shard job; the merge
+    /// stitches the per-shard artifacts back onto the recording's global
+    /// axes ([`crate::MergedRun::artifacts`]).
+    #[must_use]
+    pub fn with_observers(mut self, observers: ObserverSelection) -> ShardRunConfig {
+        self.observers = observers;
+        self
+    }
 }
 
 /// Errors of a sharded run.
@@ -60,6 +70,20 @@ pub enum ShardError {
         /// The underlying failure.
         error: RunnerError,
     },
+    /// The service pool died (a worker panicked) before every shard
+    /// finished.
+    PoolDied {
+        /// Shard results received before the pool died.
+        completed: usize,
+        /// Shards the plan expected.
+        expected: usize,
+    },
+    /// The service returned a result whose id was never submitted by this
+    /// runner — the pool had foreign submissions in flight.
+    ForeignResult {
+        /// The unrecognised job id.
+        id: u64,
+    },
 }
 
 impl fmt::Display for ShardError {
@@ -73,6 +97,18 @@ impl fmt::Display for ShardError {
                 "plan covers {plan_total} samples but the workload describes {workload_n}"
             ),
             ShardError::Job { shard, error } => write!(f, "shard {shard} failed: {error}"),
+            ShardError::PoolDied {
+                completed,
+                expected,
+            } => write!(
+                f,
+                "the service pool died after {completed} of {expected} shards completed"
+            ),
+            ShardError::ForeignResult { id } => write!(
+                f,
+                "received result for job {id}, which this runner never submitted \
+                 (the service had foreign submissions in flight)"
+            ),
         }
     }
 }
@@ -80,7 +116,9 @@ impl fmt::Display for ShardError {
 impl std::error::Error for ShardError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            ShardError::PlanMismatch { .. } => None,
+            ShardError::PlanMismatch { .. }
+            | ShardError::PoolDied { .. }
+            | ShardError::ForeignResult { .. } => None,
             ShardError::Job { error, .. } => Some(error),
         }
     }
@@ -179,27 +217,41 @@ impl ShardRunner {
     /// here.
     ///
     /// The service must have no other submissions in flight: this method
-    /// drains one result per submitted shard and would otherwise consume
-    /// foreign results.
+    /// drains one result per submitted shard, and a result whose id it
+    /// never submitted is reported as [`ShardError::ForeignResult`].
     ///
     /// # Errors
     ///
-    /// The first failing shard in plan order (all shards still run).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the pool dies with shards outstanding (a worker
-    /// panicked), mirroring [`SimService::recv`].
+    /// The first failing shard in plan order (all shards still run);
+    /// [`ShardError::PoolDied`] if a service worker panicked with shards
+    /// outstanding; [`ShardError::ForeignResult`] on a result this runner
+    /// did not submit.
     pub fn run(self, service: &mut SimService) -> Result<ShardedRun, ShardError> {
         let specs = self.job_specs();
         let count = specs.len();
-        let ids: Vec<u64> = specs.into_iter().map(|spec| service.submit(spec)).collect();
-        let first_id = *ids.first().expect("a valid plan has at least one shard");
+        // Explicit id→slot routing: ids are opaque tokens here, not
+        // assumed contiguous, so foreign traffic is detected instead of
+        // silently corrupting slot arithmetic.
+        let slot_of: HashMap<u64, usize> = specs
+            .into_iter()
+            .map(|spec| service.submit(spec))
+            .zip(0..count)
+            .collect();
         let mut slots: Vec<Option<Result<ShardOutput, ShardError>>> =
             (0..count).map(|_| None).collect();
-        for _ in 0..count {
-            let result = service.recv().expect("one result per submitted shard");
-            let index = (result.id - first_id) as usize;
+        for completed in 0..count {
+            let result = match service.checked_recv() {
+                Ok(Some(result)) => result,
+                Ok(None) | Err(_) => {
+                    return Err(ShardError::PoolDied {
+                        completed,
+                        expected: count,
+                    })
+                }
+            };
+            let Some(&index) = slot_of.get(&result.id) else {
+                return Err(ShardError::ForeignResult { id: result.id });
+            };
             let shard = self.plan.shards()[index];
             slots[index] = Some(match result.outcome {
                 Ok(out) => Ok(ShardOutput {

@@ -7,7 +7,7 @@ use proptest::prelude::*;
 use ulp_biosignal::{delineate, DelineationConfig};
 use ulp_kernels::{Benchmark, WorkloadConfig};
 use ulp_platform::SimStats;
-use ulp_service::JobArtifacts;
+use ulp_service::{JobArtifacts, ObserverSelection};
 use ulp_shard::{merge, required_halo, ShardPlan, ShardRunConfig, ShardedRun};
 
 fn zero_stats(num_cores: usize, cycles: u64) -> SimStats {
@@ -105,7 +105,7 @@ proptest! {
         };
         let signals = vec![seed_a[..total].to_vec(), seed_b[..total].to_vec()];
         let run = golden_sharded_run(&signals, plan, &dln);
-        let merged = merge(&run);
+        let merged = merge(&run).expect("a plan-ordered sharded run merges");
 
         // Stitched outputs are bit-identical to the one-pass golden.
         for (ch, x) in signals.iter().enumerate() {
@@ -132,5 +132,60 @@ proptest! {
         let cycle_sum: u64 = run.shards.iter().map(|s| s.run.stats.cycles).sum();
         prop_assert_eq!(merged.run.stats.cycles, cycle_sum);
         prop_assert_eq!(merged.shard_cycles.len(), run.plan.len());
+    }
+
+    /// Over random geometries, windows and counter values: the merged
+    /// heat-map rows tile the recording's global cycle axis gaplessly, and
+    /// the per-bank totals equal the sum of the per-shard totals exactly —
+    /// re-indexing moves rows, it never loses or double-counts an access.
+    #[test]
+    fn merged_heat_map_totals_are_shard_sums(
+        total in 60usize..400,
+        per_shard in 16usize..280,
+        window in 16u64..200,
+        seed in any::<u64>(),
+    ) {
+        let dln = DelineationConfig { scale_small: 2, scale_large: 5, threshold: 100 };
+        let Ok(plan) = ShardPlan::new(total, per_shard, 6) else {
+            return;
+        };
+        let signals = vec![vec![0i16; total]];
+        let mut run = golden_sharded_run(&signals, plan, &dln);
+        run.config.observers = ObserverSelection::BankHeatMap { window };
+
+        // Deterministic per-case counter values (splitmix-style), so the
+        // strategy stays a single u64.
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let mut shard_totals = vec![0u64; 16];
+        for out in &mut run.shards {
+            let cycles = out.run.stats.cycles;
+            let rows: Vec<Vec<u64>> = (0..cycles.div_ceil(window))
+                .map(|_| (0..16).map(|_| next() % 100).collect())
+                .collect();
+            for row in &rows {
+                for (t, &v) in shard_totals.iter_mut().zip(row) {
+                    *t += v;
+                }
+            }
+            out.artifacts = JobArtifacts::BankHeatMap(rows);
+        }
+
+        let merged = merge(&run).expect("a plan-ordered sharded run merges");
+        let map = merged.artifacts.bank_heat_map().expect("a heat map was selected");
+        prop_assert_eq!(map.window, window);
+        prop_assert_eq!(map.totals(), shard_totals);
+
+        // Rows tile [0, total cycles) without gap or overlap.
+        let mut cursor = 0u64;
+        for row in &map.rows {
+            prop_assert_eq!(row.start_cycle, cursor, "gap or overlap at {:?}", row);
+            prop_assert!(row.end_cycle >= row.start_cycle);
+            cursor = row.end_cycle;
+        }
+        prop_assert_eq!(cursor, merged.run.stats.cycles);
     }
 }

@@ -132,11 +132,90 @@ fn undersized_halo_is_detected_by_verification() {
     .unwrap()
     .run_local(0)
     .unwrap();
-    let merged = merge(&run);
+    let merged = merge(&run).expect("the merge itself succeeds; only verification fails");
     assert!(
         merged.run.verify().is_err(),
         "a 2-sample halo cannot re-establish an 18-sample filter state"
     );
+}
+
+/// The artifact-merge acceptance criterion: on a buffer-fitting recording,
+/// the sharded run's merged per-bank heat map equals the unsharded
+/// full-pass heat map — across 2 shard sizes × 2 core counts — up to the
+/// analytic warm-up delta. Each shard re-runs the kernel prologue, which
+/// performs exactly one DM store per core per run (the loop-index init
+/// into the core's own bank), so a `k`-shard run's totals carry `k - 1`
+/// extra accesses in bank `c` for each core `c`; every other count is
+/// bit-identical.
+#[test]
+fn sqrt32_sharded_heat_map_equals_full_pass_up_to_prologue_warmup() {
+    use std::sync::Arc;
+    use ulp_service::{JobSpec, ObserverSelection, ServiceConfig, SimService};
+
+    // 296 samples fit one platform buffer (≤ MAX_N), so an unsharded
+    // full pass exists to compare against; SQRT32 is point-wise, so the
+    // zero-halo shards add no recomputed samples.
+    let workload = long_workload(296);
+    let window = 4096u64;
+    for cores in [2usize, 4] {
+        let mut service = SimService::start(ServiceConfig::with_workers(1));
+        service.submit(
+            JobSpec::new(Benchmark::Sqrt32, true, cores, Arc::new(workload.clone()))
+                .with_observers(ObserverSelection::BankHeatMap { window }),
+        );
+        let out = service
+            .recv()
+            .expect("the full pass completes")
+            .outcome
+            .expect("the full pass runs");
+        service.finish();
+        let full_rows = out.artifacts.bank_heat_map().expect("a heat map");
+        let mut full = vec![0u64; full_rows.first().map_or(0, Vec::len)];
+        for row in full_rows {
+            for (t, &v) in full.iter_mut().zip(row) {
+                *t += v;
+            }
+        }
+
+        for samples_per_shard in [74usize, 148] {
+            let plan =
+                ShardPlan::for_workload(Benchmark::Sqrt32, &workload, samples_per_shard).unwrap();
+            let shards = plan.len();
+            assert!(shards >= 2, "the recording must actually shard");
+            let run = ShardRunner::new(
+                ShardRunConfig::new(Benchmark::Sqrt32, true, cores, workload.clone())
+                    .with_observers(ObserverSelection::BankHeatMap { window }),
+                plan,
+            )
+            .unwrap()
+            .run_local(0)
+            .unwrap();
+            let merged = merge_verified(&run).unwrap();
+            let map = merged
+                .artifacts
+                .bank_heat_map()
+                .expect("the merge carries the selected heat map");
+
+            // Core `c`'s own bank is bank `c`: the warm-up store lands there.
+            let mut expected = full.clone();
+            for slot in expected.iter_mut().take(cores) {
+                *slot += (shards - 1) as u64;
+            }
+            assert_eq!(
+                map.totals(),
+                expected,
+                "{samples_per_shard}-sample shards on {cores} cores"
+            );
+
+            // The merged rows tile the recording's cycle axis gaplessly.
+            let mut cursor = 0u64;
+            for row in &map.rows {
+                assert_eq!(row.start_cycle, cursor);
+                cursor = row.end_cycle;
+            }
+            assert_eq!(cursor, merged.run.stats.cycles);
+        }
+    }
 }
 
 /// Shard length not dividing the recording: the balanced split produces

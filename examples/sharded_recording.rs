@@ -8,6 +8,7 @@
 
 use ulp_lockstep::kernels::{Benchmark, WorkloadConfig};
 use ulp_lockstep::power::PowerModel;
+use ulp_lockstep::service::ObserverSelection;
 use ulp_lockstep::shard::{merge_verified, required_halo, ShardPlan, ShardRunConfig, ShardRunner};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -29,9 +30,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 2. Run: every shard is an ordinary service job; the work-stealing
-    //    pool executes them concurrently over cached platforms.
+    //    pool executes them concurrently over cached platforms. A per-bank
+    //    DM heat map rides on every shard and is merged onto the
+    //    recording's global cycle axis below.
     let runner = ShardRunner::new(
-        ShardRunConfig::new(benchmark, true, 8, workload.clone()),
+        ShardRunConfig::new(benchmark, true, 8, workload.clone())
+            .with_observers(ObserverSelection::BankHeatMap { window: 4096 }),
         plan,
     )?;
     let start = std::time::Instant::now();
@@ -54,6 +58,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "delineation: {} events across 8 channels ({} peaks)",
         events.len(),
         events.iter().filter(|e| e.is_peak).count(),
+    );
+    let heatmap = merged
+        .artifacts
+        .bank_heat_map()
+        .expect("the heat map survives the merge");
+    let totals = heatmap.totals();
+    let peak = totals.iter().copied().max().unwrap_or(0);
+    println!(
+        "heat map: {} rows x {} banks on the global cycle axis, {} DM accesses (peak bank {})",
+        heatmap.rows.len(),
+        heatmap.banks(),
+        totals.iter().sum::<u64>(),
+        peak,
     );
 
     // 4. Energy: fold the recording's activity into the power model at
