@@ -14,6 +14,7 @@
 //!                        grids sweep shard size × cores
 //!   --heatmap <window>   attach a per-bank DM heat map to every cell
 //!   --pctrace <limit>    attach a PC trace to every cell
+//!   --exec-tier <tier>   interpreted (default) or compiled
 //!   --threads <n>        worker threads (default: all hardware threads)
 //! ```
 //!
@@ -33,6 +34,7 @@ use std::io::Write;
 use std::process::ExitCode;
 use ulp_bench::{run_sweep_with, SweepCell, SweepSpec};
 use ulp_kernels::{Benchmark, WorkloadConfig};
+use ulp_platform::ExecTier;
 use ulp_service::ObserverSelection;
 
 /// One completed cell as a JSON-lines record (`--stream`). `emitted` and
@@ -103,6 +105,8 @@ const USAGE: &str = "usage: sweep [options]
   --heatmap <window>   attach a per-bank DM heat map to every cell
                        (cycles per row; merged across shards)
   --pctrace <limit>    attach a PC trace to every cell (cycles per shard)
+  --exec-tier <tier>   execution tier for every cell: `interpreted`
+                       (default) or `compiled` (bit-identical, faster)
   --threads <n>        worker threads (default: all hardware threads)";
 
 struct Options {
@@ -113,6 +117,7 @@ struct Options {
     benchmarks: Vec<Benchmark>,
     shard: Vec<Option<usize>>,
     observers: ObserverSelection,
+    exec_tier: ExecTier,
     threads: usize,
 }
 
@@ -145,6 +150,7 @@ fn parse_args() -> Result<Options, String> {
         benchmarks: Benchmark::ALL.to_vec(),
         shard: vec![None],
         observers: ObserverSelection::None,
+        exec_tier: ExecTier::Interpreted,
         threads: 0,
     };
     let mut args = std::env::args().skip(1);
@@ -209,6 +215,11 @@ fn parse_args() -> Result<Options, String> {
                 }
                 opts.observers = ObserverSelection::BankHeatMap { window };
             }
+            "--exec-tier" => {
+                opts.exec_tier = next_value(&mut args, "--exec-tier")?
+                    .parse()
+                    .map_err(|e| format!("bad value for --exec-tier: {e}"))?;
+            }
             "--pctrace" => {
                 let limit: usize = next_value(&mut args, "--pctrace")?
                     .parse()
@@ -254,6 +265,7 @@ fn main() -> ExitCode {
         shard_samples: opts.shard,
         workload,
         observers: opts.observers,
+        exec_tier: opts.exec_tier,
         threads: opts.threads,
         // Auto-bounded backpressure queue (four jobs per worker): huge
         // grids are fed at the workers' claim rate.

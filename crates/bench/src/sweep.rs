@@ -24,6 +24,7 @@
 
 use std::sync::Arc;
 use ulp_kernels::{Benchmark, BenchmarkRun, RunnerError, WorkloadConfig};
+use ulp_platform::ExecTier;
 use ulp_power::{Activity, PowerModel};
 use ulp_service::{JobOutput, JobSpec, ObserverSelection, ServiceConfig, ServiceStats, SimService};
 use ulp_shard::{MergedArtifacts, ShardPlan, ShardRunConfig, ShardRunner, ShardedRun};
@@ -60,6 +61,9 @@ pub struct SweepSpec {
     /// [`MergedArtifacts`] representation — either way
     /// [`SweepCell::artifacts`] carries the result.
     pub observers: ObserverSelection,
+    /// Execution tier of every cell's platform runs (the interpreter by
+    /// default; the compiled tier produces bit-identical cells faster).
+    pub exec_tier: ExecTier,
     /// Worker threads; `0` = one per available hardware thread.
     pub threads: usize,
     /// Bound on the service's queued backlog; `0` = auto (four jobs per
@@ -80,6 +84,7 @@ impl SweepSpec {
             shard_samples: vec![None],
             workload,
             observers: ObserverSelection::None,
+            exec_tier: ExecTier::Interpreted,
             threads: 0,
             queue_capacity: 0,
         }
@@ -308,7 +313,8 @@ pub fn run_sweep_with(
             None => (
                 CellPlan::Single,
                 vec![JobSpec::new(benchmark, with_sync, cores, workload.clone())
-                    .with_observers(spec.observers.clone())],
+                    .with_observers(spec.observers.clone())
+                    .with_exec_tier(spec.exec_tier)],
             ),
             Some(samples) => {
                 let plan = ShardPlan::for_workload(benchmark, &spec.workload, samples)
@@ -317,7 +323,8 @@ pub fn run_sweep_with(
                     });
                 let runner = ShardRunner::new(
                     ShardRunConfig::new(benchmark, with_sync, cores, spec.workload.clone())
-                        .with_observers(spec.observers.clone()),
+                        .with_observers(spec.observers.clone())
+                        .with_exec_tier(spec.exec_tier),
                     plan,
                 )
                 .expect("plan covers the workload by construction");
@@ -514,6 +521,7 @@ mod tests {
             shard_samples: vec![None],
             workload: WorkloadConfig::quick_test(),
             observers: ObserverSelection::None,
+            exec_tier: ExecTier::Interpreted,
             threads: 0,
             queue_capacity: 0,
         }
@@ -571,6 +579,7 @@ mod tests {
                 ..WorkloadConfig::quick_test()
             },
             observers: ObserverSelection::None,
+            exec_tier: ExecTier::Interpreted,
             threads: 0,
             // A deliberately tiny bound: shard jobs must flow through a
             // saturated bounded queue and still merge bit-exactly.
@@ -609,6 +618,7 @@ mod tests {
             shard_samples: vec![None, Some(24)],
             workload: WorkloadConfig::quick_test(), // n = 48 fits unsharded
             observers: ObserverSelection::None,
+            exec_tier: ExecTier::Interpreted,
             threads: 2,
             queue_capacity: 0,
         };
@@ -645,6 +655,7 @@ mod tests {
             shard_samples: vec![None, Some(24)],
             workload: WorkloadConfig::quick_test(), // n = 48 fits unsharded
             observers: ObserverSelection::BankHeatMap { window: 256 },
+            exec_tier: ExecTier::Interpreted,
             threads: 2,
             queue_capacity: 0,
         };

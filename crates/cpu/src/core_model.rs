@@ -223,6 +223,21 @@ impl Core {
         }
     }
 
+    /// Delivers an already-decoded instruction for the granted fetch
+    /// (consumes the fetch cycle, exactly like [`Core::on_fetch_granted`]
+    /// minus the decode).
+    ///
+    /// Used by the compiled execution tier, whose traces carry the decoded
+    /// form: the caller guarantees `instr` is the decoding of the word at
+    /// the fetch address, so this path cannot fault.
+    pub fn on_fetch_granted_decoded(&mut self, instr: Instr) {
+        debug_assert!(matches!(self.state, CoreState::Fetch), "not fetching");
+        self.cycles += 1;
+        self.stats.active_cycles += 1;
+        self.stats.fetches += 1;
+        self.state = CoreState::Execute(instr);
+    }
+
     /// Records a cycle spent waiting for a fetch grant (clock-gated).
     pub fn note_fetch_stall(&mut self) {
         debug_assert!(matches!(self.state, CoreState::Fetch));

@@ -1,0 +1,492 @@
+//! # ulp-jit — the compiled hot-block execution tier
+//!
+//! The cycle engine in `ulp_platform` is a pure interpreter: every core
+//! cycle re-derives its instruction by fetching a word through the I-Xbar
+//! and decoding it. This crate adds a *translation tier* on top: basic
+//! blocks whose entry PC gets hot are decoded **once** into straight-line
+//! traces of pre-resolved micro-ops ([`ulp_isa::MicroOp`]), and the engine
+//! then replays the trace without per-instruction fetch-request
+//! construction or decode.
+//!
+//! ## Fidelity
+//!
+//! The tier is an execution strategy, not a different machine. A trace
+//! ends at every *fidelity boundary*:
+//!
+//! * synchronization instructions (`SINC`/`SDEC`), `SLEEP` and `HALT`
+//!   ([`ulp_isa::OpClass::Boundary`]) — translation stops *before* them;
+//! * control flow out of the block ([`ulp_isa::OpClass::Control`]) — the
+//!   terminator itself is trace-executable, but the successor block is
+//!   resolved at run time;
+//! * any cycle whose data-memory request set could conflict in the D-Xbar
+//!   or touch a synchronizer-locked word — detected at execution time,
+//!   the whole cycle is handed back to the interpreter;
+//! * any cycle where an observer hook fires — runs with observers
+//!   attached never enter the compiled loop at all.
+//!
+//! Within those rules the engine replays the *exact* interpreter cycle —
+//! same crossbar arbitration, same rotating-priority updates, same
+//! counters — so `SimStats`, `MemStats`, lockstep width and energy
+//! accounting stay bit-identical to an interpreted run.
+//!
+//! ## Cache lifetime
+//!
+//! A [`TranslationCache`] lives on the platform and **survives
+//! `Platform::reset`**: the service layer resets and reloads cached
+//! platforms between jobs, and reloading the same kernel must hit the
+//! existing traces instead of re-translating. Validity is keyed on a
+//! fingerprint of instruction memory (cores cannot write IM; only the
+//! loader backdoors can), recomputed lazily when the platform marks the
+//! IM dirty. Per-run counters ([`JitStats`]) are cleared on reset; the
+//! traces and hotness counters are not.
+
+use ulp_isa::{decode, MicroOp, OpClass};
+use ulp_mem::BankedMemory;
+
+/// Which execution strategy a platform uses for `run`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum ExecTier {
+    /// The cycle-accurate interpreter (the default).
+    #[default]
+    Interpreted,
+    /// Hot basic blocks execute as pre-decoded threaded-dispatch traces;
+    /// every fidelity boundary falls back to the interpreter. Results are
+    /// bit-identical to [`ExecTier::Interpreted`].
+    Compiled,
+}
+
+impl std::fmt::Display for ExecTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecTier::Interpreted => write!(f, "interpreted"),
+            ExecTier::Compiled => write!(f, "compiled"),
+        }
+    }
+}
+
+impl std::str::FromStr for ExecTier {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<ExecTier, String> {
+        match s {
+            "interpreted" => Ok(ExecTier::Interpreted),
+            "compiled" => Ok(ExecTier::Compiled),
+            other => Err(format!(
+                "unknown exec tier {other:?} (expected \"interpreted\" or \"compiled\")"
+            )),
+        }
+    }
+}
+
+/// Per-run counters of the translation tier, reported in `SimStats`.
+///
+/// All zero for interpreted runs. For compiled runs,
+/// `compiled_cycles + fallback_cycles` equals the run's total cycles.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JitStats {
+    /// Basic blocks translated during this run.
+    pub translations: u64,
+    /// Trace entries served from the cache (a hot block dispatched
+    /// without re-translation).
+    pub hits: u64,
+    /// Cycles executed by the compiled tier.
+    pub compiled_cycles: u64,
+    /// Cycles handed back to the interpreter (cold code, fidelity
+    /// boundaries, possible DM conflicts, observer-attached cycles).
+    pub fallback_cycles: u64,
+}
+
+impl JitStats {
+    /// Adds another run's counters into this one (multi-run aggregates,
+    /// e.g. summing shard statistics). Kept next to the fields so a new
+    /// counter cannot be forgotten here.
+    pub fn merge(&mut self, other: &JitStats) {
+        self.translations += other.translations;
+        self.hits += other.hits;
+        self.compiled_cycles += other.compiled_cycles;
+        self.fallback_cycles += other.fallback_cycles;
+    }
+
+    /// Fraction of cycles executed by the compiled tier (0.0 for
+    /// interpreted runs).
+    pub fn compiled_fraction(&self) -> f64 {
+        let total = self.compiled_cycles + self.fallback_cycles;
+        if total == 0 {
+            return 0.0;
+        }
+        self.compiled_cycles as f64 / total as f64
+    }
+}
+
+/// One translated basic block: a straight-line trace of pre-decoded
+/// micro-ops starting at `start`, with the IM bank of every fetch resolved
+/// at translation time.
+#[derive(Debug, Clone)]
+pub struct Block {
+    /// Entry PC (word address).
+    pub start: u16,
+    /// The trace. `ops[i]` is the instruction at `start + i`; the last op
+    /// is either a [`OpClass::Control`] terminator or the op before a
+    /// fidelity boundary / the block-length cap.
+    pub ops: Vec<MicroOp>,
+    /// `banks[i]` is the IM bank `start + i` maps to, so the compiled
+    /// fetch phase never recomputes the bank mapping.
+    pub banks: Vec<u16>,
+    /// `pure_runs[i]` is the number of consecutive [`OpClass::Pure`]
+    /// micro-ops starting at offset `i` — the length of the batch a
+    /// uniform-lockstep executor may run from there without touching the
+    /// crossbars or the data memory.
+    pub pure_runs: Vec<u16>,
+}
+
+impl Block {
+    /// Number of micro-ops in the trace.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the trace is empty (never true for a cached block).
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Number of consecutive [`OpClass::Pure`] micro-ops starting at
+    /// `off` (zero when `off` is out of range or sits on a memory or
+    /// control op).
+    pub fn pure_run(&self, off: u16) -> usize {
+        self.pure_runs.get(off as usize).copied().unwrap_or(0) as usize
+    }
+}
+
+/// Longest trace a single block may carry. Generous against real basic
+/// blocks (the paper kernels' longest straight-line runs are well under
+/// this) while bounding translation work per entry.
+const MAX_BLOCK_OPS: usize = 64;
+
+/// Sentinel index for "no translation attempted yet at this PC".
+const NOT_PRESENT: u32 = u32::MAX;
+
+/// Sentinel index for "translation attempted, nothing trace-executable
+/// here" (the entry instruction is a boundary or does not decode).
+const UNTRANSLATABLE: u32 = u32::MAX - 1;
+
+/// The per-platform translation cache: PC-indexed hotness counters, the
+/// translated blocks, and the per-run counters.
+///
+/// See the crate docs for the lifetime rules. The cache is keyed by entry
+/// PC; overlapping blocks (a block entered mid-way after an interpreter
+/// stint) simply get their own entry.
+#[derive(Debug, Clone)]
+pub struct TranslationCache {
+    hot_threshold: u32,
+    /// Execution counter per IM word address, advanced every time a core
+    /// looks for a trace at that PC; sized to the IM lazily.
+    counters: Vec<u32>,
+    blocks: Vec<Block>,
+    /// Direct-mapped entry PC → block index (one slot per IM word, sized
+    /// alongside `counters`): trace dispatch happens once per block entry
+    /// per core, so it must be a plain load, not a hash lookup.
+    /// [`NOT_PRESENT`] = never attempted, [`UNTRANSLATABLE`] = known-dead.
+    index: Vec<u32>,
+    /// FNV-1a fingerprint of the IM contents the cached blocks were
+    /// translated from.
+    fingerprint: u64,
+    /// Set when the platform writes IM; the next revalidation re-hashes.
+    dirty: bool,
+    stats: JitStats,
+}
+
+/// Default hotness threshold: a PC must be fetched this many times before
+/// its block is translated. Low enough that the paper kernels' per-sample
+/// loops compile within the first sample, high enough that one-shot
+/// prologue code never pays translation.
+pub const DEFAULT_HOT_THRESHOLD: u32 = 8;
+
+impl Default for TranslationCache {
+    fn default() -> TranslationCache {
+        TranslationCache::new(DEFAULT_HOT_THRESHOLD)
+    }
+}
+
+impl TranslationCache {
+    /// Creates an empty cache with the given hotness threshold
+    /// (`0` or `1` = translate on first sight).
+    pub fn new(hot_threshold: u32) -> TranslationCache {
+        TranslationCache {
+            hot_threshold,
+            counters: Vec::new(),
+            blocks: Vec::new(),
+            index: Vec::new(),
+            fingerprint: 0,
+            dirty: true,
+            stats: JitStats::default(),
+        }
+    }
+
+    /// The configured hotness threshold.
+    pub fn hot_threshold(&self) -> u32 {
+        self.hot_threshold
+    }
+
+    /// Replaces the hotness threshold (applies to not-yet-hot entries).
+    pub fn set_hot_threshold(&mut self, threshold: u32) {
+        self.hot_threshold = threshold;
+    }
+
+    /// This run's counters so far.
+    pub fn stats(&self) -> JitStats {
+        self.stats
+    }
+
+    /// Mutable access to the per-run counters (the engine advances
+    /// `compiled_cycles` / `fallback_cycles`).
+    pub fn stats_mut(&mut self) -> &mut JitStats {
+        &mut self.stats
+    }
+
+    /// Number of blocks currently cached.
+    pub fn blocks_cached(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Starts a new run: clears the per-run counters but keeps the
+    /// translated blocks and hotness counters. Called from
+    /// `Platform::reset` — cache survival across resets is the point.
+    pub fn begin_run(&mut self) {
+        self.stats = JitStats::default();
+    }
+
+    /// Marks the instruction memory as possibly changed (loader backdoor
+    /// wrote to it); the next [`TranslationCache::revalidate`] re-hashes.
+    pub fn mark_im_dirty(&mut self) {
+        self.dirty = true;
+    }
+
+    /// Revalidates the cache against the current IM contents: if the
+    /// fingerprint changed since translation, every block and counter is
+    /// dropped. Reloading an identical program keeps all traces hot.
+    pub fn revalidate(&mut self, imem: &BankedMemory) {
+        if !self.dirty {
+            return;
+        }
+        self.dirty = false;
+        let fp = fingerprint_im(imem);
+        if fp != self.fingerprint {
+            self.fingerprint = fp;
+            self.blocks.clear();
+            self.index.fill(NOT_PRESENT);
+            self.counters.fill(0);
+        }
+    }
+
+    /// Looks for a trace entered at `pc`, advancing the PC's execution
+    /// counter. Returns the block index when the entry is hot and
+    /// translates to a non-empty trace; `None` while the entry is cold or
+    /// known-untranslatable (the interpreter keeps running it).
+    pub fn lookup_hot(&mut self, pc: u16, imem: &BankedMemory) -> Option<u32> {
+        if self.index.len() != imem.len() {
+            self.index.resize(imem.len(), NOT_PRESENT);
+            self.counters.resize(imem.len(), 0);
+        }
+        let word = pc as usize % imem.len();
+        match self.index[word] {
+            NOT_PRESENT => {}
+            UNTRANSLATABLE => return None,
+            idx => {
+                self.stats.hits += 1;
+                return Some(idx);
+            }
+        }
+        let slot = &mut self.counters[word];
+        *slot = slot.saturating_add(1);
+        if *slot <= self.hot_threshold {
+            return None;
+        }
+        let block = translate(pc, imem);
+        let idx = if block.is_empty() {
+            UNTRANSLATABLE
+        } else {
+            self.stats.translations += 1;
+            self.blocks.push(block);
+            (self.blocks.len() - 1) as u32
+        };
+        self.index[word] = idx;
+        (idx != UNTRANSLATABLE).then_some(idx)
+    }
+
+    /// The block behind an index returned by
+    /// [`TranslationCache::lookup_hot`].
+    pub fn block(&self, idx: u32) -> &Block {
+        &self.blocks[idx as usize]
+    }
+}
+
+/// Translates the basic block entered at `pc`: decodes forward through
+/// the *backdoor* (translation is a simulator artifact and must not count
+/// as physical IM accesses) until a control-flow terminator, a fidelity
+/// boundary, an undecodable word or the length cap.
+fn translate(pc: u16, imem: &BankedMemory) -> Block {
+    let mut ops = Vec::new();
+    let mut banks = Vec::new();
+    let mut addr = pc;
+    while ops.len() < MAX_BLOCK_OPS {
+        let Ok(instr) = decode(imem.peek(addr)) else {
+            // The word faults when actually fetched; leave that cycle —
+            // and the fault bookkeeping — to the interpreter.
+            break;
+        };
+        let op = MicroOp::new(instr);
+        if op.class == OpClass::Boundary {
+            break;
+        }
+        ops.push(op);
+        banks.push(imem.bank_of(addr) as u16);
+        if op.class == OpClass::Control {
+            break;
+        }
+        addr = addr.wrapping_add(1);
+    }
+    let mut pure_runs = vec![0u16; ops.len()];
+    let mut run = 0u16;
+    for (i, op) in ops.iter().enumerate().rev() {
+        run = if op.class == OpClass::Pure {
+            run + 1
+        } else {
+            0
+        };
+        pure_runs[i] = run;
+    }
+    Block {
+        start: pc,
+        ops,
+        banks,
+        pure_runs,
+    }
+}
+
+/// FNV-1a over the IM words: cheap (one pass at run start, only when the
+/// loader touched IM) and collision-resistant enough for "same program
+/// reloaded?".
+fn fingerprint_im(imem: &BankedMemory) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for addr in 0..imem.len() {
+        let w = imem.peek(addr as u16);
+        for byte in w.to_le_bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ulp_isa::asm::assemble;
+    use ulp_mem::BankMapping;
+
+    fn imem_with(src: &str) -> BankedMemory {
+        let mut m = BankedMemory::new(1024, 8, BankMapping::Blocked);
+        let program = assemble(src).expect("assembles");
+        for (addr, word) in program.iter() {
+            m.poke(addr, word);
+        }
+        m
+    }
+
+    #[test]
+    fn translation_stops_at_boundaries_and_control() {
+        let m = imem_with(
+            "       addi r0, #1
+                    addi r1, #2
+                    br   next
+            next:   addi r2, #3
+                    sinc #0
+                    halt",
+        );
+        // Block at 0: two ADDIs + the BR terminator.
+        let b = translate(0, &m);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.ops[2].class, OpClass::Control);
+        // Block at 3: one ADDI, then stops *before* the SINC boundary.
+        let b = translate(3, &m);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.ops[0].class, OpClass::Pure);
+        // Block at the SINC itself: empty (untranslatable entry).
+        assert!(translate(4, &m).is_empty());
+    }
+
+    #[test]
+    fn cache_translates_only_past_the_threshold_and_then_hits() {
+        let m = imem_with("loop: addi r0, #1\n br loop");
+        let mut cache = TranslationCache::new(3);
+        cache.revalidate(&m);
+        for _ in 0..3 {
+            assert!(cache.lookup_hot(0, &m).is_none(), "still cold");
+        }
+        let idx = cache.lookup_hot(0, &m).expect("hot now");
+        assert_eq!(cache.stats().translations, 1);
+        assert_eq!(cache.block(idx).len(), 2);
+        assert_eq!(cache.lookup_hot(0, &m), Some(idx));
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn revalidation_keeps_blocks_for_identical_im_and_drops_on_change() {
+        let mut m = imem_with("loop: addi r0, #1\n br loop");
+        let mut cache = TranslationCache::new(0);
+        cache.revalidate(&m);
+        let idx = cache.lookup_hot(0, &m).expect("threshold 0");
+        assert_eq!(cache.blocks_cached(), 1);
+
+        // Same program "reloaded": blocks survive, lookup is a hit.
+        cache.begin_run();
+        cache.mark_im_dirty();
+        cache.revalidate(&m);
+        assert_eq!(cache.blocks_cached(), 1);
+        assert_eq!(cache.lookup_hot(0, &m), Some(idx));
+        assert_eq!(cache.stats().translations, 0);
+        assert_eq!(cache.stats().hits, 1);
+
+        // Different program: everything is dropped.
+        m.poke(0, 0);
+        cache.mark_im_dirty();
+        cache.revalidate(&m);
+        assert_eq!(cache.blocks_cached(), 0);
+    }
+
+    #[test]
+    fn exec_tier_parses_and_displays() {
+        assert_eq!("interpreted".parse(), Ok(ExecTier::Interpreted));
+        assert_eq!("compiled".parse(), Ok(ExecTier::Compiled));
+        assert!("native".parse::<ExecTier>().is_err());
+        assert_eq!(ExecTier::Compiled.to_string(), "compiled");
+    }
+
+    #[test]
+    fn jit_stats_merge_sums_every_counter() {
+        let mut a = JitStats {
+            translations: 1,
+            hits: 2,
+            compiled_cycles: 3,
+            fallback_cycles: 4,
+        };
+        let b = JitStats {
+            translations: 10,
+            hits: 20,
+            compiled_cycles: 30,
+            fallback_cycles: 40,
+        };
+        a.merge(&b);
+        assert_eq!(
+            a,
+            JitStats {
+                translations: 11,
+                hits: 22,
+                compiled_cycles: 33,
+                fallback_cycles: 44,
+            }
+        );
+        assert!((a.compiled_fraction() - 33.0 / 77.0).abs() < 1e-12);
+    }
+}

@@ -122,6 +122,9 @@ pub struct DXbar {
     /// Synchronous-group PC each core is held under (`None` = not held),
     /// indexed by core id; grown on demand.
     held_pc: Vec<Option<u16>>,
+    /// Scratch: bank and lock state of each request, resolved once per
+    /// cycle so the per-bank passes never recompute them.
+    req_info: Vec<(usize, bool)>,
     /// Scratch: requests served this cycle with their read data.
     serve: Vec<(DmRequest, Option<u16>)>,
     /// Scratch: per-PC count of requesters left unserved this cycle.
@@ -136,6 +139,7 @@ impl DXbar {
             policy,
             rr: vec![0; banks],
             held_pc: Vec::new(),
+            req_info: Vec::new(),
             serve: Vec::new(),
             unserved: Vec::new(),
             stats: DXbarStats::default(),
@@ -208,69 +212,36 @@ impl DXbar {
         // ---- per-bank arbitration: pick and serve one address-group ----
         let mut serve = std::mem::take(&mut self.serve);
         serve.clear();
-        for bank in 0..banks {
-            let mut in_bank = 0usize;
-            let mut unlocked = 0usize;
-            let mut first_addr = None;
-            let mut conflict = false;
-            for r in requests.iter().filter(|r| dmem.bank_of(r.addr) == bank) {
-                in_bank += 1;
-                if !dmem.is_locked(r.addr) {
-                    unlocked += 1;
-                    match first_addr {
-                        None => first_addr = Some(r.addr),
-                        Some(a) if a != r.addr => conflict = true,
-                        Some(_) => {}
+        if !requests.is_empty() {
+            let mut req_info = std::mem::take(&mut self.req_info);
+            req_info.clear();
+            req_info.extend(
+                requests
+                    .iter()
+                    .map(|r| (dmem.bank_of(r.addr), dmem.is_locked(r.addr))),
+            );
+
+            // Request bitmap: visit only the banks that actually have a
+            // request this cycle (in ascending order, like a full sweep
+            // would) instead of scanning every bank of the memory.
+            if banks <= u128::BITS as usize {
+                let mut pending: u128 = 0;
+                for &(b, _) in &req_info {
+                    pending |= 1 << b;
+                }
+                while pending != 0 {
+                    let bank = pending.trailing_zeros() as usize;
+                    pending &= pending - 1;
+                    self.serve_bank(bank, ncores, requests, &req_info, dmem, &mut serve);
+                }
+            } else {
+                for bank in 0..banks {
+                    if req_info.iter().any(|&(b, _)| b == bank) {
+                        self.serve_bank(bank, ncores, requests, &req_info, dmem, &mut serve);
                     }
                 }
             }
-            if in_bank == 0 {
-                continue;
-            }
-            let locked_out = in_bank - unlocked;
-            self.stats.lock_stalls += locked_out as u64;
-            if unlocked == 0 {
-                self.stats.stalls += locked_out as u64;
-                continue;
-            }
-            if conflict {
-                self.stats.conflict_cycles += 1;
-            }
-
-            let eligible = |r: &DmRequest, dmem: &BankedMemory| {
-                dmem.bank_of(r.addr) == bank && !dmem.is_locked(r.addr)
-            };
-            let ptr = self.rr[bank];
-            let winner_core = (0..ncores)
-                .map(|i| (ptr + i) % ncores)
-                .find(|c| requests.iter().any(|r| r.core == *c && eligible(r, dmem)))
-                .expect("bank has unlocked requests");
-            let winner = *requests
-                .iter()
-                .find(|r| r.core == winner_core && eligible(r, dmem))
-                .expect("winner requested");
-            self.rr[bank] = (winner_core + 1) % ncores;
-
-            match winner.access {
-                Access::Write(value) => {
-                    // Writes never merge: serve exactly the winner.
-                    dmem.write(winner.addr, value);
-                    serve.push((winner, None));
-                    self.stats.stalls += (in_bank - 1 - locked_out) as u64;
-                }
-                Access::Read => {
-                    // Broadcast to every reader of the same address.
-                    let in_group = |r: &DmRequest, dmem: &BankedMemory| {
-                        eligible(r, dmem) && r.addr == winner.addr && r.access == Access::Read
-                    };
-                    let group = requests.iter().filter(|r| in_group(r, dmem)).count();
-                    let word = dmem.read_broadcast(winner.addr, group);
-                    self.stats.stalls += (in_bank - group - locked_out) as u64;
-                    for r in requests.iter().filter(|r| in_group(r, dmem)) {
-                        serve.push((*r, Some(word)));
-                    }
-                }
-            }
+            self.req_info = req_info;
         }
         self.stats.grants += serve.len() as u64;
         self.stats.transfers += serve.len() as u64;
@@ -327,6 +298,83 @@ impl DXbar {
             }
         }
         self.serve = serve;
+    }
+
+    /// Serves one requested bank: picks the winning request by rotating
+    /// priority among unlocked requesters, performs the access (broadcast
+    /// for same-address reads) and records the served requests.
+    /// `req_info[i]` must be `(bank, locked)` of `requests[i]`.
+    fn serve_bank(
+        &mut self,
+        bank: usize,
+        ncores: usize,
+        requests: &[DmRequest],
+        req_info: &[(usize, bool)],
+        dmem: &mut BankedMemory,
+        serve: &mut Vec<(DmRequest, Option<u16>)>,
+    ) {
+        let mut in_bank = 0usize;
+        let mut unlocked = 0usize;
+        let mut first_addr = None;
+        let mut conflict = false;
+        for (r, &(b, locked)) in requests.iter().zip(req_info) {
+            if b != bank {
+                continue;
+            }
+            in_bank += 1;
+            if !locked {
+                unlocked += 1;
+                match first_addr {
+                    None => first_addr = Some(r.addr),
+                    Some(a) if a != r.addr => conflict = true,
+                    Some(_) => {}
+                }
+            }
+        }
+        let locked_out = in_bank - unlocked;
+        self.stats.lock_stalls += locked_out as u64;
+        if unlocked == 0 {
+            self.stats.stalls += locked_out as u64;
+            return;
+        }
+        if conflict {
+            self.stats.conflict_cycles += 1;
+        }
+
+        let eligible = || {
+            requests
+                .iter()
+                .zip(req_info)
+                .filter(move |&(_, &(b, locked))| b == bank && !locked)
+                .map(|(r, _)| r)
+        };
+        // Rotating priority in one pass: the eligible requester with the
+        // smallest distance from the pointer wins (distances are distinct
+        // — one request per core).
+        let ptr = self.rr[bank] % ncores;
+        let winner = *eligible()
+            .min_by_key(|r| (r.core + ncores - ptr) % ncores)
+            .expect("bank has unlocked requests");
+        self.rr[bank] = (winner.core + 1) % ncores;
+
+        match winner.access {
+            Access::Write(value) => {
+                // Writes never merge: serve exactly the winner.
+                dmem.write(winner.addr, value);
+                serve.push((winner, None));
+                self.stats.stalls += (in_bank - 1 - locked_out) as u64;
+            }
+            Access::Read => {
+                // Broadcast to every reader of the same address.
+                let in_group = |r: &DmRequest| r.addr == winner.addr && r.access == Access::Read;
+                let group = eligible().filter(|r| in_group(r)).count();
+                let word = dmem.read_broadcast(winner.addr, group);
+                self.stats.stalls += (in_bank - group - locked_out) as u64;
+                for r in eligible().filter(|r| in_group(r)) {
+                    serve.push((*r, Some(word)));
+                }
+            }
+        }
     }
 
     fn hold(&mut self, core: usize, pc: u16) {

@@ -60,6 +60,9 @@ impl IXbarStats {
 #[derive(Debug, Clone)]
 pub struct IXbar {
     rr: Vec<usize>,
+    /// Scratch: bank of each request, resolved once per cycle so the
+    /// per-bank passes never recompute the address mapping.
+    req_banks: Vec<usize>,
     stats: IXbarStats,
 }
 
@@ -68,6 +71,7 @@ impl IXbar {
     pub fn new(banks: usize) -> IXbar {
         IXbar {
             rr: vec![0; banks],
+            req_banks: Vec::new(),
             stats: IXbarStats::default(),
         }
     }
@@ -122,57 +126,136 @@ impl IXbar {
             .unwrap_or(0)
             .max(self.rr.len().min(64));
 
-        for bank in 0..banks {
-            let mut in_bank = 0usize;
-            let mut first_addr = None;
-            let mut conflict = false;
-            for r in requests.iter().filter(|r| imem.bank_of(r.addr) == bank) {
-                in_bank += 1;
-                match first_addr {
-                    None => first_addr = Some(r.addr),
-                    Some(a) if a != r.addr => conflict = true,
-                    Some(_) => {}
+        // Lockstep fast path: every requester at the *same* address is the
+        // dominant cycle shape of SPMD code — one bank, one address-group,
+        // no conflict, everyone served by a single broadcast read.
+        let addr = requests[0].addr;
+        if requests.iter().all(|r| r.addr == addr) {
+            let bank = imem.bank_of(addr);
+            let ptr = self.rr[bank] % ncores;
+            let winner_core = requests
+                .iter()
+                .map(|r| r.core)
+                .min_by_key(|&c| (c + ncores - ptr) % ncores)
+                .expect("non-empty");
+            self.rr[bank] = (winner_core + 1) % ncores;
+            let word = imem.read_broadcast(addr, requests.len());
+            self.stats.grants += requests.len() as u64;
+            self.stats.transfers += requests.len() as u64;
+            grants.extend(requests.iter().map(|r| ImGrant { core: r.core, word }));
+            return;
+        }
+
+        let mut req_banks = std::mem::take(&mut self.req_banks);
+        req_banks.clear();
+        req_banks.extend(requests.iter().map(|r| imem.bank_of(r.addr)));
+
+        // Request bitmap: visit only the banks that actually have a request
+        // this cycle (in ascending order, like a full sweep would) instead
+        // of scanning every bank of the memory.
+        if banks <= u128::BITS as usize {
+            let mut pending: u128 = 0;
+            for &b in &req_banks {
+                pending |= 1 << b;
+            }
+            while pending != 0 {
+                let bank = pending.trailing_zeros() as usize;
+                pending &= pending - 1;
+                self.serve_bank(bank, ncores, requests, &req_banks, imem, grants);
+            }
+        } else {
+            for bank in 0..banks {
+                if req_banks.contains(&bank) {
+                    self.serve_bank(bank, ncores, requests, &req_banks, imem, grants);
                 }
             }
-            if in_bank == 0 {
-                continue;
-            }
-            if conflict {
-                self.stats.conflict_cycles += 1;
-            }
-            // Rotating priority: the first requesting core at or after the
-            // pointer picks the winning address-group.
-            let ptr = self.rr[bank];
-            let winner_core = (0..ncores)
-                .map(|i| (ptr + i) % ncores)
-                .find(|c| {
-                    requests
-                        .iter()
-                        .any(|r| r.core == *c && imem.bank_of(r.addr) == bank)
-                })
-                .expect("bank has requests");
-            let winner_addr = requests
-                .iter()
-                .find(|r| r.core == winner_core && imem.bank_of(r.addr) == bank)
-                .expect("winner requested")
-                .addr;
-            self.rr[bank] = (winner_core + 1) % ncores;
-
-            let served = requests
-                .iter()
-                .filter(|r| imem.bank_of(r.addr) == bank && r.addr == winner_addr)
-                .count();
-            let word = imem.read_broadcast(winner_addr, served);
-            self.stats.grants += served as u64;
-            self.stats.transfers += served as u64;
-            self.stats.stalls += (in_bank - served) as u64;
-            grants.extend(
-                requests
-                    .iter()
-                    .filter(|r| imem.bank_of(r.addr) == bank && r.addr == winner_addr)
-                    .map(|r| ImGrant { core: r.core, word }),
-            );
         }
+        self.req_banks = req_banks;
+    }
+
+    /// Serves one cycle in which `cores` (each id listed once) all fetch
+    /// the same `addr`: the whole group is granted by a single broadcast
+    /// read, exactly as [`IXbar::arbitrate_into`] would grant it —
+    /// identical statistics, memory counters and rotating-priority
+    /// update — without materializing request or grant buffers. Returns
+    /// the fetched word. This is the uniform-lockstep hot path of the
+    /// compiled execution tier.
+    pub fn serve_uniform(&mut self, cores: &[usize], addr: u16, imem: &mut BankedMemory) -> u16 {
+        let n = cores.len();
+        self.stats.requests += n as u64;
+        let ncores = cores
+            .iter()
+            .map(|&c| c + 1)
+            .max()
+            .unwrap_or(0)
+            .max(self.rr.len().min(64));
+        let bank = imem.bank_of(addr);
+        let ptr = self.rr[bank] % ncores;
+        let winner_core = cores
+            .iter()
+            .copied()
+            .min_by_key(|&c| (c + ncores - ptr) % ncores)
+            .expect("uniform group is non-empty");
+        self.rr[bank] = (winner_core + 1) % ncores;
+        self.stats.grants += n as u64;
+        self.stats.transfers += n as u64;
+        imem.read_broadcast(addr, n)
+    }
+
+    /// Serves one requested bank: picks the winning address-group by
+    /// rotating priority, performs the (broadcast) read and emits the
+    /// grants. `req_banks[i]` must be the bank of `requests[i]`.
+    fn serve_bank(
+        &mut self,
+        bank: usize,
+        ncores: usize,
+        requests: &[ImRequest],
+        req_banks: &[usize],
+        imem: &mut BankedMemory,
+        grants: &mut Vec<ImGrant>,
+    ) {
+        let in_bank = || {
+            requests
+                .iter()
+                .zip(req_banks)
+                .filter(move |&(_, &b)| b == bank)
+                .map(|(r, _)| r)
+        };
+        let mut count = 0usize;
+        let mut first_addr = None;
+        let mut conflict = false;
+        for r in in_bank() {
+            count += 1;
+            match first_addr {
+                None => first_addr = Some(r.addr),
+                Some(a) if a != r.addr => conflict = true,
+                Some(_) => {}
+            }
+        }
+        if conflict {
+            self.stats.conflict_cycles += 1;
+        }
+        // Rotating priority: the first requesting core at or after the
+        // pointer picks the winning address-group. Computed in one pass as
+        // the requester with the smallest distance from the pointer
+        // (distances are distinct — one request per core).
+        let ptr = self.rr[bank] % ncores;
+        let winner = in_bank()
+            .min_by_key(|r| (r.core + ncores - ptr) % ncores)
+            .expect("bank has requests");
+        let (winner_core, winner_addr) = (winner.core, winner.addr);
+        self.rr[bank] = (winner_core + 1) % ncores;
+
+        let served = in_bank().filter(|r| r.addr == winner_addr).count();
+        let word = imem.read_broadcast(winner_addr, served);
+        self.stats.grants += served as u64;
+        self.stats.transfers += served as u64;
+        self.stats.stalls += (count - served) as u64;
+        grants.extend(
+            in_bank()
+                .filter(|r| r.addr == winner_addr)
+                .map(|r| ImGrant { core: r.core, word }),
+        );
     }
 }
 

@@ -52,4 +52,5 @@ pub use error::{ConfigError, PlatformError};
 pub use observer::{BankHeatMap, LockstepWidth, Observer, PcTrace};
 pub use sim::{Platform, RunSummary};
 pub use stats::SimStats;
+pub use ulp_jit::{ExecTier, JitStats, TranslationCache};
 pub use vcd::VcdTracer;

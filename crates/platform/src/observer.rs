@@ -101,11 +101,28 @@ impl LockstepWidth {
         self.sum = 0;
         self.cycles = 0;
     }
+
+    /// Records one perfectly uniform fetch cycle (`width` cores at one
+    /// PC) without materializing a request list — what
+    /// [`Observer::on_fetch`] would record for such a cycle. Used by the
+    /// compiled tier's lockstep batches.
+    pub fn note_uniform(&mut self, width: u64) {
+        self.sum += width;
+        self.cycles += 1;
+    }
 }
 
 impl Observer for LockstepWidth {
     fn on_fetch(&mut self, _cycle: u64, fetch_reqs: &[ImRequest]) {
         if fetch_reqs.is_empty() {
+            return;
+        }
+        // Perfect lockstep (every requester at one PC) is the dominant
+        // fetch shape — recognise it without sorting.
+        let addr = fetch_reqs[0].addr;
+        if fetch_reqs.iter().all(|r| r.addr == addr) {
+            self.sum += fetch_reqs.len() as u64;
+            self.cycles += 1;
             return;
         }
         self.scratch.clear();
@@ -337,6 +354,7 @@ mod tests {
             sync: None,
             lockstep_width_sum: 0,
             lockstep_width_cycles: 0,
+            jit: ulp_jit::JitStats::default(),
         };
         map.on_run_end(&Ok(RunSummary { cycles: 3 }), &stats);
         assert_eq!(map.rows(), &[vec![1, 0, 2, 0], vec![0, 0, 0, 1]]);

@@ -7,6 +7,8 @@ use crate::observer::{LockstepWidth, Observer};
 use crate::stats::SimStats;
 use ulp_cpu::{Core, CoreState, MemAccess, SyncRequest, WakeReason};
 use ulp_isa::asm::Program;
+use ulp_isa::OpClass;
+use ulp_jit::{ExecTier, TranslationCache};
 use ulp_mem::{
     Access, BankedMemory, DXbar, DXbarOutcome, DmGrant, DmRequest, IXbar, ImGrant, ImRequest,
 };
@@ -85,6 +87,12 @@ pub struct Platform {
     fault: Option<PlatformError>,
     buffers: CycleBuffers,
     lockstep: LockstepWidth,
+    jit: TranslationCache,
+    /// Per-core trace cursor: `(block, offset)` of the micro-op the core
+    /// fetches (or is executing) inside a translated trace. A pure hint —
+    /// every use re-validates it against the core's PC — kept so
+    /// consecutive compiled cycles skip the cache lookup inside a block.
+    cursors: Vec<Option<(u32, u16)>>,
 }
 
 impl Platform {
@@ -106,6 +114,8 @@ impl Platform {
             fault: None,
             buffers: CycleBuffers::new(cfg.num_cores),
             lockstep: LockstepWidth::new(),
+            jit: TranslationCache::new(cfg.jit_hot_threshold),
+            cursors: vec![None; cfg.num_cores],
             cfg,
         })
     }
@@ -121,6 +131,26 @@ impl Platform {
     /// budgets without being rebuilt.
     pub fn set_max_cycles(&mut self, budget: u64) {
         self.cfg.max_cycles = budget;
+    }
+
+    /// The configured execution tier.
+    pub fn exec_tier(&self) -> ExecTier {
+        self.cfg.exec_tier
+    }
+
+    /// Replaces the execution tier in place. Part of the reuse surface
+    /// alongside [`Platform::set_max_cycles`]: a cached platform can serve
+    /// jobs requesting either tier without being rebuilt. Takes effect on
+    /// the next run.
+    pub fn set_exec_tier(&mut self, tier: ExecTier) {
+        self.cfg.exec_tier = tier;
+        self.cursors.fill(None);
+    }
+
+    /// The translation cache of the compiled tier (hotness counters,
+    /// cached traces, per-run counters).
+    pub fn translation_cache(&self) -> &TranslationCache {
+        &self.jit
     }
 
     /// Returns the platform to its power-on state — cores reset, memories
@@ -141,6 +171,12 @@ impl Platform {
         self.cycle = 0;
         self.fault = None;
         self.lockstep.reset();
+        // The translation cache intentionally survives reset: reloading the
+        // same kernel must hit the existing traces. Zeroing the IM above
+        // made its fingerprint stale, so flag it for revalidation.
+        self.jit.begin_run();
+        self.jit.mark_im_dirty();
+        self.cursors.fill(None);
     }
 
     /// Loads an assembled program into instruction memory.
@@ -148,11 +184,13 @@ impl Platform {
         for (addr, word) in program.iter() {
             self.imem.poke(addr, word);
         }
+        self.jit.mark_im_dirty();
     }
 
     /// Loads raw words into instruction memory at `base`.
     pub fn load_im(&mut self, base: u16, words: &[u16]) {
         self.imem.load(base, words);
+        self.jit.mark_im_dirty();
     }
 
     /// Loads raw words into data memory at `base`.
@@ -210,7 +248,7 @@ impl Platform {
     /// Advances the platform by one clock cycle with no observers
     /// attached. Equivalent to `step_with(&mut [])`.
     pub fn step(&mut self) {
-        self.step_with(&mut []);
+        self.step_cycle::<false>(&mut []);
     }
 
     /// Advances the platform by one clock cycle, notifying `observers` at
@@ -218,15 +256,30 @@ impl Platform {
     ///
     /// The engine performs zero heap allocations in steady state: all
     /// per-cycle working sets live in buffers owned by the platform and
-    /// its components, sized once and reused every cycle.
+    /// its components, sized once and reused every cycle. An empty
+    /// observer slice dispatches to a monomorphized cycle with every
+    /// observer hook compiled out, so instrumented *capability* costs
+    /// nothing when no instrument is attached.
     pub fn step_with(&mut self, observers: &mut [&mut dyn Observer]) {
+        if observers.is_empty() {
+            self.step_cycle::<false>(&mut []);
+        } else {
+            self.step_cycle::<true>(observers);
+        }
+    }
+
+    /// One interpreter cycle. `OBSERVED` gates every observer dispatch at
+    /// compile time; the built-in lockstep recorder only implements
+    /// `on_fetch`, so that is the one hook the unobserved copy keeps.
+    fn step_cycle<const OBSERVED: bool>(&mut self, observers: &mut [&mut dyn Observer]) {
         self.cycle += 1;
         let cycle = self.cycle;
         let mut buf = std::mem::take(&mut self.buffers);
 
-        self.lockstep.on_cycle_start(cycle, &self.cores);
-        for o in observers.iter_mut() {
-            o.on_cycle_start(cycle, &self.cores);
+        if OBSERVED {
+            for o in observers.iter_mut() {
+                o.on_cycle_start(cycle, &self.cores);
+            }
         }
 
         // Interrupt polling happens at instruction boundaries, before the
@@ -238,28 +291,64 @@ impl Platform {
 
         // Snapshot the phase of every core: each core receives exactly one
         // cycle-consuming call below, based on where it *started* the
-        // cycle (fetch completing this cycle executes next cycle).
+        // cycle (fetch completing this cycle executes next cycle). One
+        // pass over the snapshot collects every request list and per-phase
+        // work flag, so the phases below never rescan cores that have
+        // nothing for them.
         buf.phases.clear();
         buf.phases.extend(self.cores.iter().map(|c| c.state()));
-        for (i, (phase, core)) in buf.phases.iter().zip(&self.cores).enumerate() {
-            self.lockstep.on_core_phase(cycle, i, core.pc(), *phase);
-            for o in observers.iter_mut() {
-                o.on_core_phase(cycle, i, core.pc(), *phase);
+        buf.fetch_reqs.clear();
+        buf.sync_reqs.clear();
+        buf.dm_reqs.clear();
+        let mut any_sync_issued = false;
+        let mut any_sleeping = false;
+        let mut any_held = false;
+        // Cores whose execute phase is core-local (neither memory nor
+        // sync) and completes at the end of the cycle; bit per core id.
+        let mut local_done: u32 = 0;
+        for (i, phase) in buf.phases.iter().enumerate() {
+            if OBSERVED {
+                for o in observers.iter_mut() {
+                    o.on_core_phase(cycle, i, self.cores[i].pc(), *phase);
+                }
+            }
+            match phase {
+                CoreState::Fetch => {
+                    if let Some(addr) = self.cores[i].fetch_request() {
+                        buf.fetch_reqs.push(ImRequest { core: i, addr });
+                    }
+                }
+                CoreState::Execute(_) => {
+                    let c = &self.cores[i];
+                    if let Some(r) = c.sync_request() {
+                        buf.sync_reqs.push((i, r));
+                    } else if let Some(r) = c.mem_request() {
+                        buf.dm_reqs.push(DmRequest {
+                            core: i,
+                            pc: c.pc(),
+                            addr: r.addr,
+                            access: match r.access {
+                                MemAccess::Read => Access::Read,
+                                MemAccess::Write(v) => Access::Write(v),
+                            },
+                        });
+                    } else {
+                        local_done |= 1 << i;
+                    }
+                }
+                CoreState::SyncIssued(_) => any_sync_issued = true,
+                CoreState::Sleeping => any_sleeping = true,
+                CoreState::Held { .. } => any_held = true,
+                CoreState::Halted => {}
             }
         }
 
         // ---- fetch phase ----------------------------------------------
-        buf.fetch_reqs.clear();
-        buf.fetch_reqs.extend(
-            self.cores
-                .iter()
-                .enumerate()
-                .filter(|(i, _)| matches!(buf.phases[*i], CoreState::Fetch))
-                .filter_map(|(i, c)| c.fetch_request().map(|addr| ImRequest { core: i, addr })),
-        );
         self.lockstep.on_fetch(cycle, &buf.fetch_reqs);
-        for o in observers.iter_mut() {
-            o.on_fetch(cycle, &buf.fetch_reqs);
+        if OBSERVED {
+            for o in observers.iter_mut() {
+                o.on_fetch(cycle, &buf.fetch_reqs);
+            }
         }
 
         self.ixbar
@@ -281,15 +370,6 @@ impl Platform {
         }
 
         // ---- execute phase: synchronization ISE ------------------------
-        buf.sync_reqs.clear();
-        buf.sync_reqs.extend(
-            self.cores
-                .iter()
-                .enumerate()
-                .filter(|(i, _)| matches!(buf.phases[*i], CoreState::Execute(_)))
-                .filter_map(|(i, c)| c.sync_request().map(|r| (i, r))),
-        );
-
         if let Some(sync) = &mut self.sync {
             sync.step_into(&buf.sync_reqs, &mut self.dmem, &mut buf.sync_events);
             let events = &buf.sync_events;
@@ -301,15 +381,19 @@ impl Platform {
                 }
             }
             // Cores inside the in-flight RMW spend this cycle there.
-            for (i, phase) in buf.phases.iter().enumerate() {
-                if matches!(phase, CoreState::SyncIssued(_)) {
-                    self.cores[i].note_sync_active();
+            if any_sync_issued {
+                for (i, phase) in buf.phases.iter().enumerate() {
+                    if matches!(phase, CoreState::SyncIssued(_)) {
+                        self.cores[i].note_sync_active();
+                    }
                 }
             }
             // Sleeping cores burn their cycle before any wake edge.
-            for (i, phase) in buf.phases.iter().enumerate() {
-                if matches!(phase, CoreState::Sleeping) {
-                    self.cores[i].note_sleep();
+            if any_sleeping {
+                for (i, phase) in buf.phases.iter().enumerate() {
+                    if matches!(phase, CoreState::Sleeping) {
+                        self.cores[i].note_sleep();
+                    }
                 }
             }
             for &(core, sleep) in &events.completed {
@@ -326,37 +410,22 @@ impl Platform {
             for &(core, _) in &buf.sync_reqs {
                 self.cores[core].skip_sync_op();
             }
-            for (i, phase) in buf.phases.iter().enumerate() {
-                if matches!(phase, CoreState::Sleeping) {
-                    self.cores[i].note_sleep();
+            if any_sleeping {
+                for (i, phase) in buf.phases.iter().enumerate() {
+                    if matches!(phase, CoreState::Sleeping) {
+                        self.cores[i].note_sleep();
+                    }
                 }
             }
         }
 
         // ---- execute phase: data memory --------------------------------
-        buf.dm_reqs.clear();
-        buf.dm_reqs.extend(
-            self.cores
-                .iter()
-                .enumerate()
-                .filter(|(i, _)| matches!(buf.phases[*i], CoreState::Execute(_)))
-                .filter_map(|(i, c)| {
-                    c.mem_request().map(|r| DmRequest {
-                        core: i,
-                        pc: c.pc(),
-                        addr: r.addr,
-                        access: match r.access {
-                            MemAccess::Read => Access::Read,
-                            MemAccess::Write(v) => Access::Write(v),
-                        },
-                    })
-                }),
-        );
-
         // Held cores burn their cycle before any release edge.
-        for (i, phase) in buf.phases.iter().enumerate() {
-            if matches!(phase, CoreState::Held { .. }) {
-                self.cores[i].note_hold();
+        if any_held {
+            for (i, phase) in buf.phases.iter().enumerate() {
+                if matches!(phase, CoreState::Held { .. }) {
+                    self.cores[i].note_hold();
+                }
             }
         }
 
@@ -380,25 +449,26 @@ impl Platform {
                 self.cores[r.core].note_mem_stall();
             }
         }
-        for o in observers.iter_mut() {
-            o.on_dm(cycle, &buf.dm_reqs, &buf.granted);
+        if OBSERVED {
+            for o in observers.iter_mut() {
+                o.on_dm(cycle, &buf.dm_reqs, &buf.granted);
+            }
         }
         for &core in &buf.dm_outcome.releases {
             self.cores[core].release();
         }
 
         // ---- execute phase: everything else -----------------------------
-        for (i, phase) in buf.phases.iter().enumerate() {
-            if let CoreState::Execute(instr) = phase {
-                if !instr.is_mem() && !instr.is_sync() {
-                    self.cores[i].complete_execute(None);
-                }
-            }
+        while local_done != 0 {
+            let i = local_done.trailing_zeros() as usize;
+            local_done &= local_done - 1;
+            self.cores[i].complete_execute(None);
         }
 
-        self.lockstep.on_cycle_end(cycle, &self.cores);
-        for o in observers.iter_mut() {
-            o.on_cycle_end(cycle, &self.cores);
+        if OBSERVED {
+            for o in observers.iter_mut() {
+                o.on_cycle_end(cycle, &self.cores);
+            }
         }
         self.buffers = buf;
     }
@@ -422,6 +492,24 @@ impl Platform {
     ///
     /// See [`Platform::run`].
     pub fn run_with(
+        &mut self,
+        observers: &mut [&mut dyn Observer],
+    ) -> Result<RunSummary, PlatformError> {
+        if self.cfg.exec_tier == ExecTier::Compiled {
+            if observers.is_empty() {
+                return self.run_compiled();
+            }
+            // Observer hooks fire every cycle, and every observed cycle is
+            // a fidelity boundary: the whole run stays on the interpreter.
+            let start = self.cycle;
+            let outcome = self.run_interpreted(observers);
+            self.jit.stats_mut().fallback_cycles += self.cycle - start;
+            return outcome;
+        }
+        self.run_interpreted(observers)
+    }
+
+    fn run_interpreted(
         &mut self,
         observers: &mut [&mut dyn Observer],
     ) -> Result<RunSummary, PlatformError> {
@@ -449,6 +537,358 @@ impl Platform {
             }
         }
         outcome
+    }
+
+    /// The compiled-tier run loop: each iteration either replays one cycle
+    /// through the translated traces or hands exactly one cycle to the
+    /// interpreter (cold code, fidelity boundaries, possible DM conflicts).
+    fn run_compiled(&mut self) -> Result<RunSummary, PlatformError> {
+        self.revalidate_jit();
+        loop {
+            if self.cycle >= self.cfg.max_cycles {
+                return Err(PlatformError::Timeout {
+                    budget: self.cfg.max_cycles,
+                });
+            }
+            if self.step_tier_once() {
+                // A compiled cycle cannot fault, halt the last core or
+                // deadlock — those all live behind fidelity boundaries
+                // that force the interpreter path.
+                continue;
+            }
+            if let Some(fault) = self.fault {
+                return Err(fault);
+            }
+            if self.all_halted() {
+                return Ok(RunSummary { cycles: self.cycle });
+            }
+            if self.is_deadlocked() {
+                return Err(PlatformError::Deadlock { cycle: self.cycle });
+            }
+        }
+    }
+
+    /// Advances the simulation honoring the configured execution tier: on
+    /// a compiled-tier platform the cycle is replayed through hot traces
+    /// whenever it is trace-safe and interpreted otherwise. Returns whether
+    /// the work executed in the compiled tier (always `false` on an
+    /// interpreted-tier platform).
+    ///
+    /// A compiled step may advance *more than one cycle*: when every core
+    /// runs the same pure-op trace in lockstep, the whole run executes as
+    /// one batch (check [`Platform::cycle`] for the actual progress).
+    /// External events injected between steps ([`Platform::raise_irq`])
+    /// are polled at the next step, so they land on a batch boundary —
+    /// step-for-step interrupt timing against the interpreter requires
+    /// [`ExecTier::Interpreted`].
+    pub fn step_tiered(&mut self) -> bool {
+        if self.cfg.exec_tier == ExecTier::Compiled {
+            self.revalidate_jit();
+            self.step_tier_once()
+        } else {
+            self.step();
+            false
+        }
+    }
+
+    /// Revalidates the translation cache against the current IM; if the
+    /// cached traces were dropped, the per-core cursors into them die too.
+    fn revalidate_jit(&mut self) {
+        self.jit.revalidate(&self.imem);
+        if self.jit.blocks_cached() == 0 {
+            self.cursors.fill(None);
+        }
+    }
+
+    /// One tiered cycle (cache already revalidated): tries the compiled
+    /// path, falling back to a single unobserved interpreter cycle.
+    fn step_tier_once(&mut self) -> bool {
+        // Interrupt polling happens at instruction boundaries before the
+        // fetch phase, exactly like the interpreter cycle. `poll_interrupt`
+        // is idempotent, so the fallback cycle re-polling is harmless; a
+        // redirected core's cursor hint simply fails PC validation.
+        for core in &mut self.cores {
+            core.poll_interrupt();
+        }
+        if self.try_step_compiled() {
+            self.jit.stats_mut().compiled_cycles += 1;
+            return true;
+        }
+        self.cursors.fill(None);
+        self.step_cycle::<false>(&mut []);
+        self.jit.stats_mut().fallback_cycles += 1;
+        false
+    }
+
+    /// Attempts to execute the next cycle entirely inside translated
+    /// traces. Succeeds only when every core's contribution is trace-safe:
+    /// the synchronizer is idle, fetching cores sit on a hot trace,
+    /// executing cores run trace-safe micro-ops, and the data-memory
+    /// request set is conflict-free and lock-free. On success the cycle is
+    /// *replayed* exactly as the interpreter would execute it — same
+    /// crossbar arbitration, same rotating priorities, same counters — so
+    /// all architectural state and statistics stay bit-identical; the only
+    /// work skipped is per-instruction decode and the phase machinery that
+    /// provably does nothing this cycle.
+    fn try_step_compiled(&mut self) -> bool {
+        if self.sync.as_ref().is_some_and(Synchronizer::is_busy) {
+            return false;
+        }
+        let n = self.cores.len();
+        debug_assert!(n <= 16, "plan scratch is sized for the core-count cap");
+
+        // ---- uniform lockstep batch --------------------------------------
+        // The dominant shape of SPMD hot loops: every non-halted core in
+        // Fetch at the *same* PC. If the trace ahead is a run of pure
+        // (core-local, non-memory) micro-ops, the whole run executes here
+        // — per op one broadcast fetch cycle plus one execute cycle, with
+        // the same statistics the interpreter would record, but without
+        // per-cycle arbitration, request buffers or phase scans.
+        if self.try_step_uniform_batch() {
+            return true;
+        }
+
+        // ---- plan: classify every core's cycle, commit nothing ---------
+        let mut fetchers = [(0usize, 0u32, 0u16); 16];
+        let mut nfetch = 0usize;
+        let mut dm_plan = [(0usize, 0u16, Access::Read); 16];
+        let mut ndm = 0usize;
+        let mut local_done: u32 = 0;
+        let mut any_active = false;
+        for i in 0..n {
+            match self.cores[i].state() {
+                CoreState::Halted => {}
+                CoreState::Fetch => {
+                    any_active = true;
+                    let pc = self.cores[i].pc();
+                    // The cursor is a hint: trust it only if it points at
+                    // this PC inside its trace (traces mirror validated
+                    // IM, so any cursor passing this check is correct).
+                    let cursor = self.cursors[i]
+                        .filter(|&(b, off)| {
+                            let block = self.jit.block(b);
+                            (off as usize) < block.len() && block.start.wrapping_add(off) == pc
+                        })
+                        .or_else(|| self.jit.lookup_hot(pc, &self.imem).map(|b| (b, 0)));
+                    let Some(cur) = cursor else {
+                        return false; // cold code: interpret this cycle
+                    };
+                    self.cursors[i] = Some(cur);
+                    fetchers[nfetch] = (i, cur.0, cur.1);
+                    nfetch += 1;
+                }
+                CoreState::Execute(instr) => {
+                    any_active = true;
+                    match instr.op_class() {
+                        OpClass::Pure | OpClass::Control => local_done |= 1 << i,
+                        OpClass::Mem => {
+                            let r = self.cores[i].mem_request().expect("Mem class requests DM");
+                            let access = match r.access {
+                                MemAccess::Read => Access::Read,
+                                MemAccess::Write(v) => Access::Write(v),
+                            };
+                            dm_plan[ndm] = (i, r.addr, access);
+                            ndm += 1;
+                        }
+                        OpClass::Boundary => return false,
+                    }
+                }
+                // Held, SyncIssued, Sleeping: fidelity boundaries.
+                _ => return false,
+            }
+        }
+        if !any_active {
+            return false;
+        }
+        // The DM request set must be conflict-free: per bank at most one
+        // request unless all of them are same-address reads, and no locked
+        // words. Pairwise is fine at <= 16 requests.
+        for a in 0..ndm {
+            let (_, addr_a, access_a) = dm_plan[a];
+            if self.dmem.is_locked(addr_a) {
+                return false;
+            }
+            for &(_, addr_b, access_b) in &dm_plan[a + 1..ndm] {
+                if self.dmem.bank_of(addr_a) == self.dmem.bank_of(addr_b)
+                    && !(addr_a == addr_b && access_a == Access::Read && access_b == Access::Read)
+                {
+                    return false;
+                }
+            }
+        }
+
+        // ---- commit: replay the exact interpreter cycle ----------------
+        self.cycle += 1;
+        let cycle = self.cycle;
+        let mut buf = std::mem::take(&mut self.buffers);
+
+        // Fetch phase: addresses come from the cores as usual; the real
+        // I-Xbar arbitration keeps rotating priority, conflict accounting
+        // and memory energy counters bit-identical. Only decode is skipped:
+        // granted cores receive the pre-decoded micro-op. (With no fetcher
+        // the interpreter's fetch phase is a no-op: the width recorder
+        // ignores empty cycles and the crossbar grants nothing.)
+        if nfetch > 0 {
+            buf.fetch_reqs.clear();
+            for &(i, _, _) in &fetchers[..nfetch] {
+                buf.fetch_reqs.push(ImRequest {
+                    core: i,
+                    addr: self.cores[i].pc(),
+                });
+            }
+            self.lockstep.on_fetch(cycle, &buf.fetch_reqs);
+            self.ixbar
+                .arbitrate_into(&buf.fetch_reqs, &mut self.imem, &mut buf.im_grants);
+            buf.fetched.fill(false);
+            for g in &buf.im_grants {
+                buf.fetched[g.core] = true;
+            }
+            for &(i, block, off) in &fetchers[..nfetch] {
+                if buf.fetched[i] {
+                    let op = self.jit.block(block).ops[off as usize];
+                    self.cores[i].on_fetch_granted_decoded(op.instr);
+                } else {
+                    self.cores[i].note_fetch_stall();
+                }
+            }
+        }
+
+        // Sync phase: skipped — the synchronizer is idle and no core
+        // issues a sync op, so the interpreter's step would be a no-op.
+
+        // DM phase: the plan guarantees every request is served. (With no
+        // request the interpreter's DM phase is a no-op too: the plan
+        // excludes held cores, so there is nothing to release either.)
+        if ndm > 0 {
+            buf.dm_reqs.clear();
+            for &(i, addr, access) in &dm_plan[..ndm] {
+                buf.dm_reqs.push(DmRequest {
+                    core: i,
+                    pc: self.cores[i].pc(),
+                    addr,
+                    access,
+                });
+            }
+            self.dxbar
+                .arbitrate_into(&buf.dm_reqs, &mut self.dmem, &mut buf.dm_outcome);
+            debug_assert_eq!(
+                buf.dm_outcome.grants.len(),
+                ndm,
+                "conflict-free plan fully served"
+            );
+            debug_assert!(buf.dm_outcome.releases.is_empty());
+            for g in &buf.dm_outcome.grants {
+                match *g {
+                    DmGrant::Complete { core, data } => {
+                        self.cores[core].complete_execute(data);
+                        self.advance_cursor(core);
+                    }
+                    // A hold needs unserved synchronous peers; a
+                    // conflict-free cycle serves everyone.
+                    DmGrant::Hold { .. } => unreachable!("conflict-free cycle cannot hold"),
+                }
+            }
+        }
+
+        // Execute phase: core-local micro-ops complete with no operand.
+        while local_done != 0 {
+            let i = local_done.trailing_zeros() as usize;
+            local_done &= local_done - 1;
+            self.cores[i].complete_execute(None);
+            self.advance_cursor(i);
+        }
+
+        self.buffers = buf;
+        true
+    }
+
+    /// The uniform-lockstep batch: when every non-halted core is fetching
+    /// the same PC on a hot trace whose next micro-ops are a run of
+    /// [`OpClass::Pure`] ops, executes the whole run (capped by the cycle
+    /// budget) in one call. Per op this replays exactly one broadcast
+    /// fetch cycle and one core-local execute cycle — identical memory,
+    /// crossbar, lockstep-width and core counters to the interpreter —
+    /// so architectural state and statistics stay bit-identical. Returns
+    /// whether a batch (≥ 1 op) ran.
+    fn try_step_uniform_batch(&mut self) -> bool {
+        let mut active = [0usize; 16];
+        let mut m = 0usize;
+        let mut pc = 0u16;
+        for (i, core) in self.cores.iter().enumerate() {
+            match core.state() {
+                CoreState::Halted => {}
+                CoreState::Fetch => {
+                    if m == 0 {
+                        pc = core.pc();
+                    } else if core.pc() != pc {
+                        return false;
+                    }
+                    active[m] = i;
+                    m += 1;
+                }
+                _ => return false,
+            }
+        }
+        if m == 0 {
+            return false;
+        }
+        // All fetchers share one PC: resolve the trace through the first
+        // core's cursor hint (validated) or the hot-block cache.
+        let leader = active[0];
+        let Some((b, off)) = self.cursors[leader]
+            .filter(|&(b, off)| {
+                let block = self.jit.block(b);
+                (off as usize) < block.len() && block.start.wrapping_add(off) == pc
+            })
+            .or_else(|| self.jit.lookup_hot(pc, &self.imem).map(|b| (b, 0)))
+        else {
+            return false;
+        };
+        let block = self.jit.block(b);
+        // Cap the run so the batch never overshoots the cycle budget (the
+        // interpreter would stop there, one cycle at a time).
+        let budget_pairs = self.cfg.max_cycles.saturating_sub(self.cycle) / 2;
+        let k = block.pure_run(off).min(budget_pairs as usize);
+        if k == 0 {
+            return false;
+        }
+
+        for step in 0..k {
+            let op = block.ops[off as usize + step];
+            let at = block.start.wrapping_add(off).wrapping_add(step as u16);
+            // Fetch cycle: one broadcast read serves the whole group.
+            self.cycle += 1;
+            self.lockstep.note_uniform(m as u64);
+            self.ixbar.serve_uniform(&active[..m], at, &mut self.imem);
+            for &i in &active[..m] {
+                self.cores[i].on_fetch_granted_decoded(op.instr);
+            }
+            // Execute cycle: pure ops complete core-locally.
+            self.cycle += 1;
+            for &i in &active[..m] {
+                self.cores[i].complete_execute(None);
+            }
+        }
+        let end = off + k as u16;
+        let cursor = ((end as usize) < block.len()).then_some((b, end));
+        for &i in &active[..m] {
+            self.cursors[i] = cursor;
+        }
+        let jit = self.jit.stats_mut();
+        jit.compiled_cycles += 2 * k as u64 - 1; // the caller counts one more
+        true
+    }
+
+    /// After a compiled execute completion, points the core's cursor at
+    /// the next micro-op of its trace; past the end (including control
+    /// terminators) the cursor dies and the next fetch re-enters through
+    /// the cache at the new PC.
+    fn advance_cursor(&mut self, i: usize) {
+        if let Some((block, off)) = self.cursors[i] {
+            let next = off + 1;
+            self.cursors[i] =
+                ((next as usize) < self.jit.block(block).len()).then_some((block, next));
+        }
     }
 
     /// A deadlock: no core can make progress again — every non-halted core
@@ -482,6 +922,7 @@ impl Platform {
             sync: self.sync.as_ref().map(|s| *s.stats()),
             lockstep_width_sum: self.lockstep.sum(),
             lockstep_width_cycles: self.lockstep.cycles(),
+            jit: self.jit.stats(),
         }
     }
 }

@@ -3,6 +3,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 use ulp_kernels::{Benchmark, BenchmarkRun, RunnerError, WorkloadConfig};
+use ulp_platform::ExecTier;
 
 /// Urgency class of a job. Each worker deque is segregated by priority:
 /// owners and thieves always serve the highest non-empty class first, so a
@@ -79,6 +80,10 @@ pub struct JobSpec {
     /// deadline miss ([`JobResult::deadline_missed`]) and counted in
     /// [`crate::ServiceStats::deadline_misses`]. `None` = no deadline.
     pub deadline_cycles: Option<u64>,
+    /// Execution tier of the platform run: the interpreter by default, or
+    /// the compiled hot-block tier — bit-identical results, faster on
+    /// lockstep-heavy kernels.
+    pub exec_tier: ExecTier,
 }
 
 impl JobSpec {
@@ -98,6 +103,7 @@ impl JobSpec {
             affinity: None,
             priority: Priority::Normal,
             deadline_cycles: None,
+            exec_tier: ExecTier::Interpreted,
         }
     }
 
@@ -121,6 +127,14 @@ impl JobSpec {
     #[must_use]
     pub fn with_observers(mut self, observers: ObserverSelection) -> JobSpec {
         self.observers = observers;
+        self
+    }
+
+    /// Selects the execution tier of the platform run (the default is
+    /// [`ExecTier::Interpreted`]).
+    #[must_use]
+    pub fn with_exec_tier(mut self, tier: ExecTier) -> JobSpec {
+        self.exec_tier = tier;
         self
     }
 

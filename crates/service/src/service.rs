@@ -891,14 +891,18 @@ fn run_job(
             shared.cache_hits.fetch_add(1, Ordering::Relaxed);
             let platform = e.into_mut();
             // Reused platforms keep their allocations but must adopt this
-            // job's cycle budget — workloads differ across jobs.
+            // job's cycle budget and execution tier — both differ across
+            // jobs. The translation cache survives, so a compiled-tier job
+            // landing on a warm platform reuses the existing traces.
             platform.set_max_cycles(spec.workload.max_cycles);
+            platform.set_exec_tier(spec.exec_tier);
             (true, platform)
         }
         Entry::Vacant(e) => {
             let cfg = PlatformConfig::paper(spec.with_sync)
                 .with_cores(spec.cores)
-                .with_max_cycles(spec.workload.max_cycles);
+                .with_max_cycles(spec.workload.max_cycles)
+                .with_exec_tier(spec.exec_tier);
             match Platform::new(cfg) {
                 Ok(platform) => {
                     shared.platforms_built.fetch_add(1, Ordering::Relaxed);

@@ -12,6 +12,7 @@
 //!   --baseline           run the design without the synchronizer
 //!   --threads <n>        service workers (default: all hardware threads)
 //!   --heatmap <window>   attach a per-bank DM heat map (cycles per row)
+//!   --exec-tier <tier>   interpreted (default) or compiled
 //!   --smoke              tiny workload (CI smoke mode: short recording)
 //! ```
 //!
@@ -22,6 +23,7 @@
 
 use std::process::ExitCode;
 use ulp_kernels::{Benchmark, WorkloadConfig};
+use ulp_platform::ExecTier;
 use ulp_power::PowerModel;
 use ulp_service::ObserverSelection;
 use ulp_shard::{merge_verified, required_halo, ShardPlan, ShardRunConfig, ShardRunner};
@@ -37,6 +39,8 @@ const USAGE: &str = "usage: shard [plan|run] [options]
   --baseline           run the design without the synchronizer
   --threads <n>        service workers (default: all hardware threads)
   --heatmap <window>   attach a per-bank DM heat map (cycles per row)
+  --exec-tier <tier>   execution tier: `interpreted` (default) or
+                       `compiled` (bit-identical statistics, faster)
   --smoke              tiny workload (CI smoke mode: short recording)";
 
 #[derive(Clone)]
@@ -50,6 +54,7 @@ struct Options {
     with_sync: bool,
     threads: usize,
     heatmap: Option<u64>,
+    exec_tier: ExecTier,
     smoke: bool,
 }
 
@@ -64,6 +69,7 @@ fn parse_args() -> Result<Options, String> {
         with_sync: true,
         threads: 0,
         heatmap: None,
+        exec_tier: ExecTier::Interpreted,
         smoke: false,
     };
     let mut args = std::env::args().skip(1);
@@ -105,6 +111,11 @@ fn parse_args() -> Result<Options, String> {
             }
             "--threads" => {
                 opts.threads = parse_num(next_value(&mut args, "--threads")?, "--threads")?;
+            }
+            "--exec-tier" => {
+                opts.exec_tier = next_value(&mut args, "--exec-tier")?
+                    .parse()
+                    .map_err(|e| format!("bad value for --exec-tier: {e}"))?;
             }
             "--heatmap" => {
                 let window = parse_num(next_value(&mut args, "--heatmap")?, "--heatmap")? as u64;
@@ -184,7 +195,8 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    let mut config = ShardRunConfig::new(opts.benchmark, opts.with_sync, opts.cores, workload);
+    let mut config = ShardRunConfig::new(opts.benchmark, opts.with_sync, opts.cores, workload)
+        .with_exec_tier(opts.exec_tier);
     if let Some(window) = opts.heatmap {
         config.observers = ObserverSelection::BankHeatMap { window };
     }

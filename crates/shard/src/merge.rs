@@ -265,6 +265,7 @@ pub fn sum_stats(parts: &[&SimStats]) -> SimStats {
         sync: first.sync.map(|_| Default::default()),
         lockstep_width_sum: 0,
         lockstep_width_cycles: 0,
+        jit: Default::default(),
     };
     for (index, part) in parts.iter().enumerate() {
         assert_eq!(
@@ -295,6 +296,7 @@ pub fn sum_stats(parts: &[&SimStats]) -> SimStats {
         }
         total.lockstep_width_sum += part.lockstep_width_sum;
         total.lockstep_width_cycles += part.lockstep_width_cycles;
+        total.jit.merge(&part.jit);
     }
     total
 }

@@ -5,6 +5,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 use ulp_kernels::{Benchmark, BenchmarkRun, RunnerError, WorkloadConfig};
+use ulp_platform::ExecTier;
 use ulp_service::{JobArtifacts, JobSpec, ObserverSelection, Priority, ServiceConfig, SimService};
 
 /// What to run over the recording: the benchmark, the platform design and
@@ -24,6 +25,10 @@ pub struct ShardRunConfig {
     /// Instrumentation attached to every shard job (e.g. a
     /// [`ObserverSelection::BankHeatMap`]).
     pub observers: ObserverSelection,
+    /// Execution tier every shard job runs under (results are
+    /// bit-identical across tiers; shards of one recording may therefore
+    /// even mix tiers without affecting the merge).
+    pub exec_tier: ExecTier,
 }
 
 impl ShardRunConfig {
@@ -40,6 +45,7 @@ impl ShardRunConfig {
             cores,
             workload,
             observers: ObserverSelection::None,
+            exec_tier: ExecTier::Interpreted,
         }
     }
 
@@ -49,6 +55,13 @@ impl ShardRunConfig {
     #[must_use]
     pub fn with_observers(mut self, observers: ObserverSelection) -> ShardRunConfig {
         self.observers = observers;
+        self
+    }
+
+    /// Selects the execution tier of every shard job.
+    #[must_use]
+    pub fn with_exec_tier(mut self, tier: ExecTier) -> ShardRunConfig {
+        self.exec_tier = tier;
         self
     }
 }
@@ -206,6 +219,7 @@ impl ShardRunner {
                     Arc::new(workload),
                 )
                 .with_observers(self.config.observers.clone())
+                .with_exec_tier(self.config.exec_tier)
                 .with_priority(Priority::High)
             })
             .collect()

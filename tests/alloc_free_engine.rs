@@ -10,7 +10,7 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 use ulp_lockstep::isa::asm::assemble;
-use ulp_lockstep::platform::{Platform, PlatformConfig};
+use ulp_lockstep::platform::{ExecTier, Platform, PlatformConfig};
 
 struct CountingAllocator;
 
@@ -83,13 +83,51 @@ fn steady_state_step_performs_zero_heap_allocations() {
         "Platform::step allocated in steady state"
     );
 
+    // The empty-observer fast path: `step_with(&mut [])` takes the same
+    // observer-free engine as `step()` and must be just as allocation-free.
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..10_000 {
+        platform.step_with(&mut []);
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "Platform::step_with(&mut []) allocated in steady state"
+    );
+
     // Sanity: the measured window really exercised the machine.
     let stats = platform.stats();
-    assert!(stats.cycles >= 12_000);
+    assert!(stats.cycles >= 22_000);
     assert!(stats.sync.expect("synchronizer present").batches > 0);
     assert!(stats.dxbar.conflict_cycles > 0, "conflicts exercised");
     assert!(
         stats.core_total.sleep_cycles > 0,
         "barrier sleeps exercised"
     );
+
+    // The compiled tier replays cycles through cached traces; once the
+    // hot blocks are translated (warm-up), tiered stepping is also
+    // allocation-free — both its compiled cycles and its interpreter
+    // fallback cycles.
+    let cfg = PlatformConfig::paper_with_sync()
+        .with_max_cycles(u64::MAX)
+        .with_exec_tier(ExecTier::Compiled);
+    let mut platform = Platform::new(cfg).expect("valid config");
+    platform.load_program(&program);
+    for _ in 0..2_000 {
+        platform.step_tiered();
+    }
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let mut compiled = 0u64;
+    for _ in 0..10_000 {
+        compiled += platform.step_tiered() as u64;
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "Platform::step_tiered allocated in steady state"
+    );
+    assert!(compiled > 0, "the window replayed compiled cycles");
 }
