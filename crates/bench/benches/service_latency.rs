@@ -55,13 +55,9 @@ fn spec(i: usize, workload: &Arc<WorkloadConfig>) -> JobSpec {
     } else {
         Priority::Normal
     };
-    JobSpec::new(
-        Benchmark::Sqrt32,
-        i.is_multiple_of(2),
-        cores,
-        workload.clone(),
-    )
-    .with_priority(priority)
+    JobSpec::new(Benchmark::Sqrt32, cores, workload.clone())
+        .with_sync(i.is_multiple_of(2))
+        .priority(priority)
 }
 
 /// Writes one perf-gate record, mirroring the criterion shim's escaping
@@ -91,12 +87,18 @@ fn main() {
     let jobs: usize = if quick { 72 } else { 288 };
     let workload = tiny_workload();
 
-    let mut service =
-        SimService::start(ServiceConfig::with_workers(WORKERS).with_queue_capacity(QUEUE_CAPACITY));
+    let mut service = SimService::start(
+        ServiceConfig::builder()
+            .workers(WORKERS)
+            .queue_capacity(QUEUE_CAPACITY)
+            .build(),
+    );
     // Warm the platform caches first so the measured distribution reflects
     // steady-state traffic, not the one-off platform constructions.
     for i in 0..(WORKERS * 2) {
-        service.submit(spec(i, &workload));
+        service
+            .submit_blocking(spec(i, &workload))
+            .expect("pool alive");
     }
     let mut warmed = 0;
     while warmed < WORKERS * 2 {
@@ -111,7 +113,9 @@ fn main() {
     // job's latency.
     let mut completed = 0u64;
     for i in 0..jobs {
-        service.submit(spec(i, &workload));
+        service
+            .submit_blocking(spec(i, &workload))
+            .expect("pool alive");
         // Drain opportunistically so the result channel never balloons.
         while let Some(result) = service.try_recv() {
             result.outcome.expect("job runs");

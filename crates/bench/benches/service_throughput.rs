@@ -25,7 +25,9 @@ fn tiny_workload() -> Arc<WorkloadConfig> {
 /// One batch: submit `JOBS_PER_ITER` jobs, stream all results back.
 fn run_batch(service: &mut SimService, specs: &[JobSpec]) -> u64 {
     for spec in specs {
-        service.submit(spec.clone());
+        service
+            .submit(spec.clone())
+            .expect("unbounded queue admits");
     }
     let mut cycles = 0;
     for _ in 0..specs.len() {
@@ -44,9 +46,9 @@ fn bench_service_throughput(c: &mut Criterion) {
     // Uniform grid, one worker: every job after the first hits the
     // platform cache — the reuse fast path.
     let uniform: Vec<JobSpec> = (0..JOBS_PER_ITER)
-        .map(|_| JobSpec::new(Benchmark::Sqrt32, true, 2, workload.clone()))
+        .map(|_| JobSpec::new(Benchmark::Sqrt32, 2, workload.clone()))
         .collect();
-    let mut service = SimService::start(ServiceConfig::with_workers(1));
+    let mut service = SimService::start(ServiceConfig::builder().workers(1).build());
     group.bench_function(BenchmarkId::new("uniform_cached", 1), |b| {
         b.iter(|| run_batch(&mut service, &uniform))
     });
@@ -57,10 +59,12 @@ fn bench_service_throughput(c: &mut Criterion) {
     let mixed: Vec<JobSpec> = (0..JOBS_PER_ITER)
         .map(|i| {
             let cores = if i % 3 == 0 { 8 } else { 2 };
-            JobSpec::new(Benchmark::Sqrt32, i % 2 == 0, cores, workload.clone()).pinned(0)
+            JobSpec::new(Benchmark::Sqrt32, cores, workload.clone())
+                .with_sync(i % 2 == 0)
+                .pinned(0)
         })
         .collect();
-    let mut service = SimService::start(ServiceConfig::with_workers(2));
+    let mut service = SimService::start(ServiceConfig::builder().workers(2).build());
     group.bench_function(BenchmarkId::new("mixed_stealing", 2), |b| {
         b.iter(|| run_batch(&mut service, &mixed))
     });

@@ -16,6 +16,7 @@
 //!   --pctrace <limit>    attach a PC trace to every cell
 //!   --exec-tier <tier>   interpreted (default) or compiled
 //!   --threads <n>        worker threads (default: all hardware threads)
+//!   --tenant <id>        tenant the sweep's jobs are submitted as (default 0)
 //! ```
 //!
 //! `--stream` turns the sweep into a JSON-lines producer: cells are
@@ -35,12 +36,13 @@ use std::process::ExitCode;
 use ulp_bench::{run_sweep_with, SweepCell, SweepSpec};
 use ulp_kernels::{Benchmark, WorkloadConfig};
 use ulp_platform::ExecTier;
-use ulp_service::ObserverSelection;
+use ulp_service::{ObserverSelection, TenantId};
 
-/// One completed cell as a JSON-lines record (`--stream`). `emitted` and
+/// One completed cell as a JSON-lines record (`--stream`, schema 2: adds
+/// `schema` and `tenant` over the schema-less v1 records). `emitted` and
 /// `total` number the *emitted* records: gapless from 1, reaching `total`
 /// exactly when every cell of the grid ran and verified.
-fn json_line(cell: &SweepCell, emitted: usize, total: usize) -> String {
+fn json_line(cell: &SweepCell, tenant: TenantId, emitted: usize, total: usize) -> String {
     let shard = match cell.shard_samples {
         Some(s) => format!("\"shard\":{s},"),
         None => String::new(),
@@ -70,7 +72,8 @@ fn json_line(cell: &SweepCell, emitted: usize, total: usize) -> String {
     };
     format!(
         concat!(
-            "{{\"benchmark\":\"{}\",\"design\":\"{}\",\"cores\":{},{}",
+            "{{\"schema\":2,\"benchmark\":\"{}\",\"design\":\"{}\",",
+            "\"cores\":{},\"tenant\":{},{}",
             "\"cycles\":{},\"ops_per_cycle\":{:.4},\"lockstep_width\":{:.4},",
             "\"im_accesses\":{},{}{}\"completed\":{},\"total\":{}}}"
         ),
@@ -81,6 +84,7 @@ fn json_line(cell: &SweepCell, emitted: usize, total: usize) -> String {
             "baseline"
         },
         cell.cores,
+        tenant,
         shard,
         cell.run.stats.cycles,
         cell.run.stats.ops_per_cycle(),
@@ -107,7 +111,8 @@ const USAGE: &str = "usage: sweep [options]
   --pctrace <limit>    attach a PC trace to every cell (cycles per shard)
   --exec-tier <tier>   execution tier for every cell: `interpreted`
                        (default) or `compiled` (bit-identical, faster)
-  --threads <n>        worker threads (default: all hardware threads)";
+  --threads <n>        worker threads (default: all hardware threads)
+  --tenant <id>        tenant the sweep's jobs are submitted as (default 0)";
 
 struct Options {
     smoke: bool,
@@ -119,6 +124,7 @@ struct Options {
     observers: ObserverSelection,
     exec_tier: ExecTier,
     threads: usize,
+    tenant: TenantId,
 }
 
 fn parse_benchmark(name: &str) -> Result<Benchmark, String> {
@@ -152,6 +158,7 @@ fn parse_args() -> Result<Options, String> {
         observers: ObserverSelection::None,
         exec_tier: ExecTier::Interpreted,
         threads: 0,
+        tenant: TenantId::DEFAULT,
     };
     let mut args = std::env::args().skip(1);
     let next_value = |args: &mut dyn Iterator<Item = String>, what: &str| {
@@ -173,6 +180,13 @@ fn parse_args() -> Result<Options, String> {
                 opts.threads = next_value(&mut args, "--threads")?
                     .parse()
                     .map_err(|e| format!("bad value for --threads: {e}"))?;
+            }
+            "--tenant" => {
+                opts.tenant = TenantId(
+                    next_value(&mut args, "--tenant")?
+                        .parse()
+                        .map_err(|e| format!("bad value for --tenant: {e}"))?,
+                );
             }
             "--cores" => {
                 opts.cores = parse_list(&next_value(&mut args, "--cores")?, "--cores", |s| {
@@ -270,6 +284,7 @@ fn main() -> ExitCode {
         // Auto-bounded backpressure queue (four jobs per worker): huge
         // grids are fed at the workers' claim rate.
         queue_capacity: 0,
+        tenant: opts.tenant,
     };
     // Bad geometry is a usage error: report it and exit 2, like every
     // other invalid argument — the sweep library treats it as a caller
@@ -304,6 +319,7 @@ fn main() -> ExitCode {
     }
     let cells = spec.len();
     let stream = opts.stream;
+    let tenant = opts.tenant;
     let start = std::time::Instant::now();
     let mut emitted = 0;
     let results = match run_sweep_with(&spec, |cell, progress| {
@@ -321,7 +337,7 @@ fn main() -> ExitCode {
             let mut out = std::io::stdout().lock();
             // Flush per record so a consumer sees cells as they finish,
             // not when the sweep exits.
-            writeln!(out, "{}", json_line(cell, emitted, progress.total))
+            writeln!(out, "{}", json_line(cell, tenant, emitted, progress.total))
                 .and_then(|()| out.flush())
                 .ok();
         }

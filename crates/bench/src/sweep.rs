@@ -26,7 +26,10 @@ use std::sync::Arc;
 use ulp_kernels::{Benchmark, BenchmarkRun, RunnerError, WorkloadConfig};
 use ulp_platform::ExecTier;
 use ulp_power::{Activity, PowerModel};
-use ulp_service::{JobOutput, JobSpec, ObserverSelection, ServiceConfig, ServiceStats, SimService};
+use ulp_service::{
+    JobError, JobOutput, JobSpec, ObserverSelection, ServiceConfig, ServiceStats, SimService,
+    TenantId,
+};
 use ulp_shard::{MergedArtifacts, ShardPlan, ShardRunConfig, ShardRunner, ShardedRun};
 
 /// The paper's Table I workload in MOps/s — what every cell's
@@ -71,6 +74,10 @@ pub struct SweepSpec {
     /// bounded path, so a huge grid throttles to the workers' claim rate
     /// instead of materializing its whole job list as queued backlog.
     pub queue_capacity: usize,
+    /// Tenant every job of the sweep is submitted as — the grid's owner
+    /// when several sweeps share one pool, and the identity the service's
+    /// per-tenant latency rows are keyed by.
+    pub tenant: TenantId,
 }
 
 impl SweepSpec {
@@ -87,6 +94,7 @@ impl SweepSpec {
             exec_tier: ExecTier::Interpreted,
             threads: 0,
             queue_capacity: 0,
+            tenant: TenantId::DEFAULT,
         }
     }
 
@@ -312,9 +320,11 @@ pub fn run_sweep_with(
         let (plan, jobs) = match shard {
             None => (
                 CellPlan::Single,
-                vec![JobSpec::new(benchmark, with_sync, cores, workload.clone())
-                    .with_observers(spec.observers.clone())
-                    .with_exec_tier(spec.exec_tier)],
+                vec![JobSpec::new(benchmark, cores, workload.clone())
+                    .with_sync(with_sync)
+                    .observers(spec.observers.clone())
+                    .exec_tier(spec.exec_tier)
+                    .tenant(spec.tenant)],
             ),
             Some(samples) => {
                 let plan = ShardPlan::for_workload(benchmark, &spec.workload, samples)
@@ -324,7 +334,8 @@ pub fn run_sweep_with(
                 let runner = ShardRunner::new(
                     ShardRunConfig::new(benchmark, with_sync, cores, spec.workload.clone())
                         .with_observers(spec.observers.clone())
-                        .with_exec_tier(spec.exec_tier),
+                        .with_exec_tier(spec.exec_tier)
+                        .with_tenant(spec.tenant),
                     plan,
                 )
                 .expect("plan covers the workload by construction");
@@ -346,7 +357,9 @@ pub fn run_sweep_with(
 
     // Resolve exactly like the service would, then cap at the job count —
     // a pool larger than the batch would only park the surplus workers.
-    let workers = ServiceConfig::with_workers(spec.threads)
+    let workers = ServiceConfig::builder()
+        .workers(spec.threads)
+        .build()
         .resolved_workers()
         .min(specs.len())
         .max(1);
@@ -360,8 +373,12 @@ pub fn run_sweep_with(
     } else {
         spec.queue_capacity
     };
-    let mut service =
-        SimService::start(ServiceConfig::with_workers(workers).with_queue_capacity(capacity));
+    let mut service = SimService::start(
+        ServiceConfig::builder()
+            .workers(workers)
+            .queue_capacity(capacity)
+            .build(),
+    );
 
     let total = coords.len();
     let mut cells: Vec<Option<Result<SweepCell, RunnerError>>> = (0..total).map(|_| None).collect();
@@ -383,9 +400,13 @@ pub fn run_sweep_with(
         let state = &mut states[cell_idx];
         match result.outcome {
             Ok(out) => state.outputs[slot] = Some(out),
-            Err(e) => {
-                // Keep the first error per cell; remaining shards still run.
+            // Keep the first error per cell; remaining shards still run.
+            // Sweep jobs carry no deadline, so eviction cannot occur.
+            Err(JobError::Run(e)) => {
                 state.error.get_or_insert(e);
+            }
+            Err(JobError::Evicted { .. }) => {
+                unreachable!("sweep jobs are submitted without deadlines")
             }
         }
         state.remaining -= 1;
@@ -482,7 +503,9 @@ pub fn run_sweep_with(
 
     for job in specs {
         // Job ids are assigned in submission order, so id indexes job_map.
-        service.submit(job);
+        service
+            .submit_blocking(job)
+            .expect("the sweep's private pool outlives its own submissions");
         // Drain whatever finished so far: keeps the callback streaming
         // during the (now backpressure-throttled, sweep-long) submission
         // phase and the result channel shallow.
@@ -524,6 +547,7 @@ mod tests {
             exec_tier: ExecTier::Interpreted,
             threads: 0,
             queue_capacity: 0,
+            tenant: TenantId::DEFAULT,
         }
     }
 
@@ -584,6 +608,7 @@ mod tests {
             // A deliberately tiny bound: shard jobs must flow through a
             // saturated bounded queue and still merge bit-exactly.
             queue_capacity: 2,
+            tenant: TenantId::DEFAULT,
         };
         let results = run_sweep(&spec).expect("sharded sweep runs");
         assert_eq!(results.cells.len(), 4);
@@ -621,6 +646,7 @@ mod tests {
             exec_tier: ExecTier::Interpreted,
             threads: 2,
             queue_capacity: 0,
+            tenant: TenantId::DEFAULT,
         };
         let results = run_sweep(&spec).expect("mixed sweep runs");
         assert_eq!(results.cells.len(), 2);
@@ -658,6 +684,7 @@ mod tests {
             exec_tier: ExecTier::Interpreted,
             threads: 2,
             queue_capacity: 0,
+            tenant: TenantId(3),
         };
         let mut streamed = 0;
         let results = run_sweep_with(&spec, |cell, _| {

@@ -1,5 +1,6 @@
 //! The service's job model: what a client submits and what it gets back.
 
+use std::fmt;
 use std::sync::Arc;
 use std::time::Duration;
 use ulp_kernels::{Benchmark, BenchmarkRun, RunnerError, WorkloadConfig};
@@ -33,13 +34,34 @@ impl Priority {
     pub const LEVELS: usize = 3;
 
     /// Dense index of the class, `0` = most urgent — the scan order of
-    /// the per-worker deque segments.
-    pub(crate) fn index(self) -> usize {
+    /// the per-worker deque segments, and the index into
+    /// [`crate::ServiceStats::per_priority`].
+    pub fn index(self) -> usize {
         match self {
             Priority::High => 0,
             Priority::Normal => 1,
             Priority::Low => 2,
         }
+    }
+}
+
+/// Identity of the client a job is submitted on behalf of. Tenants are
+/// the unit of admission control and fairness: each tenant can carry a
+/// quota (max in-flight + queued jobs, enforced at submission) and a
+/// fair-share weight (its slice of the weighted deficit round-robin claim
+/// inside a priority class) — see [`crate::TenantPolicy`]. Jobs that
+/// never set one run as [`TenantId::DEFAULT`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TenantId(pub u32);
+
+impl TenantId {
+    /// The anonymous tenant jobs run as when the spec sets none.
+    pub const DEFAULT: TenantId = TenantId(0);
+}
+
+impl fmt::Display for TenantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
     }
 }
 
@@ -50,14 +72,28 @@ impl Priority {
 pub type JobId = u64;
 
 /// One unit of work for the service: a benchmark kernel, the platform
-/// design and core count to run it on, the workload, and which observers
-/// (if any) to attach to the run.
+/// design and core count to run it on, the workload, the tenant it is
+/// submitted on behalf of, and which observers (if any) to attach to the
+/// run. Built with [`JobSpec::new`] plus chained setters:
+///
+/// ```
+/// use std::sync::Arc;
+/// use ulp_kernels::{Benchmark, WorkloadConfig};
+/// use ulp_service::{JobSpec, Priority, TenantId};
+///
+/// let workload = Arc::new(WorkloadConfig::quick_test());
+/// let spec = JobSpec::new(Benchmark::Sqrt32, 4, workload)
+///     .with_sync(false)
+///     .priority(Priority::High)
+///     .deadline_cycles(500_000)
+///     .tenant(TenantId(7));
+/// ```
 #[derive(Debug, Clone)]
 pub struct JobSpec {
     /// The benchmark kernel to execute.
     pub benchmark: Benchmark,
     /// `true` = improved design (hardware synchronizer), `false` =
-    /// baseline.
+    /// baseline. Defaults to `true`.
     pub with_sync: bool,
     /// Core count of the platform (1..=8; the kernels assume one private
     /// DM bank per core).
@@ -75,11 +111,17 @@ pub struct JobSpec {
     /// Urgency class: queued [`Priority::High`] jobs are claimed before
     /// queued [`Priority::Normal`] ones, which beat [`Priority::Low`].
     pub priority: Priority,
-    /// Simulated-cycle budget: a job whose run takes more platform cycles
-    /// than this is still completed and returned, but flagged as a
-    /// deadline miss ([`JobResult::deadline_missed`]) and counted in
-    /// [`crate::ServiceStats::deadline_misses`]. `None` = no deadline.
+    /// Simulated-cycle budget. A job whose run takes more platform cycles
+    /// than this is completed and returned, but flagged as a deadline miss
+    /// ([`JobResult::deadline_missed`]) and counted in
+    /// [`crate::ServiceStats::deadline_misses`]. A *queued* job whose
+    /// budget provably cannot be met (`deadline_cycles <`
+    /// [`JobSpec::min_run_cycles`]) is not run at all: it comes back as
+    /// [`JobError::Evicted`]. `None` = no deadline.
     pub deadline_cycles: Option<u64>,
+    /// The tenant the job is submitted on behalf of (quota and fair-share
+    /// accounting). Defaults to [`TenantId::DEFAULT`].
+    pub tenant: TenantId,
     /// Execution tier of the platform run: the interpreter by default, or
     /// the compiled hot-block tier — bit-identical results, faster on
     /// lockstep-heavy kernels.
@@ -87,45 +129,61 @@ pub struct JobSpec {
 }
 
 impl JobSpec {
-    /// A job with no observers and round-robin placement.
-    pub fn new(
-        benchmark: Benchmark,
-        with_sync: bool,
-        cores: usize,
-        workload: Arc<WorkloadConfig>,
-    ) -> JobSpec {
+    /// A job on the improved (hardware-synchronizer) design with no
+    /// observers, round-robin placement, [`Priority::Normal`], no
+    /// deadline, and the default tenant.
+    pub fn new(benchmark: Benchmark, cores: usize, workload: Arc<WorkloadConfig>) -> JobSpec {
         JobSpec {
             benchmark,
-            with_sync,
+            with_sync: true,
             cores,
             workload,
             observers: ObserverSelection::None,
             affinity: None,
             priority: Priority::Normal,
             deadline_cycles: None,
+            tenant: TenantId::DEFAULT,
             exec_tier: ExecTier::Interpreted,
         }
+    }
+
+    /// Selects the platform design: `true` = improved (hardware
+    /// synchronizer, the default), `false` = baseline.
+    #[must_use]
+    pub fn with_sync(mut self, with_sync: bool) -> JobSpec {
+        self.with_sync = with_sync;
+        self
     }
 
     /// Assigns the job's urgency class (the default is
     /// [`Priority::Normal`]).
     #[must_use]
-    pub fn with_priority(mut self, priority: Priority) -> JobSpec {
+    pub fn priority(mut self, priority: Priority) -> JobSpec {
         self.priority = priority;
         self
     }
 
     /// Attaches a simulated-cycle deadline budget: runs longer than
-    /// `cycles` are flagged as deadline misses on the result.
+    /// `cycles` are flagged as deadline misses on the result, and queued
+    /// jobs whose budget provably cannot be met are evicted
+    /// ([`JobError::Evicted`]) instead of run.
     #[must_use]
-    pub fn with_deadline_cycles(mut self, cycles: u64) -> JobSpec {
+    pub fn deadline_cycles(mut self, cycles: u64) -> JobSpec {
         self.deadline_cycles = Some(cycles);
+        self
+    }
+
+    /// Tags the job with the tenant it is submitted on behalf of (the
+    /// default is [`TenantId::DEFAULT`]).
+    #[must_use]
+    pub fn tenant(mut self, tenant: TenantId) -> JobSpec {
+        self.tenant = tenant;
         self
     }
 
     /// Attaches an observer selection.
     #[must_use]
-    pub fn with_observers(mut self, observers: ObserverSelection) -> JobSpec {
+    pub fn observers(mut self, observers: ObserverSelection) -> JobSpec {
         self.observers = observers;
         self
     }
@@ -133,7 +191,7 @@ impl JobSpec {
     /// Selects the execution tier of the platform run (the default is
     /// [`ExecTier::Interpreted`]).
     #[must_use]
-    pub fn with_exec_tier(mut self, tier: ExecTier) -> JobSpec {
+    pub fn exec_tier(mut self, tier: ExecTier) -> JobSpec {
         self.exec_tier = tier;
         self
     }
@@ -147,6 +205,17 @@ impl JobSpec {
     pub fn pinned(mut self, worker: usize) -> JobSpec {
         self.affinity = Some(worker);
         self
+    }
+
+    /// A sound lower bound on the simulated cycles this job's run must
+    /// take: every kernel iterates its full per-channel window, and each
+    /// of the `n` samples costs at least one instruction cycle on the
+    /// core that owns its channel. A [`JobSpec::deadline_cycles`] budget
+    /// below this bound can provably never be met, so the scheduler
+    /// evicts such a job at claim time instead of running it to certain
+    /// failure.
+    pub fn min_run_cycles(&self) -> u64 {
+        self.workload.n as u64
     }
 }
 
@@ -255,12 +324,73 @@ pub struct JobOutput {
     pub artifacts: JobArtifacts,
 }
 
+/// Why a job produced no [`JobOutput`]: it ran and hit an error, or the
+/// scheduler evicted it from the queue because its deadline budget could
+/// provably no longer be met.
+#[derive(Debug)]
+pub enum JobError {
+    /// The job executed and the kernel runner hit an error.
+    Run(RunnerError),
+    /// The job was claimed with a [`JobSpec::deadline_cycles`] budget
+    /// strictly below the provable [`JobSpec::min_run_cycles`] floor, so
+    /// the scheduler dropped it instead of running it to certain failure.
+    /// Counted in [`crate::ServiceStats::evictions`].
+    Evicted {
+        /// The budget the spec carried.
+        deadline_cycles: u64,
+        /// The lower bound that proved the budget infeasible.
+        min_cycles: u64,
+    },
+}
+
+impl JobError {
+    /// `true` if this is a deadline eviction (the job never ran).
+    pub fn is_eviction(&self) -> bool {
+        matches!(self, JobError::Evicted { .. })
+    }
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobError::Run(err) => err.fmt(f),
+            JobError::Evicted {
+                deadline_cycles,
+                min_cycles,
+            } => write!(
+                f,
+                "evicted: deadline budget of {deadline_cycles} cycles cannot be met \
+                 (the run takes at least {min_cycles})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for JobError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JobError::Run(err) => Some(err),
+            JobError::Evicted { .. } => None,
+        }
+    }
+}
+
+impl From<RunnerError> for JobError {
+    fn from(err: RunnerError) -> JobError {
+        JobError::Run(err)
+    }
+}
+
 /// One completed job, streamed back to the client as soon as the worker
-/// finishes it.
+/// finishes (or evicts) it.
 #[derive(Debug)]
 pub struct JobResult {
     /// The id [`crate::SimService::submit`] returned for this job.
     pub id: JobId,
+    /// Tenant the job was submitted as — results stream in completion
+    /// order across all tenants, so clients attribute them from here
+    /// rather than from a side table.
+    pub tenant: TenantId,
     /// Index of the worker that executed the job.
     pub worker: usize,
     /// Whether the job was ever moved by a steal: claimed directly by a
@@ -273,14 +403,16 @@ pub struct JobResult {
     pub cache_hit: bool,
     /// Wall time the job spent queued before a worker claimed it.
     pub queue_wait: Duration,
-    /// Wall time the executing worker spent running the job.
+    /// Wall time the executing worker spent running the job (zero for
+    /// evicted jobs — they never run).
     pub run_time: Duration,
     /// Whether the run exceeded the spec's [`JobSpec::deadline_cycles`]
     /// budget (always `false` for jobs without a deadline, and for jobs
     /// whose outcome is an error).
     pub deadline_missed: bool,
-    /// The run, or the first error it hit.
-    pub outcome: Result<JobOutput, RunnerError>,
+    /// The run, the first error it hit, or the eviction that kept it from
+    /// running.
+    pub outcome: Result<JobOutput, JobError>,
 }
 
 impl JobResult {

@@ -2,33 +2,40 @@
 //!
 //! A long-lived front-end over the cycle engine: clients submit
 //! [`JobSpec`]s (benchmark + platform design + core count + workload +
-//! observer selection) to a [`SimService`] and receive [`JobResult`]s as a
-//! stream, in completion order. The pool is built for *grids* — the
-//! (benchmark × design × cores) sweeps that every experiment in this
-//! repository runs — and for mixed-size grids in particular:
+//! tenant + observer selection) to a [`SimService`] and receive
+//! [`JobResult`]s as a stream, in completion order. The pool is built for
+//! *grids* — the (benchmark × design × cores) sweeps that every
+//! experiment in this repository runs — and for mixed multi-tenant
+//! traffic in particular:
 //!
+//! * **Tenants, quotas and fair share.** Every job carries a
+//!   [`TenantId`]; a [`TenantPolicy`] gives a tenant an admission quota
+//!   (max in-flight + queued jobs, enforced at submission) and a
+//!   fair-share weight. Within a priority class workers claim by
+//!   weighted deficit round-robin across per-tenant FIFO lanes, so one
+//!   tenant's burst cannot starve another tenant's queue wait.
 //! * **Priorities.** Every job carries a [`Priority`] class; queued
 //!   `High` jobs are claimed before queued `Normal` and `Low` ones, so a
 //!   blocked client's urgent work (e.g. the shards a recording merge
 //!   waits on) overtakes a deep background backlog.
-//! * **Deadlines.** A job may carry a simulated-cycle budget
-//!   ([`JobSpec::deadline_cycles`]); runs that exceed it are flagged as
-//!   deadline misses on the result and counted in the stats.
+//! * **Deadlines and eviction.** A job may carry a simulated-cycle
+//!   budget ([`JobSpec::deadline_cycles`]); runs that exceed it are
+//!   flagged as deadline misses, and a tenant's eligible jobs are served
+//!   earliest-deadline-first. A queued job whose budget provably cannot
+//!   be met ([`JobSpec::min_run_cycles`]) is *evicted* with a typed
+//!   outcome ([`JobError::Evicted`]) instead of run to certain failure.
 //! * **Bounded queues with backpressure.** With a
-//!   [`ServiceConfig::queue_capacity`] bound, [`SimService::try_submit`]
-//!   rejects at capacity (returning the spec as [`Rejected`]) and the
-//!   blocking [`SimService::submit`] waits until workers drain the
-//!   backlog to the watermark — sustained traffic cannot grow an
+//!   [`ServiceConfig::queue_capacity`] bound, [`SimService::submit`]
+//!   rejects at capacity or quota with a typed [`SubmitError`] carrying
+//!   the spec back for retry, and [`SimService::submit_blocking`] parks
+//!   until admission succeeds — sustained traffic cannot grow an
 //!   unbounded backlog.
 //! * **Half-batch work stealing.** Jobs land on per-worker priority
-//!   deques (round-robin or pinned); within a class everyone serves the
-//!   oldest work first (bounded queue wait beats LIFO cache folklore —
-//!   the platform cache is keyed by design and cores, not arrival
-//!   order), and idle workers steal the older *half* of a victim's
-//!   highest class in one lock acquisition, relocating the surplus to
-//!   their own deque. A
-//!   2-core SQRT32 cell finishing early frees its worker to steal the
-//!   tail of an 8-core full-signal MRPDLN backlog.
+//!   deques (round-robin or pinned); idle workers steal half of every
+//!   tenant lane of a victim's highest class in one lock acquisition,
+//!   relocating the surplus to their own deque — so a 2-core SQRT32 cell
+//!   finishing early frees its worker to steal the tail of an 8-core
+//!   full-signal MRPDLN backlog without skewing the per-tenant balance.
 //! * **Platform caching.** Each worker keeps one [`ulp_platform::Platform`]
 //!   per `(design, cores)` key, reset and reused between jobs
 //!   ([`ulp_kernels::run_benchmark_reusing_with`]) so memories and cycle
@@ -38,10 +45,12 @@
 //!   end.
 //! * **Observability.** Every [`JobResult`] carries queue-wait and run
 //!   latency; [`ServiceStats`] aggregates p50/p95/max latency
-//!   ([`LatencyStats`]) next to jobs run, steal events and batch sizes,
-//!   rejections, deadline misses, platform-cache hits and platforms
-//!   built, so scheduling quality *and* tail latency are measurable (the
-//!   `service_throughput` and `service_latency` benches gate both in CI).
+//!   ([`LatencyStats`]) pooled, per priority class and per tenant
+//!   ([`TenantStats`]), next to jobs run, steal events and batch sizes,
+//!   capacity and quota rejections, evictions, deadline misses,
+//!   platform-cache hits and platforms built, so scheduling quality *and*
+//!   tail latency are measurable (the `service_throughput` and
+//!   `service_latency` benches gate both in CI).
 //!
 //! Observer output rides back on every result as [`JobArtifacts`],
 //! mirroring the spec's [`ObserverSelection`]; artifacts are first-class
@@ -57,9 +66,13 @@
 mod job;
 mod service;
 
-pub use job::{JobArtifacts, JobId, JobOutput, JobResult, JobSpec, ObserverSelection, Priority};
+pub use job::{
+    JobArtifacts, JobError, JobId, JobOutput, JobResult, JobSpec, ObserverSelection, Priority,
+    TenantId,
+};
 pub use service::{
-    LatencyStats, PoolDied, Rejected, ServiceConfig, ServiceStats, SimService, LATENCY_WINDOW,
+    LatencyStats, PoolDied, ServiceConfig, ServiceConfigBuilder, ServiceStats, SimService,
+    SubmitError, TenantPolicy, TenantStats, LATENCY_WINDOW,
 };
 
 #[cfg(test)]
@@ -74,12 +87,20 @@ mod tests {
         Arc::new(w)
     }
 
+    fn pool(workers: usize) -> SimService {
+        SimService::start(ServiceConfig::builder().workers(workers).build())
+    }
+
     #[test]
     fn results_stream_before_finish() {
-        let mut service = SimService::start(ServiceConfig::with_workers(2));
+        let mut service = pool(2);
         let workload = quick();
-        let a = service.submit(JobSpec::new(Benchmark::Sqrt32, true, 2, workload.clone()));
-        let b = service.submit(JobSpec::new(Benchmark::Sqrt32, false, 2, workload));
+        let a = service
+            .submit(JobSpec::new(Benchmark::Sqrt32, 2, workload.clone()))
+            .expect("unbounded queue admits");
+        let b = service
+            .submit(JobSpec::new(Benchmark::Sqrt32, 2, workload).with_sync(false))
+            .expect("unbounded queue admits");
         let mut ids = vec![
             service.recv().expect("first result").id,
             service.recv().expect("second result").id,
@@ -94,7 +115,7 @@ mod tests {
 
     #[test]
     fn idle_pool_finishes_immediately() {
-        let service = SimService::start(ServiceConfig::with_workers(1));
+        let service = pool(1);
         let stats = service.finish();
         assert_eq!(stats.jobs_run, 0);
         assert_eq!(stats.steals, 0);
@@ -103,9 +124,11 @@ mod tests {
 
     #[test]
     fn try_recv_is_non_blocking() {
-        let mut service = SimService::start(ServiceConfig::with_workers(1));
+        let mut service = pool(1);
         assert!(service.try_recv().is_none(), "nothing submitted");
-        service.submit(JobSpec::new(Benchmark::Sqrt32, true, 2, quick()));
+        service
+            .submit(JobSpec::new(Benchmark::Sqrt32, 2, quick()))
+            .expect("unbounded queue admits");
         // Poll until the single job lands; try_recv never blocks.
         let result = loop {
             if let Some(r) = service.try_recv() {
@@ -120,10 +143,10 @@ mod tests {
 
     #[test]
     fn pc_trace_observer_selection_returns_rows() {
-        let mut service = SimService::start(ServiceConfig::with_workers(1));
-        let spec = JobSpec::new(Benchmark::Sqrt32, true, 2, quick())
-            .with_observers(ObserverSelection::PcTrace { limit: 32 });
-        service.submit(spec);
+        let mut service = pool(1);
+        let spec = JobSpec::new(Benchmark::Sqrt32, 2, quick())
+            .observers(ObserverSelection::PcTrace { limit: 32 });
+        service.submit(spec).expect("unbounded queue admits");
         let result = service.recv().expect("job completes");
         let out = result.outcome.expect("job runs");
         match out.artifacts {
@@ -138,10 +161,10 @@ mod tests {
 
     #[test]
     fn bank_heat_map_observer_selection_returns_rows() {
-        let mut service = SimService::start(ServiceConfig::with_workers(1));
-        let spec = JobSpec::new(Benchmark::Sqrt32, true, 2, quick())
-            .with_observers(ObserverSelection::BankHeatMap { window: 64 });
-        service.submit(spec);
+        let mut service = pool(1);
+        let spec = JobSpec::new(Benchmark::Sqrt32, 2, quick())
+            .observers(ObserverSelection::BankHeatMap { window: 64 });
+        service.submit(spec).expect("unbounded queue admits");
         let result = service.recv().expect("job completes");
         let out = result.outcome.expect("job runs");
         match out.artifacts {
@@ -162,10 +185,12 @@ mod tests {
     /// hang in `recv` if the job were pushed somewhere no worker scans.
     #[test]
     fn out_of_range_pin_is_clamped_onto_a_real_worker() {
-        let mut service = SimService::start(ServiceConfig::with_workers(2));
+        let mut service = pool(2);
         let workload = quick();
         for pin in [2usize, 7, usize::MAX] {
-            service.submit(JobSpec::new(Benchmark::Sqrt32, true, 2, workload.clone()).pinned(pin));
+            service
+                .submit(JobSpec::new(Benchmark::Sqrt32, 2, workload.clone()).pinned(pin))
+                .expect("unbounded queue admits");
         }
         for _ in 0..3 {
             let result = service.recv().expect("pinned job completes");
@@ -178,10 +203,12 @@ mod tests {
 
     #[test]
     fn drop_with_backlog_cancels_instead_of_draining() {
-        let mut service = SimService::start(ServiceConfig::with_workers(2));
+        let mut service = pool(2);
         let workload = quick();
         for _ in 0..32 {
-            service.submit(JobSpec::new(Benchmark::Sqrt32, true, 8, workload.clone()));
+            service
+                .submit(JobSpec::new(Benchmark::Sqrt32, 8, workload.clone()))
+                .expect("unbounded queue admits");
         }
         let first = service.recv().expect("at least one job completes");
         assert!(first.outcome.is_ok());
@@ -193,13 +220,19 @@ mod tests {
 
     #[test]
     fn invalid_core_count_yields_an_error_outcome() {
-        let mut service = SimService::start(ServiceConfig::with_workers(1));
+        let mut service = pool(1);
         for cores in [0, 9, 16] {
-            service.submit(JobSpec::new(Benchmark::Sqrt32, true, cores, quick()));
+            service
+                .submit(JobSpec::new(Benchmark::Sqrt32, cores, quick()))
+                .expect("unbounded queue admits");
         }
         for _ in 0..3 {
             let result = service.recv().expect("job completes");
             let err = result.outcome.expect_err("bad core count must error");
+            assert!(
+                !err.is_eviction(),
+                "a bad core count is a run error, not an eviction"
+            );
             assert!(
                 err.to_string().contains("core count"),
                 "unexpected error: {err}"
@@ -211,5 +244,22 @@ mod tests {
             stats.platforms_built, 0,
             "no platform is built for bad specs"
         );
+    }
+
+    #[test]
+    fn config_builder_resolves_policies() {
+        let config = ServiceConfig::builder()
+            .workers(3)
+            .queue_capacity(16)
+            .default_policy(TenantPolicy::quota(4))
+            .tenant(TenantId(1), TenantPolicy::quota(2).with_weight(5))
+            .tenant(TenantId(1), TenantPolicy::quota(3)) // replaces
+            .build();
+        assert_eq!(config.workers, 3);
+        assert_eq!(config.queue_capacity, 16);
+        assert_eq!(config.policy(TenantId(1)).quota, 3);
+        assert_eq!(config.policy(TenantId(1)).weight, 1);
+        assert_eq!(config.policy(TenantId(9)).quota, 4, "default applies");
+        assert_eq!(config.resolved_workers(), 3);
     }
 }

@@ -1,8 +1,11 @@
 //! The batch simulation service: a long-lived worker pool with per-worker
-//! platform caches, bounded priority deques with work stealing, and
-//! streamed results.
+//! platform caches, bounded tenant-fair priority deques with work
+//! stealing, and streamed results.
 
-use crate::job::{JobArtifacts, JobId, JobOutput, JobResult, JobSpec, ObserverSelection, Priority};
+use crate::job::{
+    JobArtifacts, JobError, JobId, JobOutput, JobResult, JobSpec, ObserverSelection, Priority,
+    TenantId,
+};
 use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::fmt;
@@ -14,39 +17,101 @@ use std::time::{Duration, Instant};
 use ulp_kernels::{run_benchmark_reusing_with, RunnerError};
 use ulp_platform::{BankHeatMap, PcTrace, Platform, PlatformConfig, VcdTracer};
 
-/// Pool shape of a [`SimService`].
-#[derive(Debug, Clone, Copy, Default)]
+/// Admission and fair-share policy for one tenant (or the default for
+/// tenants without an explicit entry): how many of its jobs may be in the
+/// service at once, and how large its slice of the scheduler's weighted
+/// deficit round-robin is relative to other tenants in the same priority
+/// class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantPolicy {
+    /// Max jobs the tenant may have in the service at once (queued +
+    /// running + completed-but-unreceived results do not count — a slot
+    /// frees the moment the worker finishes the job). `0` = unlimited.
+    pub quota: usize,
+    /// Fair-share weight inside a priority class: a tenant with weight 2
+    /// is served two jobs per round for every one job of a weight-1
+    /// tenant. `0` behaves as `1`.
+    pub weight: u32,
+}
+
+impl Default for TenantPolicy {
+    /// Unlimited quota, weight 1.
+    fn default() -> TenantPolicy {
+        TenantPolicy {
+            quota: 0,
+            weight: 1,
+        }
+    }
+}
+
+impl TenantPolicy {
+    /// A policy with quota `quota` (`0` = unlimited) and weight 1.
+    pub fn quota(quota: usize) -> TenantPolicy {
+        TenantPolicy { quota, weight: 1 }
+    }
+
+    /// Sets the fair-share weight.
+    #[must_use]
+    pub fn with_weight(mut self, weight: u32) -> TenantPolicy {
+        self.weight = weight;
+        self
+    }
+}
+
+/// Pool shape and tenant policy of a [`SimService`]. Built with
+/// [`ServiceConfig::builder`]:
+///
+/// ```
+/// use ulp_service::{ServiceConfig, TenantId, TenantPolicy};
+///
+/// let config = ServiceConfig::builder()
+///     .workers(4)
+///     .queue_capacity(64)
+///     .tenant(TenantId(1), TenantPolicy::quota(8).with_weight(2))
+///     .build();
+/// assert_eq!(config.policy(TenantId(1)).quota, 8);
+/// assert_eq!(config.policy(TenantId(2)).quota, 0); // default: unlimited
+/// ```
+#[derive(Debug, Clone, Default)]
 pub struct ServiceConfig {
     /// Worker threads; `0` = one per available hardware thread.
     pub workers: usize,
     /// Bound on the queued (submitted but unclaimed) backlog; `0` =
-    /// unbounded. At capacity, [`SimService::try_submit`] rejects and
-    /// [`SimService::submit`] blocks until the backlog drains to the
-    /// watermark (half the capacity).
+    /// unbounded. At capacity, [`SimService::submit`] rejects with
+    /// [`SubmitError::AtCapacity`] and [`SimService::submit_blocking`]
+    /// blocks until the backlog drains to the watermark (half the
+    /// capacity).
     pub queue_capacity: usize,
+    /// Policy for tenants without an explicit [`ServiceConfig::tenants`]
+    /// entry. The `Default` default is unlimited quota, weight 1.
+    pub default_policy: TenantPolicy,
+    /// Per-tenant policy overrides.
+    pub tenants: Vec<(TenantId, TenantPolicy)>,
 }
 
 impl ServiceConfig {
-    /// A pool with exactly `workers` threads and an unbounded queue.
-    pub fn with_workers(workers: usize) -> ServiceConfig {
-        ServiceConfig {
-            workers,
-            queue_capacity: 0,
+    /// Starts building a configuration (all-default: auto-sized pool,
+    /// unbounded queue, unlimited quotas, equal weights).
+    pub fn builder() -> ServiceConfigBuilder {
+        ServiceConfigBuilder {
+            config: ServiceConfig::default(),
         }
     }
 
-    /// Bounds the queued backlog at `capacity` jobs (`0` = unbounded).
-    #[must_use]
-    pub fn with_queue_capacity(mut self, capacity: usize) -> ServiceConfig {
-        self.queue_capacity = capacity;
-        self
+    /// The policy governing `tenant`: its override, or the default.
+    pub fn policy(&self, tenant: TenantId) -> TenantPolicy {
+        self.tenants
+            .iter()
+            .find(|(t, _)| *t == tenant)
+            .map(|(_, p)| *p)
+            .unwrap_or(self.default_policy)
     }
 
     /// The concrete pool size this configuration resolves to: `workers`,
     /// or one thread per available hardware thread when `workers == 0`.
     /// Public so clients sizing their own batches (e.g. the sweep runner
     /// capping the pool at the grid size) resolve exactly like the pool.
-    pub fn resolved_workers(self) -> usize {
+    pub fn resolved_workers(&self) -> usize {
         if self.workers == 0 {
             std::thread::available_parallelism()
                 .map(|n| n.get())
@@ -54,6 +119,54 @@ impl ServiceConfig {
         } else {
             self.workers
         }
+    }
+}
+
+/// Chained constructor for [`ServiceConfig`] — see
+/// [`ServiceConfig::builder`].
+#[derive(Debug, Clone, Default)]
+pub struct ServiceConfigBuilder {
+    config: ServiceConfig,
+}
+
+impl ServiceConfigBuilder {
+    /// Worker threads; `0` (the default) = one per available hardware
+    /// thread.
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> ServiceConfigBuilder {
+        self.config.workers = workers;
+        self
+    }
+
+    /// Bounds the queued backlog at `capacity` jobs (`0` = unbounded).
+    #[must_use]
+    pub fn queue_capacity(mut self, capacity: usize) -> ServiceConfigBuilder {
+        self.config.queue_capacity = capacity;
+        self
+    }
+
+    /// Policy for tenants without an explicit [`ServiceConfigBuilder::tenant`]
+    /// entry (default: unlimited quota, weight 1).
+    #[must_use]
+    pub fn default_policy(mut self, policy: TenantPolicy) -> ServiceConfigBuilder {
+        self.config.default_policy = policy;
+        self
+    }
+
+    /// Sets (or replaces) the policy for one tenant.
+    #[must_use]
+    pub fn tenant(mut self, tenant: TenantId, policy: TenantPolicy) -> ServiceConfigBuilder {
+        if let Some(entry) = self.config.tenants.iter_mut().find(|(t, _)| *t == tenant) {
+            entry.1 = policy;
+        } else {
+            self.config.tenants.push((tenant, policy));
+        }
+        self
+    }
+
+    /// The finished configuration.
+    pub fn build(self) -> ServiceConfig {
+        self.config
     }
 }
 
@@ -102,6 +215,7 @@ pub const LATENCY_WINDOW: usize = 4096;
 
 /// Fixed-memory recorder behind [`LatencyStats`]: a ring of the last
 /// [`LATENCY_WINDOW`] total-latency samples plus lifetime count and max.
+#[derive(Clone, Default)]
 struct LatencyRing {
     window: Vec<u64>,
     next: usize,
@@ -110,15 +224,6 @@ struct LatencyRing {
 }
 
 impl LatencyRing {
-    fn new() -> LatencyRing {
-        LatencyRing {
-            window: Vec::new(),
-            next: 0,
-            total: 0,
-            max_ns: 0,
-        }
-    }
-
     fn record(&mut self, nanos: u64) {
         if self.window.len() < LATENCY_WINDOW {
             self.window.push(nanos);
@@ -129,15 +234,58 @@ impl LatencyRing {
         self.total += 1;
         self.max_ns = self.max_ns.max(nanos);
     }
+
+    fn stats(&self) -> LatencyStats {
+        LatencyStats::compute(self.total, self.max_ns, &self.window)
+    }
+}
+
+/// All of the pool's latency recorders, updated together on every
+/// completion: the lifetime aggregate, one ring per priority class, and
+/// one ring per tenant that has completed a job.
+#[derive(Clone, Default)]
+struct LatencyBook {
+    aggregate: LatencyRing,
+    per_priority: [LatencyRing; Priority::LEVELS],
+    per_tenant: Vec<(TenantId, LatencyRing)>,
+}
+
+impl LatencyBook {
+    fn record(&mut self, tenant: TenantId, priority: Priority, nanos: u64) {
+        self.aggregate.record(nanos);
+        self.per_priority[priority.index()].record(nanos);
+        match self.per_tenant.iter_mut().find(|(t, _)| *t == tenant) {
+            Some((_, ring)) => ring.record(nanos),
+            None => {
+                let mut ring = LatencyRing::default();
+                ring.record(nanos);
+                self.per_tenant.push((tenant, ring));
+            }
+        }
+    }
+}
+
+/// Per-tenant slice of [`ServiceStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantStats {
+    /// The tenant the row describes.
+    pub tenant: TenantId,
+    /// High-water mark of the tenant's jobs in the service at once
+    /// (queued + running) — never exceeds the tenant's configured quota.
+    pub peak_admitted: u64,
+    /// End-to-end latency distribution of the tenant's completed jobs;
+    /// `latency.samples` is the tenant's completed-job count.
+    pub latency: LatencyStats,
 }
 
 /// Scheduling observability: what the pool did. Snapshot via
 /// [`SimService::stats`], final values from [`SimService::finish`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ServiceStats {
     /// Worker threads in the pool.
     pub workers: usize,
-    /// Jobs executed to completion (success or error).
+    /// Jobs executed to completion (success or error; evicted jobs are
+    /// counted in [`ServiceStats::evictions`] instead).
     pub jobs_run: u64,
     /// Steal events: times an idle worker took a half-batch from another
     /// worker's deque.
@@ -147,43 +295,109 @@ pub struct ServiceStats {
     pub jobs_stolen: u64,
     /// Largest half-batch a single steal event moved.
     pub steal_batch_max: u64,
-    /// Submissions [`SimService::try_submit`] rejected at capacity.
+    /// Non-blocking submissions rejected at queue capacity
+    /// ([`SubmitError::AtCapacity`]).
     pub rejections: u64,
+    /// Non-blocking submissions rejected because the tenant was at its
+    /// quota ([`SubmitError::QuotaExceeded`]).
+    pub quota_rejections: u64,
+    /// Queued jobs evicted because their deadline budget provably could
+    /// not be met ([`JobError::Evicted`]).
+    pub evictions: u64,
     /// Completed jobs whose run exceeded their simulated-cycle deadline.
     pub deadline_misses: u64,
     /// Jobs served from a worker's platform cache.
     pub platform_cache_hits: u64,
     /// Platforms constructed across all workers (the cache misses).
     pub platforms_built: u64,
-    /// End-to-end latency distribution of completed jobs.
+    /// End-to-end latency distribution of completed jobs, pooled over
+    /// every class and tenant.
     pub latency: LatencyStats,
+    /// Latency distribution per priority class, indexed by
+    /// [`Priority::index`] (0 = High).
+    pub per_priority: [LatencyStats; Priority::LEVELS],
+    /// Latency distribution and admission high-water mark per tenant,
+    /// sorted by tenant id. Tenants appear once they have submitted a
+    /// job.
+    pub per_tenant: Vec<TenantStats>,
     /// Wall time since the pool started.
     pub wall: Duration,
 }
 
-/// Backpressure signal of [`SimService::try_submit`]: the bounded queue
-/// is at capacity. Carries the spec back so the caller can retry it
-/// (after draining results, or through the blocking [`SimService::submit`]
-/// path) without cloning up front.
-#[derive(Debug)]
-pub struct Rejected {
-    /// The job that was not enqueued, returned for retry.
-    pub spec: JobSpec,
-    /// The capacity the queue was full at.
-    pub capacity: usize,
-}
+impl ServiceStats {
+    /// The per-tenant row for `tenant`, if it has submitted any job.
+    pub fn tenant(&self, tenant: TenantId) -> Option<&TenantStats> {
+        self.per_tenant.iter().find(|t| t.tenant == tenant)
+    }
 
-impl fmt::Display for Rejected {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "submission rejected: queue at capacity ({} queued jobs)",
-            self.capacity
-        )
+    /// The latency distribution of one priority class.
+    pub fn priority_latency(&self, priority: Priority) -> &LatencyStats {
+        &self.per_priority[priority.index()]
     }
 }
 
-impl std::error::Error for Rejected {}
+/// Why [`SimService::submit`] / [`SimService::submit_blocking`] did not
+/// enqueue a job. The rejecting variants carry the spec back so the
+/// caller can retry it (after draining results, or through the blocking
+/// path) without cloning up front.
+#[derive(Debug)]
+pub enum SubmitError {
+    /// The bounded queue is at capacity (backpressure). Only returned by
+    /// the non-blocking [`SimService::submit`]; counted in
+    /// [`ServiceStats::rejections`].
+    AtCapacity {
+        /// The job that was not enqueued, returned for retry.
+        spec: JobSpec,
+        /// The capacity the queue was full at.
+        capacity: usize,
+    },
+    /// The spec's tenant is at its admission quota (queued + running
+    /// jobs). Only returned by the non-blocking [`SimService::submit`];
+    /// counted in [`ServiceStats::quota_rejections`].
+    QuotaExceeded {
+        /// The job that was not enqueued, returned for retry.
+        spec: JobSpec,
+        /// The tenant that hit its quota.
+        tenant: TenantId,
+        /// The quota it hit.
+        quota: usize,
+    },
+    /// A worker thread panicked: the pool accepts no further work. Both
+    /// submission paths return this rather than blocking on a drain that
+    /// can never come.
+    PoolDead,
+}
+
+impl SubmitError {
+    /// Takes the rejected spec back out for a retry (`None` for
+    /// [`SubmitError::PoolDead`] — there is nothing left to retry
+    /// against).
+    pub fn into_spec(self) -> Option<JobSpec> {
+        match self {
+            SubmitError::AtCapacity { spec, .. } => Some(spec),
+            SubmitError::QuotaExceeded { spec, .. } => Some(spec),
+            SubmitError::PoolDead => None,
+        }
+    }
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::AtCapacity { capacity, .. } => write!(
+                f,
+                "submission rejected: queue at capacity ({capacity} queued jobs)"
+            ),
+            SubmitError::QuotaExceeded { tenant, quota, .. } => write!(
+                f,
+                "submission rejected: tenant {tenant} at its quota of {quota} in-flight jobs"
+            ),
+            SubmitError::PoolDead => write!(f, "submission rejected: a service worker died"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
 
 /// The pool died (a worker thread panicked) with results still
 /// outstanding — returned by [`SimService::checked_recv`] so clients can
@@ -220,75 +434,212 @@ struct QueuedJob {
     enqueued: Instant,
 }
 
-/// One worker's deque, segregated by priority class: level 0
-/// ([`Priority::High`]) is always served before level 1, and so on.
-/// Within a class both owners and thieves serve the *oldest* work first
-/// (FIFO): priorities express urgency, arrival order bounds queue wait —
-/// a LIFO pop would starve the oldest job until the backlog drains,
-/// exactly the tail latency the stats exist to police. (The platform
-/// cache is keyed by `(design, cores)`, so pop order costs no cache
-/// warmth.) Thieves take the front half of the highest non-empty level.
+impl QueuedJob {
+    /// EDF sort key: explicit deadlines first (earliest wins), then
+    /// arrival order.
+    fn deadline_key(&self) -> u64 {
+        self.spec.deadline_cycles.unwrap_or(u64::MAX)
+    }
+}
+
+/// One tenant's FIFO sub-queue inside a [`ClassQueue`], plus its deficit
+/// round-robin bookkeeping.
+#[derive(Default)]
+struct Lane {
+    tenant: TenantId,
+    /// Fair-share weight (from the tenant's [`TenantPolicy`]); the quantum
+    /// replenished into `deficit` when the round-robin reaches this lane.
+    weight: u32,
+    /// Jobs this lane may still serve in the current round. Every job
+    /// costs one unit (job runtimes are not knowable up front), so weights
+    /// buy *claims per round*, not cycles.
+    deficit: u32,
+    jobs: VecDeque<QueuedJob>,
+}
+
+impl Lane {
+    /// The lane's claim: earliest-deadline-first among its jobs, oldest
+    /// first among jobs with equal (or no) deadlines — so deadline jobs
+    /// jump the lane while a pure-FIFO lane stays pure FIFO.
+    fn pop_edf(&mut self) -> Option<QueuedJob> {
+        let idx = self
+            .jobs
+            .iter()
+            .enumerate()
+            .min_by_key(|(i, job)| (job.deadline_key(), *i))?
+            .0;
+        self.jobs.remove(idx)
+    }
+}
+
+/// One priority class of a worker's deque: per-tenant FIFO lanes served
+/// by weighted deficit round-robin. Replaces the old flat per-class
+/// segment, which let one tenant's burst starve everyone behind it.
+#[derive(Default)]
+struct ClassQueue {
+    lanes: Vec<Lane>,
+    /// The lane the round-robin serves next.
+    cursor: usize,
+}
+
+impl ClassQueue {
+    fn push(&mut self, job: QueuedJob, weight: u32) {
+        let tenant = job.spec.tenant;
+        match self.lanes.iter_mut().find(|lane| lane.tenant == tenant) {
+            Some(lane) => lane.jobs.push_back(job),
+            None => self.lanes.push(Lane {
+                tenant,
+                weight,
+                deficit: 0,
+                jobs: VecDeque::from([job]),
+            }),
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.lanes.iter().all(|lane| lane.jobs.is_empty())
+    }
+
+    /// The weighted deficit round-robin claim (unit job cost): the cursor
+    /// lane's quantum is replenished to its weight when it is reached
+    /// fresh, each served job costs one unit, and the cursor advances when
+    /// the quantum is spent or the lane runs dry — so over a contended
+    /// round, tenants are served in proportion to their weights no matter
+    /// how lopsided the backlog is.
+    fn pop(&mut self) -> Option<QueuedJob> {
+        let lanes = self.lanes.len();
+        for _ in 0..lanes {
+            if self.cursor >= lanes {
+                self.cursor = 0;
+            }
+            let lane = &mut self.lanes[self.cursor];
+            if lane.jobs.is_empty() {
+                // An empty lane leaves the round; a stale quantum must not
+                // carry over to its next burst.
+                lane.deficit = 0;
+                self.cursor += 1;
+                continue;
+            }
+            if lane.deficit == 0 {
+                lane.deficit = lane.weight.max(1);
+            }
+            lane.deficit -= 1;
+            let job = lane.pop_edf();
+            if lane.jobs.is_empty() {
+                lane.deficit = 0;
+            }
+            if lane.deficit == 0 {
+                self.cursor += 1;
+            }
+            return job;
+        }
+        None
+    }
+
+    /// A thief's cut: the older half (rounded up) of *every* tenant lane,
+    /// so a steal relocates backlog without skewing the per-tenant
+    /// balance the round-robin maintains.
+    fn steal_half(&mut self) -> Vec<QueuedJob> {
+        let mut batch = Vec::new();
+        for lane in &mut self.lanes {
+            let take = lane.jobs.len().div_ceil(2);
+            batch.extend(lane.jobs.drain(..take));
+            if lane.jobs.is_empty() {
+                lane.deficit = 0;
+            }
+        }
+        batch
+    }
+
+    fn clear(&mut self) {
+        for lane in &mut self.lanes {
+            lane.jobs.clear();
+            lane.deficit = 0;
+        }
+    }
+}
+
+/// One worker's deque, segregated by priority class: class 0
+/// ([`Priority::High`]) is always served before class 1, and so on.
+/// Within a class, tenants are served by weighted deficit round-robin
+/// over per-tenant FIFO lanes, with earliest-deadline-first among one
+/// tenant's jobs — priorities express urgency, the round-robin bounds any
+/// one tenant's damage, EDF spends each tenant's share on its most
+/// urgent work. (The platform cache is keyed by `(design, cores)`, so pop
+/// order costs no cache warmth.) Thieves take the front half of every
+/// lane of the highest non-empty class.
 struct WorkerQueue {
-    levels: [VecDeque<QueuedJob>; Priority::LEVELS],
+    classes: [ClassQueue; Priority::LEVELS],
 }
 
 impl WorkerQueue {
     fn new() -> WorkerQueue {
         WorkerQueue {
-            levels: Default::default(),
+            classes: Default::default(),
         }
     }
 
-    fn push(&mut self, job: QueuedJob) {
-        self.levels[job.spec.priority.index()].push_back(job);
+    fn push(&mut self, job: QueuedJob, weight: u32) {
+        self.classes[job.spec.priority.index()].push(job, weight);
     }
 
-    /// The owner's claim: oldest job of the most urgent non-empty class.
+    /// The owner's claim: the round-robin pop of the most urgent
+    /// non-empty class.
     fn pop_own(&mut self) -> Option<QueuedJob> {
-        self.levels.iter_mut().find_map(|level| level.pop_front())
+        self.classes.iter_mut().find_map(|class| class.pop())
     }
 
     /// The owner's claim restricted to the [`Priority::High`] class
-    /// (level 0) — the pool-wide-priority fast path.
+    /// (class 0) — the pool-wide-priority fast path.
     fn pop_high(&mut self) -> Option<QueuedJob> {
-        self.levels[0].pop_front()
+        self.classes[0].pop()
     }
 
-    /// A thief's claim: the older *half* (rounded up) of the most urgent
-    /// non-empty class, oldest first. Taking a batch instead of a single
-    /// job amortizes the lock traffic of repeated steals on mixed grids —
-    /// the thief runs the first job and relocates the rest to its own
-    /// deque, where they stay claimable by everyone.
-    fn steal_half(&mut self) -> VecDeque<QueuedJob> {
-        for level in &mut self.levels {
-            if !level.is_empty() {
-                let take = level.len().div_ceil(2);
-                return level.drain(..take).collect();
+    /// A thief's claim: half of every tenant lane of the most urgent
+    /// non-empty class. Taking a batch instead of a single job amortizes
+    /// the lock traffic of repeated steals on mixed grids — the thief
+    /// runs one job and relocates the rest to its own deque, where they
+    /// stay claimable by everyone.
+    fn steal_half(&mut self) -> Vec<QueuedJob> {
+        for class in &mut self.classes {
+            if !class.is_empty() {
+                return class.steal_half();
             }
         }
-        VecDeque::new()
+        Vec::new()
     }
 
     /// [`WorkerQueue::steal_half`] restricted to the [`Priority::High`]
     /// class.
-    fn steal_half_high(&mut self) -> VecDeque<QueuedJob> {
-        let level = &mut self.levels[0];
-        if level.is_empty() {
-            return VecDeque::new();
+    fn steal_half_high(&mut self) -> Vec<QueuedJob> {
+        if self.classes[0].is_empty() {
+            return Vec::new();
         }
-        let take = level.len().div_ceil(2);
-        level.drain(..take).collect()
+        self.classes[0].steal_half()
     }
 
     fn clear(&mut self) {
-        for level in &mut self.levels {
-            level.clear();
+        for class in &mut self.classes {
+            class.clear();
         }
     }
 }
 
+/// Per-tenant admission bookkeeping, guarded by [`Shared::work`].
+#[derive(Default)]
+struct TenantLoad {
+    /// The tenant's jobs currently in the service (queued + running) —
+    /// the count its quota bounds.
+    admitted: u64,
+    /// Lifetime high-water mark of `admitted`, surfaced as
+    /// [`TenantStats::peak_admitted`] so tests and operators can verify a
+    /// quota was never breached.
+    peak: u64,
+}
+
 /// Guarded by [`Shared::work`]: how many submitted jobs are not yet
-/// claimed by a worker, and whether the service is shutting down.
+/// claimed by a worker, per-tenant admission counts, and whether the
+/// service is shutting down.
 struct WorkState {
     /// Jobs pushed to some deque and not yet claimed. A worker claims by
     /// decrementing under the lock, then locates the job in the deques —
@@ -301,11 +652,32 @@ struct WorkState {
     /// discarded and workers abandon in-flight claims instead of draining
     /// the backlog.
     cancelled: bool,
-    /// Worker threads that panicked. A blocking [`SimService::submit`]
-    /// parked on the space condvar checks this so a dying pool fails it
-    /// fast instead of leaving it waiting on a drain that may never come
-    /// (the result-channel death notice only reaches `recv`).
+    /// Worker threads that panicked. A blocking
+    /// [`SimService::submit_blocking`] parked on the space condvar checks
+    /// this so a dying pool fails it fast instead of leaving it waiting on
+    /// a drain that may never come (the result-channel death notice only
+    /// reaches `recv`).
     dead_workers: usize,
+    /// Per-tenant admitted counts and high-water marks.
+    tenants: HashMap<TenantId, TenantLoad>,
+}
+
+impl WorkState {
+    fn admitted(&self, tenant: TenantId) -> u64 {
+        self.tenants.get(&tenant).map_or(0, |load| load.admitted)
+    }
+
+    fn admit(&mut self, tenant: TenantId) {
+        let load = self.tenants.entry(tenant).or_default();
+        load.admitted += 1;
+        load.peak = load.peak.max(load.admitted);
+    }
+
+    fn release(&mut self, tenant: TenantId) {
+        if let Some(load) = self.tenants.get_mut(&tenant) {
+            load.admitted = load.admitted.saturating_sub(1);
+        }
+    }
 }
 
 /// What flows back over the result channel: completed jobs, or a death
@@ -320,13 +692,21 @@ enum Message {
 struct Shared {
     /// Bound on the unclaimed backlog; `0` = unbounded.
     capacity: usize,
+    /// Policy for tenants without an override.
+    default_policy: TenantPolicy,
+    /// Per-tenant policy overrides (small: linear scan beats hashing).
+    policies: Vec<(TenantId, TenantPolicy)>,
+    /// Whether any quota (default or override) is non-zero: gates the
+    /// completion-side condvar wake that quota waiters need.
+    has_quotas: bool,
     /// One priority deque per worker (see [`WorkerQueue`]).
     queues: Vec<Mutex<WorkerQueue>>,
     work: Mutex<WorkState>,
     available: Condvar,
-    /// Signalled (with [`Shared::work`]) every time a worker claims a
-    /// job, so a [`SimService::submit`] blocked at capacity can re-check
-    /// the watermark. Only waited on when `capacity != 0`.
+    /// Signalled (with [`Shared::work`]) every time a worker claims a job
+    /// (frees backlog space) or completes one (frees the tenant's quota
+    /// slot), so a [`SimService::submit_blocking`] parked here can
+    /// re-check its admission conditions.
     space: Condvar,
     /// [`Priority::High`] jobs queued anywhere in the pool. Lets a claim
     /// serve the High class *pool-wide* — own deque, then a High-only
@@ -340,11 +720,24 @@ struct Shared {
     jobs_stolen: AtomicU64,
     steal_batch_max: AtomicU64,
     rejections: AtomicU64,
+    quota_rejections: AtomicU64,
+    evictions: AtomicU64,
     deadline_misses: AtomicU64,
     cache_hits: AtomicU64,
     platforms_built: AtomicU64,
-    /// Bounded recorder behind [`ServiceStats::latency`].
-    latencies: Mutex<LatencyRing>,
+    /// Bounded recorders behind [`ServiceStats::latency`],
+    /// [`ServiceStats::per_priority`] and [`ServiceStats::per_tenant`].
+    latencies: Mutex<LatencyBook>,
+}
+
+impl Shared {
+    fn policy(&self, tenant: TenantId) -> TenantPolicy {
+        self.policies
+            .iter()
+            .find(|(t, _)| *t == tenant)
+            .map(|(_, p)| *p)
+            .unwrap_or(self.default_policy)
+    }
 }
 
 /// A pool of simulation workers behind a submission handle.
@@ -353,20 +746,25 @@ struct Shared {
 /// (round-robin, or pinned via [`JobSpec::pinned`]); idle workers steal
 /// half-batches from busy ones, so mixed-size grids — a 2-core SQRT32
 /// cell next to an 8-core full-signal MRPDLN cell — keep every thread
-/// busy, and within a priority class the oldest job is always served
-/// first, so queue wait stays bounded under sustained traffic. Queued
-/// [`Priority::High`] jobs are always claimed before queued
-/// [`Priority::Normal`] and [`Priority::Low`] ones. With a
-/// [`ServiceConfig::queue_capacity`] bound, the submission path exerts
-/// explicit backpressure: [`SimService::try_submit`] rejects at capacity
-/// and [`SimService::submit`] blocks until the backlog drains to the
-/// watermark. Each worker keeps one [`Platform`] per `(design, cores)`
-/// key and reuses it via [`ulp_kernels::run_benchmark_reusing_with`], so
-/// the dominant allocations happen once per worker, not once per job.
-/// Completed [`JobResult`]s stream back through [`SimService::recv`] as
-/// workers finish them — a client never waits for the whole batch — and
-/// carry per-job queue-wait and run latency; [`ServiceStats::latency`]
-/// aggregates them into p50/p95/max.
+/// busy. Queued [`Priority::High`] jobs are always claimed before queued
+/// [`Priority::Normal`] and [`Priority::Low`] ones; *within* a class,
+/// workers claim by weighted deficit round-robin across per-tenant FIFO
+/// lanes (earliest-deadline-first among one tenant's jobs), so no tenant's
+/// burst starves another tenant's queue wait. Admission is tenant-aware
+/// too: a [`TenantPolicy::quota`] bounds one tenant's in-flight jobs, and
+/// with a [`ServiceConfig::queue_capacity`] bound the submission path
+/// exerts explicit backpressure — [`SimService::submit`] rejects with a
+/// typed [`SubmitError`] carrying the spec back, and
+/// [`SimService::submit_blocking`] parks until admission succeeds. A
+/// queued job whose [`JobSpec::deadline_cycles`] budget provably cannot
+/// be met is evicted ([`JobError::Evicted`]) instead of run. Each worker
+/// keeps one [`Platform`] per `(design, cores)` key and reuses it via
+/// [`ulp_kernels::run_benchmark_reusing_with`], so the dominant
+/// allocations happen once per worker, not once per job. Completed
+/// [`JobResult`]s stream back through [`SimService::recv`] as workers
+/// finish them — a client never waits for the whole batch — and carry
+/// per-job queue-wait and run latency; [`ServiceStats`] aggregates them
+/// into pooled, per-priority and per-tenant p50/p95/max.
 ///
 /// ```no_run
 /// use std::sync::Arc;
@@ -376,7 +774,8 @@ struct Shared {
 /// let mut service = SimService::start(ServiceConfig::default());
 /// let workload = Arc::new(WorkloadConfig::quick_test());
 /// for cores in [2, 4, 8] {
-///     service.submit(JobSpec::new(Benchmark::Sqrt32, true, cores, workload.clone()));
+///     let spec = JobSpec::new(Benchmark::Sqrt32, cores, workload.clone());
+///     service.submit(spec).expect("unbounded queue admits");
 /// }
 /// while let Some(result) = service.recv() {
 ///     let out = result.outcome.expect("job ran");
@@ -399,8 +798,13 @@ impl SimService {
     /// Starts the worker pool.
     pub fn start(config: ServiceConfig) -> SimService {
         let workers = config.resolved_workers().max(1);
+        let has_quotas =
+            config.default_policy.quota != 0 || config.tenants.iter().any(|(_, p)| p.quota != 0);
         let shared = Arc::new(Shared {
             capacity: config.queue_capacity,
+            default_policy: config.default_policy,
+            policies: config.tenants,
+            has_quotas,
             queues: (0..workers)
                 .map(|_| Mutex::new(WorkerQueue::new()))
                 .collect(),
@@ -409,6 +813,7 @@ impl SimService {
                 closed: false,
                 cancelled: false,
                 dead_workers: 0,
+                tenants: HashMap::new(),
             }),
             available: Condvar::new(),
             space: Condvar::new(),
@@ -418,10 +823,12 @@ impl SimService {
             jobs_stolen: AtomicU64::new(0),
             steal_batch_max: AtomicU64::new(0),
             rejections: AtomicU64::new(0),
+            quota_rejections: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
             deadline_misses: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             platforms_built: AtomicU64::new(0),
-            latencies: Mutex::new(LatencyRing::new()),
+            latencies: Mutex::new(LatencyBook::default()),
         });
         let (tx, rx) = mpsc::channel();
         let handles = (0..workers)
@@ -433,8 +840,9 @@ impl SimService {
                     /// blocked in `recv` panic instead of waiting on a
                     /// result that will never come, and raises the
                     /// dead-worker flag + wakes the space condvar so a
-                    /// client blocked in the backpressured `submit` fails
-                    /// fast too (it waits on a condvar, not the channel).
+                    /// client blocked in the backpressured
+                    /// `submit_blocking` fails fast too (it waits on a
+                    /// condvar, not the channel).
                     struct DeathWatch(mpsc::Sender<Message>, Arc<Shared>);
                     impl Drop for DeathWatch {
                         fn drop(&mut self) {
@@ -478,82 +886,119 @@ impl SimService {
         self.submitted
     }
 
-    /// Enqueues a job and returns its id, *blocking* while a bounded
-    /// queue is at capacity: admission resumes once workers drain the
-    /// backlog to the watermark (half the capacity — the hysteresis stops
-    /// a saturated client from thrashing on every single claim). The
-    /// result arrives through [`SimService::recv`] whenever a worker
-    /// completes it. A core count outside 1..=8 is not rejected here —
-    /// the job completes with a [`ulp_platform::ConfigError`] outcome,
-    /// like any other configuration the platform/kernels cannot run. An
-    /// affinity pin ([`JobSpec::pinned`]) is validated against the actual
-    /// pool size: out-of-range indices are clamped (modulo the worker
-    /// count) onto a real deque, never a nonexistent one.
+    /// Non-blocking submission: enqueues the job and returns its id, or
+    /// says exactly why admission failed — the bounded backlog is at
+    /// capacity ([`SubmitError::AtCapacity`]), the spec's tenant is at
+    /// its quota ([`SubmitError::QuotaExceeded`]), or the pool is dead
+    /// ([`SubmitError::PoolDead`]). The rejecting variants carry the spec
+    /// back, so the caller decides: drop it, retry after draining some
+    /// results, or fall back to [`SimService::submit_blocking`]. On an
+    /// unbounded queue with no quotas this only ever fails on a dead
+    /// pool. The result arrives through [`SimService::recv`] whenever a
+    /// worker completes it.
+    ///
+    /// A core count outside 1..=8 is not rejected here — the job
+    /// completes with a [`ulp_platform::ConfigError`] outcome, like any
+    /// other configuration the platform/kernels cannot run. An affinity
+    /// pin ([`JobSpec::pinned`]) is validated against the actual pool
+    /// size: out-of-range indices are clamped (modulo the worker count)
+    /// onto a real deque, never a nonexistent one.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::AtCapacity`] and [`SubmitError::QuotaExceeded`]
+    /// with the spec inside; [`SubmitError::PoolDead`] when a worker
+    /// panicked.
     ///
     /// # Panics
     ///
     /// Panics on a workload size outside the kernel layout's capacity
     /// (the kernels would panic the worker on it), so that class of
     /// invalid submission fails in the submitting thread, not the pool.
-    pub fn submit(&mut self, spec: JobSpec) -> JobId {
-        match self.submit_inner(spec, true) {
-            Ok(id) => id,
-            Err(_) => unreachable!("blocking submit never rejects"),
-        }
+    pub fn submit(&mut self, spec: JobSpec) -> Result<JobId, SubmitError> {
+        self.submit_inner(spec, false)
     }
 
-    /// Non-blocking submission for the bounded queue: enqueues like
-    /// [`SimService::submit`] unless the backlog is at capacity, in which
-    /// case the spec comes straight back as [`Rejected`] (counted in
-    /// [`ServiceStats::rejections`]) and the caller decides — drop it,
-    /// retry after draining some results, or fall back to the blocking
-    /// path. On an unbounded queue this never rejects.
+    /// Blocking submission: like [`SimService::submit`], but parks until
+    /// admission succeeds instead of rejecting. At queue capacity it
+    /// resumes once workers drain the backlog to the watermark (half the
+    /// capacity — the hysteresis stops a saturated client from thrashing
+    /// on every single claim); at a tenant quota it resumes as soon as
+    /// one of the tenant's jobs completes.
     ///
     /// # Errors
     ///
-    /// [`Rejected`] when the bounded backlog is full; the spec is
-    /// returned inside the error.
+    /// [`SubmitError::PoolDead`] when a worker panicked — the only way a
+    /// blocking submission fails.
     ///
     /// # Panics
     ///
     /// Like [`SimService::submit`], panics on a workload size outside the
     /// kernel layout's capacity.
-    pub fn try_submit(&mut self, spec: JobSpec) -> Result<JobId, Rejected> {
-        self.submit_inner(spec, false)
+    pub fn submit_blocking(&mut self, spec: JobSpec) -> Result<JobId, SubmitError> {
+        self.submit_inner(spec, true)
     }
 
-    fn submit_inner(&mut self, spec: JobSpec, block: bool) -> Result<JobId, Rejected> {
+    fn submit_inner(&mut self, spec: JobSpec, block: bool) -> Result<JobId, SubmitError> {
         assert!(
             spec.workload.n >= 4 && spec.workload.n <= ulp_kernels::layout::MAX_N,
             "job workload n = {} outside supported range",
             spec.workload.n
         );
-        // Admission control: reserve a backlog slot under the work lock.
-        // The slot is reserved *before* the push lands in a deque; the
-        // workers' claim/scan retry loop already tolerates that gap (it
-        // is the same race as a claim overlapping another worker's scan).
+        let quota = self.shared.policy(spec.tenant).quota as u64;
+        let capacity = self.shared.capacity as u64;
+        // Admission control: reserve a backlog slot (and the tenant's
+        // quota slot) under the work lock. The slot is reserved *before*
+        // the push lands in a deque; the workers' claim/scan retry loop
+        // already tolerates that gap (it is the same race as a claim
+        // overlapping another worker's scan).
         {
             let mut state = self.shared.work.lock().expect("work lock");
-            let capacity = self.shared.capacity as u64;
-            if capacity != 0 && state.available >= capacity {
-                if !block {
+            if !block {
+                if state.dead_workers > 0 {
+                    return Err(SubmitError::PoolDead);
+                }
+                if quota != 0 && state.admitted(spec.tenant) >= quota {
+                    drop(state);
+                    self.shared.quota_rejections.fetch_add(1, Ordering::Relaxed);
+                    return Err(SubmitError::QuotaExceeded {
+                        tenant: spec.tenant,
+                        quota: quota as usize,
+                        spec,
+                    });
+                }
+                if capacity != 0 && state.available >= capacity {
                     drop(state);
                     self.shared.rejections.fetch_add(1, Ordering::Relaxed);
-                    return Err(Rejected {
+                    return Err(SubmitError::AtCapacity {
                         spec,
                         capacity: self.shared.capacity,
                     });
                 }
+            } else {
                 let watermark = capacity / 2;
-                while state.available > watermark {
-                    assert!(
-                        state.dead_workers == 0,
-                        "a service worker died while a submission was blocked on backpressure"
-                    );
+                // Hysteresis: once the backlog hits capacity, stay parked
+                // until it drains to the watermark.
+                let mut draining = false;
+                loop {
+                    if state.dead_workers > 0 {
+                        return Err(SubmitError::PoolDead);
+                    }
+                    if capacity != 0 && state.available >= capacity {
+                        draining = true;
+                    }
+                    if draining && state.available <= watermark {
+                        draining = false;
+                    }
+                    let over_quota = quota != 0 && state.admitted(spec.tenant) >= quota;
+                    if !draining && !over_quota {
+                        break;
+                    }
                     state = self.shared.space.wait(state).expect("work lock");
                 }
             }
             state.available += 1;
+            state.admit(spec.tenant);
         }
         let id = self.submitted;
         self.submitted += 1;
@@ -568,15 +1013,16 @@ impl SimService {
         if spec.priority == Priority::High {
             self.shared.queued_high.fetch_add(1, Ordering::Relaxed);
         }
-        self.shared.queues[queue]
-            .lock()
-            .expect("queue lock")
-            .push(QueuedJob {
+        let weight = self.shared.policy(spec.tenant).weight;
+        self.shared.queues[queue].lock().expect("queue lock").push(
+            QueuedJob {
                 id,
                 spec,
                 stolen: false,
                 enqueued: Instant::now(),
-            });
+            },
+            weight,
+        );
         self.shared.available.notify_one();
         Ok(id)
     }
@@ -641,16 +1087,41 @@ impl SimService {
         }
     }
 
-    /// Live snapshot of the scheduling counters and latency distribution.
+    /// Live snapshot of the scheduling counters and latency
+    /// distributions (pooled, per-priority, per-tenant).
     pub fn stats(&self) -> ServiceStats {
-        // Snapshot the ring under the lock, sort outside it: workers push
+        // Snapshot the rings under the lock, sort outside it: workers push
         // one sample per completed job and must not stall behind an
         // O(n log n) percentile computation.
-        let (total, max_ns, window) = {
-            let ring = self.shared.latencies.lock().expect("latency lock");
-            (ring.total, ring.max_ns, ring.window.clone())
+        let book = self.shared.latencies.lock().expect("latency lock").clone();
+        let peaks: Vec<(TenantId, u64)> = {
+            let state = self.shared.work.lock().expect("work lock");
+            state
+                .tenants
+                .iter()
+                .map(|(tenant, load)| (*tenant, load.peak))
+                .collect()
         };
-        let latency = LatencyStats::compute(total, max_ns, &window);
+        let mut per_tenant: Vec<TenantStats> = book
+            .per_tenant
+            .iter()
+            .map(|(tenant, ring)| TenantStats {
+                tenant: *tenant,
+                peak_admitted: 0,
+                latency: ring.stats(),
+            })
+            .collect();
+        for (tenant, peak) in peaks {
+            match per_tenant.iter_mut().find(|t| t.tenant == tenant) {
+                Some(entry) => entry.peak_admitted = peak,
+                None => per_tenant.push(TenantStats {
+                    tenant,
+                    peak_admitted: peak,
+                    latency: LatencyStats::default(),
+                }),
+            }
+        }
+        per_tenant.sort_by_key(|t| t.tenant);
         ServiceStats {
             workers: self.shared.queues.len(),
             jobs_run: self.shared.jobs_run.load(Ordering::Relaxed),
@@ -658,10 +1129,14 @@ impl SimService {
             jobs_stolen: self.shared.jobs_stolen.load(Ordering::Relaxed),
             steal_batch_max: self.shared.steal_batch_max.load(Ordering::Relaxed),
             rejections: self.shared.rejections.load(Ordering::Relaxed),
+            quota_rejections: self.shared.quota_rejections.load(Ordering::Relaxed),
+            evictions: self.shared.evictions.load(Ordering::Relaxed),
             deadline_misses: self.shared.deadline_misses.load(Ordering::Relaxed),
             platform_cache_hits: self.shared.cache_hits.load(Ordering::Relaxed),
             platforms_built: self.shared.platforms_built.load(Ordering::Relaxed),
-            latency,
+            latency: book.aggregate.stats(),
+            per_priority: std::array::from_fn(|i| book.per_priority[i].stats()),
+            per_tenant,
             wall: self.started.elapsed(),
         }
     }
@@ -721,6 +1196,19 @@ impl Drop for SimService {
     }
 }
 
+/// Completion-side admission bookkeeping: releases the tenant's quota
+/// slot and wakes quota waiters. Runs for executed *and* evicted jobs —
+/// both leave the service.
+fn release_admission(shared: &Shared, tenant: TenantId) {
+    {
+        let mut state = shared.work.lock().expect("work lock");
+        state.release(tenant);
+    }
+    if shared.has_quotas {
+        shared.space.notify_all();
+    }
+}
+
 fn worker_loop(me: usize, shared: &Shared, results: &mpsc::Sender<Message>) {
     // One platform per (design, core-count), reused across jobs: the
     // dominant allocations (memories, cycle buffers) happen at most once
@@ -754,13 +1242,13 @@ fn worker_loop(me: usize, shared: &Shared, results: &mpsc::Sender<Message>) {
         // the own deque. (The microsecond window where a submitter has
         // incremented the counter but not yet pushed simply falls through
         // to the general path.) The general path takes the own deque's
-        // most urgent class, then steals the front *half* of another
-        // worker's highest class: the thief runs the oldest job of the
-        // batch now and relocates the rest onto its own deque — still
-        // claimable by everyone — so one lock acquisition pays for
-        // several future claims instead of one. The retry loop covers the
-        // narrow race where another claimant grabs the job this worker
-        // would have found mid-scan.
+        // most urgent class (via the tenant round-robin), then steals half
+        // of every tenant lane of another worker's highest class: the
+        // thief runs the most urgent job of the batch now and relocates
+        // the rest onto its own deque — still claimable by everyone — so
+        // one lock acquisition pays for several future claims instead of
+        // one. The retry loop covers the narrow race where another
+        // claimant grabs the job this worker would have found mid-scan.
         let job = loop {
             if shared.queued_high.load(Ordering::Relaxed) > 0 {
                 if let Some(job) = shared.queues[me].lock().expect("queue lock").pop_high() {
@@ -798,6 +1286,32 @@ fn worker_loop(me: usize, shared: &Shared, results: &mpsc::Sender<Message>) {
             return;
         }
         let queue_wait = job.enqueued.elapsed();
+        // Deadline-infeasible eviction: a budget strictly below the
+        // provable cycle floor can never be met, so running the job would
+        // only burn a worker on a certain miss and push every queued
+        // job's wait out further. Return it as a typed eviction instead.
+        if let Some(budget) = job.spec.deadline_cycles {
+            let min_cycles = job.spec.min_run_cycles();
+            if budget < min_cycles {
+                shared.evictions.fetch_add(1, Ordering::Relaxed);
+                release_admission(shared, job.spec.tenant);
+                let _ = results.send(Message::Result(Box::new(JobResult {
+                    id: job.id,
+                    tenant: job.spec.tenant,
+                    worker: me,
+                    stolen: job.stolen,
+                    cache_hit: false,
+                    queue_wait,
+                    run_time: Duration::ZERO,
+                    deadline_missed: false,
+                    outcome: Err(JobError::Evicted {
+                        deadline_cycles: budget,
+                        min_cycles,
+                    }),
+                })));
+                continue;
+            }
+        }
         let run_start = Instant::now();
         let (cache_hit, outcome) = run_job(&job.spec, &mut cache, shared);
         let run_time = run_start.elapsed();
@@ -808,32 +1322,35 @@ fn worker_loop(me: usize, shared: &Shared, results: &mpsc::Sender<Message>) {
         if deadline_missed {
             shared.deadline_misses.fetch_add(1, Ordering::Relaxed);
         }
-        shared
-            .latencies
-            .lock()
-            .expect("latency lock")
-            .record((queue_wait + run_time).as_nanos() as u64);
+        shared.latencies.lock().expect("latency lock").record(
+            job.spec.tenant,
+            job.spec.priority,
+            (queue_wait + run_time).as_nanos() as u64,
+        );
         shared.jobs_run.fetch_add(1, Ordering::Relaxed);
+        release_admission(shared, job.spec.tenant);
         // A closed receiver (client finished without draining) is fine —
         // the result is simply discarded.
         let _ = results.send(Message::Result(Box::new(JobResult {
             id: job.id,
+            tenant: job.spec.tenant,
             worker: me,
             stolen: job.stolen,
             cache_hit,
             queue_wait,
             run_time,
             deadline_missed,
-            outcome,
+            outcome: outcome.map_err(JobError::from),
         })));
     }
 }
 
-/// One full steal sweep over the other workers' deques: takes the older
-/// half of the first victim with matching work (the [`Priority::High`]
-/// class only, with `high_only`), relocates the surplus onto `me`'s own
-/// deque — still claimable by everyone — and returns the oldest stolen
-/// job to run now. `None` when no victim had matching work.
+/// One full steal sweep over the other workers' deques: takes half of
+/// every tenant lane of the first victim's highest matching class (the
+/// [`Priority::High`] class only, with `high_only`), relocates the
+/// surplus onto `me`'s own deque — still claimable by everyone — and
+/// returns the most urgent stolen job (earliest deadline, then oldest)
+/// to run now. `None` when no victim had matching work.
 fn steal_scan(me: usize, shared: &Shared, high_only: bool) -> Option<QueuedJob> {
     let n = shared.queues.len();
     for offset in 1..n {
@@ -859,11 +1376,18 @@ fn steal_scan(me: usize, shared: &Shared, high_only: bool) -> Option<QueuedJob> 
         for job in &mut batch {
             job.stolen = true;
         }
-        let first = batch.pop_front().expect("non-empty batch");
+        let run_now = batch
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, job)| (job.deadline_key(), job.enqueued))
+            .map(|(i, _)| i)
+            .expect("non-empty batch");
+        let first = batch.remove(run_now);
         if !batch.is_empty() {
             let mut own = shared.queues[me].lock().expect("queue lock");
             for job in batch {
-                own.push(job);
+                let weight = shared.policy(job.spec.tenant).weight;
+                own.push(job, weight);
             }
         }
         return Some(first);

@@ -34,11 +34,13 @@ fn mixed_size_grid_is_bit_identical_to_serial() {
         (Benchmark::Mrpfltr, false, 2),
     ];
 
-    let mut service = SimService::start(ServiceConfig::with_workers(2));
+    let mut service = SimService::start(ServiceConfig::builder().workers(2).build());
     let ids: Vec<u64> = grid
         .iter()
         .map(|&(benchmark, with_sync, cores)| {
-            service.submit(JobSpec::new(benchmark, with_sync, cores, workload.clone()))
+            service
+                .submit(JobSpec::new(benchmark, cores, workload.clone()).with_sync(with_sync))
+                .expect("unbounded queue admits")
         })
         .collect();
     assert_eq!(ids, (0..grid.len() as u64).collect::<Vec<_>>());
@@ -81,9 +83,11 @@ fn mixed_size_grid_is_bit_identical_to_serial() {
 #[test]
 fn repeated_key_jobs_hit_the_platform_cache() {
     let workload = quick();
-    let mut service = SimService::start(ServiceConfig::with_workers(1));
+    let mut service = SimService::start(ServiceConfig::builder().workers(1).build());
     for _ in 0..3 {
-        service.submit(JobSpec::new(Benchmark::Sqrt32, true, 2, workload.clone()));
+        service
+            .submit(JobSpec::new(Benchmark::Sqrt32, 2, workload.clone()))
+            .expect("unbounded queue admits");
     }
     let results = drain(&mut service);
     assert_eq!(results.len(), 3);
@@ -115,10 +119,12 @@ fn repeated_key_jobs_hit_the_platform_cache() {
 fn pinned_backlog_is_rebalanced_by_stealing() {
     let workload = quick();
     let jobs = 8;
-    let mut service = SimService::start(ServiceConfig::with_workers(2));
+    let mut service = SimService::start(ServiceConfig::builder().workers(2).build());
     for _ in 0..jobs {
         // All eight 8-core cells pile onto worker 0; worker 1 starts idle.
-        service.submit(JobSpec::new(Benchmark::Sqrt32, true, 8, workload.clone()).pinned(0));
+        service
+            .submit(JobSpec::new(Benchmark::Sqrt32, 8, workload.clone()).pinned(0))
+            .expect("unbounded queue admits");
     }
     let results = drain(&mut service);
     assert_eq!(results.len(), jobs, "all jobs complete");

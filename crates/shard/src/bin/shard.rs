@@ -13,6 +13,7 @@
 //!   --threads <n>        service workers (default: all hardware threads)
 //!   --heatmap <window>   attach a per-bank DM heat map (cycles per row)
 //!   --exec-tier <tier>   interpreted (default) or compiled
+//!   --tenant <id>        tenant the shard jobs are submitted as (default 0)
 //!   --smoke              tiny workload (CI smoke mode: short recording)
 //! ```
 //!
@@ -25,7 +26,7 @@ use std::process::ExitCode;
 use ulp_kernels::{Benchmark, WorkloadConfig};
 use ulp_platform::ExecTier;
 use ulp_power::PowerModel;
-use ulp_service::ObserverSelection;
+use ulp_service::{ObserverSelection, TenantId};
 use ulp_shard::{merge_verified, required_halo, ShardPlan, ShardRunConfig, ShardRunner};
 
 const USAGE: &str = "usage: shard [plan|run] [options]
@@ -41,6 +42,7 @@ const USAGE: &str = "usage: shard [plan|run] [options]
   --heatmap <window>   attach a per-bank DM heat map (cycles per row)
   --exec-tier <tier>   execution tier: `interpreted` (default) or
                        `compiled` (bit-identical statistics, faster)
+  --tenant <id>        tenant the shard jobs are submitted as (default 0)
   --smoke              tiny workload (CI smoke mode: short recording)";
 
 #[derive(Clone)]
@@ -55,6 +57,7 @@ struct Options {
     threads: usize,
     heatmap: Option<u64>,
     exec_tier: ExecTier,
+    tenant: TenantId,
     smoke: bool,
 }
 
@@ -70,6 +73,7 @@ fn parse_args() -> Result<Options, String> {
         threads: 0,
         heatmap: None,
         exec_tier: ExecTier::Interpreted,
+        tenant: TenantId::DEFAULT,
         smoke: false,
     };
     let mut args = std::env::args().skip(1);
@@ -116,6 +120,10 @@ fn parse_args() -> Result<Options, String> {
                 opts.exec_tier = next_value(&mut args, "--exec-tier")?
                     .parse()
                     .map_err(|e| format!("bad value for --exec-tier: {e}"))?;
+            }
+            "--tenant" => {
+                opts.tenant =
+                    TenantId(parse_num(next_value(&mut args, "--tenant")?, "--tenant")? as u32);
             }
             "--heatmap" => {
                 let window = parse_num(next_value(&mut args, "--heatmap")?, "--heatmap")? as u64;
@@ -196,7 +204,8 @@ fn main() -> ExitCode {
     }
 
     let mut config = ShardRunConfig::new(opts.benchmark, opts.with_sync, opts.cores, workload)
-        .with_exec_tier(opts.exec_tier);
+        .with_exec_tier(opts.exec_tier)
+        .with_tenant(opts.tenant);
     if let Some(window) = opts.heatmap {
         config.observers = ObserverSelection::BankHeatMap { window };
     }
@@ -208,7 +217,7 @@ fn main() -> ExitCode {
         }
     };
     let start = std::time::Instant::now();
-    let sharded = match runner.run_local(opts.threads) {
+    let (sharded, service_stats) = match runner.run_local_with_stats(opts.threads) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("shard: {e}");
@@ -232,7 +241,9 @@ fn main() -> ExitCode {
     // Price the recording at the paper's Table I workload of 8 MOps/s.
     let energy = merged.energy_uj(&model, 8.0);
     let mut fields = vec![
+        "\"schema\":2".to_string(),
         format!("\"benchmark\":\"{}\"", opts.benchmark.name()),
+        format!("\"tenant\":{}", opts.tenant),
         format!(
             "\"design\":\"{}\"",
             if opts.with_sync { "sync" } else { "baseline" }
@@ -251,6 +262,22 @@ fn main() -> ExitCode {
         format!("\"events\":{}", merged.events().len()),
         "\"verified\":true".to_string(),
         format!("\"wall_s\":{:.3}", elapsed.as_secs_f64()),
+        format!(
+            "\"tenant_latency\":[{}]",
+            service_stats
+                .per_tenant
+                .iter()
+                .map(|t| format!(
+                    "{{\"tenant\":{},\"jobs\":{},\"p50_us\":{:.1},\"p95_us\":{:.1},\"max_us\":{:.1}}}",
+                    t.tenant,
+                    t.latency.samples,
+                    t.latency.p50.as_secs_f64() * 1e6,
+                    t.latency.p95.as_secs_f64() * 1e6,
+                    t.latency.max.as_secs_f64() * 1e6
+                ))
+                .collect::<Vec<_>>()
+                .join(",")
+        ),
     ];
     if let Some(uj) = energy {
         fields.push(format!("\"energy_uj\":{uj:.3}"));

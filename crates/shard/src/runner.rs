@@ -6,7 +6,10 @@ use std::fmt;
 use std::sync::Arc;
 use ulp_kernels::{Benchmark, BenchmarkRun, RunnerError, WorkloadConfig};
 use ulp_platform::ExecTier;
-use ulp_service::{JobArtifacts, JobSpec, ObserverSelection, Priority, ServiceConfig, SimService};
+use ulp_service::{
+    JobArtifacts, JobError, JobSpec, ObserverSelection, Priority, ServiceConfig, ServiceStats,
+    SimService, TenantId,
+};
 
 /// What to run over the recording: the benchmark, the platform design and
 /// core count every shard job uses, and the observers each shard carries.
@@ -29,6 +32,9 @@ pub struct ShardRunConfig {
     /// bit-identical across tiers; shards of one recording may therefore
     /// even mix tiers without affecting the merge).
     pub exec_tier: ExecTier,
+    /// The tenant every shard job is submitted on behalf of — the
+    /// recording's owner in a shared, quota-governed pool.
+    pub tenant: TenantId,
 }
 
 impl ShardRunConfig {
@@ -46,6 +52,7 @@ impl ShardRunConfig {
             workload,
             observers: ObserverSelection::None,
             exec_tier: ExecTier::Interpreted,
+            tenant: TenantId::DEFAULT,
         }
     }
 
@@ -62,6 +69,14 @@ impl ShardRunConfig {
     #[must_use]
     pub fn with_exec_tier(mut self, tier: ExecTier) -> ShardRunConfig {
         self.exec_tier = tier;
+        self
+    }
+
+    /// Tags every shard job with the recording owner's tenant, for quota
+    /// and fair-share accounting on a shared pool.
+    #[must_use]
+    pub fn with_tenant(mut self, tenant: TenantId) -> ShardRunConfig {
+        self.tenant = tenant;
         self
     }
 }
@@ -212,15 +227,12 @@ impl ShardRunner {
             .iter()
             .map(|s| {
                 let workload = self.config.workload.windowed(s.load_start, s.load_len());
-                JobSpec::new(
-                    self.config.benchmark,
-                    self.config.with_sync,
-                    self.config.cores,
-                    Arc::new(workload),
-                )
-                .with_observers(self.config.observers.clone())
-                .with_exec_tier(self.config.exec_tier)
-                .with_priority(Priority::High)
+                JobSpec::new(self.config.benchmark, self.config.cores, Arc::new(workload))
+                    .with_sync(self.config.with_sync)
+                    .observers(self.config.observers.clone())
+                    .exec_tier(self.config.exec_tier)
+                    .tenant(self.config.tenant)
+                    .priority(Priority::High)
             })
             .collect()
     }
@@ -246,11 +258,23 @@ impl ShardRunner {
         // Explicit id→slot routing: ids are opaque tokens here, not
         // assumed contiguous, so foreign traffic is detected instead of
         // silently corrupting slot arithmetic.
-        let slot_of: HashMap<u64, usize> = specs
-            .into_iter()
-            .map(|spec| service.submit(spec))
-            .zip(0..count)
-            .collect();
+        // Shards submit on the blocking path: a bounded shared pool
+        // throttles the runner instead of rejecting mid-recording, and
+        // the only failure left is a dead pool.
+        let mut slot_of: HashMap<u64, usize> = HashMap::with_capacity(count);
+        for (index, spec) in specs.into_iter().enumerate() {
+            match service.submit_blocking(spec) {
+                Ok(id) => {
+                    slot_of.insert(id, index);
+                }
+                Err(_) => {
+                    return Err(ShardError::PoolDied {
+                        completed: 0,
+                        expected: count,
+                    })
+                }
+            }
+        }
         let mut slots: Vec<Option<Result<ShardOutput, ShardError>>> =
             (0..count).map(|_| None).collect();
         for completed in 0..count {
@@ -273,10 +297,16 @@ impl ShardRunner {
                     run: out.run,
                     artifacts: out.artifacts,
                 }),
-                Err(error) => Err(ShardError::Job {
+                // Shard jobs never carry deadlines, so the only job-level
+                // failure is a runner error — an eviction here would mean
+                // the runner submitted a spec it never constructs.
+                Err(JobError::Run(error)) => Err(ShardError::Job {
                     shard: index,
                     error,
                 }),
+                Err(JobError::Evicted { .. }) => {
+                    unreachable!("shard jobs are submitted without deadlines")
+                }
             });
         }
         let mut shards = Vec::with_capacity(count);
@@ -298,13 +328,28 @@ impl ShardRunner {
     ///
     /// See [`ShardRunner::run`].
     pub fn run_local(self, threads: usize) -> Result<ShardedRun, ShardError> {
-        let workers = ServiceConfig::with_workers(threads)
+        self.run_local_with_stats(threads).map(|(run, _)| run)
+    }
+
+    /// [`ShardRunner::run_local`], also returning the private pool's
+    /// final [`ServiceStats`] — the shard CLI surfaces the per-tenant
+    /// latency rows from here.
+    ///
+    /// # Errors
+    ///
+    /// See [`ShardRunner::run`].
+    pub fn run_local_with_stats(
+        self,
+        threads: usize,
+    ) -> Result<(ShardedRun, ServiceStats), ShardError> {
+        let workers = ServiceConfig::builder()
+            .workers(threads)
+            .build()
             .resolved_workers()
             .min(self.plan.len())
             .max(1);
-        let mut service = SimService::start(ServiceConfig::with_workers(workers));
+        let mut service = SimService::start(ServiceConfig::builder().workers(workers).build());
         let run = self.run(&mut service)?;
-        service.finish();
-        Ok(run)
+        Ok((run, service.finish()))
     }
 }

@@ -158,11 +158,13 @@ fn sqrt32_sharded_heat_map_equals_full_pass_up_to_prologue_warmup() {
     let workload = long_workload(296);
     let window = 4096u64;
     for cores in [2usize, 4] {
-        let mut service = SimService::start(ServiceConfig::with_workers(1));
-        service.submit(
-            JobSpec::new(Benchmark::Sqrt32, true, cores, Arc::new(workload.clone()))
-                .with_observers(ObserverSelection::BankHeatMap { window }),
-        );
+        let mut service = SimService::start(ServiceConfig::builder().workers(1).build());
+        service
+            .submit(
+                JobSpec::new(Benchmark::Sqrt32, cores, Arc::new(workload.clone()))
+                    .observers(ObserverSelection::BankHeatMap { window }),
+            )
+            .expect("unbounded queue admits");
         let out = service
             .recv()
             .expect("the full pass completes")

@@ -1,8 +1,10 @@
 //! Batch simulation service demo: submit a mixed-size grid of benchmark
 //! jobs to a [`SimService`] worker pool and consume the results as a
 //! stream, then drive a *bounded* pool to saturation to show explicit
-//! backpressure — `try_submit` rejections, retry-after-drain handling,
-//! deadline misses and the latency percentiles the service accumulates.
+//! backpressure — `AtCapacity` rejections, retry-after-drain handling,
+//! deadline misses and the latency percentiles the service accumulates —
+//! and finally share one pool between a greedy and a polite tenant to
+//! show quotas and fair-share scheduling.
 //!
 //! ```sh
 //! cargo run --release --example batch_service
@@ -14,23 +16,27 @@
 //! steals the older half of a busy worker's backlog instead of idling.
 //!
 //! CI runs this example as its backpressure smoke: the `saturation:` line
-//! printed at the end must report at least one rejection, and every
-//! accepted job must complete.
+//! must report at least one rejection with every accepted job completing,
+//! and the `tenants:` line must report at least one quota rejection for
+//! the greedy tenant with every polite job completing.
 
 use std::sync::Arc;
 use ulp_lockstep::kernels::{Benchmark, WorkloadConfig};
-use ulp_lockstep::service::{JobSpec, Priority, ServiceConfig, SimService};
+use ulp_lockstep::service::{
+    JobSpec, Priority, ServiceConfig, SimService, SubmitError, TenantId, TenantPolicy,
+};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     streaming_grid_demo()?;
-    saturation_demo()
+    saturation_demo()?;
+    tenant_demo()
 }
 
 /// Part 1: the streaming mixed grid from the service's happy path, now
 /// with a priority and a deadline in the mix.
 fn streaming_grid_demo() -> Result<(), Box<dyn std::error::Error>> {
     let workload = Arc::new(WorkloadConfig::quick_test());
-    let mut service = SimService::start(ServiceConfig::with_workers(4));
+    let mut service = SimService::start(ServiceConfig::builder().workers(4).build());
 
     // A mixed-size grid: every benchmark, both designs, small and large
     // platforms interleaved. The 8-core cells ride at high priority with
@@ -39,13 +45,12 @@ fn streaming_grid_demo() -> Result<(), Box<dyn std::error::Error>> {
     for benchmark in Benchmark::ALL {
         for with_sync in [true, false] {
             for cores in [2, 8] {
-                let mut spec = JobSpec::new(benchmark, with_sync, cores, workload.clone());
+                let mut spec =
+                    JobSpec::new(benchmark, cores, workload.clone()).with_sync(with_sync);
                 if cores == 8 {
-                    spec = spec
-                        .with_priority(Priority::High)
-                        .with_deadline_cycles(40_000);
+                    spec = spec.priority(Priority::High).deadline_cycles(40_000);
                 }
-                service.submit(spec);
+                service.submit(spec)?;
                 submitted += 1;
             }
         }
@@ -108,12 +113,10 @@ fn streaming_grid_demo() -> Result<(), Box<dyn std::error::Error>> {
 }
 
 /// Part 2: a deliberately tiny bounded queue fed far more jobs than it
-/// can hold. `try_submit` returns [`Rejected`] at capacity — this demo
-/// counts the rejections and retries each rejected spec once after
-/// draining a result (the other standard moves: drop it, or fall back to
-/// the blocking `submit`).
-///
-/// [`Rejected`]: ulp_lockstep::service::Rejected
+/// can hold. `submit` returns [`SubmitError::AtCapacity`] carrying the
+/// spec back — this demo counts the rejections and retries each rejected
+/// spec once after draining a result (the other standard moves: drop it,
+/// or fall back to the blocking `submit_blocking`).
 fn saturation_demo() -> Result<(), Box<dyn std::error::Error>> {
     // A heavier workload so the single worker is the bottleneck and the
     // queue really saturates while the submission loop runs.
@@ -122,8 +125,12 @@ fn saturation_demo() -> Result<(), Box<dyn std::error::Error>> {
         ..WorkloadConfig::quick_test()
     });
     let capacity = 2;
-    let mut service =
-        SimService::start(ServiceConfig::with_workers(1).with_queue_capacity(capacity));
+    let mut service = SimService::start(
+        ServiceConfig::builder()
+            .workers(1)
+            .queue_capacity(capacity)
+            .build(),
+    );
 
     println!();
     println!(
@@ -136,10 +143,10 @@ fn saturation_demo() -> Result<(), Box<dyn std::error::Error>> {
     let mut rejected = 0u64;
     let mut completed = 0u64;
     for i in 0..attempts {
-        let spec = JobSpec::new(Benchmark::Sqrt32, i % 2 == 0, 2, workload.clone());
-        match service.try_submit(spec) {
+        let spec = JobSpec::new(Benchmark::Sqrt32, 2, workload.clone()).with_sync(i % 2 == 0);
+        match service.submit(spec) {
             Ok(_) => accepted += 1,
-            Err(rejection) => {
+            Err(error) => {
                 rejected += 1;
                 // Backpressure handling: drain one result (blocking), then
                 // retry the returned spec once — it may be rejected again
@@ -148,7 +155,10 @@ fn saturation_demo() -> Result<(), Box<dyn std::error::Error>> {
                     result.outcome?.run.verify()?;
                     completed += 1;
                 }
-                if service.try_submit(rejection.spec).is_ok() {
+                let spec = error
+                    .into_spec()
+                    .expect("capacity rejections carry the spec");
+                if service.submit(spec).is_ok() {
                     accepted += 1;
                 } else {
                     rejected += 1;
@@ -172,5 +182,84 @@ fn saturation_demo() -> Result<(), Box<dyn std::error::Error>> {
         "latency: p50 {:?}, p95 {:?}, max {:?} over {} jobs",
         stats.latency.p50, stats.latency.p95, stats.latency.max, stats.latency.samples,
     );
+    Ok(())
+}
+
+/// Part 3: two tenants on one pool — a greedy tenant flooding jobs under
+/// an admission quota, and a polite tenant submitting a handful. The
+/// quota bounds how much of the pool the flood can hold at once
+/// ([`SubmitError::QuotaExceeded`]), the per-tenant round-robin serves
+/// both lanes, and the final stats break latency down per tenant.
+fn tenant_demo() -> Result<(), Box<dyn std::error::Error>> {
+    let workload = Arc::new(WorkloadConfig {
+        n: 128,
+        ..WorkloadConfig::quick_test()
+    });
+    let greedy = TenantId(1);
+    let polite = TenantId(2);
+    let mut service = SimService::start(
+        ServiceConfig::builder()
+            .workers(1)
+            .tenant(greedy, TenantPolicy::quota(4))
+            .build(),
+    );
+
+    println!();
+    println!(
+        "two tenants on {} worker: greedy tenant {greedy} under a 4-job quota,          polite tenant {polite} unlimited",
+        service.workers()
+    );
+
+    // The greedy tenant floods; beyond 4 admitted-and-unfinished jobs the
+    // quota turns submissions away with the spec handed back.
+    let mut greedy_accepted = 0u64;
+    let mut greedy_quota_rejected = 0u64;
+    for _ in 0..16 {
+        match service.submit(JobSpec::new(Benchmark::Sqrt32, 2, workload.clone()).tenant(greedy)) {
+            Ok(_) => greedy_accepted += 1,
+            Err(SubmitError::QuotaExceeded { .. }) => greedy_quota_rejected += 1,
+            Err(other) => return Err(other.into()),
+        }
+    }
+    // The polite tenant's handful all admit: quotas are per tenant.
+    let polite_submitted = 4u64;
+    for _ in 0..polite_submitted {
+        service.submit(JobSpec::new(Benchmark::Sqrt32, 2, workload.clone()).tenant(polite))?;
+    }
+
+    let mut polite_completed = 0u64;
+    let mut greedy_completed = 0u64;
+    while let Some(result) = service.recv() {
+        let out = result.outcome?;
+        out.run.verify()?;
+        if result.tenant == polite {
+            polite_completed += 1;
+        } else {
+            greedy_completed += 1;
+        }
+    }
+
+    let stats = service.finish();
+    assert_eq!(stats.quota_rejections, greedy_quota_rejected);
+    assert_eq!(greedy_completed, greedy_accepted);
+    // CI parses this line: the quota must actually bind and every polite
+    // job must complete.
+    println!(
+        "tenants: greedy_accepted={greedy_accepted} \
+         greedy_quota_rejected={greedy_quota_rejected} \
+         polite_submitted={polite_submitted} \
+         polite_completed={polite_completed}"
+    );
+    for row in &stats.per_tenant {
+        println!(
+            "tenant {} latency: p50 {:?}, p95 {:?}, max {:?} over {} jobs (peak admitted {})",
+            row.tenant,
+            row.latency.p50,
+            row.latency.p95,
+            row.latency.max,
+            row.latency.samples,
+            row.peak_admitted,
+        );
+    }
     Ok(())
 }

@@ -4,19 +4,18 @@
 
 use std::sync::Arc;
 use ulp_lockstep::kernels::{Benchmark, WorkloadConfig};
-use ulp_lockstep::service::{JobSpec, Priority, ServiceConfig, SimService};
+use ulp_lockstep::service::{
+    JobSpec, Priority, ServiceConfig, SimService, SubmitError, TenantId, TenantPolicy,
+};
 
 #[test]
 fn facade_service_streams_a_mixed_grid() {
     let workload = Arc::new(WorkloadConfig::quick_test());
-    let mut service = SimService::start(ServiceConfig::with_workers(2));
+    let mut service = SimService::start(ServiceConfig::builder().workers(2).build());
     for &(with_sync, cores) in &[(true, 2), (false, 2), (true, 8), (true, 2)] {
-        service.submit(JobSpec::new(
-            Benchmark::Sqrt32,
-            with_sync,
-            cores,
-            workload.clone(),
-        ));
+        service
+            .submit(JobSpec::new(Benchmark::Sqrt32, cores, workload.clone()).with_sync(with_sync))
+            .expect("unbounded queue admits");
     }
 
     let mut completed = 0;
@@ -50,28 +49,35 @@ fn facade_service_streams_a_mixed_grid() {
 #[test]
 fn facade_bounded_queue_backpressure_round_trip() {
     let workload = Arc::new(WorkloadConfig::quick_test());
-    let mut service = SimService::start(ServiceConfig::with_workers(2).with_queue_capacity(2));
+    let mut service = SimService::start(
+        ServiceConfig::builder()
+            .workers(2)
+            .queue_capacity(2)
+            .build(),
+    );
     let mut accepted = 0u64;
     let mut rejected = 0u64;
     for i in 0..16 {
-        let spec = JobSpec::new(Benchmark::Sqrt32, i % 2 == 0, 2, workload.clone())
-            .with_priority(if i % 4 == 0 {
+        let spec = JobSpec::new(Benchmark::Sqrt32, 2, workload.clone())
+            .with_sync(i % 2 == 0)
+            .priority(if i % 4 == 0 {
                 Priority::High
             } else {
                 Priority::Low
             })
-            .with_deadline_cycles(u64::MAX);
+            .deadline_cycles(u64::MAX);
         if i % 2 == 0 {
             // The blocking path throttles instead of rejecting.
-            service.submit(spec);
+            service.submit_blocking(spec).expect("pool alive");
             accepted += 1;
         } else {
-            match service.try_submit(spec) {
+            match service.submit(spec) {
                 Ok(_) => accepted += 1,
-                Err(rejection) => {
-                    assert_eq!(rejection.capacity, 2);
+                Err(SubmitError::AtCapacity { capacity, .. }) => {
+                    assert_eq!(capacity, 2);
                     rejected += 1;
                 }
+                Err(other) => panic!("unexpected rejection: {other}"),
             }
         }
     }
@@ -88,4 +94,60 @@ fn facade_bounded_queue_backpressure_round_trip() {
     assert_eq!(stats.rejections, rejected);
     assert_eq!(stats.deadline_misses, 0);
     assert_eq!(stats.latency.samples, accepted);
+}
+
+/// Tenant identity through the facade: quotas reject over-admission with
+/// the spec handed back, and the final stats carry per-tenant latency
+/// rows next to the pooled aggregate.
+#[test]
+fn facade_tenant_quotas_and_per_tenant_stats_round_trip() {
+    let workload = Arc::new(WorkloadConfig::quick_test());
+    let limited = TenantId(1);
+    let open = TenantId(2);
+    let mut service = SimService::start(
+        ServiceConfig::builder()
+            .workers(1)
+            .tenant(limited, TenantPolicy::quota(2))
+            .build(),
+    );
+    // Hold the single worker down so the quota window stays occupied.
+    let spec = |tenant| JobSpec::new(Benchmark::Sqrt32, 8, workload.clone()).tenant(tenant);
+    let mut accepted = 0u64;
+    let mut over_quota = 0u64;
+    for _ in 0..4 {
+        match service.submit(spec(limited)) {
+            Ok(_) => accepted += 1,
+            Err(SubmitError::QuotaExceeded { tenant, spec, .. }) => {
+                assert_eq!(tenant, limited);
+                // The spec comes back intact for a later retry.
+                assert_eq!(spec.tenant, limited);
+                over_quota += 1;
+            }
+            Err(other) => panic!("unexpected rejection: {other}"),
+        }
+    }
+    // The unlimited tenant is unaffected by its neighbour's quota.
+    for _ in 0..3 {
+        service.submit(spec(open)).expect("no quota for tenant 2");
+        accepted += 1;
+    }
+    let mut completed = 0u64;
+    while let Some(result) = service.recv() {
+        result.outcome.expect("job ran");
+        completed += 1;
+    }
+    assert_eq!(completed, accepted);
+    assert!(over_quota >= 1, "the quota must actually bind");
+
+    let stats = service.finish();
+    assert_eq!(stats.quota_rejections, over_quota);
+    let limited_stats = stats.tenant(limited).expect("tenant 1 ran jobs");
+    assert!(limited_stats.peak_admitted <= 2, "quota never breached");
+    let open_stats = stats.tenant(open).expect("tenant 2 ran jobs");
+    assert_eq!(open_stats.latency.samples, 3);
+    assert_eq!(
+        limited_stats.latency.samples + open_stats.latency.samples,
+        stats.latency.samples,
+        "per-tenant rows partition the aggregate"
+    );
 }
