@@ -17,6 +17,9 @@
 //!   --exec-tier <tier>   interpreted (default) or compiled
 //!   --threads <n>        worker threads (default: all hardware threads)
 //!   --tenant <id>        tenant the sweep's jobs are submitted as (default 0)
+//!   --trace-out <path>   write a Chrome trace-event JSON file (Perfetto /
+//!                        chrome://tracing loadable, one track per worker)
+//!   --stats-json <path>  write the final ServiceStats as one JSON object
 //! ```
 //!
 //! `--stream` turns the sweep into a JSON-lines producer: cells are
@@ -30,6 +33,15 @@
 //! recording-level `dm_bank_heatmap` per-bank totals even for sharded
 //! cells, whose rows were re-indexed onto the global cycle axis at the
 //! merge.
+//!
+//! `--trace-out` enables job-lifecycle telemetry for the whole sweep and,
+//! on exit, writes every recorded span (queued → claimed → platform →
+//! run, plus steals and merges) as Chrome trace-event JSON. With
+//! `--stream` it also interleaves periodic `{"telemetry":…}` snapshot
+//! lines — counters, gauges, and latency histograms — between the cell
+//! records, so a live consumer can watch queue depth and throughput
+//! evolve. Snapshot lines never collide with the `{"schema":2,…}` cell
+//! records: consumers filter on the leading key.
 
 use std::io::Write;
 use std::process::ExitCode;
@@ -37,6 +49,7 @@ use ulp_bench::{run_sweep_with, SweepCell, SweepSpec};
 use ulp_kernels::{Benchmark, WorkloadConfig};
 use ulp_platform::ExecTier;
 use ulp_service::{ObserverSelection, TenantId};
+use ulp_telemetry::Telemetry;
 
 /// One completed cell as a JSON-lines record (`--stream`, schema 2: adds
 /// `schema` and `tenant` over the schema-less v1 records). `emitted` and
@@ -112,7 +125,13 @@ const USAGE: &str = "usage: sweep [options]
   --exec-tier <tier>   execution tier for every cell: `interpreted`
                        (default) or `compiled` (bit-identical, faster)
   --threads <n>        worker threads (default: all hardware threads)
-  --tenant <id>        tenant the sweep's jobs are submitted as (default 0)";
+  --tenant <id>        tenant the sweep's jobs are submitted as (default 0)
+  --trace-out <path>   enable telemetry and write a Chrome trace-event
+                       JSON file on exit (Perfetto loadable, one track
+                       per worker; with --stream also interleaves
+                       periodic {\"telemetry\":...} snapshot lines)
+  --stats-json <path>  write the final service stats (schema 2, with
+                       per-tenant rows) as one JSON object";
 
 struct Options {
     smoke: bool,
@@ -125,6 +144,8 @@ struct Options {
     exec_tier: ExecTier,
     threads: usize,
     tenant: TenantId,
+    trace_out: Option<String>,
+    stats_json: Option<String>,
 }
 
 fn parse_benchmark(name: &str) -> Result<Benchmark, String> {
@@ -159,6 +180,8 @@ fn parse_args() -> Result<Options, String> {
         exec_tier: ExecTier::Interpreted,
         threads: 0,
         tenant: TenantId::DEFAULT,
+        trace_out: None,
+        stats_json: None,
     };
     let mut args = std::env::args().skip(1);
     let next_value = |args: &mut dyn Iterator<Item = String>, what: &str| {
@@ -229,6 +252,12 @@ fn parse_args() -> Result<Options, String> {
                 }
                 opts.observers = ObserverSelection::BankHeatMap { window };
             }
+            "--trace-out" => {
+                opts.trace_out = Some(next_value(&mut args, "--trace-out")?);
+            }
+            "--stats-json" => {
+                opts.stats_json = Some(next_value(&mut args, "--stats-json")?);
+            }
             "--exec-tier" => {
                 opts.exec_tier = next_value(&mut args, "--exec-tier")?
                     .parse()
@@ -272,6 +301,13 @@ fn main() -> ExitCode {
         workload.n = n;
     }
 
+    // Telemetry rides along only when a trace was requested: the disabled
+    // handle keeps the hot path at a single branch per event.
+    let telemetry = if opts.trace_out.is_some() {
+        Telemetry::enabled()
+    } else {
+        Telemetry::disabled()
+    };
     let spec = SweepSpec {
         benchmarks: opts.benchmarks,
         designs: vec![true, false],
@@ -285,6 +321,7 @@ fn main() -> ExitCode {
         // grids are fed at the workers' claim rate.
         queue_capacity: 0,
         tenant: opts.tenant,
+        telemetry: telemetry.clone(),
     };
     // Bad geometry is a usage error: report it and exit 2, like every
     // other invalid argument — the sweep library treats it as a caller
@@ -340,6 +377,16 @@ fn main() -> ExitCode {
             writeln!(out, "{}", json_line(cell, tenant, emitted, progress.total))
                 .and_then(|()| out.flush())
                 .ok();
+            // Interleave a metrics snapshot every few records (and on the
+            // last one) when telemetry is on. The `{"telemetry":…}` prefix
+            // keeps snapshot lines distinguishable from cell records.
+            if telemetry.is_enabled() && (emitted % 4 == 0 || progress.completed == progress.total)
+            {
+                telemetry.collect();
+                writeln!(out, "{{\"telemetry\":{}}}", telemetry.snapshot_json())
+                    .and_then(|()| out.flush())
+                    .ok();
+            }
         }
     }) {
         Ok(r) => r,
@@ -355,6 +402,23 @@ fn main() -> ExitCode {
     for cell in &results.cells {
         if let Err(e) = cell.run.verify() {
             eprintln!("sweep: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    // Exporter artifacts: the Chrome trace (one track per worker, spans
+    // for every job-lifecycle phase) and the final service stats. Both
+    // are plain files so they survive the process and load straight into
+    // Perfetto / jq.
+    if let Some(path) = &opts.trace_out {
+        telemetry.collect();
+        if let Err(e) = std::fs::write(path, telemetry.chrome_trace()) {
+            eprintln!("sweep: writing --trace-out {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(path) = &opts.stats_json {
+        if let Err(e) = std::fs::write(path, results.service.to_json()) {
+            eprintln!("sweep: writing --stats-json {path}: {e}");
             return ExitCode::FAILURE;
         }
     }

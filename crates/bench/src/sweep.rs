@@ -31,6 +31,7 @@ use ulp_service::{
     TenantId,
 };
 use ulp_shard::{MergedArtifacts, ShardPlan, ShardRunConfig, ShardRunner, ShardedRun};
+use ulp_telemetry::{EventKind, Telemetry, CLIENT_TRACK};
 
 /// The paper's Table I workload in MOps/s — what every cell's
 /// [`SweepCell::energy_uj`] is priced at.
@@ -78,6 +79,13 @@ pub struct SweepSpec {
     /// when several sweeps share one pool, and the identity the service's
     /// per-tenant latency rows are keyed by.
     pub tenant: TenantId,
+    /// Telemetry sink the sweep's private service pool records into
+    /// (disabled by default — every hook is then a single branch). Pass
+    /// an enabled handle and keep a clone: the sweep adds client-side
+    /// merge/stream events per job and the pool records the full
+    /// lifecycle, exportable via [`Telemetry::chrome_trace`] /
+    /// [`Telemetry::snapshot_json`] during or after the run.
+    pub telemetry: Telemetry,
 }
 
 impl SweepSpec {
@@ -95,6 +103,7 @@ impl SweepSpec {
             threads: 0,
             queue_capacity: 0,
             tenant: TenantId::DEFAULT,
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -316,6 +325,12 @@ pub fn run_sweep_with(
     let mut states = Vec::with_capacity(coords.len());
     let mut specs: Vec<JobSpec> = Vec::new();
     let mut job_map: Vec<(usize, usize)> = Vec::new();
+    // Telemetry tags of every cell's jobs — (job id, priority index) —
+    // so the client-side merge/stream events recorded at cell
+    // finalization carry the same tags as the job's lifecycle events.
+    let mut cell_job_tags: Vec<Vec<(u64, u8)>> = Vec::with_capacity(coords.len());
+    let tier_code = matches!(spec.exec_tier, ExecTier::Compiled) as u8;
+    let client_track = spec.telemetry.track(CLIENT_TRACK);
     for (cell_idx, &(benchmark, with_sync, cores, shard)) in coords.iter().enumerate() {
         let (plan, jobs) = match shard {
             None => (
@@ -348,10 +363,13 @@ pub fn run_sweep_with(
             remaining: jobs.len(),
             error: None,
         });
+        let mut tags = Vec::with_capacity(jobs.len());
         for (slot, job) in jobs.into_iter().enumerate() {
             job_map.push((cell_idx, slot));
+            tags.push((specs.len() as u64, job.priority.index() as u8));
             specs.push(job);
         }
+        cell_job_tags.push(tags);
         plans.push(plan);
     }
 
@@ -377,6 +395,7 @@ pub fn run_sweep_with(
         ServiceConfig::builder()
             .workers(workers)
             .queue_capacity(capacity)
+            .telemetry(spec.telemetry.clone())
             .build(),
     );
 
@@ -484,6 +503,14 @@ pub fn run_sweep_with(
             })
         };
         if let Ok(cell) = &cell {
+            // The cell's jobs merged into one result: record the
+            // client-side lifecycle tail (merge, then — once the
+            // callback has seen it — stream) for every job of the cell.
+            if client_track.is_enabled() {
+                for &(id, priority) in &cell_job_tags[cell_idx] {
+                    client_track.record(EventKind::Merged, id, spec.tenant.0, priority, tier_code);
+                }
+            }
             // Errored cells are not streamed (the sweep as a whole
             // returns their error), so `completed` counts exactly the
             // cells the callback sees: it reaches `total` iff every cell
@@ -497,6 +524,17 @@ pub fn run_sweep_with(
                     index: cell_idx,
                 },
             );
+            if client_track.is_enabled() {
+                for &(id, priority) in &cell_job_tags[cell_idx] {
+                    client_track.record(
+                        EventKind::Streamed,
+                        id,
+                        spec.tenant.0,
+                        priority,
+                        tier_code,
+                    );
+                }
+            }
         }
         cells[cell_idx] = Some(cell);
     };
@@ -512,6 +550,10 @@ pub fn run_sweep_with(
         while let Some(result) = service.try_recv() {
             handle(result);
         }
+        // Sweep-long runs must not overflow the bounded event rings:
+        // fold them into the collected store as the grid is fed (a
+        // single branch when telemetry is disabled).
+        spec.telemetry.collect();
     }
     while let Some(result) = service.recv() {
         handle(result);
@@ -548,6 +590,7 @@ mod tests {
             threads: 0,
             queue_capacity: 0,
             tenant: TenantId::DEFAULT,
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -609,6 +652,7 @@ mod tests {
             // saturated bounded queue and still merge bit-exactly.
             queue_capacity: 2,
             tenant: TenantId::DEFAULT,
+            telemetry: Telemetry::disabled(),
         };
         let results = run_sweep(&spec).expect("sharded sweep runs");
         assert_eq!(results.cells.len(), 4);
@@ -647,6 +691,7 @@ mod tests {
             threads: 2,
             queue_capacity: 0,
             tenant: TenantId::DEFAULT,
+            telemetry: Telemetry::disabled(),
         };
         let results = run_sweep(&spec).expect("mixed sweep runs");
         assert_eq!(results.cells.len(), 2);
@@ -685,6 +730,7 @@ mod tests {
             threads: 2,
             queue_capacity: 0,
             tenant: TenantId(3),
+            telemetry: Telemetry::disabled(),
         };
         let mut streamed = 0;
         let results = run_sweep_with(&spec, |cell, _| {

@@ -15,7 +15,10 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use ulp_kernels::{run_benchmark_reusing_with, RunnerError};
-use ulp_platform::{BankHeatMap, PcTrace, Platform, PlatformConfig, VcdTracer};
+use ulp_platform::{BankHeatMap, ExecTier, PcTrace, Platform, PlatformConfig, VcdTracer};
+use ulp_telemetry::{
+    worker_track, Counter, EventKind, Histogram, Telemetry, Track, CLIENT_TRACK, NO_JOB,
+};
 
 /// Admission and fair-share policy for one tenant (or the default for
 /// tenants without an explicit entry): how many of its jobs may be in the
@@ -87,6 +90,12 @@ pub struct ServiceConfig {
     pub default_policy: TenantPolicy,
     /// Per-tenant policy overrides.
     pub tenants: Vec<(TenantId, TenantPolicy)>,
+    /// Telemetry sink the pool records into: every job-lifecycle phase
+    /// becomes a typed event on the submitting client's or executing
+    /// worker's track, and the scheduler publishes its counters into the
+    /// sink's metrics registry. The default ([`Telemetry::disabled`])
+    /// makes every hook a single branch — no ring, no clock read.
+    pub telemetry: Telemetry,
 }
 
 impl ServiceConfig {
@@ -153,6 +162,15 @@ impl ServiceConfigBuilder {
         self
     }
 
+    /// Attaches a telemetry sink (default: [`Telemetry::disabled`]).
+    /// Pass [`Telemetry::enabled`] to record job-lifecycle events and
+    /// scheduler metrics; keep a clone of the handle to export them.
+    #[must_use]
+    pub fn telemetry(mut self, telemetry: Telemetry) -> ServiceConfigBuilder {
+        self.config.telemetry = telemetry;
+        self
+    }
+
     /// Sets (or replaces) the policy for one tenant.
     #[must_use]
     pub fn tenant(mut self, tenant: TenantId, policy: TenantPolicy) -> ServiceConfigBuilder {
@@ -176,6 +194,16 @@ impl ServiceConfigBuilder {
 /// [`LATENCY_WINDOW`] completions, so a long-lived service's memory stays
 /// bounded and its percentiles track *current* traffic, not ancient
 /// history.
+///
+/// Small-sample behaviour is well-defined (nearest-rank percentiles are
+/// total functions of the window, not estimates):
+///
+/// - **0 samples**: every field is zero ([`LatencyStats::default`]).
+/// - **1 sample**: `p50`, `p95` and `max` all equal that sample — the
+///   only observation is every percentile.
+/// - **2 samples**: `p50` is the *smaller* sample (nearest-rank:
+///   `ceil(0.50 × 2) = 1` → 1st smallest), `p95` and `max` the larger
+///   (`ceil(0.95 × 2) = 2` → 2nd smallest).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LatencyStats {
     /// Completed jobs over the pool's lifetime.
@@ -191,12 +219,16 @@ pub struct LatencyStats {
 
 impl LatencyStats {
     fn compute(total: u64, max_ns: u64, window: &[u64]) -> LatencyStats {
+        // Empty window: all-zero stats rather than an indexing panic —
+        // an idle pool has a well-defined (zero) distribution.
         if window.is_empty() {
             return LatencyStats::default();
         }
         let mut sorted = window.to_vec();
         sorted.sort_unstable();
-        // Nearest-rank: the ceil(p/100 * N)-th smallest sample.
+        // Nearest-rank: the ceil(p/100 * N)-th smallest sample. The
+        // `.max(1)` keeps tiny windows in range: for N = 1 every
+        // percentile is the single sample (rank 1), never index -1.
         let rank = |p: usize| sorted[(p * sorted.len()).div_ceil(100).max(1) - 1];
         LatencyStats {
             samples: total,
@@ -204,6 +236,17 @@ impl LatencyStats {
             p95: Duration::from_nanos(rank(95)),
             max: Duration::from_nanos(max_ns),
         }
+    }
+
+    /// The distribution as a JSON fragment (durations in nanoseconds).
+    fn to_json(self) -> String {
+        format!(
+            "{{\"samples\":{},\"p50_ns\":{},\"p95_ns\":{},\"max_ns\":{}}}",
+            self.samples,
+            self.p50.as_nanos(),
+            self.p95.as_nanos(),
+            self.max.as_nanos()
+        )
     }
 }
 
@@ -333,6 +376,56 @@ impl ServiceStats {
     /// The latency distribution of one priority class.
     pub fn priority_latency(&self, priority: Priority) -> &LatencyStats {
         &self.per_priority[priority.index()]
+    }
+
+    /// The full snapshot as one JSON object (schema 2: per-tenant rows
+    /// included), for the `--stats-json` flag of the sweep and shard
+    /// CLIs and any other scripted consumer. Durations are nanoseconds;
+    /// priority rows are keyed `"high"`/`"normal"`/`"low"`; tenant rows
+    /// are sorted by tenant id.
+    pub fn to_json(&self) -> String {
+        let per_priority: Vec<String> = ["high", "normal", "low"]
+            .iter()
+            .zip(self.per_priority.iter())
+            .map(|(name, stats)| format!("\"{name}\":{}", stats.to_json()))
+            .collect();
+        let per_tenant: Vec<String> = self
+            .per_tenant
+            .iter()
+            .map(|row| {
+                format!(
+                    "{{\"tenant\":{},\"peak_admitted\":{},\"latency\":{}}}",
+                    row.tenant.0,
+                    row.peak_admitted,
+                    row.latency.to_json()
+                )
+            })
+            .collect();
+        format!(
+            concat!(
+                "{{\"schema\":2,\"workers\":{},\"jobs_run\":{},\"steals\":{},",
+                "\"jobs_stolen\":{},\"steal_batch_max\":{},\"rejections\":{},",
+                "\"quota_rejections\":{},\"evictions\":{},\"deadline_misses\":{},",
+                "\"platform_cache_hits\":{},\"platforms_built\":{},",
+                "\"latency\":{},\"per_priority\":{{{}}},\"per_tenant\":[{}],",
+                "\"wall_ns\":{}}}"
+            ),
+            self.workers,
+            self.jobs_run,
+            self.steals,
+            self.jobs_stolen,
+            self.steal_batch_max,
+            self.rejections,
+            self.quota_rejections,
+            self.evictions,
+            self.deadline_misses,
+            self.platform_cache_hits,
+            self.platforms_built,
+            self.latency.to_json(),
+            per_priority.join(","),
+            per_tenant.join(","),
+            self.wall.as_nanos()
+        )
     }
 }
 
@@ -689,6 +782,70 @@ enum Message {
     WorkerDied,
 }
 
+/// Pre-registered metric handles the pool publishes into. Resolving the
+/// handles once at startup keeps the hot path free of name lookups; with
+/// disabled telemetry every handle is a no-op and each publish is one
+/// branch.
+struct ServiceMetrics {
+    jobs_submitted: Counter,
+    jobs_completed: Counter,
+    steals: Counter,
+    jobs_stolen: Counter,
+    evictions: Counter,
+    quota_rejections: Counter,
+    capacity_rejections: Counter,
+    deadline_misses: Counter,
+    platforms_built: Counter,
+    platform_cache_hits: Counter,
+    queue_wait_us: Histogram,
+    run_us: Histogram,
+    jit_translations: Counter,
+    jit_hits: Counter,
+    jit_compiled_cycles: Counter,
+    jit_fallback_cycles: Counter,
+}
+
+impl ServiceMetrics {
+    fn new(telemetry: &Telemetry) -> ServiceMetrics {
+        ServiceMetrics {
+            jobs_submitted: telemetry.counter("service_jobs_submitted"),
+            jobs_completed: telemetry.counter("service_jobs_completed"),
+            steals: telemetry.counter("service_steals"),
+            jobs_stolen: telemetry.counter("service_jobs_stolen"),
+            evictions: telemetry.counter("service_evictions"),
+            quota_rejections: telemetry.counter("service_quota_rejections"),
+            capacity_rejections: telemetry.counter("service_capacity_rejections"),
+            deadline_misses: telemetry.counter("service_deadline_misses"),
+            platforms_built: telemetry.counter("service_platforms_built"),
+            platform_cache_hits: telemetry.counter("service_platform_cache_hits"),
+            queue_wait_us: telemetry.histogram("service_queue_wait_us"),
+            run_us: telemetry.histogram("service_run_us"),
+            jit_translations: telemetry.counter("jit_translations"),
+            jit_hits: telemetry.counter("jit_hits"),
+            jit_compiled_cycles: telemetry.counter("jit_compiled_cycles"),
+            jit_fallback_cycles: telemetry.counter("jit_fallback_cycles"),
+        }
+    }
+}
+
+/// The telemetry wire code for an execution tier (`JobEvent::exec_tier`).
+fn tier_code(tier: ExecTier) -> u8 {
+    match tier {
+        ExecTier::Interpreted => 0,
+        ExecTier::Compiled => 1,
+    }
+}
+
+/// The telemetry tags of one job spec: (job id, tenant, priority, tier).
+fn event_tags(id: JobId, spec: &JobSpec) -> (u64, u32, u8, u8) {
+    (
+        id,
+        spec.tenant.0,
+        spec.priority.index() as u8,
+        tier_code(spec.exec_tier),
+    )
+}
+
 struct Shared {
     /// Bound on the unclaimed backlog; `0` = unbounded.
     capacity: usize,
@@ -728,6 +885,11 @@ struct Shared {
     /// Bounded recorders behind [`ServiceStats::latency`],
     /// [`ServiceStats::per_priority`] and [`ServiceStats::per_tenant`].
     latencies: Mutex<LatencyBook>,
+    /// The telemetry sink (possibly disabled) every lifecycle event and
+    /// metric publish goes through.
+    telemetry: Telemetry,
+    /// Pre-registered metric handles (no-ops when telemetry is disabled).
+    metrics: ServiceMetrics,
 }
 
 impl Shared {
@@ -792,6 +954,9 @@ pub struct SimService {
     submitted: u64,
     received: u64,
     started: Instant,
+    /// Recording handle for client-side lifecycle events (submission and
+    /// rejection), resolved once at start.
+    client_track: Track,
 }
 
 impl SimService {
@@ -800,6 +965,9 @@ impl SimService {
         let workers = config.resolved_workers().max(1);
         let has_quotas =
             config.default_policy.quota != 0 || config.tenants.iter().any(|(_, p)| p.quota != 0);
+        let telemetry = config.telemetry.clone();
+        let metrics = ServiceMetrics::new(&telemetry);
+        let client_track = telemetry.track(CLIENT_TRACK);
         let shared = Arc::new(Shared {
             capacity: config.queue_capacity,
             default_policy: config.default_policy,
@@ -829,6 +997,8 @@ impl SimService {
             cache_hits: AtomicU64::new(0),
             platforms_built: AtomicU64::new(0),
             latencies: Mutex::new(LatencyBook::default()),
+            telemetry,
+            metrics,
         });
         let (tx, rx) = mpsc::channel();
         let handles = (0..workers)
@@ -868,7 +1038,15 @@ impl SimService {
             submitted: 0,
             received: 0,
             started: Instant::now(),
+            client_track,
         }
+    }
+
+    /// The telemetry handle the pool records into (a clone of the one
+    /// configured at start; [`Telemetry::disabled`] by default). Export
+    /// traces or snapshots through it after — or during — a run.
+    pub fn telemetry(&self) -> Telemetry {
+        self.shared.telemetry.clone()
     }
 
     /// Worker threads in the pool.
@@ -961,6 +1139,14 @@ impl SimService {
                 if quota != 0 && state.admitted(spec.tenant) >= quota {
                     drop(state);
                     self.shared.quota_rejections.fetch_add(1, Ordering::Relaxed);
+                    self.shared.metrics.quota_rejections.inc();
+                    self.client_track.record(
+                        EventKind::QuotaRejected,
+                        NO_JOB,
+                        spec.tenant.0,
+                        spec.priority.index() as u8,
+                        tier_code(spec.exec_tier),
+                    );
                     return Err(SubmitError::QuotaExceeded {
                         tenant: spec.tenant,
                         quota: quota as usize,
@@ -970,6 +1156,14 @@ impl SimService {
                 if capacity != 0 && state.available >= capacity {
                     drop(state);
                     self.shared.rejections.fetch_add(1, Ordering::Relaxed);
+                    self.shared.metrics.capacity_rejections.inc();
+                    self.client_track.record(
+                        EventKind::CapacityRejected,
+                        NO_JOB,
+                        spec.tenant.0,
+                        spec.priority.index() as u8,
+                        tier_code(spec.exec_tier),
+                    );
                     return Err(SubmitError::AtCapacity {
                         spec,
                         capacity: self.shared.capacity,
@@ -1014,6 +1208,14 @@ impl SimService {
             self.shared.queued_high.fetch_add(1, Ordering::Relaxed);
         }
         let weight = self.shared.policy(spec.tenant).weight;
+        self.shared.metrics.jobs_submitted.inc();
+        if self.client_track.is_enabled() {
+            let (job, tenant, priority, tier) = event_tags(id, &spec);
+            self.client_track
+                .record(EventKind::Submitted, job, tenant, priority, tier);
+            self.client_track
+                .record(EventKind::Queued, job, tenant, priority, tier);
+        }
         self.shared.queues[queue].lock().expect("queue lock").push(
             QueuedJob {
                 id,
@@ -1214,6 +1416,9 @@ fn worker_loop(me: usize, shared: &Shared, results: &mpsc::Sender<Message>) {
     // dominant allocations (memories, cycle buffers) happen at most once
     // per key per worker.
     let mut cache: HashMap<(bool, usize), Platform> = HashMap::new();
+    // The worker's recording handle, resolved once: each event is then a
+    // clock read and a lock-free ring push (or one branch when disabled).
+    let track = shared.telemetry.track(worker_track(me));
     loop {
         // Claim one unit of work (or learn the pool is closed and drained).
         {
@@ -1254,14 +1459,14 @@ fn worker_loop(me: usize, shared: &Shared, results: &mpsc::Sender<Message>) {
                 if let Some(job) = shared.queues[me].lock().expect("queue lock").pop_high() {
                     break job;
                 }
-                if let Some(job) = steal_scan(me, shared, true) {
+                if let Some(job) = steal_scan(me, shared, true, &track) {
                     break job;
                 }
             }
             if let Some(job) = shared.queues[me].lock().expect("queue lock").pop_own() {
                 break job;
             }
-            if let Some(job) = steal_scan(me, shared, false) {
+            if let Some(job) = steal_scan(me, shared, false, &track) {
                 break job;
             }
             // A fully failed scan normally means another claimant grabbed
@@ -1286,6 +1491,12 @@ fn worker_loop(me: usize, shared: &Shared, results: &mpsc::Sender<Message>) {
             return;
         }
         let queue_wait = job.enqueued.elapsed();
+        let tags = event_tags(job.id, &job.spec);
+        track.record(EventKind::Claimed, tags.0, tags.1, tags.2, tags.3);
+        shared
+            .metrics
+            .queue_wait_us
+            .observe(queue_wait.as_micros() as u64);
         // Deadline-infeasible eviction: a budget strictly below the
         // provable cycle floor can never be met, so running the job would
         // only burn a worker on a certain miss and push every queued
@@ -1294,6 +1505,8 @@ fn worker_loop(me: usize, shared: &Shared, results: &mpsc::Sender<Message>) {
             let min_cycles = job.spec.min_run_cycles();
             if budget < min_cycles {
                 shared.evictions.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.evictions.inc();
+                track.record(EventKind::Evicted, tags.0, tags.1, tags.2, tags.3);
                 release_admission(shared, job.spec.tenant);
                 let _ = results.send(Message::Result(Box::new(JobResult {
                     id: job.id,
@@ -1313,14 +1526,25 @@ fn worker_loop(me: usize, shared: &Shared, results: &mpsc::Sender<Message>) {
             }
         }
         let run_start = Instant::now();
-        let (cache_hit, outcome) = run_job(&job.spec, &mut cache, shared);
+        let (cache_hit, outcome) = run_job(&job.spec, &mut cache, shared, &track, tags);
         let run_time = run_start.elapsed();
+        track.record(EventKind::RunEnd, tags.0, tags.1, tags.2, tags.3);
+        shared.metrics.run_us.observe(run_time.as_micros() as u64);
+        shared.metrics.jobs_completed.inc();
+        if let Ok(out) = &outcome {
+            let jit = &out.run.stats.jit;
+            shared.metrics.jit_translations.add(jit.translations);
+            shared.metrics.jit_hits.add(jit.hits);
+            shared.metrics.jit_compiled_cycles.add(jit.compiled_cycles);
+            shared.metrics.jit_fallback_cycles.add(jit.fallback_cycles);
+        }
         let deadline_missed = match (&outcome, job.spec.deadline_cycles) {
             (Ok(out), Some(budget)) => out.run.stats.cycles > budget,
             _ => false,
         };
         if deadline_missed {
             shared.deadline_misses.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.deadline_misses.inc();
         }
         shared.latencies.lock().expect("latency lock").record(
             job.spec.tenant,
@@ -1350,8 +1574,10 @@ fn worker_loop(me: usize, shared: &Shared, results: &mpsc::Sender<Message>) {
 /// [`Priority::High`] class only, with `high_only`), relocates the
 /// surplus onto `me`'s own deque — still claimable by everyone — and
 /// returns the most urgent stolen job (earliest deadline, then oldest)
-/// to run now. `None` when no victim had matching work.
-fn steal_scan(me: usize, shared: &Shared, high_only: bool) -> Option<QueuedJob> {
+/// to run now. `None` when no victim had matching work. Every relocated
+/// job is recorded as a [`EventKind::Stolen`] event on the thief's
+/// `track`.
+fn steal_scan(me: usize, shared: &Shared, high_only: bool, track: &Track) -> Option<QueuedJob> {
     let n = shared.queues.len();
     for offset in 1..n {
         let victim = (me + offset) % n;
@@ -1373,8 +1599,14 @@ fn steal_scan(me: usize, shared: &Shared, high_only: bool) -> Option<QueuedJob> 
         shared
             .steal_batch_max
             .fetch_max(batch.len() as u64, Ordering::Relaxed);
+        shared.metrics.steals.inc();
+        shared.metrics.jobs_stolen.add(batch.len() as u64);
         for job in &mut batch {
             job.stolen = true;
+            if track.is_enabled() {
+                let (id, tenant, priority, tier) = event_tags(job.id, &job.spec);
+                track.record(EventKind::Stolen, id, tenant, priority, tier);
+            }
         }
         let run_now = batch
             .iter()
@@ -1399,12 +1631,15 @@ fn run_job(
     spec: &JobSpec,
     cache: &mut HashMap<(bool, usize), Platform>,
     shared: &Shared,
+    track: &Track,
+    tags: (u64, u32, u8, u8),
 ) -> (bool, Result<JobOutput, RunnerError>) {
     use std::collections::hash_map::Entry;
     // The kernels assume one private DM bank per core (≤ 8); larger
     // baseline platforms would build fine but panic the worker inside the
     // kernel runner, so reject the job with an error outcome instead.
     if spec.cores == 0 || spec.cores > 8 {
+        track.record(EventKind::RunStart, tags.0, tags.1, tags.2, tags.3);
         return (
             false,
             Err(ulp_platform::ConfigError::BadCoreCount(spec.cores).into()),
@@ -1413,6 +1648,8 @@ fn run_job(
     let (cache_hit, platform) = match cache.entry((spec.with_sync, spec.cores)) {
         Entry::Occupied(e) => {
             shared.cache_hits.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.platform_cache_hits.inc();
+            track.record(EventKind::PlatformCacheHit, tags.0, tags.1, tags.2, tags.3);
             let platform = e.into_mut();
             // Reused platforms keep their allocations but must adopt this
             // job's cycle budget and execution tier — both differ across
@@ -1430,12 +1667,18 @@ fn run_job(
             match Platform::new(cfg) {
                 Ok(platform) => {
                     shared.platforms_built.fetch_add(1, Ordering::Relaxed);
+                    shared.metrics.platforms_built.inc();
+                    track.record(EventKind::PlatformBuilt, tags.0, tags.1, tags.2, tags.3);
                     (false, e.insert(platform))
                 }
-                Err(err) => return (false, Err(err.into())),
+                Err(err) => {
+                    track.record(EventKind::RunStart, tags.0, tags.1, tags.2, tags.3);
+                    return (false, Err(err.into()));
+                }
             }
         }
     };
+    track.record(EventKind::RunStart, tags.0, tags.1, tags.2, tags.3);
     let outcome = match &spec.observers {
         ObserverSelection::None => {
             run_benchmark_reusing_with(spec.benchmark, platform, &spec.workload, &mut [])
@@ -1465,4 +1708,78 @@ fn run_job(
             artifacts,
         }),
     )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_stats_empty_window_is_all_zero() {
+        let stats = LatencyStats::compute(0, 0, &[]);
+        assert_eq!(stats, LatencyStats::default());
+        assert_eq!(stats.samples, 0);
+        assert_eq!(stats.p50, Duration::ZERO);
+        assert_eq!(stats.p95, Duration::ZERO);
+        assert_eq!(stats.max, Duration::ZERO);
+    }
+
+    #[test]
+    fn latency_stats_single_sample_is_every_percentile() {
+        let stats = LatencyStats::compute(1, 700, &[700]);
+        assert_eq!(stats.samples, 1);
+        assert_eq!(stats.p50, Duration::from_nanos(700));
+        assert_eq!(stats.p95, Duration::from_nanos(700));
+        assert_eq!(stats.max, Duration::from_nanos(700));
+    }
+
+    #[test]
+    fn latency_stats_two_samples_split_lower_upper() {
+        // Nearest-rank over N = 2: p50 is the 1st smallest (the lower
+        // sample), p95 the 2nd (the upper). Order of the window must not
+        // matter.
+        for window in [[100u64, 900], [900, 100]] {
+            let stats = LatencyStats::compute(2, 900, &window);
+            assert_eq!(stats.p50, Duration::from_nanos(100));
+            assert_eq!(stats.p95, Duration::from_nanos(900));
+            assert_eq!(stats.max, Duration::from_nanos(900));
+        }
+    }
+
+    #[test]
+    fn latency_stats_lifetime_fields_exceed_window() {
+        // A ring that has wrapped reports lifetime samples/max alongside
+        // windowed percentiles.
+        let stats = LatencyStats::compute(10_000, 5_000, &[10, 20, 30]);
+        assert_eq!(stats.samples, 10_000);
+        assert_eq!(stats.max, Duration::from_nanos(5_000));
+        assert_eq!(stats.p50, Duration::from_nanos(20));
+    }
+
+    #[test]
+    fn service_stats_to_json_shape() {
+        let mut stats = ServiceStats {
+            workers: 2,
+            jobs_run: 5,
+            ..ServiceStats::default()
+        };
+        stats.per_tenant.push(TenantStats {
+            tenant: TenantId(7),
+            peak_admitted: 3,
+            latency: LatencyStats::compute(1, 50, &[50]),
+        });
+        let json = stats.to_json();
+        assert!(json.starts_with("{\"schema\":2,\"workers\":2,\"jobs_run\":5,"));
+        assert!(json.contains("\"per_priority\":{\"high\":{"));
+        assert!(json.contains("\"per_tenant\":[{\"tenant\":7,\"peak_admitted\":3,"));
+        assert!(json.contains("\"p50_ns\":50"));
+        assert!(json.ends_with('}'));
+        // Balanced braces/brackets — the cheap structural validity check.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "balanced braces in {json}"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
 }

@@ -14,6 +14,9 @@
 //!   --heatmap <window>   attach a per-bank DM heat map (cycles per row)
 //!   --exec-tier <tier>   interpreted (default) or compiled
 //!   --tenant <id>        tenant the shard jobs are submitted as (default 0)
+//!   --trace-out <path>   write a Chrome trace-event JSON file (Perfetto
+//!                        loadable; one track per service worker)
+//!   --stats-json <path>  write the final service stats as one JSON object
 //!   --smoke              tiny workload (CI smoke mode: short recording)
 //! ```
 //!
@@ -28,6 +31,7 @@ use ulp_platform::ExecTier;
 use ulp_power::PowerModel;
 use ulp_service::{ObserverSelection, TenantId};
 use ulp_shard::{merge_verified, required_halo, ShardPlan, ShardRunConfig, ShardRunner};
+use ulp_telemetry::Telemetry;
 
 const USAGE: &str = "usage: shard [plan|run] [options]
   plan                 print the shard plan only (no simulation)
@@ -43,6 +47,10 @@ const USAGE: &str = "usage: shard [plan|run] [options]
   --exec-tier <tier>   execution tier: `interpreted` (default) or
                        `compiled` (bit-identical statistics, faster)
   --tenant <id>        tenant the shard jobs are submitted as (default 0)
+  --trace-out <path>   enable telemetry and write a Chrome trace-event
+                       JSON file on exit (one track per service worker)
+  --stats-json <path>  write the final service stats (schema 2, with
+                       per-tenant rows) as one JSON object
   --smoke              tiny workload (CI smoke mode: short recording)";
 
 #[derive(Clone)]
@@ -58,6 +66,8 @@ struct Options {
     heatmap: Option<u64>,
     exec_tier: ExecTier,
     tenant: TenantId,
+    trace_out: Option<String>,
+    stats_json: Option<String>,
     smoke: bool,
 }
 
@@ -74,6 +84,8 @@ fn parse_args() -> Result<Options, String> {
         heatmap: None,
         exec_tier: ExecTier::Interpreted,
         tenant: TenantId::DEFAULT,
+        trace_out: None,
+        stats_json: None,
         smoke: false,
     };
     let mut args = std::env::args().skip(1);
@@ -124,6 +136,12 @@ fn parse_args() -> Result<Options, String> {
             "--tenant" => {
                 opts.tenant =
                     TenantId(parse_num(next_value(&mut args, "--tenant")?, "--tenant")? as u32);
+            }
+            "--trace-out" => {
+                opts.trace_out = Some(next_value(&mut args, "--trace-out")?);
+            }
+            "--stats-json" => {
+                opts.stats_json = Some(next_value(&mut args, "--stats-json")?);
             }
             "--heatmap" => {
                 let window = parse_num(next_value(&mut args, "--heatmap")?, "--heatmap")? as u64;
@@ -203,9 +221,17 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
+    // Telemetry is on only when a trace was requested; the disabled
+    // handle keeps every record call at a single branch.
+    let telemetry = if opts.trace_out.is_some() {
+        Telemetry::enabled()
+    } else {
+        Telemetry::disabled()
+    };
     let mut config = ShardRunConfig::new(opts.benchmark, opts.with_sync, opts.cores, workload)
         .with_exec_tier(opts.exec_tier)
-        .with_tenant(opts.tenant);
+        .with_tenant(opts.tenant)
+        .with_telemetry(telemetry.clone());
     if let Some(window) = opts.heatmap {
         config.observers = ObserverSelection::BankHeatMap { window };
     }
@@ -224,6 +250,21 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Exporter artifacts come out before merge verification so a
+    // divergent run still leaves its trace behind for diagnosis.
+    if let Some(path) = &opts.trace_out {
+        telemetry.collect();
+        if let Err(e) = std::fs::write(path, telemetry.chrome_trace()) {
+            eprintln!("shard: writing --trace-out {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(path) = &opts.stats_json {
+        if let Err(e) = std::fs::write(path, service_stats.to_json()) {
+            eprintln!("shard: writing --stats-json {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     let merged = match merge_verified(&sharded) {
         Ok(m) => m,
         Err(e) => {

@@ -10,6 +10,7 @@ use ulp_service::{
     JobArtifacts, JobError, JobSpec, ObserverSelection, Priority, ServiceConfig, ServiceStats,
     SimService, TenantId,
 };
+use ulp_telemetry::{EventKind, Telemetry, CLIENT_TRACK};
 
 /// What to run over the recording: the benchmark, the platform design and
 /// core count every shard job uses, and the observers each shard carries.
@@ -35,6 +36,11 @@ pub struct ShardRunConfig {
     /// The tenant every shard job is submitted on behalf of — the
     /// recording's owner in a shared, quota-governed pool.
     pub tenant: TenantId,
+    /// Telemetry the run publishes into: each gathered shard records a
+    /// `merged` event on the client track, and a private pool started by
+    /// [`ShardRunner::run_local`] traces its workers through the same
+    /// handle. Disabled by default (zero-cost).
+    pub telemetry: Telemetry,
 }
 
 impl ShardRunConfig {
@@ -53,6 +59,7 @@ impl ShardRunConfig {
             observers: ObserverSelection::None,
             exec_tier: ExecTier::Interpreted,
             tenant: TenantId::DEFAULT,
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -77,6 +84,15 @@ impl ShardRunConfig {
     #[must_use]
     pub fn with_tenant(mut self, tenant: TenantId) -> ShardRunConfig {
         self.tenant = tenant;
+        self
+    }
+
+    /// Attaches a telemetry handle: gathered shards record `merged`
+    /// events, and a private [`ShardRunner::run_local`] pool traces its
+    /// workers into the same sink.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> ShardRunConfig {
+        self.telemetry = telemetry;
         self
     }
 }
@@ -277,6 +293,10 @@ impl ShardRunner {
         }
         let mut slots: Vec<Option<Result<ShardOutput, ShardError>>> =
             (0..count).map(|_| None).collect();
+        // Gathering a shard is the merge step of its lifecycle: record it
+        // on the client track (workers already traced claim/run).
+        let track = self.config.telemetry.track(CLIENT_TRACK);
+        let tier = matches!(self.config.exec_tier, ExecTier::Compiled) as u8;
         for completed in 0..count {
             let result = match service.checked_recv() {
                 Ok(Some(result)) => result,
@@ -291,6 +311,15 @@ impl ShardRunner {
                 return Err(ShardError::ForeignResult { id: result.id });
             };
             let shard = self.plan.shards()[index];
+            if track.is_enabled() && result.outcome.is_ok() {
+                track.record(
+                    EventKind::Merged,
+                    result.id,
+                    self.config.tenant.0,
+                    Priority::High.index() as u8,
+                    tier,
+                );
+            }
             slots[index] = Some(match result.outcome {
                 Ok(out) => Ok(ShardOutput {
                     shard,
@@ -348,7 +377,13 @@ impl ShardRunner {
             .resolved_workers()
             .min(self.plan.len())
             .max(1);
-        let mut service = SimService::start(ServiceConfig::builder().workers(workers).build());
+        let telemetry = self.config.telemetry.clone();
+        let mut service = SimService::start(
+            ServiceConfig::builder()
+                .workers(workers)
+                .telemetry(telemetry)
+                .build(),
+        );
         let run = self.run(&mut service)?;
         Ok((run, service.finish()))
     }

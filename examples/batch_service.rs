@@ -25,6 +25,7 @@ use ulp_lockstep::kernels::{Benchmark, WorkloadConfig};
 use ulp_lockstep::service::{
     JobSpec, Priority, ServiceConfig, SimService, SubmitError, TenantId, TenantPolicy,
 };
+use ulp_lockstep::telemetry::Telemetry;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     streaming_grid_demo()?;
@@ -33,10 +34,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 }
 
 /// Part 1: the streaming mixed grid from the service's happy path, now
-/// with a priority and a deadline in the mix.
+/// with a priority, a deadline and a live telemetry handle in the mix.
 fn streaming_grid_demo() -> Result<(), Box<dyn std::error::Error>> {
     let workload = Arc::new(WorkloadConfig::quick_test());
-    let mut service = SimService::start(ServiceConfig::builder().workers(4).build());
+    // An enabled handle traces every job's lifecycle into per-worker
+    // rings; `telemetry.chrome_trace()` would render them as a
+    // Perfetto-loadable file (the sweep/shard bins expose that as
+    // `--trace-out`). The default is `Telemetry::disabled()` — zero cost.
+    let telemetry = Telemetry::enabled();
+    let mut service = SimService::start(
+        ServiceConfig::builder()
+            .workers(4)
+            .telemetry(telemetry.clone())
+            .build(),
+    );
 
     // A mixed-size grid: every benchmark, both designs, small and large
     // platforms interleaved. The 8-core cells ride at high priority with
@@ -108,6 +119,14 @@ fn streaming_grid_demo() -> Result<(), Box<dyn std::error::Error>> {
         stats.platform_cache_hits,
         stats.platforms_built,
         stats.deadline_misses,
+    );
+    let events = telemetry.collect();
+    println!(
+        "telemetry: {events} lifecycle events across {} tracks ({} dropped), \
+         trace JSON is {} bytes",
+        telemetry.track_count(),
+        telemetry.dropped(),
+        telemetry.chrome_trace().len(),
     );
     Ok(())
 }

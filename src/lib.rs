@@ -17,6 +17,8 @@
 //! * [`biosignal`] — synthetic ECG generation and golden reference DSP;
 //! * [`kernels`] — the MRPFLTR / MRPDLN / SQRT32 benchmarks in assembly;
 //! * [`power`] — the calibrated event-energy and voltage-scaling model;
+//! * [`telemetry`] — job-lifecycle tracing, a metrics registry, and
+//!   Chrome-trace / JSON-snapshot exporters shared by the service stack;
 //! * [`service`] — the batch simulation service: a work-stealing worker
 //!   pool with cached platforms and streamed job results;
 //! * [`shard`] — workload sharding: long recordings split into
@@ -37,3 +39,4 @@ pub use ulp_power as power;
 pub use ulp_service as service;
 pub use ulp_shard as shard;
 pub use ulp_sync as sync;
+pub use ulp_telemetry as telemetry;
