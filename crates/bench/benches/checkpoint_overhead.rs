@@ -1,0 +1,186 @@
+//! Checkpoint overhead gate: the same uniform service workload timed
+//! twice through one process — once on the plain run path (no
+//! [`ulp_service::JobSpec::checkpoint_every`]) and once on the
+//! checkpointed path (several mid-run platform snapshots per job) — and
+//! gated on the *ratio* of the two. Checkpointing buys migratability:
+//! urgent work can preempt at a snapshot and a lost worker's job resumes
+//! on a survivor. The acceptance claim is that this costs at most 10%
+//! throughput at a sane cadence, so opting shards into migration is not
+//! a performance decision.
+//!
+//! Not a criterion harness: the gated quantity is a ratio of two
+//! measurements that must share a process (same platform caches, same
+//! thermal state, interleaved rounds), so the bench writes its perf-gate
+//! record directly, mirroring the criterion shim's `BENCH_*.json` format
+//! with `"lower_is_better":true` and a per-record `"tolerance"`.
+//!
+//! Honours the shared bench environment:
+//! * `ULP_BENCH_QUICK=1` — fewer rounds (CI smoke sizing).
+//! * `ULP_BENCH_JSON_DIR=<dir>` — write `BENCH_checkpoint_overhead_*.json`.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use ulp_kernels::{run_benchmark_on, Benchmark, WorkloadConfig};
+use ulp_platform::PlatformConfig;
+use ulp_service::{JobSpec, ServiceConfig, SimService};
+
+/// One worker per pool: the uniform cache-hit path is deterministic, so
+/// round times are tight enough to gate a 10% ratio.
+const WORKERS: usize = 1;
+
+/// The acceptance bound: a checkpointed job may cost at most 10% over an
+/// identical job without checkpoints. The record carries this tolerance
+/// so the gate applies it instead of its 20% default.
+const RATIO_TOLERANCE: f64 = 0.10;
+
+/// Checkpoints per job: enough that the snapshot cost is really in the
+/// measurement (one per job would mostly gate the cadence arithmetic),
+/// few enough to model a sane migration cadence rather than a pathological
+/// snapshot-every-cycle configuration.
+const CHECKPOINTS_PER_JOB: u64 = 4;
+
+/// Uniform 2-core SQRT32 jobs on the quick-test workload — long enough
+/// that a per-job snapshot cadence is meaningful, identical so every job
+/// after the first hits the platform cache.
+fn workload() -> Arc<WorkloadConfig> {
+    Arc::new(WorkloadConfig::quick_test())
+}
+
+fn specs(jobs: usize, workload: &Arc<WorkloadConfig>, every: Option<u64>) -> Vec<JobSpec> {
+    (0..jobs)
+        .map(|_| {
+            let spec = JobSpec::new(Benchmark::Sqrt32, 2, workload.clone());
+            match every {
+                Some(cycles) => spec.checkpoint_every(cycles),
+                None => spec,
+            }
+        })
+        .collect()
+}
+
+/// One batch: submit every spec, stream every result back.
+fn run_batch(service: &mut SimService, specs: &[JobSpec]) {
+    for spec in specs {
+        service
+            .submit(spec.clone())
+            .expect("unbounded queue admits");
+    }
+    for _ in 0..specs.len() {
+        service
+            .recv()
+            .expect("job completes")
+            .outcome
+            .expect("job runs");
+    }
+}
+
+/// Writes one perf-gate record, mirroring the criterion shim's escaping
+/// and `BENCH_<label>.json` naming (the label is ASCII-clean, so the
+/// shim's collision hash is unnecessary).
+fn emit_record(dir: &std::path::Path, label: &str, value: f64, tolerance: f64) {
+    let sanitized: String = label
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    let record = format!(
+        "{{\"label\":\"{label}\",\"value\":{value:.4},\"lower_is_better\":true,\
+         \"tolerance\":{tolerance}}}\n"
+    );
+    let path = dir.join(format!("BENCH_{sanitized}.json"));
+    if let Err(e) = std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, record)) {
+        eprintln!("checkpoint_overhead: cannot write {}: {e}", path.display());
+    }
+}
+
+fn main() {
+    let quick = std::env::var_os("ULP_BENCH_QUICK").is_some();
+    let (jobs, rounds) = if quick { (8, 100) } else { (8, 200) };
+    let workload = workload();
+    // Cadence from the job's real cycle count — on the same 2-core
+    // platform shape the jobs run on — so the checkpointed side takes
+    // CHECKPOINTS_PER_JOB snapshots per job regardless of workload sizing.
+    let golden = run_benchmark_on(
+        Benchmark::Sqrt32,
+        PlatformConfig::paper(true).with_cores(2),
+        &workload,
+    )
+    .expect("golden run");
+    let every = (golden.stats.cycles / CHECKPOINTS_PER_JOB).max(1);
+    let plain_grid = specs(jobs, &workload, None);
+    let ckpt_grid = specs(jobs, &workload, Some(every));
+
+    let mut plain = SimService::start(ServiceConfig::builder().workers(WORKERS).build());
+    let mut ckpt = SimService::start(ServiceConfig::builder().workers(WORKERS).build());
+
+    // Warm both pools (platform construction is one-off and identical),
+    // then measure in adjacent pairs: machine noise drifts over time, so
+    // a round's plain and checkpointed batches share the same noise phase
+    // and their *ratio* is far tighter than either absolute time.
+    run_batch(&mut plain, &plain_grid);
+    run_batch(&mut ckpt, &ckpt_grid);
+    let mut best_plain = Duration::MAX;
+    let mut best_ckpt = Duration::MAX;
+    let mut ratios = Vec::with_capacity(rounds);
+    for round in 0..rounds {
+        // Alternate which pool runs first so any systematic first/second
+        // position bias cancels across rounds instead of loading one side
+        // of every ratio.
+        let (plain_elapsed, ckpt_elapsed) = if round.is_multiple_of(2) {
+            let t = Instant::now();
+            run_batch(&mut plain, &plain_grid);
+            let plain_elapsed = t.elapsed();
+            let t = Instant::now();
+            run_batch(&mut ckpt, &ckpt_grid);
+            (plain_elapsed, t.elapsed())
+        } else {
+            let t = Instant::now();
+            run_batch(&mut ckpt, &ckpt_grid);
+            let ckpt_elapsed = t.elapsed();
+            let t = Instant::now();
+            run_batch(&mut plain, &plain_grid);
+            (t.elapsed(), ckpt_elapsed)
+        };
+        best_plain = best_plain.min(plain_elapsed);
+        best_ckpt = best_ckpt.min(ckpt_elapsed);
+        ratios.push(ckpt_elapsed.as_secs_f64() / plain_elapsed.as_secs_f64());
+    }
+    // The checkpointed pool must actually have been snapshotting, or the
+    // ratio gates nothing.
+    let stats = ckpt.finish();
+    plain.finish();
+    assert!(
+        stats.checkpoints_taken >= (rounds as u64 + 1) * jobs as u64 * CHECKPOINTS_PER_JOB,
+        "checkpointed pool took too few snapshots: {}",
+        stats.checkpoints_taken
+    );
+    assert_eq!(stats.jobs_migrated, 0, "no migration traffic in this bench");
+
+    // Interquartile mean of the per-round ratios: drops the rounds where
+    // one side caught a descheduling spike, averages the stable middle.
+    ratios.sort_by(|a, b| a.total_cmp(b));
+    let quartile = ratios.len() / 4;
+    let middle = &ratios[quartile..ratios.len() - quartile];
+    let ratio = middle.iter().sum::<f64>() / middle.len() as f64;
+
+    println!(
+        "checkpoint_overhead: {} jobs x {} rounds on {} workers, {} snapshots/job \
+         (every {} cycles): plain {:.3} ms, checkpointed {:.3} ms, ratio {:.4}",
+        jobs,
+        rounds,
+        WORKERS,
+        CHECKPOINTS_PER_JOB,
+        every,
+        best_plain.as_secs_f64() * 1e3,
+        best_ckpt.as_secs_f64() * 1e3,
+        ratio,
+    );
+
+    if let Some(dir) = std::env::var_os("ULP_BENCH_JSON_DIR") {
+        emit_record(
+            &std::path::PathBuf::from(dir),
+            "checkpoint_overhead/ratio",
+            ratio,
+            RATIO_TOLERANCE,
+        );
+    }
+}

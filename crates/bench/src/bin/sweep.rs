@@ -17,6 +17,10 @@
 //!   --exec-tier <tier>   interpreted (default) or compiled
 //!   --threads <n>        worker threads (default: all hardware threads)
 //!   --tenant <id>        tenant the sweep's jobs are submitted as (default 0)
+//!   --checkpoint-every <cycles>  checkpoint every job's platform at this
+//!                        cadence (jobs become migratable)
+//!   --checkpoint-dir <path>  persist each job's latest checkpoint blob
+//!                        (requires --checkpoint-every)
 //!   --trace-out <path>   write a Chrome trace-event JSON file (Perfetto /
 //!                        chrome://tracing loadable, one track per worker)
 //!   --stats-json <path>  write the final ServiceStats as one JSON object
@@ -126,12 +130,22 @@ const USAGE: &str = "usage: sweep [options]
                        (default) or `compiled` (bit-identical, faster)
   --threads <n>        worker threads (default: all hardware threads)
   --tenant <id>        tenant the sweep's jobs are submitted as (default 0)
+  --checkpoint-every <cycles>
+                       checkpoint every job's platform at this cadence in
+                       simulated cycles — jobs become migratable: a lost
+                       or preempted worker's in-flight job re-queues from
+                       its latest checkpoint, bit-identically
+  --checkpoint-dir <path>
+                       persist each job's latest checkpoint blob as
+                       job-<id>.ckpt under this directory (best-effort;
+                       requires --checkpoint-every)
   --trace-out <path>   enable telemetry and write a Chrome trace-event
                        JSON file on exit (Perfetto loadable, one track
                        per worker; with --stream also interleaves
                        periodic {\"telemetry\":...} snapshot lines)
-  --stats-json <path>  write the final service stats (schema 2, with
-                       per-tenant rows) as one JSON object";
+  --stats-json <path>  write the final service stats (schema 3, with
+                       per-tenant rows and migration counters) as one
+                       JSON object";
 
 struct Options {
     smoke: bool,
@@ -144,6 +158,8 @@ struct Options {
     exec_tier: ExecTier,
     threads: usize,
     tenant: TenantId,
+    checkpoint_every: Option<u64>,
+    checkpoint_dir: Option<String>,
     trace_out: Option<String>,
     stats_json: Option<String>,
 }
@@ -180,6 +196,8 @@ fn parse_args() -> Result<Options, String> {
         exec_tier: ExecTier::Interpreted,
         threads: 0,
         tenant: TenantId::DEFAULT,
+        checkpoint_every: None,
+        checkpoint_dir: None,
         trace_out: None,
         stats_json: None,
     };
@@ -252,6 +270,18 @@ fn parse_args() -> Result<Options, String> {
                 }
                 opts.observers = ObserverSelection::BankHeatMap { window };
             }
+            "--checkpoint-every" => {
+                let cycles: u64 = next_value(&mut args, "--checkpoint-every")?
+                    .parse()
+                    .map_err(|e| format!("bad value for --checkpoint-every: {e}"))?;
+                if cycles == 0 {
+                    return Err("checkpoint cadence must be positive".into());
+                }
+                opts.checkpoint_every = Some(cycles);
+            }
+            "--checkpoint-dir" => {
+                opts.checkpoint_dir = Some(next_value(&mut args, "--checkpoint-dir")?);
+            }
             "--trace-out" => {
                 opts.trace_out = Some(next_value(&mut args, "--trace-out")?);
             }
@@ -308,6 +338,17 @@ fn main() -> ExitCode {
     } else {
         Telemetry::disabled()
     };
+    if opts.checkpoint_dir.is_some() && opts.checkpoint_every.is_none() {
+        eprintln!("sweep: --checkpoint-dir requires --checkpoint-every");
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    }
+    if let Some(dir) = &opts.checkpoint_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("sweep: creating --checkpoint-dir {dir}: {e}");
+            return ExitCode::from(2);
+        }
+    }
     let spec = SweepSpec {
         benchmarks: opts.benchmarks,
         designs: vec![true, false],
@@ -322,6 +363,8 @@ fn main() -> ExitCode {
         queue_capacity: 0,
         tenant: opts.tenant,
         telemetry: telemetry.clone(),
+        checkpoint_every: opts.checkpoint_every,
+        checkpoint_dir: opts.checkpoint_dir.as_ref().map(std::path::PathBuf::from),
     };
     // Bad geometry is a usage error: report it and exit 2, like every
     // other invalid argument — the sweep library treats it as a caller

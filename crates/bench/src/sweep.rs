@@ -86,6 +86,17 @@ pub struct SweepSpec {
     /// lifecycle, exportable via [`Telemetry::chrome_trace`] /
     /// [`Telemetry::snapshot_json`] during or after the run.
     pub telemetry: Telemetry,
+    /// Checkpoint cadence in simulated cycles: `Some(n)` makes every
+    /// cell's jobs migratable ([`ulp_service::JobSpec::checkpoint_every`]) —
+    /// each job snapshots its platform every `n` cycles, so urgent work
+    /// can preempt long cells at a checkpoint and a lost worker's
+    /// in-flight job resumes on a survivor, with bit-identical results
+    /// either way. `None` (the default) runs without checkpoints.
+    pub checkpoint_every: Option<u64>,
+    /// Directory the sweep's service pool persists checkpoint blobs into
+    /// ([`ulp_service::ServiceConfig::checkpoint_dir`]; best-effort,
+    /// latest-wins per job). `None` (the default) persists nothing.
+    pub checkpoint_dir: Option<std::path::PathBuf>,
 }
 
 impl SweepSpec {
@@ -104,6 +115,8 @@ impl SweepSpec {
             queue_capacity: 0,
             tenant: TenantId::DEFAULT,
             telemetry: Telemetry::disabled(),
+            checkpoint_every: None,
+            checkpoint_dir: None,
         }
     }
 
@@ -333,27 +346,33 @@ pub fn run_sweep_with(
     let client_track = spec.telemetry.track(CLIENT_TRACK);
     for (cell_idx, &(benchmark, with_sync, cores, shard)) in coords.iter().enumerate() {
         let (plan, jobs) = match shard {
-            None => (
-                CellPlan::Single,
-                vec![JobSpec::new(benchmark, cores, workload.clone())
+            None => {
+                let job = JobSpec::new(benchmark, cores, workload.clone())
                     .with_sync(with_sync)
                     .observers(spec.observers.clone())
                     .exec_tier(spec.exec_tier)
-                    .tenant(spec.tenant)],
-            ),
+                    .tenant(spec.tenant);
+                let job = match spec.checkpoint_every {
+                    Some(cycles) => job.checkpoint_every(cycles),
+                    None => job,
+                };
+                (CellPlan::Single, vec![job])
+            }
             Some(samples) => {
                 let plan = ShardPlan::for_workload(benchmark, &spec.workload, samples)
                     .unwrap_or_else(|e| {
                         panic!("invalid shard axis entry {samples} for {benchmark}: {e}")
                     });
-                let runner = ShardRunner::new(
+                let mut config =
                     ShardRunConfig::new(benchmark, with_sync, cores, spec.workload.clone())
                         .with_observers(spec.observers.clone())
                         .with_exec_tier(spec.exec_tier)
-                        .with_tenant(spec.tenant),
-                    plan,
-                )
-                .expect("plan covers the workload by construction");
+                        .with_tenant(spec.tenant);
+                if let Some(cycles) = spec.checkpoint_every {
+                    config = config.with_checkpoint_every(cycles);
+                }
+                let runner = ShardRunner::new(config, plan)
+                    .expect("plan covers the workload by construction");
                 let jobs = runner.job_specs();
                 (CellPlan::Sharded(Box::new(runner)), jobs)
             }
@@ -391,13 +410,14 @@ pub fn run_sweep_with(
     } else {
         spec.queue_capacity
     };
-    let mut service = SimService::start(
-        ServiceConfig::builder()
-            .workers(workers)
-            .queue_capacity(capacity)
-            .telemetry(spec.telemetry.clone())
-            .build(),
-    );
+    let mut builder = ServiceConfig::builder()
+        .workers(workers)
+        .queue_capacity(capacity)
+        .telemetry(spec.telemetry.clone());
+    if let Some(dir) = &spec.checkpoint_dir {
+        builder = builder.checkpoint_dir(dir.clone());
+    }
+    let mut service = SimService::start(builder.build());
 
     let total = coords.len();
     let mut cells: Vec<Option<Result<SweepCell, RunnerError>>> = (0..total).map(|_| None).collect();
@@ -591,6 +611,8 @@ mod tests {
             queue_capacity: 0,
             tenant: TenantId::DEFAULT,
             telemetry: Telemetry::disabled(),
+            checkpoint_every: None,
+            checkpoint_dir: None,
         }
     }
 
@@ -653,6 +675,8 @@ mod tests {
             queue_capacity: 2,
             tenant: TenantId::DEFAULT,
             telemetry: Telemetry::disabled(),
+            checkpoint_every: None,
+            checkpoint_dir: None,
         };
         let results = run_sweep(&spec).expect("sharded sweep runs");
         assert_eq!(results.cells.len(), 4);
@@ -692,6 +716,8 @@ mod tests {
             queue_capacity: 0,
             tenant: TenantId::DEFAULT,
             telemetry: Telemetry::disabled(),
+            checkpoint_every: None,
+            checkpoint_dir: None,
         };
         let results = run_sweep(&spec).expect("mixed sweep runs");
         assert_eq!(results.cells.len(), 2);
@@ -731,6 +757,8 @@ mod tests {
             queue_capacity: 0,
             tenant: TenantId(3),
             telemetry: Telemetry::disabled(),
+            checkpoint_every: None,
+            checkpoint_dir: None,
         };
         let mut streamed = 0;
         let results = run_sweep_with(&spec, |cell, _| {

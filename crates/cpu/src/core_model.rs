@@ -3,7 +3,7 @@
 use crate::exec::{alu_exec, shift_exec, unary_exec};
 use crate::stats::CoreStats;
 use crate::types::{CoreError, MemAccess, MemRequest, SyncKind, SyncRequest, WakeReason};
-use ulp_isa::{arch, decode, AluOp, CsrOp, Flags, Instr, Reg};
+use ulp_isa::{arch, decode, encode, AluOp, CsrOp, Flags, Instr, Reg};
 
 /// Why the core is asleep — determines which wake events are honoured.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,6 +39,67 @@ pub enum CoreState {
     Sleeping,
     /// Halted (by `HALT` or a fatal error); never leaves this state.
     Halted,
+}
+
+/// [`CoreState`] with in-flight instructions replaced by their encoded
+/// words, so a core's execution state can be checkpointed without this
+/// crate owning a byte format. Decoding the word back reproduces the
+/// original [`Instr`] exactly — the ISA's encode/decode round-trips.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoreStateSnapshot {
+    /// Requesting an instruction fetch.
+    Fetch,
+    /// Executing the instruction encoded by the word.
+    Execute(u16),
+    /// Served but held by the enhanced serving policy, data latched.
+    Held {
+        /// Encoded in-flight instruction.
+        word: u16,
+        /// Latched read data for loads.
+        data: Option<u16>,
+    },
+    /// A sync operation's two-cycle RMW is in flight.
+    SyncIssued(u16),
+    /// Asleep.
+    Sleeping,
+    /// Halted.
+    Halted,
+}
+
+/// The complete mutable state of one [`Core`], exported by [`Core::save`]
+/// and re-applied by [`Core::load_snapshot`]. Plain data with public
+/// fields; the platform's checkpoint layer owns the byte-level encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreSnapshot {
+    /// Hardware core id.
+    pub id: u8,
+    /// General-purpose register file.
+    pub regs: [u16; arch::NUM_REGS],
+    /// Program counter.
+    pub pc: u16,
+    /// Status flags, packed via [`Flags::to_bits`].
+    pub flags: u16,
+    /// Interrupt-enable bit.
+    pub ie: bool,
+    /// `RSYNC` sync-array base register.
+    pub rsync: u16,
+    /// Saved PC of the interrupted context.
+    pub epc: u16,
+    /// Saved flags of the interrupted context, packed.
+    pub eflags: u16,
+    /// A raised but not yet accepted interrupt.
+    pub irq_pending: bool,
+    /// Whether a sleeping core sleeps from `SDEC` (`true`) or `SLEEP`
+    /// (`false`) — determines which wake events are honoured.
+    pub sleep_from_sync: bool,
+    /// Execution state with in-flight instructions encoded.
+    pub state: CoreStateSnapshot,
+    /// Cycles observed so far (drives `RDCYC`).
+    pub cycles: u64,
+    /// Accumulated activity counters.
+    pub stats: CoreStats,
+    /// The fatal error that halted the core, if any.
+    pub error: Option<CoreError>,
 }
 
 /// One 16-bit RISC processing core.
@@ -446,6 +507,86 @@ impl Core {
             self.state = CoreState::Fetch;
         }
         honoured
+    }
+
+    // ---- checkpointing -----------------------------------------------------
+
+    /// Exports the core's complete mutable state. In-flight instructions
+    /// are stored as their encoded words ([`CoreStateSnapshot`]); every
+    /// instruction a core can be executing came from a decoded word, so
+    /// encoding cannot fail.
+    pub fn save(&self) -> CoreSnapshot {
+        let enc = |instr: Instr| encode(instr).expect("in-flight instructions re-encode");
+        let state = match self.state {
+            CoreState::Fetch => CoreStateSnapshot::Fetch,
+            CoreState::Execute(instr) => CoreStateSnapshot::Execute(enc(instr)),
+            CoreState::Held { instr, data } => CoreStateSnapshot::Held {
+                word: enc(instr),
+                data,
+            },
+            CoreState::SyncIssued(instr) => CoreStateSnapshot::SyncIssued(enc(instr)),
+            CoreState::Sleeping => CoreStateSnapshot::Sleeping,
+            CoreState::Halted => CoreStateSnapshot::Halted,
+        };
+        CoreSnapshot {
+            id: self.id,
+            regs: self.regs,
+            pc: self.pc,
+            flags: self.flags.to_bits(),
+            ie: self.ie,
+            rsync: self.rsync,
+            epc: self.epc,
+            eflags: self.eflags.to_bits(),
+            irq_pending: self.irq_pending,
+            sleep_from_sync: self.sleep_origin == SleepOrigin::Sync,
+            state,
+            cycles: self.cycles,
+            stats: self.stats,
+            error: self.error,
+        }
+    }
+
+    /// Re-applies a snapshot taken by [`Core::save`], adopting every field
+    /// including the hardware id. Returns `false` (leaving the core
+    /// untouched) when an in-flight instruction word fails to decode —
+    /// possible only for a corrupted snapshot.
+    pub fn load_snapshot(&mut self, snapshot: &CoreSnapshot) -> bool {
+        let state = match snapshot.state {
+            CoreStateSnapshot::Fetch => CoreState::Fetch,
+            CoreStateSnapshot::Execute(word) => match decode(word) {
+                Ok(instr) => CoreState::Execute(instr),
+                Err(_) => return false,
+            },
+            CoreStateSnapshot::Held { word, data } => match decode(word) {
+                Ok(instr) => CoreState::Held { instr, data },
+                Err(_) => return false,
+            },
+            CoreStateSnapshot::SyncIssued(word) => match decode(word) {
+                Ok(instr) => CoreState::SyncIssued(instr),
+                Err(_) => return false,
+            },
+            CoreStateSnapshot::Sleeping => CoreState::Sleeping,
+            CoreStateSnapshot::Halted => CoreState::Halted,
+        };
+        self.id = snapshot.id;
+        self.regs = snapshot.regs;
+        self.pc = snapshot.pc;
+        self.flags = Flags::from_bits(snapshot.flags);
+        self.ie = snapshot.ie;
+        self.rsync = snapshot.rsync;
+        self.epc = snapshot.epc;
+        self.eflags = Flags::from_bits(snapshot.eflags);
+        self.irq_pending = snapshot.irq_pending;
+        self.sleep_origin = if snapshot.sleep_from_sync {
+            SleepOrigin::Sync
+        } else {
+            SleepOrigin::Instruction
+        };
+        self.state = state;
+        self.cycles = snapshot.cycles;
+        self.stats = snapshot.stats;
+        self.error = snapshot.error;
+        true
     }
 
     // ---- instruction semantics ---------------------------------------------
@@ -962,6 +1103,76 @@ mod tests {
             None,
         );
         assert_eq!(core.reg(Reg::R2), 0b1_0101);
+    }
+
+    #[test]
+    fn snapshot_round_trip_mid_instruction() {
+        let mut core = Core::new(2);
+        core.set_reg(Reg::R2, 10);
+        core.on_fetch_granted(
+            encode(Instr::Ld {
+                rd: Reg::R1,
+                base: Reg::R2,
+                offset: 0,
+            })
+            .unwrap(),
+        )
+        .unwrap();
+        core.hold_with_data(Some(55));
+        core.note_hold();
+        let snap = core.save();
+        assert_eq!(
+            snap.state,
+            CoreStateSnapshot::Held {
+                word: encode(Instr::Ld {
+                    rd: Reg::R1,
+                    base: Reg::R2,
+                    offset: 0,
+                })
+                .unwrap(),
+                data: Some(55),
+            }
+        );
+
+        let mut restored = Core::new(0);
+        assert!(restored.load_snapshot(&snap));
+        assert_eq!(restored.id(), 2, "snapshot carries the hardware id");
+        assert_eq!(restored.cycles(), core.cycles());
+        assert_eq!(restored.stats(), core.stats());
+        // Both cores release identically: the latched load lands.
+        restored.release();
+        core.release();
+        assert_eq!(restored.reg(Reg::R1), 55);
+        assert_eq!(restored.save(), core.save());
+    }
+
+    #[test]
+    fn snapshot_preserves_sleep_origin() {
+        let mut core = Core::new(0);
+        core.on_fetch_granted(encode(Instr::Sdec { index: 0 }).unwrap())
+            .unwrap();
+        core.on_sync_accepted();
+        core.note_sync_active();
+        core.complete_sync(true);
+        assert!(core.is_sleeping());
+        let snap = core.save();
+        assert!(snap.sleep_from_sync);
+
+        let mut restored = Core::new(0);
+        assert!(restored.load_snapshot(&snap));
+        // A sync sleep still ignores interrupts after restore.
+        assert!(!restored.wake(WakeReason::Interrupt));
+        assert!(restored.wake(WakeReason::Synchronizer));
+    }
+
+    #[test]
+    fn snapshot_rejects_corrupted_instruction_word() {
+        let mut core = Core::new(0);
+        let mut snap = core.save();
+        snap.state = CoreStateSnapshot::Execute(0xF800);
+        let before = core.save();
+        assert!(!core.load_snapshot(&snap));
+        assert_eq!(core.save(), before, "failed load leaves state untouched");
     }
 
     #[test]

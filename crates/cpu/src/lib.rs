@@ -49,7 +49,7 @@ mod simple;
 mod stats;
 mod types;
 
-pub use core_model::{Core, CoreState};
+pub use core_model::{Core, CoreSnapshot, CoreState, CoreStateSnapshot};
 pub use exec::{alu_exec, shift_exec, unary_exec, AluResult};
 pub use simple::{SimpleHost, SimpleHostError};
 pub use stats::CoreStats;

@@ -319,6 +319,113 @@ impl TranslationCache {
     pub fn block(&self, idx: u32) -> &Block {
         &self.blocks[idx as usize]
     }
+
+    /// The index of the translated block entered at `pc`, if one is
+    /// cached. Unlike [`TranslationCache::lookup_hot`] this is a pure
+    /// read: no counter advances and no translation is attempted — it
+    /// exists so a checkpoint restore can re-link trace cursors without
+    /// perturbing the hotness statistics.
+    pub fn block_index_at(&self, pc: u16) -> Option<u32> {
+        if self.index.is_empty() {
+            return None;
+        }
+        let idx = self.index[pc as usize % self.index.len()];
+        (idx != NOT_PRESENT && idx != UNTRANSLATABLE).then_some(idx)
+    }
+
+    /// Captures the cache state for a platform checkpoint. Translated
+    /// traces are *not* serialized — they are pure functions of the IM
+    /// contents (which the checkpoint carries anyway), so the snapshot
+    /// records only which entry PCs were translated and re-derives the
+    /// traces on restore.
+    pub fn save(&self) -> JitSnapshot {
+        let mut counters = Vec::new();
+        for (word, &count) in self.counters.iter().enumerate() {
+            if count != 0 {
+                counters.push((word as u32, count));
+            }
+        }
+        let mut translated = Vec::new();
+        let mut untranslatable = Vec::new();
+        for (word, &idx) in self.index.iter().enumerate() {
+            match idx {
+                NOT_PRESENT => {}
+                UNTRANSLATABLE => untranslatable.push(word as u16),
+                _ => translated.push(word as u16),
+            }
+        }
+        JitSnapshot {
+            hot_threshold: self.hot_threshold,
+            counters,
+            translated,
+            untranslatable,
+            stats: self.stats,
+        }
+    }
+
+    /// Rebuilds the cache from a checkpoint against the (already restored)
+    /// instruction memory: hotness counters and per-run stats come from the
+    /// snapshot, every recorded-hot entry PC is re-translated from `imem`.
+    /// Because translation reads through the uncounted backdoor, the
+    /// re-translation leaves `MemStats` untouched and the restored platform
+    /// stays bit-identical to the original.
+    ///
+    /// Returns `false` (leaving the cache in a consistent but partially
+    /// restored state) if a recorded-translated entry no longer yields a
+    /// trace — the snapshot does not match this instruction memory.
+    pub fn restore_from(&mut self, snapshot: &JitSnapshot, imem: &BankedMemory) -> bool {
+        self.hot_threshold = snapshot.hot_threshold;
+        self.index.clear();
+        self.index.resize(imem.len(), NOT_PRESENT);
+        self.counters.clear();
+        self.counters.resize(imem.len(), 0);
+        self.blocks.clear();
+        self.stats = snapshot.stats;
+        self.fingerprint = fingerprint_im(imem);
+        self.dirty = false;
+        for &(word, count) in &snapshot.counters {
+            let Some(slot) = self.counters.get_mut(word as usize) else {
+                return false;
+            };
+            *slot = count;
+        }
+        for &word in &snapshot.untranslatable {
+            let Some(slot) = self.index.get_mut(word as usize) else {
+                return false;
+            };
+            *slot = UNTRANSLATABLE;
+        }
+        for &word in &snapshot.translated {
+            if word as usize >= self.index.len() {
+                return false;
+            }
+            let block = translate(word, imem);
+            if block.is_empty() {
+                return false;
+            }
+            self.blocks.push(block);
+            self.index[word as usize] = (self.blocks.len() - 1) as u32;
+        }
+        true
+    }
+}
+
+/// Plain-data image of a [`TranslationCache`] for platform checkpoints:
+/// sparse hotness counters, the set of translated / known-untranslatable
+/// entry PCs, and the per-run counters. Traces themselves are re-derived
+/// from instruction memory on restore.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct JitSnapshot {
+    /// The configured hotness threshold at snapshot time.
+    pub hot_threshold: u32,
+    /// `(im word address, execution count)` for every nonzero counter.
+    pub counters: Vec<(u32, u32)>,
+    /// Entry PCs (IM word addresses) holding a translated trace.
+    pub translated: Vec<u16>,
+    /// Entry PCs recorded as known-untranslatable.
+    pub untranslatable: Vec<u16>,
+    /// The per-run counters at snapshot time.
+    pub stats: JitStats,
 }
 
 /// Translates the basic block entered at `pc`: decodes forward through
@@ -453,6 +560,68 @@ mod tests {
         cache.mark_im_dirty();
         cache.revalidate(&m);
         assert_eq!(cache.blocks_cached(), 0);
+    }
+
+    #[test]
+    fn snapshot_round_trip_rebuilds_blocks_and_counters() {
+        let m = imem_with(
+            "loop: addi r0, #1
+                   br   loop
+                   sinc #0
+            cold:  addi r1, #1
+                   halt",
+        );
+        let mut cache = TranslationCache::new(2);
+        cache.revalidate(&m);
+        // Make the loop hot (translated), probe the SINC (untranslatable)
+        // and warm the cold block below threshold.
+        for _ in 0..4 {
+            cache.lookup_hot(0, &m);
+        }
+        for _ in 0..3 {
+            assert!(cache.lookup_hot(2, &m).is_none());
+        }
+        assert!(cache.lookup_hot(3, &m).is_none(), "one probe: still cold");
+        let snap = cache.save();
+        assert_eq!(snap.translated, vec![0]);
+        assert_eq!(snap.untranslatable, vec![2]);
+
+        let mut restored = TranslationCache::new(0);
+        assert!(restored.restore_from(&snap, &m));
+        assert_eq!(restored.hot_threshold(), 2);
+        assert_eq!(restored.blocks_cached(), 1);
+        assert_eq!(restored.stats(), cache.stats());
+        // The hot entry hits without a fresh translation...
+        let before = restored.stats().translations;
+        let idx = restored.lookup_hot(0, &m).expect("still hot");
+        assert_eq!(restored.stats().translations, before);
+        assert_eq!(restored.block(idx).len(), 2);
+        // ...the untranslatable entry stays dead, and the cold entry
+        // resumes from its saved count (1 probe done, threshold 2 → one
+        // more miss, then hot).
+        assert!(restored.lookup_hot(2, &m).is_none());
+        assert!(restored.lookup_hot(3, &m).is_none());
+        assert!(restored.lookup_hot(3, &m).is_some(), "count carried over");
+        // Restore and a fresh cache agree on IM validity: no revalidation
+        // drop afterwards.
+        restored.mark_im_dirty();
+        restored.revalidate(&m);
+        assert_eq!(restored.blocks_cached(), 2);
+    }
+
+    #[test]
+    fn snapshot_restore_rejects_mismatched_im() {
+        let m = imem_with("loop: addi r0, #1\n br loop");
+        let mut cache = TranslationCache::new(0);
+        cache.revalidate(&m);
+        cache.lookup_hot(0, &m).expect("threshold 0");
+        let snap = cache.save();
+
+        // An IM whose recorded-translated entry no longer decodes to a
+        // trace: word 0 now holds a boundary.
+        let other = imem_with("sinc #0\n halt");
+        let mut restored = TranslationCache::new(0);
+        assert!(!restored.restore_from(&snap, &other));
     }
 
     #[test]

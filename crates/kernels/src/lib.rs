@@ -45,7 +45,9 @@ pub use layout::BufferLayout;
 pub use mrpdln_kernel::{mrpdln_source, MrpdlnParams};
 pub use mrpfltr_kernel::{mrpfltr_source, MrpfltrParams};
 pub use runner::{
-    golden_outputs, kernel_source, run_benchmark, run_benchmark_on, run_benchmark_reusing,
-    run_benchmark_reusing_with, Benchmark, BenchmarkRun, RunnerError, SourceWindow, WorkloadConfig,
+    golden_outputs, kernel_source, resume_benchmark_checkpointed, run_benchmark,
+    run_benchmark_checkpointed, run_benchmark_on, run_benchmark_reusing,
+    run_benchmark_reusing_with, Benchmark, BenchmarkRun, CheckpointControl, RunnerError,
+    SourceWindow, WorkloadConfig,
 };
 pub use sqrt32_kernel::{sqrt32_source, Sqrt32Params};

@@ -12,7 +12,10 @@ use ulp_biosignal::{
     DelineationConfig, EcgConfig, EcgSignal, MrpfltrConfig,
 };
 use ulp_isa::asm::{assemble, AsmError};
-use ulp_platform::{ConfigError, Observer, Platform, PlatformConfig, PlatformError, SimStats};
+use ulp_platform::{
+    Checkpoint, ConfigError, Observer, Platform, PlatformConfig, PlatformError, RestoreError,
+    RunProgress, SimStats,
+};
 
 /// One of the paper's three reference benchmarks (Section II).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -238,6 +241,8 @@ pub enum RunnerError {
     Config(ConfigError),
     /// The simulation failed.
     Platform(PlatformError),
+    /// A checkpoint could not be restored onto the platform.
+    Restore(RestoreError),
     /// A core's output differs from the golden model.
     OutputMismatch {
         /// The benchmark that mismatched.
@@ -255,6 +260,7 @@ impl fmt::Display for RunnerError {
             RunnerError::Asm(e) => write!(f, "kernel assembly failed: {e}"),
             RunnerError::Config(e) => write!(f, "platform configuration invalid: {e}"),
             RunnerError::Platform(e) => write!(f, "simulation failed: {e}"),
+            RunnerError::Restore(e) => write!(f, "checkpoint restore failed: {e}"),
             RunnerError::OutputMismatch {
                 benchmark,
                 core,
@@ -273,8 +279,15 @@ impl std::error::Error for RunnerError {
             RunnerError::Asm(e) => Some(e),
             RunnerError::Config(e) => Some(e),
             RunnerError::Platform(e) => Some(e),
+            RunnerError::Restore(e) => Some(e),
             RunnerError::OutputMismatch { .. } => None,
         }
+    }
+}
+
+impl From<RestoreError> for RunnerError {
+    fn from(e: RestoreError) -> Self {
+        RunnerError::Restore(e)
     }
 }
 
@@ -436,6 +449,19 @@ pub fn run_benchmark_reusing_with(
     cfg: &WorkloadConfig,
     observers: &mut [&mut dyn Observer],
 ) -> Result<BenchmarkRun, RunnerError> {
+    let channels = load_workload(benchmark, platform, cfg)?;
+    platform.run_with(observers)?;
+    Ok(collect_run(benchmark, platform, cfg, &channels))
+}
+
+/// Resets the platform, assembles and loads the kernel, and loads the
+/// per-core inputs; returns the generated channels (needed again for the
+/// golden comparison after the run).
+fn load_workload(
+    benchmark: Benchmark,
+    platform: &mut Platform,
+    cfg: &WorkloadConfig,
+) -> Result<Vec<EcgSignal>, RunnerError> {
     assert!(
         cfg.n >= 4 && cfg.n <= crate::layout::MAX_N,
         "n = {} outside supported range",
@@ -473,9 +499,18 @@ pub fn run_benchmark_reusing_with(
             cfg.delineation.threshold as u16,
         );
     }
+    Ok(channels)
+}
 
-    platform.run_with(observers)?;
-
+/// Extracts the outputs of a completed run and pairs them with the golden
+/// model.
+fn collect_run(
+    benchmark: Benchmark,
+    platform: &Platform,
+    cfg: &WorkloadConfig,
+    channels: &[EcgSignal],
+) -> BenchmarkRun {
+    let num_cores = platform.config().num_cores;
     let out_buf = match benchmark {
         Benchmark::Mrpfltr | Benchmark::Mrpdln => 5,
         Benchmark::Sqrt32 => 2,
@@ -484,16 +519,109 @@ pub fn run_benchmark_reusing_with(
         .map(|core| platform.dm_slice(buffer_base(cfg.layout, core, out_buf), cfg.n))
         .collect();
     let expected: Vec<Vec<u16>> = (0..num_cores)
-        .map(|core| golden_output(benchmark, cfg, &channels, core))
+        .map(|core| golden_output(benchmark, cfg, channels, core))
         .collect();
 
-    Ok(BenchmarkRun {
+    BenchmarkRun {
         benchmark,
-        with_sync,
+        with_sync: platform.config().synchronizer,
         stats: platform.stats(),
         outputs,
         expected,
-    })
+    }
+}
+
+/// Decision returned by the checkpoint callback of
+/// [`run_benchmark_checkpointed`]: keep running the next slice, or park
+/// the job (the last checkpoint handed to the callback is the resume
+/// point).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointControl {
+    /// Run the next slice.
+    Continue,
+    /// Stop here; the run resumes later from the checkpoint just taken.
+    Park,
+}
+
+/// [`run_benchmark_reusing`] sliced into checkpointable pieces: the
+/// benchmark runs `every` cycles at a time, and after each slice a
+/// [`Platform::snapshot`] is handed to `on_checkpoint`. Returning
+/// [`CheckpointControl::Park`] abandons the run (yielding `Ok(None)`);
+/// resuming it later from that checkpoint — on this platform or any
+/// structurally identical one, via [`resume_benchmark_checkpointed`] —
+/// produces a [`BenchmarkRun`] bit-identical to an uninterrupted run.
+///
+/// Observers must be [attached](Platform::attach) rather than passed as a
+/// slice so their state rides along in the checkpoints.
+///
+/// # Errors
+///
+/// See [`run_benchmark`].
+///
+/// # Panics
+///
+/// See [`run_benchmark_reusing`]; additionally panics if `every == 0`.
+pub fn run_benchmark_checkpointed(
+    benchmark: Benchmark,
+    platform: &mut Platform,
+    cfg: &WorkloadConfig,
+    every: u64,
+    on_checkpoint: impl FnMut(Checkpoint) -> CheckpointControl,
+) -> Result<Option<BenchmarkRun>, RunnerError> {
+    let channels = load_workload(benchmark, platform, cfg)?;
+    drive_checkpointed(benchmark, platform, cfg, &channels, every, on_checkpoint)
+}
+
+/// Picks a parked benchmark run back up from its checkpoint and drives it
+/// to completion (still checkpointing every `every` cycles — the resumed
+/// job stays migratable). The platform only needs to be structurally
+/// compatible with the checkpoint; nothing is reloaded, the checkpoint
+/// carries the whole machine state. Attach any observers *before* calling
+/// so their checkpointed state has somewhere to land.
+///
+/// # Errors
+///
+/// See [`run_benchmark`]; additionally any [`RestoreError`] via
+/// [`RunnerError::Restore`].
+///
+/// # Panics
+///
+/// Panics if `every == 0`.
+pub fn resume_benchmark_checkpointed(
+    benchmark: Benchmark,
+    platform: &mut Platform,
+    cfg: &WorkloadConfig,
+    ckpt: &Checkpoint,
+    every: u64,
+    on_checkpoint: impl FnMut(Checkpoint) -> CheckpointControl,
+) -> Result<Option<BenchmarkRun>, RunnerError> {
+    let channels = cfg.channels(ckpt.config.num_cores);
+    platform.restore_from(ckpt)?;
+    drive_checkpointed(benchmark, platform, cfg, &channels, every, on_checkpoint)
+}
+
+fn drive_checkpointed(
+    benchmark: Benchmark,
+    platform: &mut Platform,
+    cfg: &WorkloadConfig,
+    channels: &[EcgSignal],
+    every: u64,
+    mut on_checkpoint: impl FnMut(Checkpoint) -> CheckpointControl,
+) -> Result<Option<BenchmarkRun>, RunnerError> {
+    assert!(every > 0, "checkpoint interval must be positive");
+    loop {
+        let limit = platform.cycle().saturating_add(every);
+        match platform.run_until(limit)? {
+            RunProgress::Done(_) => {
+                return Ok(Some(collect_run(benchmark, platform, cfg, channels)));
+            }
+            RunProgress::Paused => {
+                if on_checkpoint(platform.snapshot()) == CheckpointControl::Park {
+                    return Ok(None);
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -608,6 +736,66 @@ mod tests {
     #[should_panic(expected = "outside recording")]
     fn window_past_the_recording_end_panics() {
         let _ = WorkloadConfig::quick_test().windowed(40, 9);
+    }
+
+    #[test]
+    fn checkpointed_run_without_parking_matches_plain_run() {
+        let cfg = WorkloadConfig::quick_test();
+        let mut platform =
+            Platform::new(PlatformConfig::paper(true).with_max_cycles(cfg.max_cycles)).unwrap();
+        let plain = run_benchmark(Benchmark::Mrpfltr, true, &cfg).unwrap();
+        let mut checkpoints = 0usize;
+        let sliced =
+            run_benchmark_checkpointed(Benchmark::Mrpfltr, &mut platform, &cfg, 50_000, |_ckpt| {
+                checkpoints += 1;
+                CheckpointControl::Continue
+            })
+            .unwrap()
+            .expect("run completes");
+        assert!(checkpoints > 0, "run is long enough to checkpoint");
+        sliced.verify().unwrap();
+        assert_eq!(plain.stats, sliced.stats);
+        assert_eq!(plain.outputs, sliced.outputs);
+    }
+
+    #[test]
+    fn parked_run_resumes_on_another_platform_bit_identically() {
+        let cfg = WorkloadConfig::quick_test();
+        let platform_cfg = PlatformConfig::paper(true).with_max_cycles(cfg.max_cycles);
+        for benchmark in Benchmark::ALL {
+            let plain = run_benchmark(benchmark, true, &cfg).unwrap();
+            // An interval that always pauses at least once before the end.
+            let every = (plain.stats.cycles / 3).max(1);
+
+            // First worker: parks the job at its first checkpoint.
+            let mut first = Platform::new(platform_cfg.clone()).unwrap();
+            let mut parked = None;
+            let early = run_benchmark_checkpointed(benchmark, &mut first, &cfg, every, |ckpt| {
+                parked = Some(ckpt);
+                CheckpointControl::Park
+            })
+            .unwrap();
+            assert!(early.is_none(), "{benchmark}: parked, not completed");
+            let ckpt = parked.expect("checkpoint taken before parking");
+            assert!(ckpt.cycle > 0 && ckpt.cycle < plain.stats.cycles);
+
+            // Second worker: picks the job up from the checkpoint — after
+            // having run something unrelated on its cached platform.
+            let mut second = Platform::new(platform_cfg.clone()).unwrap();
+            run_benchmark_reusing(Benchmark::Sqrt32, &mut second, &cfg)
+                .unwrap()
+                .verify()
+                .unwrap();
+            let resumed =
+                resume_benchmark_checkpointed(benchmark, &mut second, &cfg, &ckpt, every, |_| {
+                    CheckpointControl::Continue
+                })
+                .unwrap()
+                .expect("resumed run completes");
+            resumed.verify().unwrap();
+            assert_eq!(plain.stats, resumed.stats, "{benchmark}");
+            assert_eq!(plain.outputs, resumed.outputs, "{benchmark}");
+        }
     }
 
     #[test]

@@ -63,6 +63,22 @@ impl MemStats {
     }
 }
 
+/// The complete mutable state of one [`BankedMemory`], exported by
+/// [`BankedMemory::save`] and re-applied by [`BankedMemory::load_snapshot`].
+/// Plain data with public fields: the platform's checkpoint layer owns the
+/// byte-level encoding, this crate only defines *what* the state is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemSnapshot {
+    /// Every word of the memory, in address order.
+    pub words: Vec<u16>,
+    /// Currently locked words (synchronizer RMWs in flight), in lock order.
+    pub locked: Vec<u16>,
+    /// Aggregate physical access counters.
+    pub stats: MemStats,
+    /// Per-bank physical access counts, indexed by bank.
+    pub per_bank: Vec<u64>,
+}
+
 /// A word-addressed memory divided into equally sized banks.
 ///
 /// Reads and writes through [`BankedMemory::read`]/[`BankedMemory::write`]
@@ -234,6 +250,35 @@ impl BankedMemory {
         self.locked.clear();
         self.reset_stats();
     }
+
+    /// Exports the memory's complete mutable state (contents, locks,
+    /// counters) for checkpointing. Geometry (banks, mapping) is not part
+    /// of the snapshot — it belongs to the platform configuration the
+    /// checkpoint carries separately.
+    pub fn save(&self) -> MemSnapshot {
+        MemSnapshot {
+            words: self.words.clone(),
+            locked: self.locked.clone(),
+            stats: self.stats,
+            per_bank: self.per_bank.clone(),
+        }
+    }
+
+    /// Re-applies a snapshot taken by [`BankedMemory::save`] onto a memory
+    /// of the *same geometry*, reusing the existing allocations. Returns
+    /// `false` (leaving the memory untouched) when the snapshot's word or
+    /// bank count does not match this memory.
+    pub fn load_snapshot(&mut self, snapshot: &MemSnapshot) -> bool {
+        if snapshot.words.len() != self.words.len() || snapshot.per_bank.len() != self.banks {
+            return false;
+        }
+        self.words.copy_from_slice(&snapshot.words);
+        self.locked.clear();
+        self.locked.extend_from_slice(&snapshot.locked);
+        self.stats = snapshot.stats;
+        self.per_bank.copy_from_slice(&snapshot.per_bank);
+        true
+    }
 }
 
 #[cfg(test)]
@@ -312,5 +357,32 @@ mod tests {
         m.read(0);
         m.reset_stats();
         assert_eq!(m.stats().total_accesses(), 0);
+    }
+
+    #[test]
+    fn snapshot_round_trip() {
+        let mut m = BankedMemory::new(16, 4, BankMapping::Blocked);
+        m.write(3, 7);
+        m.read(3);
+        m.lock_word(9);
+        let snap = m.save();
+
+        let mut other = BankedMemory::new(16, 4, BankMapping::Blocked);
+        assert!(other.load_snapshot(&snap));
+        assert_eq!(other.peek(3), 7);
+        assert!(other.is_locked(9));
+        assert_eq!(other.stats(), m.stats());
+        assert_eq!(other.per_bank_accesses(), m.per_bank_accesses());
+        assert_eq!(other.save(), snap);
+    }
+
+    #[test]
+    fn snapshot_rejects_geometry_mismatch() {
+        let m = BankedMemory::new(16, 4, BankMapping::Blocked);
+        let snap = m.save();
+        let mut bigger = BankedMemory::new(32, 4, BankMapping::Blocked);
+        bigger.poke(0, 5);
+        assert!(!bigger.load_snapshot(&snap));
+        assert_eq!(bigger.peek(0), 5, "failed load leaves state untouched");
     }
 }

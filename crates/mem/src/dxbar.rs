@@ -114,6 +114,22 @@ pub struct DXbarOutcome {
     pub releases: Vec<usize>,
 }
 
+/// The complete mutable state of one [`DXbar`]: rotating-priority
+/// pointers, the held synchronous groups, and the counters. The per-cycle
+/// scratch buffers are excluded — they are rebuilt every cycle and carry no
+/// history. The serving policy is configuration, not state, and belongs to
+/// the platform configuration a checkpoint carries separately.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DXbarSnapshot {
+    /// Rotating-priority pointer per bank.
+    pub rr: Vec<usize>,
+    /// Synchronous-group PC each core is held under (`None` = not held),
+    /// indexed by core id. The length is whatever the arbiter had grown to.
+    pub held_pc: Vec<Option<u16>>,
+    /// Aggregate arbitration counters.
+    pub stats: DXbarStats,
+}
+
 /// The data crossbar arbiter with pluggable serving policy.
 #[derive(Debug, Clone)]
 pub struct DXbar {
@@ -172,6 +188,31 @@ impl DXbar {
         self.rr.fill(0);
         self.held_pc.fill(None);
         self.stats = DXbarStats::default();
+    }
+
+    /// Exports the arbiter's mutable state for checkpointing.
+    pub fn save(&self) -> DXbarSnapshot {
+        DXbarSnapshot {
+            rr: self.rr.clone(),
+            held_pc: self.held_pc.clone(),
+            stats: self.stats,
+        }
+    }
+
+    /// Re-applies a snapshot taken by [`DXbar::save`]. Returns `false`
+    /// (leaving the arbiter untouched) when the snapshot's bank count does
+    /// not match this arbiter. `held_pc` adopts the snapshot's length —
+    /// the vector is grown on demand during execution, so its length is
+    /// part of the history being restored.
+    pub fn load_snapshot(&mut self, snapshot: &DXbarSnapshot) -> bool {
+        if snapshot.rr.len() != self.rr.len() {
+            return false;
+        }
+        self.rr.copy_from_slice(&snapshot.rr);
+        self.held_pc.clear();
+        self.held_pc.extend_from_slice(&snapshot.held_pc);
+        self.stats = snapshot.stats;
+        true
     }
 
     /// Arbitrates one cycle of data requests, allocating a fresh outcome.
@@ -569,6 +610,33 @@ mod tests {
         };
         assert_eq!(who(&first), 0);
         assert_eq!(who(&second), 1);
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_holds_and_rotation() {
+        let mut m = dmem();
+        let mut x = DXbar::new(16, ServingPolicy::SyncAware);
+        // Leave core 0 held mid-conflict, then snapshot.
+        let reqs = vec![read_req(0, 40, 10), read_req(1, 40, 20)];
+        x.arbitrate(&reqs, &mut m);
+        assert_eq!(x.held_cores(), vec![0]);
+        let snap = x.save();
+
+        let mut restored = DXbar::new(16, ServingPolicy::SyncAware);
+        assert!(restored.load_snapshot(&snap));
+        assert_eq!(restored.held_cores(), vec![0]);
+        assert_eq!(restored.stats(), x.stats());
+
+        // The restored arbiter finishes the group exactly like the
+        // original would: core 1 completes and releases core 0.
+        let reqs = vec![read_req(1, 40, 20)];
+        let out = restored.arbitrate(&reqs, &mut m);
+        assert!(matches!(out.grants[0], DmGrant::Complete { core: 1, .. }));
+        assert_eq!(out.releases, vec![0]);
+        assert!(
+            !DXbar::new(8, ServingPolicy::SyncAware).load_snapshot(&snap),
+            "bank count mismatch"
+        );
     }
 
     #[test]

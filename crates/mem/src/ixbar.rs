@@ -56,6 +56,17 @@ impl IXbarStats {
     }
 }
 
+/// The complete mutable state of one [`IXbar`]: the rotating-priority
+/// pointers plus the counters. The per-cycle request scratch is excluded —
+/// it is rebuilt from scratch every cycle and carries no history.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IXbarSnapshot {
+    /// Rotating-priority pointer per bank.
+    pub rr: Vec<usize>,
+    /// Aggregate arbitration counters.
+    pub stats: IXbarStats,
+}
+
 /// The instruction crossbar arbiter.
 #[derive(Debug, Clone)]
 pub struct IXbar {
@@ -86,6 +97,26 @@ impl IXbar {
     pub fn reset(&mut self) {
         self.rr.fill(0);
         self.stats = IXbarStats::default();
+    }
+
+    /// Exports the arbiter's mutable state for checkpointing.
+    pub fn save(&self) -> IXbarSnapshot {
+        IXbarSnapshot {
+            rr: self.rr.clone(),
+            stats: self.stats,
+        }
+    }
+
+    /// Re-applies a snapshot taken by [`IXbar::save`]. Returns `false`
+    /// (leaving the arbiter untouched) when the snapshot's bank count does
+    /// not match this arbiter.
+    pub fn load_snapshot(&mut self, snapshot: &IXbarSnapshot) -> bool {
+        if snapshot.rr.len() != self.rr.len() {
+            return false;
+        }
+        self.rr.copy_from_slice(&snapshot.rr);
+        self.stats = snapshot.stats;
+        true
     }
 
     /// Arbitrates one cycle of fetch requests against the instruction
@@ -349,6 +380,27 @@ mod tests {
         let served: Vec<usize> = grants.iter().map(|g| g.core).collect();
         assert_eq!(served, vec![0, 2], "the whole winning group is served");
         assert_eq!(m.stats().bank_reads, 1);
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_rotation() {
+        let mut m = imem();
+        let mut xbar = IXbar::new(8);
+        let reqs = vec![
+            ImRequest { core: 0, addr: 1 },
+            ImRequest { core: 1, addr: 2 },
+        ];
+        xbar.arbitrate(&reqs, &mut m);
+        let snap = xbar.save();
+
+        let mut restored = IXbar::new(8);
+        assert!(restored.load_snapshot(&snap));
+        assert_eq!(restored.stats(), xbar.stats());
+        // The restored arbiter continues the rotation exactly where the
+        // original would: core 1 wins the next conflict.
+        let next = restored.arbitrate(&reqs, &mut m);
+        assert_eq!(next[0].core, 1);
+        assert!(!IXbar::new(4).load_snapshot(&snap), "bank count mismatch");
     }
 
     #[test]

@@ -25,6 +25,8 @@ mod ixbar;
 #[cfg(test)]
 mod proptests;
 
-pub use banked::{BankMapping, BankedMemory, MemStats};
-pub use dxbar::{Access, DXbar, DXbarOutcome, DXbarStats, DmGrant, DmRequest, ServingPolicy};
-pub use ixbar::{IXbar, IXbarStats, ImGrant, ImRequest};
+pub use banked::{BankMapping, BankedMemory, MemSnapshot, MemStats};
+pub use dxbar::{
+    Access, DXbar, DXbarOutcome, DXbarSnapshot, DXbarStats, DmGrant, DmRequest, ServingPolicy,
+};
+pub use ixbar::{IXbar, IXbarSnapshot, IXbarStats, ImGrant, ImRequest};

@@ -77,6 +77,59 @@ impl fmt::Display for PlatformError {
 
 impl std::error::Error for PlatformError {}
 
+/// A failed [`crate::Platform::restore`] / [`crate::Platform::restore_from`]
+/// or [`crate::Checkpoint::from_bytes`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RestoreError {
+    /// The checkpoint blob was written by an incompatible schema.
+    SchemaMismatch {
+        /// Schema version found in the blob.
+        found: u32,
+        /// Schema version this build understands.
+        expected: u32,
+    },
+    /// The checkpoint's platform configuration is structurally
+    /// incompatible with the target platform (core count, memory
+    /// geometry, synchronizer presence or serving policy differ).
+    ConfigMismatch,
+    /// The blob ended before the encoded state did.
+    Truncated,
+    /// The blob decoded to inconsistent state.
+    Corrupt {
+        /// Which part of the blob failed to decode.
+        what: &'static str,
+    },
+    /// A checkpointed observer state could not be loaded into the
+    /// observer attached under the same label.
+    ObserverMismatch {
+        /// The label of the rejecting observer.
+        label: String,
+    },
+}
+
+impl fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RestoreError::SchemaMismatch { found, expected } => {
+                write!(f, "checkpoint schema {found} (this build reads {expected})")
+            }
+            RestoreError::ConfigMismatch => {
+                write!(
+                    f,
+                    "checkpoint platform configuration does not match the target"
+                )
+            }
+            RestoreError::Truncated => write!(f, "checkpoint blob is truncated"),
+            RestoreError::Corrupt { what } => write!(f, "checkpoint is corrupt: bad {what}"),
+            RestoreError::ObserverMismatch { label } => {
+                write!(f, "observer {label:?} rejected its checkpointed state")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -101,6 +154,25 @@ mod tests {
         assert_eq!(
             e.to_string(),
             "core 2: illegal instruction 0xf801 at pc 0x0001"
+        );
+        assert_eq!(
+            RestoreError::SchemaMismatch {
+                found: 9,
+                expected: 1
+            }
+            .to_string(),
+            "checkpoint schema 9 (this build reads 1)"
+        );
+        assert_eq!(
+            RestoreError::Corrupt { what: "sync state" }.to_string(),
+            "checkpoint is corrupt: bad sync state"
+        );
+        assert_eq!(
+            RestoreError::ObserverMismatch {
+                label: "pc-trace".into()
+            }
+            .to_string(),
+            "observer \"pc-trace\" rejected its checkpointed state"
         );
     }
 }

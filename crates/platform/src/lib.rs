@@ -40,6 +40,7 @@
 //! }
 //! ```
 
+pub mod checkpoint;
 mod config;
 mod error;
 pub mod observer;
@@ -47,10 +48,11 @@ mod sim;
 mod stats;
 pub mod vcd;
 
+pub use checkpoint::{Checkpoint, CHECKPOINT_SCHEMA};
 pub use config::PlatformConfig;
-pub use error::{ConfigError, PlatformError};
+pub use error::{ConfigError, PlatformError, RestoreError};
 pub use observer::{BankHeatMap, LockstepWidth, Observer, PcTrace};
-pub use sim::{Platform, RunSummary};
+pub use sim::{ObserverHandle, Platform, RunProgress, RunSummary};
 pub use stats::SimStats;
 pub use ulp_jit::{ExecTier, JitStats, TranslationCache};
 pub use vcd::VcdTracer;

@@ -28,6 +28,7 @@
 //! assert!(trace.rows()[0].iter().all(|pc| *pc == Some(0)));
 //! ```
 
+use crate::checkpoint::{Reader, Writer};
 use crate::config::PlatformConfig;
 use crate::error::PlatformError;
 use crate::sim::RunSummary;
@@ -40,7 +41,38 @@ use ulp_mem::{BankMapping, DmRequest, ImRequest};
 /// All hooks receive the 1-based cycle number being simulated. A hook must
 /// not assume it sees every run from the start: observers can be attached
 /// to a platform that has already stepped.
-pub trait Observer {
+///
+/// Observers are owned by the platform when registered through
+/// [`crate::Platform::attach`] (the preferred path — the engine notifies
+/// them on every `step`/`run`, and they participate in checkpointing via
+/// [`Observer::save_state`] / [`Observer::load_state`]), or borrowed for
+/// a single call through the legacy `*_with` slice parameters. The `Any`
+/// supertrait lets callers recover the concrete type of an attached
+/// observer (see [`crate::Platform::observer_as`]).
+pub trait Observer: std::any::Any {
+    /// A stable identifier for this observer kind, used to match
+    /// checkpointed observer state back to attached observers on restore.
+    /// Two observers attached under the same label are matched in attach
+    /// order.
+    fn label(&self) -> &str {
+        "observer"
+    }
+
+    /// Serializes the observer's accumulated state for a platform
+    /// checkpoint. `None` (the default) means the observer does not
+    /// participate in checkpointing — a platform carrying it can still be
+    /// snapshotted, but the observer's state is not in the blob.
+    fn save_state(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Re-applies state produced by [`Observer::save_state`]. Returns
+    /// `false` if the bytes are not loadable into this observer (wrong
+    /// geometry, corrupt encoding); the restore then fails with
+    /// [`crate::RestoreError::ObserverMismatch`].
+    fn load_state(&mut self, _state: &[u8]) -> bool {
+        false
+    }
     /// Start of a cycle, before interrupt polling and the phase snapshot.
     /// `cores` is the state left by the previous cycle.
     fn on_cycle_start(&mut self, _cycle: u64, _cores: &[Core]) {}
@@ -110,9 +142,38 @@ impl LockstepWidth {
         self.sum += width;
         self.cycles += 1;
     }
+
+    /// Replaces the recorded totals (checkpoint restore).
+    pub fn restore(&mut self, sum: u64, cycles: u64) {
+        self.sum = sum;
+        self.cycles = cycles;
+    }
 }
 
 impl Observer for LockstepWidth {
+    fn label(&self) -> &str {
+        "lockstep-width"
+    }
+
+    fn save_state(&self) -> Option<Vec<u8>> {
+        let mut w = Writer::default();
+        w.u64(self.sum);
+        w.u64(self.cycles);
+        Some(w.buf)
+    }
+
+    fn load_state(&mut self, state: &[u8]) -> bool {
+        let mut r = Reader::new(state);
+        let (Some(sum), Some(cycles)) = (r.u64(), r.u64()) else {
+            return false;
+        };
+        if !r.done() {
+            return false;
+        }
+        self.restore(sum, cycles);
+        true
+    }
+
     fn on_fetch(&mut self, _cycle: u64, fetch_reqs: &[ImRequest]) {
         if fetch_reqs.is_empty() {
             return;
@@ -169,7 +230,71 @@ impl PcTrace {
     }
 }
 
+fn write_pc_row(w: &mut Writer, row: &[Option<u16>]) {
+    w.len(row.len());
+    for entry in row {
+        match entry {
+            None => w.u8(0),
+            Some(pc) => {
+                w.u8(1);
+                w.u16(*pc);
+            }
+        }
+    }
+}
+
+fn read_pc_row(r: &mut Reader) -> Option<Vec<Option<u16>>> {
+    let n = r.u32()? as usize;
+    let mut row = Vec::with_capacity(n.min(16));
+    for _ in 0..n {
+        row.push(match r.u8()? {
+            0 => None,
+            1 => Some(r.u16()?),
+            _ => return None,
+        });
+    }
+    Some(row)
+}
+
 impl Observer for PcTrace {
+    fn label(&self) -> &str {
+        "pc-trace"
+    }
+
+    fn save_state(&self) -> Option<Vec<u8>> {
+        let mut w = Writer::default();
+        w.u64(self.limit as u64);
+        w.len(self.rows.len());
+        for row in &self.rows {
+            write_pc_row(&mut w, row);
+        }
+        write_pc_row(&mut w, &self.current);
+        Some(w.buf)
+    }
+
+    fn load_state(&mut self, state: &[u8]) -> bool {
+        let mut r = Reader::new(state);
+        let Some(limit) = r.u64() else { return false };
+        let Some(nrows) = r.u32() else { return false };
+        let mut rows = Vec::with_capacity((nrows as usize).min(1 << 10));
+        for _ in 0..nrows {
+            let Some(row) = read_pc_row(&mut r) else {
+                return false;
+            };
+            rows.push(row);
+        }
+        let Some(current) = read_pc_row(&mut r) else {
+            return false;
+        };
+        if !r.done() {
+            return false;
+        }
+        self.limit = limit as usize;
+        self.rows = rows;
+        self.current = current;
+        true
+    }
+
     fn on_core_phase(&mut self, _cycle: u64, core: usize, pc: u16, phase: CoreState) {
         if self.rows.len() >= self.limit {
             return;
@@ -276,6 +401,78 @@ impl BankHeatMap {
 }
 
 impl Observer for BankHeatMap {
+    fn label(&self) -> &str {
+        "bank-heat-map"
+    }
+
+    fn save_state(&self) -> Option<Vec<u8>> {
+        let mut w = Writer::default();
+        w.u32(self.banks as u32);
+        w.u32(self.bank_words as u32);
+        w.u8(match self.mapping {
+            BankMapping::Blocked => 0,
+            BankMapping::Interleaved => 1,
+        });
+        w.u64(self.window);
+        w.u64(self.seen);
+        for &count in &self.current {
+            w.u64(count);
+        }
+        w.len(self.rows.len());
+        for row in &self.rows {
+            for &count in row {
+                w.u64(count);
+            }
+        }
+        Some(w.buf)
+    }
+
+    fn load_state(&mut self, state: &[u8]) -> bool {
+        let mut r = Reader::new(state);
+        let (Some(banks), Some(bank_words), Some(mapping), Some(window)) =
+            (r.u32(), r.u32(), r.u8(), r.u64())
+        else {
+            return false;
+        };
+        let mapping = match mapping {
+            0 => BankMapping::Blocked,
+            1 => BankMapping::Interleaved,
+            _ => return false,
+        };
+        // The geometry is construction state, not accumulated state: a
+        // snapshot only loads into a heat map configured identically.
+        if banks as usize != self.banks
+            || bank_words as usize != self.bank_words
+            || mapping != self.mapping
+            || window != self.window
+        {
+            return false;
+        }
+        let Some(seen) = r.u64() else { return false };
+        let mut current = vec![0u64; self.banks];
+        for slot in &mut current {
+            let Some(count) = r.u64() else { return false };
+            *slot = count;
+        }
+        let Some(nrows) = r.u32() else { return false };
+        let mut rows = Vec::with_capacity((nrows as usize).min(1 << 10));
+        for _ in 0..nrows {
+            let mut row = vec![0u64; self.banks];
+            for slot in &mut row {
+                let Some(count) = r.u64() else { return false };
+                *slot = count;
+            }
+            rows.push(row);
+        }
+        if !r.done() {
+            return false;
+        }
+        self.seen = seen;
+        self.current = current;
+        self.rows = rows;
+        true
+    }
+
     fn on_dm(&mut self, _cycle: u64, dm_reqs: &[DmRequest], granted: &[bool]) {
         for r in dm_reqs {
             if granted.get(r.core).copied().unwrap_or(false) {
@@ -369,6 +566,53 @@ mod tests {
         // A heat map that saw nothing reports no rows and zero totals.
         assert!(map.rows().is_empty());
         assert_eq!(map.totals(), vec![0; 4]);
+    }
+
+    #[test]
+    fn observer_state_round_trips_and_rejects_bad_geometry() {
+        // LockstepWidth.
+        let mut w = LockstepWidth::new();
+        w.note_uniform(8);
+        w.note_uniform(4);
+        let state = w.save_state().unwrap();
+        let mut w2 = LockstepWidth::new();
+        assert!(w2.load_state(&state));
+        assert_eq!((w2.sum(), w2.cycles()), (12, 2));
+        assert!(!w2.load_state(&state[..3]), "truncated state rejected");
+
+        // PcTrace, including the in-flight row.
+        let mut t = PcTrace::new(4);
+        t.on_core_phase(1, 0, 7, CoreState::Fetch);
+        t.on_core_phase(1, 1, 0, CoreState::Halted);
+        t.on_cycle_end(1, &[]);
+        t.on_core_phase(2, 0, 8, CoreState::Fetch);
+        let state = t.save_state().unwrap();
+        let mut t2 = PcTrace::new(0);
+        assert!(t2.load_state(&state));
+        assert_eq!(t2.rows(), t.rows());
+        t2.on_core_phase(2, 1, 0, CoreState::Halted);
+        t2.on_cycle_end(2, &[]);
+        assert_eq!(t2.rows()[1], vec![Some(8), None]);
+
+        // BankHeatMap: round trip, then a geometry mismatch.
+        let mut map = BankHeatMap::new(4, 16, BankMapping::Blocked, 2);
+        map.on_dm(
+            1,
+            &[DmRequest {
+                core: 0,
+                pc: 0,
+                addr: 3,
+                access: ulp_mem::Access::Read,
+            }],
+            &[true],
+        );
+        map.on_cycle_end(1, &[]);
+        let state = map.save_state().unwrap();
+        let mut map2 = BankHeatMap::new(4, 16, BankMapping::Blocked, 2);
+        assert!(map2.load_state(&state));
+        assert_eq!(map2.totals(), map.totals());
+        let mut wrong = BankHeatMap::new(8, 8, BankMapping::Blocked, 2);
+        assert!(!wrong.load_state(&state), "geometry mismatch rejected");
     }
 
     #[test]

@@ -1,10 +1,12 @@
 //! The deterministic cycle loop composing cores, memories, crossbars and
 //! the synchronizer.
 
+use crate::checkpoint::Checkpoint;
 use crate::config::PlatformConfig;
-use crate::error::{ConfigError, PlatformError};
+use crate::error::{ConfigError, PlatformError, RestoreError};
 use crate::observer::{LockstepWidth, Observer};
 use crate::stats::SimStats;
+use std::fmt;
 use ulp_cpu::{Core, CoreState, MemAccess, SyncRequest, WakeReason};
 use ulp_isa::asm::Program;
 use ulp_isa::OpClass;
@@ -19,6 +21,41 @@ use ulp_sync::{SyncEvents, Synchronizer};
 pub struct RunSummary {
     /// Cycles simulated until the last core halted.
     pub cycles: u64,
+}
+
+/// Outcome of a bounded [`Platform::run_until`] slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunProgress {
+    /// Every core halted; the run is complete.
+    Done(RunSummary),
+    /// The cycle limit was reached with cores still active. The platform
+    /// can be resumed (another `run_until` / `run`) or checkpointed; the
+    /// resumed run is bit-identical to one that never paused.
+    Paused,
+}
+
+impl RunProgress {
+    /// Whether the run completed.
+    pub fn is_done(&self) -> bool {
+        matches!(self, RunProgress::Done(_))
+    }
+
+    /// The completion summary, if the run finished.
+    pub fn summary(&self) -> Option<RunSummary> {
+        match self {
+            RunProgress::Done(s) => Some(*s),
+            RunProgress::Paused => None,
+        }
+    }
+}
+
+/// A token identifying an observer registered through
+/// [`Platform::attach`]. Pass it to [`Platform::observer_as`] /
+/// [`Platform::observer_mut_as`] to inspect the observer mid-run and to
+/// [`Platform::detach`] to take it back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ObserverHandle {
+    id: u64,
 }
 
 /// Per-cycle scratch buffers of the engine, allocated once at platform
@@ -74,7 +111,6 @@ impl CycleBuffers {
 /// [`Platform::run_with`]. The only built-in observer is a
 /// [`LockstepWidth`] recorder, because the average lockstep width is part
 /// of [`SimStats`].
-#[derive(Debug)]
 pub struct Platform {
     cfg: PlatformConfig,
     cores: Vec<Core>,
@@ -93,6 +129,30 @@ pub struct Platform {
     /// every use re-validates it against the core's PC — kept so
     /// consecutive compiled cycles skip the cache lookup inside a block.
     cursors: Vec<Option<(u32, u16)>>,
+    /// Observers registered through [`Platform::attach`], notified on
+    /// every step/run in attach order (before any `*_with` slice). Each
+    /// entry keeps the id its [`ObserverHandle`] was minted with.
+    attached: Vec<(u64, Box<dyn Observer>)>,
+    /// Id for the next [`Platform::attach`] call.
+    next_observer: u64,
+}
+
+impl fmt::Debug for Platform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Platform")
+            .field("cfg", &self.cfg)
+            .field("cycle", &self.cycle)
+            .field("fault", &self.fault)
+            .field(
+                "attached",
+                &self
+                    .attached
+                    .iter()
+                    .map(|(id, o)| (*id, o.label()))
+                    .collect::<Vec<_>>(),
+            )
+            .finish_non_exhaustive()
+    }
 }
 
 impl Platform {
@@ -116,8 +176,57 @@ impl Platform {
             lockstep: LockstepWidth::new(),
             jit: TranslationCache::new(cfg.jit_hot_threshold),
             cursors: vec![None; cfg.num_cores],
+            attached: Vec::new(),
+            next_observer: 0,
             cfg,
         })
+    }
+
+    /// Registers an owned observer with the platform. From now on every
+    /// [`Platform::step`] / [`Platform::run`] notifies it (attached
+    /// observers fire in attach order, before any observers passed to the
+    /// legacy `*_with` slice methods), and [`Platform::snapshot`] captures
+    /// its state when it implements [`Observer::save_state`].
+    ///
+    /// This replaces the positional observer-slice plumbing: instead of
+    /// threading `&mut [&mut dyn Observer]` through every call and keeping
+    /// the slice alive across the run, callers hand the observer to the
+    /// platform and read it back through the returned handle
+    /// ([`Platform::observer_as`], [`Platform::detach`]).
+    pub fn attach(&mut self, observer: Box<dyn Observer>) -> ObserverHandle {
+        let id = self.next_observer;
+        self.next_observer += 1;
+        self.attached.push((id, observer));
+        ObserverHandle { id }
+    }
+
+    /// Removes and returns an attached observer. `None` if the handle was
+    /// already detached (handles are platform-specific and single-use).
+    pub fn detach(&mut self, handle: ObserverHandle) -> Option<Box<dyn Observer>> {
+        let pos = self.attached.iter().position(|(id, _)| *id == handle.id)?;
+        Some(self.attached.remove(pos).1)
+    }
+
+    /// Number of currently attached observers.
+    pub fn attached_observers(&self) -> usize {
+        self.attached.len()
+    }
+
+    /// Borrows an attached observer downcast to its concrete type.
+    /// `None` if the handle is stale or `T` is not the attached type.
+    pub fn observer_as<T: Observer>(&self, handle: &ObserverHandle) -> Option<&T> {
+        self.attached
+            .iter()
+            .find(|(id, _)| *id == handle.id)
+            .and_then(|(_, o)| (o.as_ref() as &dyn std::any::Any).downcast_ref::<T>())
+    }
+
+    /// Mutably borrows an attached observer downcast to its concrete type.
+    pub fn observer_mut_as<T: Observer>(&mut self, handle: &ObserverHandle) -> Option<&mut T> {
+        self.attached
+            .iter_mut()
+            .find(|(id, _)| *id == handle.id)
+            .and_then(|(_, o)| (o.as_mut() as &mut dyn std::any::Any).downcast_mut::<T>())
     }
 
     /// The active configuration.
@@ -245,27 +354,45 @@ impl Platform {
         self.cores.iter().all(|c| c.is_halted())
     }
 
-    /// Advances the platform by one clock cycle with no observers
-    /// attached. Equivalent to `step_with(&mut [])`.
+    /// Advances the platform by one clock cycle, notifying any attached
+    /// observers. Equivalent to `step_with(&mut [])`.
     pub fn step(&mut self) {
-        self.step_cycle::<false>(&mut []);
+        self.step_with(&mut []);
     }
 
-    /// Advances the platform by one clock cycle, notifying `observers` at
-    /// each hook point (after the built-in lockstep recorder).
+    /// Advances the platform by one clock cycle, notifying attached
+    /// observers and then `observers` at each hook point (after the
+    /// built-in lockstep recorder).
     ///
-    /// The engine performs zero heap allocations in steady state: all
-    /// per-cycle working sets live in buffers owned by the platform and
-    /// its components, sized once and reused every cycle. An empty
-    /// observer slice dispatches to a monomorphized cycle with every
-    /// observer hook compiled out, so instrumented *capability* costs
-    /// nothing when no instrument is attached.
+    /// With no observers anywhere, the engine performs zero heap
+    /// allocations in steady state: all per-cycle working sets live in
+    /// buffers owned by the platform and its components, sized once and
+    /// reused every cycle, and the unobserved cycle is a monomorphized
+    /// copy with every observer hook compiled out. (Manually stepping
+    /// with *attached* observers builds a small dispatch list per call;
+    /// the run loops hoist it out of the cycle loop.)
+    ///
+    /// Borrowed observer slices are the legacy registration path — prefer
+    /// [`Platform::attach`], which also integrates the observer with
+    /// checkpointing.
     pub fn step_with(&mut self, observers: &mut [&mut dyn Observer]) {
-        if observers.is_empty() {
-            self.step_cycle::<false>(&mut []);
-        } else {
-            self.step_cycle::<true>(observers);
+        if self.attached.is_empty() {
+            if observers.is_empty() {
+                self.step_cycle::<false>(&mut []);
+            } else {
+                self.step_cycle::<true>(observers);
+            }
+            return;
         }
+        let mut attached = std::mem::take(&mut self.attached);
+        let mut refs: Vec<&mut dyn Observer> = attached
+            .iter_mut()
+            .map(|(_, o)| o.as_mut())
+            .chain(observers.iter_mut().map(|o| &mut **o))
+            .collect();
+        self.step_cycle::<true>(&mut refs);
+        drop(refs);
+        self.attached = attached;
     }
 
     /// One interpreter cycle. `OBSERVED` gates every observer dispatch at
@@ -485,8 +612,12 @@ impl Platform {
         self.run_with(&mut [])
     }
 
-    /// Runs until every core halts, notifying `observers` every cycle and
-    /// once more (via [`Observer::on_run_end`]) when the loop exits.
+    /// Runs until every core halts, notifying attached observers, then
+    /// `observers`, every cycle and once more (via
+    /// [`Observer::on_run_end`]) when the loop exits.
+    ///
+    /// Borrowed observer slices are the legacy registration path — prefer
+    /// [`Platform::attach`] and plain [`Platform::run`].
     ///
     /// # Errors
     ///
@@ -495,31 +626,94 @@ impl Platform {
         &mut self,
         observers: &mut [&mut dyn Observer],
     ) -> Result<RunSummary, PlatformError> {
+        match self.run_bounded(u64::MAX, observers)? {
+            RunProgress::Done(summary) => Ok(summary),
+            RunProgress::Paused => unreachable!("unbounded run cannot pause"),
+        }
+    }
+
+    /// Runs until every core halts **or** the simulated cycle count
+    /// reaches `limit`, whichever comes first. Attached observers are
+    /// notified throughout; [`Observer::on_run_end`] fires only when the
+    /// run truly completes (not on a pause).
+    ///
+    /// A paused platform can be resumed with another `run_until` (or
+    /// `run`) and/or checkpointed via [`Platform::snapshot`]; slicing a
+    /// run this way is **bit-identical** to running it in one piece —
+    /// same architectural state, same [`SimStats`], on both execution
+    /// tiers.
+    ///
+    /// # Errors
+    ///
+    /// See [`Platform::run`]. The configured cycle budget takes
+    /// precedence: a platform at its budget reports
+    /// [`PlatformError::Timeout`], never `Paused`.
+    pub fn run_until(&mut self, limit: u64) -> Result<RunProgress, PlatformError> {
+        self.run_bounded(limit, &mut [])
+    }
+
+    fn run_bounded(
+        &mut self,
+        limit: u64,
+        extra: &mut [&mut dyn Observer],
+    ) -> Result<RunProgress, PlatformError> {
+        let observed = !extra.is_empty() || !self.attached.is_empty();
         if self.cfg.exec_tier == ExecTier::Compiled {
-            if observers.is_empty() {
-                return self.run_compiled();
+            if !observed {
+                return self.run_compiled(limit);
             }
             // Observer hooks fire every cycle, and every observed cycle is
             // a fidelity boundary: the whole run stays on the interpreter.
             let start = self.cycle;
-            let outcome = self.run_interpreted(observers);
+            let outcome = self.run_interpreted(limit, extra);
             self.jit.stats_mut().fallback_cycles += self.cycle - start;
             return outcome;
         }
-        self.run_interpreted(observers)
+        self.run_interpreted(limit, extra)
     }
 
     fn run_interpreted(
         &mut self,
+        limit: u64,
+        extra: &mut [&mut dyn Observer],
+    ) -> Result<RunProgress, PlatformError> {
+        if self.attached.is_empty() {
+            return self.run_loop(limit, extra);
+        }
+        let mut attached = std::mem::take(&mut self.attached);
+        let outcome = {
+            let mut refs: Vec<&mut dyn Observer> = attached
+                .iter_mut()
+                .map(|(_, o)| o.as_mut())
+                .chain(extra.iter_mut().map(|o| &mut **o))
+                .collect();
+            self.run_loop(limit, &mut refs)
+        };
+        self.attached = attached;
+        outcome
+    }
+
+    fn run_loop(
+        &mut self,
+        limit: u64,
         observers: &mut [&mut dyn Observer],
-    ) -> Result<RunSummary, PlatformError> {
+    ) -> Result<RunProgress, PlatformError> {
         let outcome = loop {
             if self.cycle >= self.cfg.max_cycles {
                 break Err(PlatformError::Timeout {
                     budget: self.cfg.max_cycles,
                 });
             }
-            self.step_with(observers);
+            if self.cycle >= limit {
+                // A pause is not a run end: no on_run_end, the run simply
+                // has not finished yet.
+                return Ok(RunProgress::Paused);
+            }
+            if observers.is_empty() {
+                self.step_cycle::<false>(&mut []);
+            } else {
+                self.step_cycle::<true>(observers);
+            }
             if let Some(fault) = self.fault {
                 break Err(fault);
             }
@@ -536,13 +730,13 @@ impl Platform {
                 o.on_run_end(&outcome, &stats);
             }
         }
-        outcome
+        outcome.map(RunProgress::Done)
     }
 
     /// The compiled-tier run loop: each iteration either replays one cycle
     /// through the translated traces or hands exactly one cycle to the
     /// interpreter (cold code, fidelity boundaries, possible DM conflicts).
-    fn run_compiled(&mut self) -> Result<RunSummary, PlatformError> {
+    fn run_compiled(&mut self, limit: u64) -> Result<RunProgress, PlatformError> {
         self.revalidate_jit();
         loop {
             if self.cycle >= self.cfg.max_cycles {
@@ -550,7 +744,10 @@ impl Platform {
                     budget: self.cfg.max_cycles,
                 });
             }
-            if self.step_tier_once() {
+            if self.cycle >= limit {
+                return Ok(RunProgress::Paused);
+            }
+            if self.step_tier_once(limit) {
                 // A compiled cycle cannot fault, halt the last core or
                 // deadlock — those all live behind fidelity boundaries
                 // that force the interpreter path.
@@ -560,7 +757,7 @@ impl Platform {
                 return Err(fault);
             }
             if self.all_halted() {
-                return Ok(RunSummary { cycles: self.cycle });
+                return Ok(RunProgress::Done(RunSummary { cycles: self.cycle }));
             }
             if self.is_deadlocked() {
                 return Err(PlatformError::Deadlock { cycle: self.cycle });
@@ -583,8 +780,15 @@ impl Platform {
     /// [`ExecTier::Interpreted`].
     pub fn step_tiered(&mut self) -> bool {
         if self.cfg.exec_tier == ExecTier::Compiled {
+            if !self.attached.is_empty() {
+                // Observed cycles are fidelity boundaries: hand the cycle
+                // to the interpreter so every attached hook fires.
+                self.step_with(&mut []);
+                self.jit.stats_mut().fallback_cycles += 1;
+                return false;
+            }
             self.revalidate_jit();
-            self.step_tier_once()
+            self.step_tier_once(u64::MAX)
         } else {
             self.step();
             false
@@ -602,7 +806,9 @@ impl Platform {
 
     /// One tiered cycle (cache already revalidated): tries the compiled
     /// path, falling back to a single unobserved interpreter cycle.
-    fn step_tier_once(&mut self) -> bool {
+    /// `limit` caps how far a lockstep batch may advance the cycle count
+    /// (the run-slicing boundary of [`Platform::run_until`]).
+    fn step_tier_once(&mut self, limit: u64) -> bool {
         // Interrupt polling happens at instruction boundaries before the
         // fetch phase, exactly like the interpreter cycle. `poll_interrupt`
         // is idempotent, so the fallback cycle re-polling is harmless; a
@@ -610,7 +816,7 @@ impl Platform {
         for core in &mut self.cores {
             core.poll_interrupt();
         }
-        if self.try_step_compiled() {
+        if self.try_step_compiled(limit) {
             self.jit.stats_mut().compiled_cycles += 1;
             return true;
         }
@@ -630,7 +836,7 @@ impl Platform {
     /// all architectural state and statistics stay bit-identical; the only
     /// work skipped is per-instruction decode and the phase machinery that
     /// provably does nothing this cycle.
-    fn try_step_compiled(&mut self) -> bool {
+    fn try_step_compiled(&mut self, limit: u64) -> bool {
         if self.sync.as_ref().is_some_and(Synchronizer::is_busy) {
             return false;
         }
@@ -644,7 +850,7 @@ impl Platform {
         // — per op one broadcast fetch cycle plus one execute cycle, with
         // the same statistics the interpreter would record, but without
         // per-cycle arbitration, request buffers or phase scans.
-        if self.try_step_uniform_batch() {
+        if self.try_step_uniform_batch(limit) {
             return true;
         }
 
@@ -809,8 +1015,11 @@ impl Platform {
     /// fetch cycle and one core-local execute cycle — identical memory,
     /// crossbar, lockstep-width and core counters to the interpreter —
     /// so architectural state and statistics stay bit-identical. Returns
-    /// whether a batch (≥ 1 op) ran.
-    fn try_step_uniform_batch(&mut self) -> bool {
+    /// whether a batch (≥ 1 op) ran. The batch never advances past
+    /// `limit`, so a sliced run pauses exactly where the interpreter
+    /// would; because each pair of cycles contributes the same counters
+    /// regardless of how the run is split, slicing stays bit-identical.
+    fn try_step_uniform_batch(&mut self, limit: u64) -> bool {
         let mut active = [0usize; 16];
         let mut m = 0usize;
         let mut pc = 0u16;
@@ -845,11 +1054,18 @@ impl Platform {
             return false;
         };
         let block = self.jit.block(b);
-        // Cap the run so the batch never overshoots the cycle budget (the
-        // interpreter would stop there, one cycle at a time).
-        let budget_pairs = self.cfg.max_cycles.saturating_sub(self.cycle) / 2;
-        let k = block.pure_run(off).min(budget_pairs as usize);
-        if k == 0 {
+        // Cap the run so the batch never overshoots the cycle budget or
+        // the caller's slice limit (the interpreter would stop there, one
+        // cycle at a time).
+        let budget_cycles = self.cfg.max_cycles.min(limit).saturating_sub(self.cycle);
+        let run = block.pure_run(off);
+        let k = run.min((budget_cycles / 2) as usize);
+        // An odd budget splits a fetch/execute pair across the slice
+        // boundary: execute the fetch half here (still one broadcast, so
+        // hit accounting matches the unsliced batch) and let the execute
+        // half complete after the pause, exactly as the interpreter would.
+        let split_pair = run > k && budget_cycles > 2 * k as u64;
+        if k == 0 && !split_pair {
             return false;
         }
 
@@ -868,6 +1084,23 @@ impl Platform {
             for &i in &active[..m] {
                 self.cores[i].complete_execute(None);
             }
+        }
+        if split_pair {
+            let op = block.ops[off as usize + k];
+            let at = block.start.wrapping_add(off).wrapping_add(k as u16);
+            self.cycle += 1;
+            self.lockstep.note_uniform(m as u64);
+            self.ixbar.serve_uniform(&active[..m], at, &mut self.imem);
+            // The cursor stays on the op now executing; its completion
+            // (next cycle, possibly after a checkpoint/restore) advances
+            // it, so a resumed run re-enters the trace without a lookup.
+            for &i in &active[..m] {
+                self.cores[i].on_fetch_granted_decoded(op.instr);
+                self.cursors[i] = Some((b, off + k as u16));
+            }
+            let jit = self.jit.stats_mut();
+            jit.compiled_cycles += 2 * k as u64; // the caller counts one more
+            return true;
         }
         let end = off + k as u16;
         let cursor = ((end as usize) < block.len()).then_some((b, end));
@@ -924,6 +1157,187 @@ impl Platform {
             lockstep_width_cycles: self.lockstep.cycles(),
             jit: self.jit.stats(),
         }
+    }
+
+    // ---- checkpointing ---------------------------------------------------
+
+    /// Captures the complete state of the platform between cycles: cores,
+    /// both memories, crossbar arbiters, the synchronizer, the lockstep
+    /// and power-relevant counters, the translation cache, and the state
+    /// of every attached observer that implements
+    /// [`Observer::save_state`]. Resuming from the checkpoint (on this
+    /// platform or a fresh one) is bit-identical to never pausing.
+    pub fn snapshot(&self) -> Checkpoint {
+        // Trace cursors are stored as (entry pc, offset): block indices
+        // are allocation order and do not survive the restore-time
+        // retranslation, entry PCs do.
+        let cursors = self
+            .cursors
+            .iter()
+            .map(|cursor| cursor.map(|(block, off)| (self.jit.block(block).start, off)))
+            .collect();
+        Checkpoint {
+            config: self.cfg.clone(),
+            cycle: self.cycle,
+            fault: self.fault,
+            cores: self.cores.iter().map(Core::save).collect(),
+            imem: self.imem.save(),
+            dmem: self.dmem.save(),
+            ixbar: self.ixbar.save(),
+            dxbar: self.dxbar.save(),
+            sync: self.sync.as_ref().map(Synchronizer::save),
+            lockstep_sum: self.lockstep.sum(),
+            lockstep_cycles: self.lockstep.cycles(),
+            jit: self.jit.save(),
+            cursors,
+            observers: self
+                .attached
+                .iter()
+                .filter_map(|(_, o)| o.save_state().map(|state| (o.label().to_string(), state)))
+                .collect(),
+        }
+    }
+
+    /// Builds a fresh platform in the checkpointed state. The platform
+    /// has no attached observers — observer entries in the checkpoint are
+    /// ignored here; to restore instrumented runs, build the platform,
+    /// [`Platform::attach`] the observers, then [`Platform::restore_from`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Platform::restore_from`].
+    pub fn restore(ckpt: &Checkpoint) -> Result<Platform, RestoreError> {
+        let mut platform = Platform::new(ckpt.config.clone())
+            .map_err(|_| RestoreError::Corrupt { what: "config" })?;
+        platform.restore_from(ckpt)?;
+        Ok(platform)
+    }
+
+    /// Re-applies a checkpoint onto this platform in place, reusing every
+    /// allocation — the migration path for cached platforms: a worker
+    /// takes a platform keyed on the same design and adopts a partially
+    /// run job's state. The checkpoint's full configuration (budget,
+    /// tier, thresholds) is adopted; only the *structural* shape (cores,
+    /// memory geometry, synchronizer, serving policy) must already match.
+    ///
+    /// Checkpointed observer state is matched against attached observers
+    /// by [`Observer::label`] in attach order; entries with no attached
+    /// match are ignored, so attach the observers *before* restoring.
+    ///
+    /// # Errors
+    ///
+    /// * [`RestoreError::ConfigMismatch`] — structurally different target;
+    /// * [`RestoreError::Corrupt`] — internally inconsistent checkpoint;
+    /// * [`RestoreError::ObserverMismatch`] — an attached observer
+    ///   rejected its checkpointed state.
+    ///
+    /// On error the platform state is unspecified; [`Platform::reset`] it
+    /// (or rebuild) before further use.
+    pub fn restore_from(&mut self, ckpt: &Checkpoint) -> Result<(), RestoreError> {
+        if ckpt.config.validate().is_err() {
+            return Err(RestoreError::Corrupt { what: "config" });
+        }
+        let (a, b) = (&self.cfg, &ckpt.config);
+        if a.num_cores != b.num_cores
+            || a.synchronizer != b.synchronizer
+            || a.dxbar_policy != b.dxbar_policy
+            || a.im_mapping != b.im_mapping
+            || a.dm_mapping != b.dm_mapping
+            || a.im_words != b.im_words
+            || a.im_banks != b.im_banks
+            || a.dm_words != b.dm_words
+            || a.dm_banks != b.dm_banks
+        {
+            return Err(RestoreError::ConfigMismatch);
+        }
+        if ckpt.cores.len() != self.cores.len() || ckpt.cursors.len() != self.cores.len() {
+            return Err(RestoreError::Corrupt { what: "core count" });
+        }
+        if ckpt.sync.is_some() != self.sync.is_some() {
+            return Err(RestoreError::Corrupt {
+                what: "sync presence",
+            });
+        }
+        self.cfg = ckpt.config.clone();
+        for (core, snap) in self.cores.iter_mut().zip(&ckpt.cores) {
+            if !core.load_snapshot(snap) {
+                return Err(RestoreError::Corrupt { what: "core state" });
+            }
+        }
+        if !self.imem.load_snapshot(&ckpt.imem) {
+            return Err(RestoreError::Corrupt {
+                what: "instruction memory",
+            });
+        }
+        if !self.dmem.load_snapshot(&ckpt.dmem) {
+            return Err(RestoreError::Corrupt {
+                what: "data memory",
+            });
+        }
+        if !self.ixbar.load_snapshot(&ckpt.ixbar) {
+            return Err(RestoreError::Corrupt {
+                what: "ixbar state",
+            });
+        }
+        if !self.dxbar.load_snapshot(&ckpt.dxbar) {
+            return Err(RestoreError::Corrupt {
+                what: "dxbar state",
+            });
+        }
+        if let (Some(sync), Some(snap)) = (&mut self.sync, &ckpt.sync) {
+            sync.load_snapshot(snap);
+        }
+        self.cycle = ckpt.cycle;
+        self.fault = ckpt.fault;
+        self.lockstep
+            .restore(ckpt.lockstep_sum, ckpt.lockstep_cycles);
+        // The translation cache re-derives its traces from the restored
+        // IM through the uncounted backdoor, so retranslation leaves the
+        // memory counters untouched and statistics stay bit-identical.
+        if !self.jit.restore_from(&ckpt.jit, &self.imem) {
+            return Err(RestoreError::Corrupt {
+                what: "translation cache",
+            });
+        }
+        self.cursors.clear();
+        for cursor in &ckpt.cursors {
+            let mapped = match cursor {
+                None => None,
+                Some((pc, off)) => {
+                    let idx = self
+                        .jit
+                        .block_index_at(*pc)
+                        .filter(|&block| {
+                            let block = self.jit.block(block);
+                            block.start == *pc && (*off as usize) < block.len()
+                        })
+                        .ok_or(RestoreError::Corrupt {
+                            what: "trace cursor",
+                        })?;
+                    Some((idx, *off))
+                }
+            };
+            self.cursors.push(mapped);
+        }
+        let mut used = vec![false; self.attached.len()];
+        for (label, state) in &ckpt.observers {
+            let target = self
+                .attached
+                .iter_mut()
+                .zip(used.iter_mut())
+                .find(|((_, o), used)| !**used && o.label() == label);
+            // Entries with no attached observer under this label are
+            // ignored: the caller chose not to re-attach that instrument.
+            if let Some(((_, observer), used_slot)) = target {
+                *used_slot = true;
+                if !observer.load_state(state) {
+                    return Err(RestoreError::ObserverMismatch {
+                        label: label.clone(),
+                    });
+                }
+            }
+        }
+        Ok(())
     }
 }
 

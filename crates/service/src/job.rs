@@ -126,6 +126,19 @@ pub struct JobSpec {
     /// the compiled hot-block tier — bit-identical results, faster on
     /// lockstep-heavy kernels.
     pub exec_tier: ExecTier,
+    /// Checkpoint cadence in simulated cycles. When set, the executing
+    /// worker snapshots the platform every `checkpoint_every` cycles
+    /// ([`ulp_platform::Platform::snapshot`]), which makes the job
+    /// *migratable*: it can be parked at a checkpoint boundary to yield
+    /// to queued [`Priority::High`] work, and a killed or panicking
+    /// worker's in-flight run is re-queued from its last checkpoint and
+    /// finished — bit-identically — by another worker. `None` (the
+    /// default) runs the job in one uninterruptible stint.
+    ///
+    /// [`ObserverSelection::Vcd`] jobs ignore the cadence: the VCD
+    /// tracer's text stream is not part of the platform checkpoint, so
+    /// such jobs always run in one stint.
+    pub checkpoint_every: Option<u64>,
 }
 
 impl JobSpec {
@@ -144,6 +157,7 @@ impl JobSpec {
             deadline_cycles: None,
             tenant: TenantId::DEFAULT,
             exec_tier: ExecTier::Interpreted,
+            checkpoint_every: None,
         }
     }
 
@@ -193,6 +207,17 @@ impl JobSpec {
     #[must_use]
     pub fn exec_tier(mut self, tier: ExecTier) -> JobSpec {
         self.exec_tier = tier;
+        self
+    }
+
+    /// Makes the job migratable: the executing worker checkpoints the
+    /// platform every `cycles` simulated cycles, so the run can be
+    /// parked, re-queued and resumed — on any worker — from its latest
+    /// checkpoint (see [`JobSpec::checkpoint_every`]). A cadence of `0`
+    /// behaves as `1`.
+    #[must_use]
+    pub fn checkpoint_every(mut self, cycles: u64) -> JobSpec {
+        self.checkpoint_every = Some(cycles.max(1));
         self
     }
 
@@ -391,8 +416,16 @@ pub struct JobResult {
     /// order across all tenants, so clients attribute them from here
     /// rather than from a side table.
     pub tenant: TenantId,
-    /// Index of the worker that executed the job.
+    /// Index of the worker that *completed* the job. A migrated job
+    /// ([`JobResult::migrations`] `> 0`) may have started on a different
+    /// worker; latency and tenant attribution follow the job, not the
+    /// workers it visited.
     pub worker: usize,
+    /// How many times the job was parked at a checkpoint and re-queued
+    /// before completing — cooperative yields to [`Priority::High`] work
+    /// plus recoveries from killed workers. Always `0` for jobs without
+    /// [`JobSpec::checkpoint_every`].
+    pub migrations: u32,
     /// Whether the job was ever moved by a steal: claimed directly by a
     /// thief, or relocated to the thief's deque as part of a half-batch
     /// (scheduling observability; stolen results are bit-identical to
@@ -401,10 +434,12 @@ pub struct JobResult {
     /// Whether the worker served the job from its platform cache rather
     /// than constructing a platform.
     pub cache_hit: bool,
-    /// Wall time the job spent queued before a worker claimed it.
+    /// Wall time the job spent queued before a worker claimed it — for
+    /// migrated jobs, the wait since the *latest* re-queue.
     pub queue_wait: Duration,
     /// Wall time the executing worker spent running the job (zero for
-    /// evicted jobs — they never run).
+    /// evicted jobs — they never run; for migrated jobs, the final
+    /// stint).
     pub run_time: Duration,
     /// Whether the run exceeded the spec's [`JobSpec::deadline_cycles`]
     /// budget (always `false` for jobs without a deadline, and for jobs

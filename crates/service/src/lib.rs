@@ -36,6 +36,16 @@
 //!   relocating the surplus to their own deque — so a 2-core SQRT32 cell
 //!   finishing early frees its worker to steal the tail of an 8-core
 //!   full-signal MRPDLN backlog without skewing the per-tenant balance.
+//! * **Checkpoints and mid-run migration.** A job with
+//!   [`JobSpec::checkpoint_every`] snapshots its platform every N cycles
+//!   ([`ulp_platform::Checkpoint`]); at a checkpoint the worker can
+//!   *park* the run — to yield to queued `High` work, or because the
+//!   worker was killed ([`SimService::inject_worker_failure`], or a
+//!   panic recovered by the pool) — and the partially-run job re-queues
+//!   from its latest checkpoint for any worker to resume. Migrated
+//!   results are bit-identical to uninterrupted ones, observer state
+//!   included, and latency/tenant attribution follows the job
+//!   ([`JobResult::migrations`], [`ServiceStats::jobs_migrated`]).
 //! * **Platform caching.** Each worker keeps one [`ulp_platform::Platform`]
 //!   per `(design, cores)` key, reset and reused between jobs
 //!   ([`ulp_kernels::run_benchmark_reusing_with`]) so memories and cycle

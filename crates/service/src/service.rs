@@ -9,13 +9,18 @@ use crate::job::{
 use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-use ulp_kernels::{run_benchmark_reusing_with, RunnerError};
-use ulp_platform::{BankHeatMap, ExecTier, PcTrace, Platform, PlatformConfig, VcdTracer};
+use ulp_kernels::{
+    resume_benchmark_checkpointed, run_benchmark_checkpointed, run_benchmark_reusing_with,
+    CheckpointControl, RunnerError,
+};
+use ulp_platform::{
+    BankHeatMap, Checkpoint, ExecTier, PcTrace, Platform, PlatformConfig, VcdTracer,
+};
 use ulp_telemetry::{
     worker_track, Counter, EventKind, Histogram, Telemetry, Track, CLIENT_TRACK, NO_JOB,
 };
@@ -96,6 +101,15 @@ pub struct ServiceConfig {
     /// sink's metrics registry. The default ([`Telemetry::disabled`])
     /// makes every hook a single branch — no ring, no clock read.
     pub telemetry: Telemetry,
+    /// Directory the pool persists checkpoints into: every time a
+    /// migratable job checkpoints, the blob
+    /// ([`ulp_platform::Checkpoint::to_bytes`]) is written to
+    /// `job-<id>.ckpt` in this directory, latest-wins. Persistence is
+    /// best-effort — a write failure never fails the job (migration rides
+    /// the in-memory checkpoint; the files serve external inspection and
+    /// restart tooling) — and files are left behind on completion.
+    /// `None` (the default) persists nothing.
+    pub checkpoint_dir: Option<std::path::PathBuf>,
 }
 
 impl ServiceConfig {
@@ -168,6 +182,14 @@ impl ServiceConfigBuilder {
     #[must_use]
     pub fn telemetry(mut self, telemetry: Telemetry) -> ServiceConfigBuilder {
         self.config.telemetry = telemetry;
+        self
+    }
+
+    /// Persists every checkpoint blob under `dir` (see
+    /// [`ServiceConfig::checkpoint_dir`]; default: no persistence).
+    #[must_use]
+    pub fn checkpoint_dir(mut self, dir: impl Into<std::path::PathBuf>) -> ServiceConfigBuilder {
+        self.config.checkpoint_dir = Some(dir.into());
         self
     }
 
@@ -353,6 +375,19 @@ pub struct ServiceStats {
     pub platform_cache_hits: u64,
     /// Platforms constructed across all workers (the cache misses).
     pub platforms_built: u64,
+    /// Mid-run platform checkpoints taken of migratable jobs
+    /// ([`JobSpec::checkpoint_every`]).
+    pub checkpoints_taken: u64,
+    /// Times a partially-run job was parked at a checkpoint and
+    /// re-queued — cooperative yields to [`Priority::High`] work plus
+    /// in-flight jobs recovered from killed workers. A job migrated
+    /// twice counts twice.
+    pub jobs_migrated: u64,
+    /// Worker threads lost over the pool's lifetime: injected failures
+    /// ([`SimService::inject_worker_failure`]) and panics. Deaths whose
+    /// in-flight job was recovered do not kill the pool — the remaining
+    /// workers keep draining the queue.
+    pub workers_died: u64,
     /// End-to-end latency distribution of completed jobs, pooled over
     /// every class and tenant.
     pub latency: LatencyStats,
@@ -378,11 +413,12 @@ impl ServiceStats {
         &self.per_priority[priority.index()]
     }
 
-    /// The full snapshot as one JSON object (schema 2: per-tenant rows
-    /// included), for the `--stats-json` flag of the sweep and shard
-    /// CLIs and any other scripted consumer. Durations are nanoseconds;
-    /// priority rows are keyed `"high"`/`"normal"`/`"low"`; tenant rows
-    /// are sorted by tenant id.
+    /// The full snapshot as one JSON object (schema 3: checkpoint and
+    /// migration counters next to the schema-2 per-tenant rows), for the
+    /// `--stats-json` flag of the sweep and shard CLIs and any other
+    /// scripted consumer. Durations are nanoseconds; priority rows are
+    /// keyed `"high"`/`"normal"`/`"low"`; tenant rows are sorted by
+    /// tenant id.
     pub fn to_json(&self) -> String {
         let per_priority: Vec<String> = ["high", "normal", "low"]
             .iter()
@@ -403,10 +439,11 @@ impl ServiceStats {
             .collect();
         format!(
             concat!(
-                "{{\"schema\":2,\"workers\":{},\"jobs_run\":{},\"steals\":{},",
+                "{{\"schema\":3,\"workers\":{},\"jobs_run\":{},\"steals\":{},",
                 "\"jobs_stolen\":{},\"steal_batch_max\":{},\"rejections\":{},",
                 "\"quota_rejections\":{},\"evictions\":{},\"deadline_misses\":{},",
                 "\"platform_cache_hits\":{},\"platforms_built\":{},",
+                "\"checkpoints_taken\":{},\"jobs_migrated\":{},\"workers_died\":{},",
                 "\"latency\":{},\"per_priority\":{{{}}},\"per_tenant\":[{}],",
                 "\"wall_ns\":{}}}"
             ),
@@ -421,6 +458,9 @@ impl ServiceStats {
             self.deadline_misses,
             self.platform_cache_hits,
             self.platforms_built,
+            self.checkpoints_taken,
+            self.jobs_migrated,
+            self.workers_died,
             self.latency.to_json(),
             per_priority.join(","),
             per_tenant.join(","),
@@ -514,17 +554,34 @@ impl fmt::Display for PoolDied {
 
 impl std::error::Error for PoolDied {}
 
+/// Cap on *cooperative* migrations of one job (parking at a checkpoint
+/// to yield to queued [`Priority::High`] work). Bounds the extra restore
+/// cost a job can accrue under sustained urgent traffic and rules out
+/// park/resume livelock; recovery from a killed worker is not capped —
+/// a job is never lost to the limit.
+const MAX_MIGRATIONS: u32 = 3;
+
 /// One queued unit of work: the spec plus the scheduling metadata the
-/// deques track for it.
+/// deques track for it. `Clone` so the executing worker can park a copy
+/// in the pool's in-flight registry ([`Shared::inflight`]) while it
+/// runs — the clone is what a recovery re-queues.
+#[derive(Clone)]
 struct QueuedJob {
     id: JobId,
     spec: JobSpec,
     /// Set once a steal moves the job off the deque it was submitted to;
     /// survives relocation so the executing worker reports it faithfully.
     stolen: bool,
-    /// When the job was enqueued — queue-wait latency is measured from
-    /// here to the executing worker's claim, across any relocations.
+    /// When the job was (last) enqueued — queue-wait latency is measured
+    /// from here to the executing worker's claim, across any relocations;
+    /// a migration resets it to the re-queue instant.
     enqueued: Instant,
+    /// The latest checkpoint of a partially-run migratable job: a worker
+    /// claiming this job resumes the platform from here instead of
+    /// starting the run over. `None` until the first checkpoint is taken.
+    resume: Option<Arc<Checkpoint>>,
+    /// Times the job has been parked at a checkpoint and re-queued.
+    migrations: u32,
 }
 
 impl QueuedJob {
@@ -797,6 +854,11 @@ struct ServiceMetrics {
     deadline_misses: Counter,
     platforms_built: Counter,
     platform_cache_hits: Counter,
+    checkpoints_taken: Counter,
+    jobs_migrated: Counter,
+    /// Simulated cycle each checkpoint was taken at — the distribution
+    /// shows how deep into their runs migratable jobs snapshot.
+    checkpoint_cycles: Histogram,
     queue_wait_us: Histogram,
     run_us: Histogram,
     jit_translations: Counter,
@@ -818,6 +880,9 @@ impl ServiceMetrics {
             deadline_misses: telemetry.counter("service_deadline_misses"),
             platforms_built: telemetry.counter("service_platforms_built"),
             platform_cache_hits: telemetry.counter("service_platform_cache_hits"),
+            checkpoints_taken: telemetry.counter("service_checkpoints_taken"),
+            jobs_migrated: telemetry.counter("service_jobs_migrated"),
+            checkpoint_cycles: telemetry.histogram("service_checkpoint_cycles"),
             queue_wait_us: telemetry.histogram("service_queue_wait_us"),
             run_us: telemetry.histogram("service_run_us"),
             jit_translations: telemetry.counter("jit_translations"),
@@ -872,6 +937,21 @@ struct Shared {
     /// submission, decremented when a High job is claimed for execution
     /// (relocated-but-still-queued jobs stay counted).
     queued_high: AtomicU64,
+    /// One slot per worker: the migratable job it is currently running,
+    /// kept current with the job's latest checkpoint. Recovery paths —
+    /// the worker's own injected-failure park and the panic
+    /// [`DeathWatch`] — take the slot and re-queue the job from here, so
+    /// a lost worker loses at most one checkpoint interval of progress.
+    /// Workers running non-migratable jobs leave their slot empty.
+    inflight: Vec<Mutex<Option<QueuedJob>>>,
+    /// One flag per worker, set by [`SimService::inject_worker_failure`].
+    /// A worker observes its flag at the next checkpoint of a migratable
+    /// job: it parks the job, re-queues it, and exits — simulating a
+    /// worker lost mid-shard.
+    kill_flags: Vec<AtomicBool>,
+    /// Best-effort checkpoint persistence directory (see
+    /// [`ServiceConfig::checkpoint_dir`]).
+    checkpoint_dir: Option<std::path::PathBuf>,
     jobs_run: AtomicU64,
     steals: AtomicU64,
     jobs_stolen: AtomicU64,
@@ -882,6 +962,9 @@ struct Shared {
     deadline_misses: AtomicU64,
     cache_hits: AtomicU64,
     platforms_built: AtomicU64,
+    checkpoints_taken: AtomicU64,
+    jobs_migrated: AtomicU64,
+    workers_died: AtomicU64,
     /// Bounded recorders behind [`ServiceStats::latency`],
     /// [`ServiceStats::per_priority`] and [`ServiceStats::per_tenant`].
     latencies: Mutex<LatencyBook>,
@@ -899,6 +982,35 @@ impl Shared {
             .find(|(t, _)| *t == tenant)
             .map(|(_, p)| *p)
             .unwrap_or(self.default_policy)
+    }
+
+    /// Puts a parked or recovered partially-run job back into the pool:
+    /// bumps its migration count, restarts its queue-wait clock and lands
+    /// it on the next worker's deque (the parking worker may be exiting;
+    /// any idle worker can still steal it from there). Admission is *not*
+    /// re-taken — the job never left the service, so its tenant slot
+    /// stays held until it completes. Shared by cooperative parking,
+    /// injected-failure parks and the panic [`DeathWatch`]; the latter
+    /// runs during an unwind, so lock failures bail out instead of
+    /// panicking (a poisoned pool lock means the pool is beyond rescue).
+    fn requeue(&self, from: usize, mut job: QueuedJob) {
+        job.migrations += 1;
+        job.enqueued = Instant::now();
+        if job.spec.priority == Priority::High {
+            self.queued_high.fetch_add(1, Ordering::Relaxed);
+        }
+        self.jobs_migrated.fetch_add(1, Ordering::Relaxed);
+        self.metrics.jobs_migrated.inc();
+        let weight = self.policy(job.spec.tenant).weight;
+        let target = (from + 1) % self.queues.len();
+        match self.queues[target].lock() {
+            Ok(mut queue) => queue.push(job, weight),
+            Err(_) => return,
+        }
+        if let Ok(mut state) = self.work.lock() {
+            state.available += 1;
+        }
+        self.available.notify_one();
     }
 }
 
@@ -986,6 +1098,9 @@ impl SimService {
             available: Condvar::new(),
             space: Condvar::new(),
             queued_high: AtomicU64::new(0),
+            inflight: (0..workers).map(|_| Mutex::new(None)).collect(),
+            kill_flags: (0..workers).map(|_| AtomicBool::new(false)).collect(),
+            checkpoint_dir: config.checkpoint_dir,
             jobs_run: AtomicU64::new(0),
             steals: AtomicU64::new(0),
             jobs_stolen: AtomicU64::new(0),
@@ -996,6 +1111,9 @@ impl SimService {
             deadline_misses: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             platforms_built: AtomicU64::new(0),
+            checkpoints_taken: AtomicU64::new(0),
+            jobs_migrated: AtomicU64::new(0),
+            workers_died: AtomicU64::new(0),
             latencies: Mutex::new(LatencyBook::default()),
             telemetry,
             metrics,
@@ -1006,26 +1124,51 @@ impl SimService {
                 let shared = Arc::clone(&shared);
                 let tx = tx.clone();
                 std::thread::spawn(move || {
-                    /// On unwind: emits [`Message::WorkerDied`] so clients
-                    /// blocked in `recv` panic instead of waiting on a
-                    /// result that will never come, and raises the
-                    /// dead-worker flag + wakes the space condvar so a
-                    /// client blocked in the backpressured
-                    /// `submit_blocking` fails fast too (it waits on a
-                    /// condvar, not the channel).
-                    struct DeathWatch(mpsc::Sender<Message>, Arc<Shared>);
+                    /// On unwind: first tries to *rescue* the worker's
+                    /// in-flight migratable job — taking it from the
+                    /// pool's in-flight registry and re-queuing it from
+                    /// its latest checkpoint, so the surviving workers
+                    /// finish it bit-identically. Only when there is
+                    /// nothing to rescue (the job, if any, was not
+                    /// checkpointable) does the pool die: it emits
+                    /// [`Message::WorkerDied`] so clients blocked in
+                    /// `recv` fail instead of waiting on a result that
+                    /// will never come, and raises the dead-worker flag +
+                    /// wakes the space condvar so a client blocked in the
+                    /// backpressured `submit_blocking` fails fast too (it
+                    /// waits on a condvar, not the channel).
+                    struct DeathWatch {
+                        tx: mpsc::Sender<Message>,
+                        shared: Arc<Shared>,
+                        me: usize,
+                    }
                     impl Drop for DeathWatch {
                         fn drop(&mut self) {
-                            if std::thread::panicking() {
-                                if let Ok(mut state) = self.1.work.lock() {
-                                    state.dead_workers += 1;
+                            if !std::thread::panicking() {
+                                return;
+                            }
+                            self.shared.workers_died.fetch_add(1, Ordering::Relaxed);
+                            let rescued = self.shared.inflight[self.me]
+                                .lock()
+                                .ok()
+                                .and_then(|mut slot| slot.take());
+                            match rescued {
+                                Some(job) => self.shared.requeue(self.me, job),
+                                None => {
+                                    if let Ok(mut state) = self.shared.work.lock() {
+                                        state.dead_workers += 1;
+                                    }
+                                    self.shared.space.notify_all();
+                                    let _ = self.tx.send(Message::WorkerDied);
                                 }
-                                self.1.space.notify_all();
-                                let _ = self.0.send(Message::WorkerDied);
                             }
                         }
                     }
-                    let _watch = DeathWatch(tx.clone(), Arc::clone(&shared));
+                    let _watch = DeathWatch {
+                        tx: tx.clone(),
+                        shared: Arc::clone(&shared),
+                        me,
+                    };
                     worker_loop(me, &shared, &tx);
                 })
             })
@@ -1062,6 +1205,23 @@ impl SimService {
     /// Jobs submitted so far.
     pub fn submitted(&self) -> u64 {
         self.submitted
+    }
+
+    /// Fault injection: marks `worker` (modulo the pool size) for
+    /// failure. The worker observes the flag at the next checkpoint of a
+    /// migratable job ([`JobSpec::checkpoint_every`]): it parks the job,
+    /// re-queues it from that checkpoint — counted in
+    /// [`ServiceStats::jobs_migrated`] — and exits, simulating a worker
+    /// lost mid-shard. The surviving workers resume the job and its
+    /// result is bit-identical to an undisturbed run. A worker that never
+    /// takes a checkpoint (idle, or running only non-migratable jobs)
+    /// keeps the flag armed until it does.
+    ///
+    /// Meant for recovery tests and the CI migration smoke; a pool needs
+    /// at least two workers for the killed worker's backlog to drain.
+    pub fn inject_worker_failure(&self, worker: usize) {
+        let n = self.shared.kill_flags.len();
+        self.shared.kill_flags[worker % n].store(true, Ordering::Relaxed);
     }
 
     /// Non-blocking submission: enqueues the job and returns its id, or
@@ -1222,6 +1382,8 @@ impl SimService {
                 spec,
                 stolen: false,
                 enqueued: Instant::now(),
+                resume: None,
+                migrations: 0,
             },
             weight,
         );
@@ -1336,6 +1498,9 @@ impl SimService {
             deadline_misses: self.shared.deadline_misses.load(Ordering::Relaxed),
             platform_cache_hits: self.shared.cache_hits.load(Ordering::Relaxed),
             platforms_built: self.shared.platforms_built.load(Ordering::Relaxed),
+            checkpoints_taken: self.shared.checkpoints_taken.load(Ordering::Relaxed),
+            jobs_migrated: self.shared.jobs_migrated.load(Ordering::Relaxed),
+            workers_died: self.shared.workers_died.load(Ordering::Relaxed),
             latency: book.aggregate.stats(),
             per_priority: std::array::from_fn(|i| book.per_priority[i].stats()),
             per_tenant,
@@ -1349,13 +1514,20 @@ impl SimService {
     ///
     /// # Panics
     ///
-    /// Panics if a worker thread panicked.
+    /// Panics if a worker thread panicked *unrecoverably* — a panicking
+    /// worker whose in-flight migratable job was rescued and finished by
+    /// the survivors (see [`JobSpec::checkpoint_every`]) counts in
+    /// [`ServiceStats::workers_died`] but does not fail the shutdown.
     ///
     /// [received]: SimService::recv
     pub fn finish(mut self) -> ServiceStats {
         self.close(false);
+        let mut panicked = false;
         for handle in self.workers.drain(..) {
-            handle.join().expect("service worker panicked");
+            panicked |= handle.join().is_err();
+        }
+        if panicked && self.shared.work.lock().expect("work lock").dead_workers > 0 {
+            panic!("service worker panicked");
         }
         self.stats()
     }
@@ -1512,6 +1684,7 @@ fn worker_loop(me: usize, shared: &Shared, results: &mpsc::Sender<Message>) {
                     id: job.id,
                     tenant: job.spec.tenant,
                     worker: me,
+                    migrations: job.migrations,
                     stolen: job.stolen,
                     cache_hit: false,
                     queue_wait,
@@ -1525,8 +1698,50 @@ fn worker_loop(me: usize, shared: &Shared, results: &mpsc::Sender<Message>) {
                 continue;
             }
         }
+        // A job with a checkpoint cadence runs on the parkable path: the
+        // platform is snapshotted every `checkpoint_every` cycles, and the
+        // snapshot keeps the pool's in-flight registry current so the job
+        // survives this worker. VCD jobs are excluded — the tracer's text
+        // stream is not part of the platform checkpoint.
+        let migratable = job.spec.checkpoint_every.is_some()
+            && !matches!(job.spec.observers, ObserverSelection::Vcd);
         let run_start = Instant::now();
-        let (cache_hit, outcome) = run_job(&job.spec, &mut cache, shared, &track, tags);
+        let (cache_hit, outcome) = if migratable {
+            *shared.inflight[me].lock().expect("inflight lock") = Some(job.clone());
+            let (cache_hit, run) = run_job_checkpointed(me, &job, &mut cache, shared, &track, tags);
+            match run {
+                Ok(Some(output)) => {
+                    shared.inflight[me].lock().expect("inflight lock").take();
+                    (cache_hit, Ok(output))
+                }
+                Ok(None) => {
+                    // Parked at a checkpoint: re-queue the registry copy
+                    // (it carries the latest checkpoint) instead of
+                    // completing. No result is sent and the admission
+                    // slot stays held — the job is still in the service.
+                    let parked = shared.inflight[me]
+                        .lock()
+                        .expect("inflight lock")
+                        .take()
+                        .expect("parked job is registered in-flight");
+                    track.record(EventKind::Migrated, tags.0, tags.1, tags.2, tags.3);
+                    shared.requeue(me, parked);
+                    if shared.kill_flags[me].swap(false, Ordering::Relaxed) {
+                        // Injected failure: this worker is "lost". The
+                        // survivors resume the job from its checkpoint.
+                        shared.workers_died.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                    continue;
+                }
+                Err(err) => {
+                    shared.inflight[me].lock().expect("inflight lock").take();
+                    (cache_hit, Err(err))
+                }
+            }
+        } else {
+            run_job(&job.spec, &mut cache, shared, &track, tags)
+        };
         let run_time = run_start.elapsed();
         track.record(EventKind::RunEnd, tags.0, tags.1, tags.2, tags.3);
         shared.metrics.run_us.observe(run_time.as_micros() as u64);
@@ -1559,6 +1774,7 @@ fn worker_loop(me: usize, shared: &Shared, results: &mpsc::Sender<Message>) {
             id: job.id,
             tenant: job.spec.tenant,
             worker: me,
+            migrations: job.migrations,
             stolen: job.stolen,
             cache_hit,
             queue_wait,
@@ -1627,25 +1843,19 @@ fn steal_scan(me: usize, shared: &Shared, high_only: bool, track: &Track) -> Opt
     None
 }
 
-fn run_job(
+/// The worker's platform for `spec`, cache-hit or freshly built, with the
+/// spec's cycle budget and execution tier adopted either way. Shared by
+/// the plain and checkpointed run paths so both count cache traffic and
+/// platform builds identically.
+fn cached_platform<'c>(
     spec: &JobSpec,
-    cache: &mut HashMap<(bool, usize), Platform>,
+    cache: &'c mut HashMap<(bool, usize), Platform>,
     shared: &Shared,
     track: &Track,
     tags: (u64, u32, u8, u8),
-) -> (bool, Result<JobOutput, RunnerError>) {
+) -> Result<(bool, &'c mut Platform), RunnerError> {
     use std::collections::hash_map::Entry;
-    // The kernels assume one private DM bank per core (≤ 8); larger
-    // baseline platforms would build fine but panic the worker inside the
-    // kernel runner, so reject the job with an error outcome instead.
-    if spec.cores == 0 || spec.cores > 8 {
-        track.record(EventKind::RunStart, tags.0, tags.1, tags.2, tags.3);
-        return (
-            false,
-            Err(ulp_platform::ConfigError::BadCoreCount(spec.cores).into()),
-        );
-    }
-    let (cache_hit, platform) = match cache.entry((spec.with_sync, spec.cores)) {
+    match cache.entry((spec.with_sync, spec.cores)) {
         Entry::Occupied(e) => {
             shared.cache_hits.fetch_add(1, Ordering::Relaxed);
             shared.metrics.platform_cache_hits.inc();
@@ -1657,25 +1867,44 @@ fn run_job(
             // landing on a warm platform reuses the existing traces.
             platform.set_max_cycles(spec.workload.max_cycles);
             platform.set_exec_tier(spec.exec_tier);
-            (true, platform)
+            Ok((true, platform))
         }
         Entry::Vacant(e) => {
             let cfg = PlatformConfig::paper(spec.with_sync)
                 .with_cores(spec.cores)
                 .with_max_cycles(spec.workload.max_cycles)
                 .with_exec_tier(spec.exec_tier);
-            match Platform::new(cfg) {
-                Ok(platform) => {
-                    shared.platforms_built.fetch_add(1, Ordering::Relaxed);
-                    shared.metrics.platforms_built.inc();
-                    track.record(EventKind::PlatformBuilt, tags.0, tags.1, tags.2, tags.3);
-                    (false, e.insert(platform))
-                }
-                Err(err) => {
-                    track.record(EventKind::RunStart, tags.0, tags.1, tags.2, tags.3);
-                    return (false, Err(err.into()));
-                }
-            }
+            let platform = Platform::new(cfg)?;
+            shared.platforms_built.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.platforms_built.inc();
+            track.record(EventKind::PlatformBuilt, tags.0, tags.1, tags.2, tags.3);
+            Ok((false, e.insert(platform)))
+        }
+    }
+}
+
+fn run_job(
+    spec: &JobSpec,
+    cache: &mut HashMap<(bool, usize), Platform>,
+    shared: &Shared,
+    track: &Track,
+    tags: (u64, u32, u8, u8),
+) -> (bool, Result<JobOutput, RunnerError>) {
+    // The kernels assume one private DM bank per core (≤ 8); larger
+    // baseline platforms would build fine but panic the worker inside the
+    // kernel runner, so reject the job with an error outcome instead.
+    if spec.cores == 0 || spec.cores > 8 {
+        track.record(EventKind::RunStart, tags.0, tags.1, tags.2, tags.3);
+        return (
+            false,
+            Err(ulp_platform::ConfigError::BadCoreCount(spec.cores).into()),
+        );
+    }
+    let (cache_hit, platform) = match cached_platform(spec, cache, shared, track, tags) {
+        Ok(pair) => pair,
+        Err(err) => {
+            track.record(EventKind::RunStart, tags.0, tags.1, tags.2, tags.3);
+            return (false, Err(err));
         }
     };
     track.record(EventKind::RunStart, tags.0, tags.1, tags.2, tags.3);
@@ -1708,6 +1937,139 @@ fn run_job(
             artifacts,
         }),
     )
+}
+
+/// The parkable run path for migratable jobs: snapshots the platform
+/// every [`JobSpec::checkpoint_every`] cycles, keeps the pool's in-flight
+/// registry pointed at the latest checkpoint, and parks
+/// (`Ok(None)`) when the worker is marked for failure or urgent work is
+/// queued pool-wide. Resumed jobs ([`QueuedJob::resume`]) restore the
+/// platform from their checkpoint instead of starting over; results are
+/// bit-identical to an uninterrupted run either way.
+///
+/// Observers ride the handle API ([`Platform::attach`]) rather than the
+/// borrowed-slice path, so their state is captured by every checkpoint
+/// and survives migration with the job.
+fn run_job_checkpointed(
+    me: usize,
+    job: &QueuedJob,
+    cache: &mut HashMap<(bool, usize), Platform>,
+    shared: &Shared,
+    track: &Track,
+    tags: (u64, u32, u8, u8),
+) -> (bool, Result<Option<JobOutput>, RunnerError>) {
+    let spec = &job.spec;
+    // Same guard as `run_job`: the kernels assume ≤ 8 cores.
+    if spec.cores == 0 || spec.cores > 8 {
+        track.record(EventKind::RunStart, tags.0, tags.1, tags.2, tags.3);
+        return (
+            false,
+            Err(ulp_platform::ConfigError::BadCoreCount(spec.cores).into()),
+        );
+    }
+    let (cache_hit, platform) = match cached_platform(spec, cache, shared, track, tags) {
+        Ok(pair) => pair,
+        Err(err) => {
+            track.record(EventKind::RunStart, tags.0, tags.1, tags.2, tags.3);
+            return (false, Err(err));
+        }
+    };
+    // Attached (not slice-borrowed) observers: the checkpoint captures
+    // their state, and on resume `restore_from` reloads it into the
+    // freshly attached instances by label. Detached again below — the
+    // cached platform must not leak this job's observers into later jobs.
+    let handle = match &spec.observers {
+        ObserverSelection::None | ObserverSelection::Vcd => None,
+        ObserverSelection::PcTrace { limit } => {
+            Some(platform.attach(Box::new(PcTrace::new(*limit))))
+        }
+        ObserverSelection::BankHeatMap { window } => {
+            let map = BankHeatMap::for_dm(platform.config(), *window);
+            Some(platform.attach(Box::new(map)))
+        }
+    };
+    if job.resume.is_some() {
+        track.record(EventKind::Restored, tags.0, tags.1, tags.2, tags.3);
+    }
+    track.record(EventKind::RunStart, tags.0, tags.1, tags.2, tags.3);
+    let every = spec.checkpoint_every.unwrap_or(u64::MAX).max(1);
+    let migrations = job.migrations;
+    let on_checkpoint = |ckpt: Checkpoint| {
+        shared.checkpoints_taken.fetch_add(1, Ordering::Relaxed);
+        shared.metrics.checkpoints_taken.inc();
+        shared.metrics.checkpoint_cycles.observe(ckpt.cycle);
+        track.record(EventKind::Snapshot, tags.0, tags.1, tags.2, tags.3);
+        // Best-effort persistence: the blob backs external inspection
+        // and restart tooling; migration itself rides the in-memory
+        // checkpoint, so a full disk must not fail the job.
+        if let Some(dir) = &shared.checkpoint_dir {
+            let _ = std::fs::write(dir.join(format!("job-{}.ckpt", tags.0)), ckpt.to_bytes());
+        }
+        let ckpt = Arc::new(ckpt);
+        if let Ok(mut slot) = shared.inflight[me].lock() {
+            if let Some(inflight) = slot.as_mut() {
+                inflight.resume = Some(ckpt);
+            }
+        }
+        let killed = shared.kill_flags[me].load(Ordering::Relaxed);
+        // Cooperative yield: a non-urgent job parks (a bounded number of
+        // times) when urgent work is queued anywhere in the pool, so a
+        // High job never waits out a long migratable run.
+        let yield_to_high = spec.priority != Priority::High
+            && migrations < MAX_MIGRATIONS
+            && shared.queued_high.load(Ordering::Relaxed) > 0;
+        if killed || yield_to_high {
+            CheckpointControl::Park
+        } else {
+            CheckpointControl::Continue
+        }
+    };
+    let run = match job.resume.as_deref() {
+        Some(ckpt) => resume_benchmark_checkpointed(
+            spec.benchmark,
+            platform,
+            &spec.workload,
+            ckpt,
+            every,
+            on_checkpoint,
+        ),
+        None => run_benchmark_checkpointed(
+            spec.benchmark,
+            platform,
+            &spec.workload,
+            every,
+            on_checkpoint,
+        ),
+    };
+    let outcome = match run {
+        Ok(Some(run)) => {
+            let artifacts = match (&spec.observers, &handle) {
+                (ObserverSelection::PcTrace { .. }, Some(handle)) => JobArtifacts::PcTrace(
+                    platform
+                        .observer_as::<PcTrace>(handle)
+                        .map(|trace| trace.rows().to_vec())
+                        .unwrap_or_default(),
+                ),
+                (ObserverSelection::BankHeatMap { .. }, Some(handle)) => JobArtifacts::BankHeatMap(
+                    platform
+                        .observer_as::<BankHeatMap>(handle)
+                        .map(|map| map.rows().to_vec())
+                        .unwrap_or_default(),
+                ),
+                _ => JobArtifacts::None,
+            };
+            Ok(Some(JobOutput {
+                cores: spec.cores,
+                run,
+                artifacts,
+            }))
+        }
+        other => other.map(|_| None),
+    };
+    if let Some(handle) = handle {
+        platform.detach(handle);
+    }
+    (cache_hit, outcome)
 }
 
 #[cfg(test)]
@@ -1769,7 +2131,8 @@ mod tests {
             latency: LatencyStats::compute(1, 50, &[50]),
         });
         let json = stats.to_json();
-        assert!(json.starts_with("{\"schema\":2,\"workers\":2,\"jobs_run\":5,"));
+        assert!(json.starts_with("{\"schema\":3,\"workers\":2,\"jobs_run\":5,"));
+        assert!(json.contains("\"checkpoints_taken\":0,\"jobs_migrated\":0,\"workers_died\":0,"));
         assert!(json.contains("\"per_priority\":{\"high\":{"));
         assert!(json.contains("\"per_tenant\":[{\"tenant\":7,\"peak_admitted\":3,"));
         assert!(json.contains("\"p50_ns\":50"));

@@ -14,6 +14,12 @@
 //!   --heatmap <window>   attach a per-bank DM heat map (cycles per row)
 //!   --exec-tier <tier>   interpreted (default) or compiled
 //!   --tenant <id>        tenant the shard jobs are submitted as (default 0)
+//!   --checkpoint-every <cycles>  checkpoint every shard job's platform at
+//!                        this cadence (makes shards migratable)
+//!   --checkpoint-dir <path>  persist each job's latest checkpoint blob
+//!                        (requires --checkpoint-every)
+//!   --inject-worker-failure <w>  kill worker w at its first checkpoint
+//!                        (fault-injection; requires --checkpoint-every)
 //!   --trace-out <path>   write a Chrome trace-event JSON file (Perfetto
 //!                        loadable; one track per service worker)
 //!   --stats-json <path>  write the final service stats as one JSON object
@@ -47,10 +53,26 @@ const USAGE: &str = "usage: shard [plan|run] [options]
   --exec-tier <tier>   execution tier: `interpreted` (default) or
                        `compiled` (bit-identical statistics, faster)
   --tenant <id>        tenant the shard jobs are submitted as (default 0)
+  --checkpoint-every <cycles>
+                       checkpoint every shard job's platform at this
+                       cadence in simulated cycles — shards become
+                       migratable: a killed or preempted worker's
+                       in-flight shard re-queues from its latest
+                       checkpoint and the merge stays bit-identical
+  --checkpoint-dir <path>
+                       persist each job's latest checkpoint blob as
+                       job-<id>.ckpt under this directory (best-effort;
+                       requires --checkpoint-every)
+  --inject-worker-failure <w>
+                       fault injection: worker w parks its first shard at
+                       that shard's first checkpoint and exits; the
+                       surviving workers finish the recording (requires
+                       --checkpoint-every; the pool is sized >= 2)
   --trace-out <path>   enable telemetry and write a Chrome trace-event
                        JSON file on exit (one track per service worker)
-  --stats-json <path>  write the final service stats (schema 2, with
-                       per-tenant rows) as one JSON object
+  --stats-json <path>  write the final service stats (schema 3, with
+                       per-tenant rows and migration counters) as one
+                       JSON object
   --smoke              tiny workload (CI smoke mode: short recording)";
 
 #[derive(Clone)]
@@ -66,6 +88,9 @@ struct Options {
     heatmap: Option<u64>,
     exec_tier: ExecTier,
     tenant: TenantId,
+    checkpoint_every: Option<u64>,
+    checkpoint_dir: Option<String>,
+    inject_worker_failure: Option<usize>,
     trace_out: Option<String>,
     stats_json: Option<String>,
     smoke: bool,
@@ -84,6 +109,9 @@ fn parse_args() -> Result<Options, String> {
         heatmap: None,
         exec_tier: ExecTier::Interpreted,
         tenant: TenantId::DEFAULT,
+        checkpoint_every: None,
+        checkpoint_dir: None,
+        inject_worker_failure: None,
         trace_out: None,
         stats_json: None,
         smoke: false,
@@ -136,6 +164,25 @@ fn parse_args() -> Result<Options, String> {
             "--tenant" => {
                 opts.tenant =
                     TenantId(parse_num(next_value(&mut args, "--tenant")?, "--tenant")? as u32);
+            }
+            "--checkpoint-every" => {
+                let cycles = parse_num(
+                    next_value(&mut args, "--checkpoint-every")?,
+                    "--checkpoint-every",
+                )? as u64;
+                if cycles == 0 {
+                    return Err("checkpoint cadence must be positive".into());
+                }
+                opts.checkpoint_every = Some(cycles);
+            }
+            "--checkpoint-dir" => {
+                opts.checkpoint_dir = Some(next_value(&mut args, "--checkpoint-dir")?);
+            }
+            "--inject-worker-failure" => {
+                opts.inject_worker_failure = Some(parse_num(
+                    next_value(&mut args, "--inject-worker-failure")?,
+                    "--inject-worker-failure",
+                )?);
             }
             "--trace-out" => {
                 opts.trace_out = Some(next_value(&mut args, "--trace-out")?);
@@ -234,6 +281,26 @@ fn main() -> ExitCode {
         .with_telemetry(telemetry.clone());
     if let Some(window) = opts.heatmap {
         config.observers = ObserverSelection::BankHeatMap { window };
+    }
+    if opts.checkpoint_every.is_none()
+        && (opts.checkpoint_dir.is_some() || opts.inject_worker_failure.is_some())
+    {
+        eprintln!("shard: --checkpoint-dir and --inject-worker-failure require --checkpoint-every");
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    }
+    if let Some(cycles) = opts.checkpoint_every {
+        config = config.with_checkpoint_every(cycles);
+    }
+    if let Some(dir) = &opts.checkpoint_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("shard: creating --checkpoint-dir {dir}: {e}");
+            return ExitCode::from(2);
+        }
+        config = config.with_checkpoint_dir(dir);
+    }
+    if let Some(worker) = opts.inject_worker_failure {
+        config = config.with_injected_failure(worker);
     }
     let runner = match ShardRunner::new(config, plan.clone()) {
         Ok(r) => r,

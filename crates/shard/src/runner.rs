@@ -41,6 +41,28 @@ pub struct ShardRunConfig {
     /// [`ShardRunner::run_local`] traces its workers through the same
     /// handle. Disabled by default (zero-cost).
     pub telemetry: Telemetry,
+    /// Checkpoint cadence in simulated cycles: `Some(n)` makes every
+    /// shard job migratable ([`JobSpec::checkpoint_every`]) — it
+    /// snapshots its platform every `n` cycles, and a killed or
+    /// preempted worker's in-flight shard re-queues from its latest
+    /// checkpoint instead of restarting. `None` (the default) runs
+    /// shards without checkpoints.
+    pub checkpoint_every: Option<u64>,
+    /// Directory the private [`ShardRunner::run_local`] pool persists
+    /// checkpoint blobs into ([`ServiceConfig::checkpoint_dir`];
+    /// best-effort, latest-wins per job). Ignored by
+    /// [`ShardRunner::run`], which executes on a caller-owned service.
+    pub checkpoint_dir: Option<std::path::PathBuf>,
+    /// Fault injection for the private [`ShardRunner::run_local`] pool:
+    /// `Some(w)` marks worker `w` for failure before any shard is
+    /// submitted ([`ulp_service::SimService::inject_worker_failure`]).
+    /// The worker parks its first migratable shard at that shard's first
+    /// checkpoint and exits; the pool is sized to at least two workers so
+    /// the survivors finish the recording. Requires
+    /// [`ShardRunConfig::checkpoint_every`] to have any effect — without
+    /// checkpoints the flag is never observed. Ignored by
+    /// [`ShardRunner::run`].
+    pub inject_failure: Option<usize>,
 }
 
 impl ShardRunConfig {
@@ -60,6 +82,9 @@ impl ShardRunConfig {
             exec_tier: ExecTier::Interpreted,
             tenant: TenantId::DEFAULT,
             telemetry: Telemetry::disabled(),
+            checkpoint_every: None,
+            checkpoint_dir: None,
+            inject_failure: None,
         }
     }
 
@@ -93,6 +118,32 @@ impl ShardRunConfig {
     #[must_use]
     pub fn with_telemetry(mut self, telemetry: Telemetry) -> ShardRunConfig {
         self.telemetry = telemetry;
+        self
+    }
+
+    /// Makes every shard job checkpoint (and become migratable) every
+    /// `cycles` simulated cycles — see [`ShardRunConfig::checkpoint_every`].
+    #[must_use]
+    pub fn with_checkpoint_every(mut self, cycles: u64) -> ShardRunConfig {
+        self.checkpoint_every = Some(cycles.max(1));
+        self
+    }
+
+    /// Persists checkpoint blobs under `dir` on the private
+    /// [`ShardRunner::run_local`] pool — see
+    /// [`ShardRunConfig::checkpoint_dir`].
+    #[must_use]
+    pub fn with_checkpoint_dir(mut self, dir: impl Into<std::path::PathBuf>) -> ShardRunConfig {
+        self.checkpoint_dir = Some(dir.into());
+        self
+    }
+
+    /// Marks worker `worker` of the private [`ShardRunner::run_local`]
+    /// pool for failure before the first shard is submitted — see
+    /// [`ShardRunConfig::inject_failure`].
+    #[must_use]
+    pub fn with_injected_failure(mut self, worker: usize) -> ShardRunConfig {
+        self.inject_failure = Some(worker);
         self
     }
 }
@@ -243,12 +294,17 @@ impl ShardRunner {
             .iter()
             .map(|s| {
                 let workload = self.config.workload.windowed(s.load_start, s.load_len());
-                JobSpec::new(self.config.benchmark, self.config.cores, Arc::new(workload))
-                    .with_sync(self.config.with_sync)
-                    .observers(self.config.observers.clone())
-                    .exec_tier(self.config.exec_tier)
-                    .tenant(self.config.tenant)
-                    .priority(Priority::High)
+                let spec =
+                    JobSpec::new(self.config.benchmark, self.config.cores, Arc::new(workload))
+                        .with_sync(self.config.with_sync)
+                        .observers(self.config.observers.clone())
+                        .exec_tier(self.config.exec_tier)
+                        .tenant(self.config.tenant)
+                        .priority(Priority::High);
+                match self.config.checkpoint_every {
+                    Some(cycles) => spec.checkpoint_every(cycles),
+                    None => spec,
+                }
             })
             .collect()
     }
@@ -376,14 +432,26 @@ impl ShardRunner {
             .build()
             .resolved_workers()
             .min(self.plan.len())
-            .max(1);
+            // An injected failure costs one worker: keep at least two so
+            // the survivors can finish the recording (a one-worker pool
+            // with its only worker killed would strand the re-queued
+            // shard).
+            .max(if self.config.inject_failure.is_some() {
+                2
+            } else {
+                1
+            });
         let telemetry = self.config.telemetry.clone();
-        let mut service = SimService::start(
-            ServiceConfig::builder()
-                .workers(workers)
-                .telemetry(telemetry)
-                .build(),
-        );
+        let mut builder = ServiceConfig::builder()
+            .workers(workers)
+            .telemetry(telemetry);
+        if let Some(dir) = &self.config.checkpoint_dir {
+            builder = builder.checkpoint_dir(dir.clone());
+        }
+        let mut service = SimService::start(builder.build());
+        if let Some(worker) = self.config.inject_failure {
+            service.inject_worker_failure(worker);
+        }
         let run = self.run(&mut service)?;
         Ok((run, service.finish()))
     }

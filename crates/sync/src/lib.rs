@@ -148,6 +148,22 @@ struct InFlight {
     latched: u16,
 }
 
+/// The complete mutable state of one [`Synchronizer`], exported by
+/// [`Synchronizer::save`] and re-applied by
+/// [`Synchronizer::load_snapshot`]. The merged batch *is* state (it
+/// persists across the two-cycle read-modify-write and drives the commit),
+/// so it is captured alongside the in-flight operation and the counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyncSnapshot {
+    /// In-flight RMW as `(word_addr, cycles_left, latched)`, if any.
+    pub inflight: Option<(u16, u8, u16)>,
+    /// The merged `(core, check_in)` batch of the in-flight operation
+    /// (`check_in` is `true` for `SINC`, `false` for `SDEC`).
+    pub batch: Vec<(usize, bool)>,
+    /// Aggregate activity counters.
+    pub stats: SyncStats,
+}
+
 /// The hardware synchronizer (Fig. 1 of the paper).
 ///
 /// Driven by the platform once per cycle via [`Synchronizer::step`] (or
@@ -199,6 +215,47 @@ impl Synchronizer {
         self.inflight = None;
         self.batch.clear();
         self.stats = SyncStats::default();
+    }
+
+    /// Exports the synchronizer's complete mutable state for
+    /// checkpointing — including a read-modify-write caught mid-flight.
+    pub fn save(&self) -> SyncSnapshot {
+        SyncSnapshot {
+            inflight: self
+                .inflight
+                .map(|op| (op.word_addr, op.cycles_left, op.latched)),
+            batch: self
+                .batch
+                .iter()
+                .map(|&(core, kind)| (core, kind == SyncKind::CheckIn))
+                .collect(),
+            stats: self.stats,
+        }
+    }
+
+    /// Re-applies a snapshot taken by [`Synchronizer::save`], reusing the
+    /// batch allocation.
+    pub fn load_snapshot(&mut self, snapshot: &SyncSnapshot) {
+        self.inflight = snapshot
+            .inflight
+            .map(|(word_addr, cycles_left, latched)| InFlight {
+                word_addr,
+                cycles_left,
+                latched,
+            });
+        self.batch.clear();
+        self.batch
+            .extend(snapshot.batch.iter().map(|&(core, check_in)| {
+                (
+                    core,
+                    if check_in {
+                        SyncKind::CheckIn
+                    } else {
+                        SyncKind::CheckOut
+                    },
+                )
+            }));
+        self.stats = snapshot.stats;
     }
 
     /// Advances the synchronizer by one cycle, allocating fresh event
@@ -536,6 +593,32 @@ mod tests {
         assert_eq!(ev.completed, vec![(7, false)]);
         assert_eq!(ev.wake, vec![0, 1, 2, 3, 4, 5, 6]);
         assert_eq!(m.peek(70), 0);
+    }
+
+    #[test]
+    fn snapshot_round_trip_mid_rmw() {
+        let mut m = dm();
+        let mut s = Synchronizer::new();
+        // Catch the synchronizer between the read and write cycles of a
+        // merged check-in.
+        s.step(&[checkin(0, 90), checkin(2, 90)], &mut m);
+        assert!(s.is_busy());
+        let snap = s.save();
+        assert_eq!(snap.batch, vec![(0, true), (2, true)]);
+
+        let mut restored = Synchronizer::new();
+        restored.load_snapshot(&snap);
+        assert!(restored.is_busy());
+        assert_eq!(restored.stats(), s.stats());
+
+        // Both finish the write cycle identically.
+        let ev_orig = s.step(&[], &mut m);
+        let mut m2 = dm();
+        m2.lock_word(90); // the word lock is memory state, restored separately
+        let ev_rest = restored.step(&[], &mut m2);
+        assert_eq!(ev_orig, ev_rest);
+        assert_eq!(m.peek(90), m2.peek(90));
+        assert_eq!(restored.save(), s.save());
     }
 
     #[test]

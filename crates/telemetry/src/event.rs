@@ -67,6 +67,17 @@ pub enum EventKind {
     /// Admission rejected a submission because the bounded queue was at
     /// capacity. Carries [`NO_JOB`].
     CapacityRejected,
+    /// The executing worker took a mid-run checkpoint of the job's
+    /// platform (the job keeps running unless a `Migrated` event
+    /// follows).
+    Snapshot,
+    /// A worker restored the job's platform from a checkpoint and
+    /// resumed the run where an earlier worker parked it.
+    Restored,
+    /// The job was parked at a checkpoint and re-queued — cooperative
+    /// yield to urgent work, or recovery from a killed worker. The next
+    /// `Claimed`/`Restored` pair may land on a different worker.
+    Migrated,
 }
 
 impl EventKind {
@@ -86,6 +97,9 @@ impl EventKind {
             EventKind::Evicted => "evicted",
             EventKind::QuotaRejected => "quota-rejected",
             EventKind::CapacityRejected => "capacity-rejected",
+            EventKind::Snapshot => "snapshot",
+            EventKind::Restored => "restored",
+            EventKind::Migrated => "migrated",
         }
     }
 }

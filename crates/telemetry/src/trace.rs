@@ -187,7 +187,10 @@ pub fn chrome_trace(events: &[JobEvent], tracks: u32, dropped: u64) -> String {
                 | EventKind::Merged
                 | EventKind::Streamed
                 | EventKind::QuotaRejected
-                | EventKind::CapacityRejected => out.push(instant_event(e)),
+                | EventKind::CapacityRejected
+                | EventKind::Snapshot
+                | EventKind::Restored
+                | EventKind::Migrated => out.push(instant_event(e)),
             }
         }
         // A job cut off mid-phase (collection raced completion) still

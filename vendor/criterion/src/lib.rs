@@ -196,7 +196,12 @@ impl Bencher {
             for _ in 0..batch {
                 black_box(routine());
             }
-            self.samples.push(start.elapsed() / batch as u32);
+            // 1ns resolution floor: a routine cheaper than 1ns/iteration
+            // (constant-folded in release builds) would otherwise floor to
+            // a zero sample, making the mean zero and suppressing the
+            // per_sec rate and the perf-gate JSON record.
+            self.samples
+                .push((start.elapsed() / batch as u32).max(Duration::from_nanos(1)));
         }
     }
 }
